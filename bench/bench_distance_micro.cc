@@ -1,0 +1,111 @@
+// E17 — microbenchmarks of the distance function (§2.3): the inner loop of
+// everything in the grouping phase. Measures the full weighted distance, each
+// component, the naive endpoint baselines, and the Euclidean lower bound used
+// for index pruning.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "distance/endpoint_distance.h"
+#include "distance/segment_distance.h"
+
+namespace {
+
+using namespace traclus;
+
+std::vector<geom::Segment> RandomSegments(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<geom::Segment> segs;
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Point s(rng.Uniform(0, 100), rng.Uniform(0, 100));
+    const double ang = rng.Uniform(0, 2 * M_PI);
+    const double len = rng.Uniform(0.5, 10);
+    segs.emplace_back(s, geom::Point(s.x() + len * std::cos(ang),
+                                     s.y() + len * std::sin(ang)),
+                      static_cast<geom::SegmentId>(i),
+                      static_cast<geom::TrajectoryId>(i));
+  }
+  return segs;
+}
+
+const std::vector<geom::Segment>& Pool() {
+  static const auto segs = RandomSegments(1024, 99);
+  return segs;
+}
+
+void BM_FullDistance(benchmark::State& state) {
+  const auto& segs = Pool();
+  const distance::SegmentDistance dist;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist(segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FullDistance);
+
+void BM_DistanceComponents(benchmark::State& state) {
+  const auto& segs = Pool();
+  const distance::SegmentDistance dist;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist.Components(segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DistanceComponents);
+
+void BM_PerpendicularOnly(benchmark::State& state) {
+  const auto& segs = Pool();
+  const distance::SegmentDistance dist;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.Perpendicular(segs[i % segs.size()],
+                                                segs[(i * 31 + 7) % segs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PerpendicularOnly);
+
+void BM_AngleOnly(benchmark::State& state) {
+  const auto& segs = Pool();
+  const distance::SegmentDistance dist;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist.Angle(segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AngleOnly);
+
+void BM_EndpointSumBaseline(benchmark::State& state) {
+  const auto& segs = Pool();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::EndpointSumDistance(
+        segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EndpointSumBaseline);
+
+void BM_EuclideanSegmentDistanceLowerBound(benchmark::State& state) {
+  const auto& segs = Pool();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::SegmentToSegmentDistance(
+        segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EuclideanSegmentDistanceLowerBound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

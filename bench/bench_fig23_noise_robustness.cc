@@ -1,0 +1,47 @@
+// E9 — Fig. 23: robustness to noise.
+//
+// The paper runs TRACLUS on a synthetic set where 25% of the trajectories are
+// noise and shows "the clusters are correctly identified despite many noises"
+// (DBSCAN heritage). We plant 4 corridors, add 25% random-walk trajectories,
+// and verify (a) exactly the planted clusters are recovered, (b) recovery is
+// stable as the noise fraction grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "datagen/noisy_generator.h"
+
+int main() {
+  using namespace traclus;
+  bench::PrintHeader("E9 / bench_fig23_noise_robustness",
+                     "Figure 23 (clustering of a synthetic set with 25% noise)",
+                     "clusters correctly identified despite many noises");
+
+  for (const double noise_fraction : {0.0, 0.25, 0.4}) {
+    datagen::NoisyConfig gen;
+    gen.num_trajectories = 120;
+    gen.noise_fraction = noise_fraction;
+    gen.num_planted_corridors = 4;
+    const auto db = datagen::GenerateNoisy(gen);
+
+    core::TraclusConfig cfg;
+    cfg.eps = 3.0;
+    cfg.min_lns = 8;
+    const auto result = core::Traclus(cfg).Run(db);
+    std::printf("noise fraction %.0f%%: ", 100 * noise_fraction);
+    bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, result);
+    std::printf("    planted corridors: %d, recovered clusters: %zu %s\n",
+                gen.num_planted_corridors, result.clustering.clusters.size(),
+                result.clustering.clusters.size() ==
+                        static_cast<size_t>(gen.num_planted_corridors)
+                    ? "[exact recovery]"
+                    : "");
+    if (noise_fraction == 0.25) {
+      const auto svg = bench::WriteClusterSvg("fig23_noisy.svg", db, result);
+      std::printf("    figure written to %s\n", svg.c_str());
+    }
+  }
+  std::printf("\npaper shape: recovery unchanged at 25%% noise — check rows "
+              "above for 4/4 recovered clusters.\n");
+  return 0;
+}

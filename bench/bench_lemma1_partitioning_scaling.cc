@@ -1,0 +1,55 @@
+// E11 — Lemma 1: the approximate partitioning algorithm is O(n) in the number
+// of trajectory points (exactly n − 1 MDL evaluations). google-benchmark
+// sweeps the trajectory length and fits the asymptotic complexity; the
+// exact-DP partitioner is included for contrast (O(n²) edges, O(n³) work).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "partition/approximate_partitioner.h"
+#include "partition/optimal_partitioner.h"
+
+namespace {
+
+using namespace traclus;
+
+traj::Trajectory RandomTrack(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  traj::Trajectory tr(0);
+  geom::Point p(0, 0);
+  for (size_t i = 0; i < n; ++i) {
+    p = geom::Point(p.x() + rng.Uniform(2, 12), p.y() + rng.Uniform(-8, 8));
+    tr.Add(p);
+  }
+  return tr;
+}
+
+void BM_ApproximatePartitioning(benchmark::State& state) {
+  const auto tr = RandomTrack(static_cast<size_t>(state.range(0)), 42);
+  const partition::ApproximatePartitioner part;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.CharacteristicPoints(tr));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ApproximatePartitioning)
+    ->RangeMultiplier(2)
+    ->Range(256, 8192)
+    ->Complexity(benchmark::oN);
+
+void BM_OptimalPartitioning(benchmark::State& state) {
+  const auto tr = RandomTrack(static_cast<size_t>(state.range(0)), 42);
+  const partition::OptimalPartitioner part;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.CharacteristicPoints(tr));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimalPartitioning)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

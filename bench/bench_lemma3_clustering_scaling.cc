@@ -1,0 +1,123 @@
+// E12 — Lemma 3: line-segment clustering is O(n log n) with a spatial index
+// and O(n²) without one. We cluster growing slices of the hurricane segment
+// database with the grid index vs the brute-force provider and fit the
+// complexity curves. (The index prunes with the Euclidean lower bound of the
+// non-metric distance; see GridNeighborhoodIndex.)
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/dbscan_segments.h"
+#include "cluster/neighborhood.h"
+#include "cluster/neighborhood_index.h"
+#include "cluster/rtree_index.h"
+#include "core/traclus.h"
+#include "datagen/hurricane_generator.h"
+
+namespace {
+
+using namespace traclus;
+
+const std::vector<geom::Segment>& AllSegments() {
+  static const std::vector<geom::Segment> segments = [] {
+    datagen::HurricaneConfig gen;
+    gen.num_trajectories = 1200;  // Enough partitions for the largest slice.
+    core::TraclusConfig cfg;
+    return core::Traclus(cfg).PartitionPhase(datagen::GenerateHurricanes(gen));
+  }();
+  return segments;
+}
+
+std::vector<geom::Segment> Slice(size_t n) {
+  const auto& all = AllSegments();
+  return std::vector<geom::Segment>(all.begin(),
+                                    all.begin() + std::min(n, all.size()));
+}
+
+cluster::DbscanOptions Options() {
+  cluster::DbscanOptions opt;
+  opt.eps = 0.94;
+  opt.min_lns = 7;
+  return opt;
+}
+
+void BM_DbscanWithGridIndex(benchmark::State& state) {
+  const auto segs = Slice(static_cast<size_t>(state.range(0)));
+  const distance::SegmentDistance dist;
+  for (auto _ : state) {
+    // Index construction is part of the clustering cost, as in Lemma 3.
+    const cluster::GridNeighborhoodIndex index(segs, dist);
+    benchmark::DoNotOptimize(cluster::DbscanSegments(segs, index, Options()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DbscanWithGridIndex)
+    ->RangeMultiplier(2)
+    ->Range(1024, 16384)
+    ->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DbscanWithRTree(benchmark::State& state) {
+  const auto segs = Slice(static_cast<size_t>(state.range(0)));
+  const distance::SegmentDistance dist;
+  for (auto _ : state) {
+    const cluster::StrRTreeIndex index(segs, dist);
+    benchmark::DoNotOptimize(cluster::DbscanSegments(segs, index, Options()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DbscanWithRTree)
+    ->RangeMultiplier(2)
+    ->Range(1024, 16384)
+    ->Complexity(benchmark::oNLogN)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DbscanBruteForce(benchmark::State& state) {
+  const auto segs = Slice(static_cast<size_t>(state.range(0)));
+  const distance::SegmentDistance dist;
+  for (auto _ : state) {
+    const cluster::BruteForceNeighborhood provider(segs, dist);
+    benchmark::DoNotOptimize(cluster::DbscanSegments(segs, provider, Options()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DbscanBruteForce)
+    ->RangeMultiplier(2)
+    ->Range(1024, 8192)
+    ->Complexity(benchmark::oNSquared)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NeighborhoodQueryGridIndex(benchmark::State& state) {
+  const auto segs = Slice(static_cast<size_t>(state.range(0)));
+  const distance::SegmentDistance dist;
+  const cluster::GridNeighborhoodIndex index(segs, dist);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Neighbors(q % segs.size(), 0.94));
+    ++q;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NeighborhoodQueryGridIndex)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Complexity();
+
+void BM_NeighborhoodQueryBruteForce(benchmark::State& state) {
+  const auto segs = Slice(static_cast<size_t>(state.range(0)));
+  const distance::SegmentDistance dist;
+  const cluster::BruteForceNeighborhood provider(segs, dist);
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.Neighbors(q % segs.size(), 0.94));
+    ++q;
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NeighborhoodQueryBruteForce)
+    ->RangeMultiplier(4)
+    ->Range(1024, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// E10 — §3.3: precision of the approximate partitioning algorithm.
+//
+// The paper: "the precision of this algorithm is quite high. Our experience
+// indicates that the precision is about 80% on average, which means that 80%
+// of the approximate solutions appear also in the exact solutions."
+//
+// We measure |approx ∩ exact| / |approx| over the synthetic hurricane tracks
+// (and corridor traversals) against the exact DP optimum, for both MDL
+// encoders. Shape to verify: precision well above chance, in the vicinity of
+// the paper's 80%.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/hurricane_generator.h"
+#include "eval/precision.h"
+#include "partition/approximate_partitioner.h"
+#include "partition/optimal_partitioner.h"
+
+int main() {
+  using namespace traclus;
+  bench::PrintHeader("E10 / bench_sec33_precision",
+                     "Section 3.3 (precision of approximate partitioning)",
+                     "approximate solutions ~80% contained in exact solutions");
+
+  datagen::HurricaneConfig gen;
+  gen.num_trajectories = 150;  // The exact DP is O(n^2) edges; sample tracks.
+  const auto db = datagen::GenerateHurricanes(gen);
+  bench::PrintDatabaseStats("hurricane-sample", db);
+
+  for (const auto encoding : {partition::MdlEncoding::kLog2Clamped,
+                              partition::MdlEncoding::kLog2Plus1}) {
+    partition::MdlOptions opt;
+    opt.encoding = encoding;
+    const partition::ApproximatePartitioner approx(opt);
+    const partition::OptimalPartitioner optimal(opt);
+
+    double precision_sum = 0.0;
+    double recall_sum = 0.0;
+    double cost_ratio_sum = 0.0;
+    size_t counted = 0;
+    for (const auto& tr : db.trajectories()) {
+      if (tr.size() < 5) continue;
+      const auto a = approx.CharacteristicPoints(tr);
+      const auto e = optimal.CharacteristicPoints(tr);
+      precision_sum += eval::CharacteristicPointPrecision(a, e);
+      recall_sum += eval::CharacteristicPointRecall(a, e);
+      cost_ratio_sum += optimal.TotalCost(tr, a) / optimal.TotalCost(tr, e);
+      ++counted;
+    }
+    std::printf(
+        "encoder %-13s: precision %.1f%% (paper: ~80%%) | recall %.1f%% | "
+        "approx/optimal MDL cost ratio %.3f | %zu trajectories\n",
+        encoding == partition::MdlEncoding::kLog2Clamped ? "log2-clamped"
+                                                         : "log2(1+x)",
+        100.0 * precision_sum / counted, 100.0 * recall_sum / counted,
+        cost_ratio_sum / counted, counted);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef TRACLUS_BENCH_BENCH_UTIL_H_
+#define TRACLUS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benches. Each bench binary prints
+// the series/rows of one paper artifact (see DESIGN.md §3) and, where the
+// paper's figure is a map plot, writes an SVG into bench_out/.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "cluster/representative.h"
+#include "core/traclus.h"
+#include "eval/cluster_stats.h"
+#include "traj/svg_writer.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::bench {
+
+/// Directory for bench artifacts (SVG plots, CSV series). Created on demand;
+/// falls back to the current directory on failure.
+inline std::string OutDir() {
+  const char* dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return ec ? std::string(".") : std::string(dir);
+}
+
+/// Prints the standard bench header naming the paper artifact reproduced.
+inline void PrintHeader(const char* experiment_id, const char* paper_artifact,
+                        const char* paper_result) {
+  std::printf("==============================================================\n");
+  std::printf("%s — reproduces %s\n", experiment_id, paper_artifact);
+  std::printf("paper reports: %s\n", paper_result);
+  std::printf("==============================================================\n");
+}
+
+/// Prints database shape (the paper quotes these in §5.1).
+inline void PrintDatabaseStats(const char* name,
+                               const traj::TrajectoryDatabase& db) {
+  const auto st = db.Stats();
+  std::printf("data set %-12s: %zu trajectories, %zu points (mean length %.1f)\n",
+              name, st.num_trajectories, st.num_points, st.mean_length);
+}
+
+/// Renders a clustering result in the style of Figs. 18/21/22/23: trajectories
+/// thin green, representative trajectories thick red. Returns the output path.
+inline std::string WriteClusterSvg(const std::string& filename,
+                                   const traj::TrajectoryDatabase& db,
+                                   const core::TraclusResult& result) {
+  const auto st = db.Stats();
+  traj::SvgWriter svg(st.bounds);
+  svg.AddDatabase(db, "#2e8b57", 0.5);
+  for (const auto& rep : result.representatives) {
+    svg.AddTrajectory(rep, "#cc0000", 3.0);
+  }
+  const std::string path = OutDir() + "/" + filename;
+  const auto status = svg.Save(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+  return path;
+}
+
+/// Prints a one-line clustering summary (the quantities §5.2-§5.4 quote).
+inline void PrintClusteringSummary(double eps, double min_lns,
+                                   const core::TraclusResult& result) {
+  const auto stats =
+      eval::SummarizeClustering(result.segments, result.clustering);
+  std::printf(
+      "eps=%-6.2f MinLns=%-3.0f -> %2zu clusters | avg %6.1f segs/cluster | "
+      "%5zu noise segs | avg |PTR| %.1f\n",
+      eps, min_lns, stats.num_clusters, stats.avg_segments_per_cluster,
+      stats.num_noise, stats.avg_trajectory_cardinality);
+}
+
+}  // namespace traclus::bench
+
+#endif  // TRACLUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Quickstart: the smallest complete TRACLUS program.
+//
+// Builds a tiny trajectory database in code, runs the full partition-and-group
+// pipeline (Fig. 4 of the paper), and prints the clusters and representative
+// trajectories. See hurricane_landfall.cpp / animal_roads.cpp for the paper's
+// two application scenarios and parameter_selection.cpp for the §4.4 heuristic.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/traclus.h"
+
+int main() {
+  using traclus::geom::Point;
+
+  // 1. A trajectory database: six trajectories sharing a west-to-east corridor
+  //    (y ≈ 0..5, x 0..200), then scattering; plus one unrelated wanderer.
+  traclus::traj::TrajectoryDatabase db;
+  for (int i = 0; i < 6; ++i) {
+    traclus::traj::Trajectory tr(/*id=*/i, /*label=*/"commuter");
+    for (int k = 0; k <= 10; ++k) {
+      const double x = 20.0 * k;
+      // Shared corridor until x = 120, then each commuter fans out.
+      const double y = k <= 6 ? 1.5 * i : 1.5 * i + (k - 6) * 8.0 * (i - 2.5);
+      tr.Add(Point(x, y));
+    }
+    db.Add(std::move(tr));
+  }
+  traclus::traj::Trajectory loner(/*id=*/6, /*label=*/"loner");
+  for (int k = 0; k <= 10; ++k) loner.Add(Point(10.0 * k, 300.0 - 14.0 * k));
+  db.Add(std::move(loner));
+
+  // 2. Configure TRACLUS. eps/MinLns are the two clustering knobs (§4);
+  //    everything else has paper defaults (MDL partitioning, unit weights,
+  //    grid-indexed neighborhoods).
+  traclus::core::TraclusConfig config;
+  config.eps = 12.0;
+  config.min_lns = 4;
+
+  // 3. Run the pipeline.
+  const traclus::core::TraclusResult result =
+      traclus::core::Traclus(config).Run(db);
+
+  // 4. Inspect the output.
+  std::printf("partitioned %zu trajectories into %zu line segments\n",
+              db.size(), result.segments.size());
+  std::printf("found %zu cluster(s); %zu segments classified as noise\n\n",
+              result.clustering.clusters.size(), result.clustering.num_noise);
+
+  for (size_t c = 0; c < result.clustering.clusters.size(); ++c) {
+    const auto& cluster = result.clustering.clusters[c];
+    std::printf("cluster %zu: %zu segments from %zu distinct trajectories\n", c,
+                cluster.size(),
+                traclus::cluster::TrajectoryCardinality(result.segments,
+                                                        cluster));
+    const auto& rep = result.representatives[c];
+    std::printf("  representative trajectory (%zu points): ", rep.size());
+    for (const auto& p : rep.points()) {
+      std::printf("(%.0f, %.1f) ", p.x(), p.y());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "baseline/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace traclus::baseline {
+
+KMedoidsResult KMedoids(size_t n,
+                        const std::function<double(size_t, size_t)>& dist,
+                        const KMedoidsConfig& config) {
+  TRACLUS_CHECK_GE(config.k, 1);
+  TRACLUS_CHECK_GE(n, static_cast<size_t>(config.k));
+  const int k = config.k;
+  common::Rng rng(config.seed);
+
+  // Cache the (symmetric) distance matrix; n is small for whole-trajectory use.
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = dist(i, j);
+    }
+  }
+
+  KMedoidsResult out;
+  // k-medoids++ seeding: first medoid random, then proportional-to-distance².
+  out.medoids.push_back(static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(n) - 1)));
+  while (out.medoids.size() < static_cast<size_t>(k)) {
+    std::vector<double> w(n, 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (const size_t mi : out.medoids) nearest = std::min(nearest, d[i][mi]);
+      w[i] = nearest * nearest;
+      total += w[i];
+    }
+    size_t pick = 0;
+    if (total > 0.0) {
+      double target = rng.Uniform(0.0, total);
+      for (size_t i = 0; i < n; ++i) {
+        target -= w[i];
+        if (target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    }
+    if (std::find(out.medoids.begin(), out.medoids.end(), pick) ==
+        out.medoids.end()) {
+      out.medoids.push_back(pick);
+    }
+  }
+
+  out.assignments.assign(n, 0);
+  auto assign = [&]() {
+    double cost = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_k = 0;
+      for (int c = 0; c < k; ++c) {
+        if (d[i][out.medoids[c]] < best) {
+          best = d[i][out.medoids[c]];
+          best_k = c;
+        }
+      }
+      out.assignments[i] = best_k;
+      cost += best;
+    }
+    return cost;
+  };
+
+  out.total_cost = assign();
+  for (int it = 0; it < config.max_iterations; ++it) {
+    ++out.iterations;
+    bool changed = false;
+    // Medoid update: within each cluster, pick the member minimizing the sum
+    // of distances to the rest of the cluster.
+    for (int c = 0; c < k; ++c) {
+      double best_sum = std::numeric_limits<double>::infinity();
+      size_t best_m = out.medoids[c];
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (out.assignments[cand] != c) continue;
+        double sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (out.assignments[i] == c) sum += d[cand][i];
+        }
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_m = cand;
+        }
+      }
+      if (best_m != out.medoids[c]) {
+        out.medoids[c] = best_m;
+        changed = true;
+      }
+    }
+    const double cost = assign();
+    if (!changed) break;
+    out.total_cost = cost;
+  }
+  out.total_cost = assign();
+  return out;
+}
+
+}  // namespace traclus::baseline

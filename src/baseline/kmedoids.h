@@ -1,0 +1,39 @@
+#ifndef TRACLUS_BASELINE_KMEDOIDS_H_
+#define TRACLUS_BASELINE_KMEDOIDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace traclus::baseline {
+
+/// Configuration of the k-medoids clusterer.
+struct KMedoidsConfig {
+  int k = 3;
+  int max_iterations = 50;
+  uint64_t seed = 11;
+};
+
+/// k-medoids result.
+struct KMedoidsResult {
+  std::vector<size_t> medoids;   ///< Indices of the k medoid objects.
+  std::vector<int> assignments;  ///< Per-object medoid index in [0, k).
+  double total_cost = 0.0;       ///< Σ distance(object, its medoid).
+  int iterations = 0;
+};
+
+/// PAM-style k-medoids over an arbitrary object set given by a pairwise
+/// distance callback (objects are identified by index, 0..n−1).
+///
+/// Combined with a whole-trajectory distance (DTW/LCSS/EDR) this forms the
+/// generic "cluster trajectories as a whole" strawman of §1: a reasonable
+/// distance-based whole-trajectory clusterer that still cannot isolate common
+/// sub-trajectories. Greedy k-medoids++ seeding, then alternating
+/// assignment/medoid-update until stable. Deterministic for a fixed seed.
+KMedoidsResult KMedoids(size_t n,
+                        const std::function<double(size_t, size_t)>& dist,
+                        const KMedoidsConfig& config);
+
+}  // namespace traclus::baseline
+
+#endif  // TRACLUS_BASELINE_KMEDOIDS_H_

@@ -1,0 +1,186 @@
+#include "baseline/regression_mixture.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace traclus::baseline {
+
+namespace {
+
+// Normalized sample times 0..1 for a trajectory of n points.
+double TimeOf(size_t idx, size_t n) {
+  return n <= 1 ? 0.0 : static_cast<double>(idx) / static_cast<double>(n - 1);
+}
+
+// Evaluates a degree-major polynomial at t.
+double PolyEval(const std::vector<double>& coeff, double t) {
+  double acc = 0.0;
+  double tp = 1.0;
+  for (const double c : coeff) {
+    acc += c * tp;
+    tp *= t;
+  }
+  return acc;
+}
+
+// log N(v; mean, var).
+double LogGaussian(double v, double mean, double var) {
+  const double d = v - mean;
+  return -0.5 * (std::log(2.0 * M_PI * var) + d * d / var);
+}
+
+}  // namespace
+
+RegressionMixtureClusterer::RegressionMixtureClusterer(
+    const RegressionMixtureConfig& config)
+    : config_(config) {
+  TRACLUS_CHECK_GE(config.num_components, 1);
+  TRACLUS_CHECK_GE(config.poly_order, 0);
+  TRACLUS_CHECK_GE(config.max_iterations, 1);
+}
+
+geom::Point RegressionMixtureClusterer::Predict(
+    const RegressionMixtureResult& model, int k, double t) {
+  TRACLUS_CHECK(k >= 0 && k < static_cast<int>(model.coeff_x.size()));
+  return geom::Point(PolyEval(model.coeff_x[k], t), PolyEval(model.coeff_y[k], t));
+}
+
+RegressionMixtureResult RegressionMixtureClusterer::Fit(
+    const traj::TrajectoryDatabase& db) const {
+  const size_t m = db.size();
+  const int k_comp = config_.num_components;
+  const int p = config_.poly_order + 1;  // Number of basis terms.
+  TRACLUS_CHECK_GE(m, static_cast<size_t>(k_comp))
+      << "need at least K trajectories";
+
+  RegressionMixtureResult out;
+  out.assignments.assign(m, 0);
+  out.responsibilities.assign(m, std::vector<double>(k_comp, 0.0));
+  out.coeff_x.assign(k_comp, std::vector<double>(p, 0.0));
+  out.coeff_y.assign(k_comp, std::vector<double>(p, 0.0));
+  out.weights.assign(k_comp, 1.0 / k_comp);
+  out.variances.assign(k_comp, 1.0);
+
+  // Random soft initialization (deterministic seed): Dirichlet-ish split.
+  common::Rng rng(config_.seed);
+  for (size_t i = 0; i < m; ++i) {
+    double total = 0.0;
+    for (int k = 0; k < k_comp; ++k) {
+      out.responsibilities[i][k] = rng.Uniform(0.05, 1.0);
+      total += out.responsibilities[i][k];
+    }
+    for (int k = 0; k < k_comp; ++k) out.responsibilities[i][k] /= total;
+  }
+
+  auto m_step = [&]() {
+    for (int k = 0; k < k_comp; ++k) {
+      // Weighted least squares over all points of all trajectories.
+      common::Matrix xtx(p, p);
+      std::vector<double> xty_x(p, 0.0);
+      std::vector<double> xty_y(p, 0.0);
+      double resp_sum = 0.0;
+      double point_mass = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        const double r = out.responsibilities[i][k];
+        resp_sum += r;
+        const auto& pts = db[i].points();
+        for (size_t j = 0; j < pts.size(); ++j) {
+          const double t = TimeOf(j, pts.size());
+          double basis[16];
+          TRACLUS_CHECK_LE(p, 16);
+          double tp = 1.0;
+          for (int a = 0; a < p; ++a) {
+            basis[a] = tp;
+            tp *= t;
+          }
+          for (int a = 0; a < p; ++a) {
+            for (int b = a; b < p; ++b) {
+              xtx(a, b) += r * basis[a] * basis[b];
+            }
+            xty_x[a] += r * basis[a] * pts[j].x();
+            xty_y[a] += r * basis[a] * pts[j].y();
+          }
+          point_mass += r;
+        }
+      }
+      for (int a = 0; a < p; ++a) {
+        for (int b = 0; b < a; ++b) xtx(a, b) = xtx(b, a);
+        xtx(a, a) += 1e-9;  // Tikhonov guard for empty components.
+      }
+      out.coeff_x[k] = common::SolveSpd(xtx, xty_x);
+      out.coeff_y[k] = common::SolveSpd(xtx, xty_y);
+
+      // Noise variance: responsibility-weighted mean squared residual over both
+      // coordinates.
+      double sq = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        const double r = out.responsibilities[i][k];
+        if (r == 0.0) continue;
+        const auto& pts = db[i].points();
+        for (size_t j = 0; j < pts.size(); ++j) {
+          const double t = TimeOf(j, pts.size());
+          const double dx = pts[j].x() - PolyEval(out.coeff_x[k], t);
+          const double dy = pts[j].y() - PolyEval(out.coeff_y[k], t);
+          sq += r * (dx * dx + dy * dy);
+        }
+      }
+      out.variances[k] =
+          std::max(config_.min_variance, sq / std::max(1e-12, 2.0 * point_mass));
+      out.weights[k] = resp_sum / static_cast<double>(m);
+    }
+  };
+
+  auto e_step = [&]() -> double {
+    double total_ll = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      // log p(TR_i | component k) = Σ_t log N(x) + log N(y).
+      std::vector<double> log_like(k_comp, 0.0);
+      const auto& pts = db[i].points();
+      for (int k = 0; k < k_comp; ++k) {
+        double ll = std::log(std::max(out.weights[k], 1e-300));
+        for (size_t j = 0; j < pts.size(); ++j) {
+          const double t = TimeOf(j, pts.size());
+          ll += LogGaussian(pts[j].x(), PolyEval(out.coeff_x[k], t),
+                            out.variances[k]);
+          ll += LogGaussian(pts[j].y(), PolyEval(out.coeff_y[k], t),
+                            out.variances[k]);
+        }
+        log_like[k] = ll;
+      }
+      const double mx = *std::max_element(log_like.begin(), log_like.end());
+      double denom = 0.0;
+      for (int k = 0; k < k_comp; ++k) denom += std::exp(log_like[k] - mx);
+      total_ll += mx + std::log(denom);
+      for (int k = 0; k < k_comp; ++k) {
+        out.responsibilities[i][k] = std::exp(log_like[k] - mx) / denom;
+      }
+    }
+    return total_ll;
+  };
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (int it = 0; it < config_.max_iterations; ++it) {
+    m_step();
+    const double ll = e_step();
+    out.log_likelihood.push_back(ll);
+    if (it > 0 && std::abs(ll - prev_ll) <=
+                      config_.tolerance * (std::abs(prev_ll) + 1.0)) {
+      out.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  for (size_t i = 0; i < m; ++i) {
+    out.assignments[i] = static_cast<int>(
+        std::max_element(out.responsibilities[i].begin(),
+                         out.responsibilities[i].end()) -
+        out.responsibilities[i].begin());
+  }
+  return out;
+}
+
+}  // namespace traclus::baseline

@@ -1,0 +1,68 @@
+#ifndef TRACLUS_BASELINE_REGRESSION_MIXTURE_H_
+#define TRACLUS_BASELINE_REGRESSION_MIXTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/trajectory_database.h"
+
+namespace traclus::baseline {
+
+/// Configuration of the regression-mixture trajectory clusterer.
+struct RegressionMixtureConfig {
+  int num_components = 3;   ///< K, the number of whole-trajectory clusters.
+  int poly_order = 3;       ///< Polynomial degree of each regression component.
+  int max_iterations = 100; ///< EM iteration cap.
+  double tolerance = 1e-6;  ///< Relative log-likelihood convergence threshold.
+  double min_variance = 1e-6; ///< Variance floor for numerical stability.
+  uint64_t seed = 7;        ///< Responsibility-initialization seed.
+};
+
+/// Result of fitting the mixture.
+struct RegressionMixtureResult {
+  /// Hard assignment of each trajectory: argmax_k responsibility. Indexed like
+  /// the input database.
+  std::vector<int> assignments;
+  /// Soft responsibilities, assignments.size() × K.
+  std::vector<std::vector<double>> responsibilities;
+  /// Per-component polynomial coefficients for x(t) and y(t), degree-major
+  /// (coeff[0] + coeff[1]·t + …), t normalized to [0, 1].
+  std::vector<std::vector<double>> coeff_x;
+  std::vector<std::vector<double>> coeff_y;
+  /// Per-component mixing weights and noise variances.
+  std::vector<double> weights;
+  std::vector<double> variances;
+  /// Total log-likelihood after each EM iteration (monotone non-decreasing).
+  std::vector<double> log_likelihood;
+  bool converged = false;
+};
+
+/// The Gaffney–Smyth model-based trajectory clusterer [7, 8]: the comparison
+/// framework the paper argues against in §1/§6.
+///
+/// A set of trajectories is modeled as a mixture of polynomial regressions
+/// y_j(t) = f_k(t) + noise over normalized arc time; EM estimates component
+/// parameters and memberships, and each trajectory is assigned to its maximum-
+/// responsibility component. The crucial property for our benches: the unit of
+/// clustering is the WHOLE trajectory, so common sub-trajectories of otherwise
+/// divergent trajectories cannot be detected (Example 1 / Fig. 1) — which
+/// `bench_fig1_framework_comparison` demonstrates against TRACLUS.
+class RegressionMixtureClusterer {
+ public:
+  explicit RegressionMixtureClusterer(const RegressionMixtureConfig& config);
+
+  /// Fits the mixture to `db` with EM. Deterministic for a fixed seed.
+  /// Requires at least `num_components` non-empty trajectories.
+  RegressionMixtureResult Fit(const traj::TrajectoryDatabase& db) const;
+
+  /// Evaluates component k of a fitted model at normalized time t ∈ [0, 1].
+  static geom::Point Predict(const RegressionMixtureResult& model, int k,
+                             double t);
+
+ private:
+  RegressionMixtureConfig config_;
+};
+
+}  // namespace traclus::baseline
+
+#endif  // TRACLUS_BASELINE_REGRESSION_MIXTURE_H_

@@ -1,0 +1,104 @@
+#include "baseline/warping_distances.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace traclus::baseline {
+
+namespace {
+
+// Per-coordinate (Chebyshev-style) match predicate used by LCSS and EDR: the
+// original definitions compare each dimension separately against eps.
+bool MatchWithin(const geom::Point& p, const geom::Point& q, double eps) {
+  for (int d = 0; d < p.dims(); ++d) {
+    if (std::abs(p[d] - q[d]) > eps) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double DtwDistance(const traj::Trajectory& a, const traj::Trajectory& b) {
+  TRACLUS_CHECK(!a.empty() && !b.empty());
+  const auto& pa = a.points();
+  const auto& pb = b.points();
+  const size_t n = pa.size();
+  const size_t m = pb.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double cost = geom::Distance(pa[i - 1], pb[j - 1]);
+      curr[j] = cost + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+size_t LcssLength(const traj::Trajectory& a, const traj::Trajectory& b,
+                  double eps, int delta) {
+  const auto& pa = a.points();
+  const auto& pb = b.points();
+  const size_t n = pa.size();
+  const size_t m = pb.size();
+  if (n == 0 || m == 0) return 0;
+
+  std::vector<size_t> prev(m + 1, 0);
+  std::vector<size_t> curr(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const bool index_ok =
+          delta < 0 || std::llabs(static_cast<long long>(i) -
+                                  static_cast<long long>(j)) <= delta;
+      if (index_ok && MatchWithin(pa[i - 1], pb[j - 1], eps)) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LcssDistance(const traj::Trajectory& a, const traj::Trajectory& b,
+                    double eps, int delta) {
+  const size_t shorter = std::min(a.size(), b.size());
+  if (shorter == 0) return 1.0;
+  return 1.0 - static_cast<double>(LcssLength(a, b, eps, delta)) /
+                   static_cast<double>(shorter);
+}
+
+double EdrDistance(const traj::Trajectory& a, const traj::Trajectory& b,
+                   double eps) {
+  const auto& pa = a.points();
+  const auto& pb = b.points();
+  const size_t n = pa.size();
+  const size_t m = pb.size();
+  if (n == 0) return static_cast<double>(m);
+  if (m == 0) return static_cast<double>(n);
+
+  std::vector<double> prev(m + 1);
+  std::vector<double> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const double subcost = MatchWithin(pa[i - 1], pb[j - 1], eps) ? 0.0 : 1.0;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0, curr[j - 1] + 1.0});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace traclus::baseline

@@ -1,0 +1,37 @@
+#ifndef TRACLUS_BASELINE_WARPING_DISTANCES_H_
+#define TRACLUS_BASELINE_WARPING_DISTANCES_H_
+
+#include "traj/trajectory.h"
+
+namespace traclus::baseline {
+
+/// Whole-trajectory similarity measures from the related work (§6): DTW [12],
+/// LCSS [20], and EDR [5]. The paper's point stands for all three — they
+/// compare trajectories in their entirety, so "the distance could be large
+/// although some portions of trajectories are very similar". They serve as
+/// baselines for the Fig. 1 framework-comparison bench.
+
+/// Dynamic time warping distance: minimum total point-to-point distance over
+/// monotone alignments of the two sequences. O(n·m) time, O(min(n,m)) space.
+/// Both trajectories must be non-empty.
+double DtwDistance(const traj::Trajectory& a, const traj::Trajectory& b);
+
+/// LCSS similarity count (Vlachos et al.): length of the longest common
+/// subsequence where points match if both coordinate differences are < eps
+/// and indices differ by at most `delta` (delta < 0 disables the index
+/// constraint).
+size_t LcssLength(const traj::Trajectory& a, const traj::Trajectory& b,
+                  double eps, int delta = -1);
+
+/// LCSS distance in [0, 1]: 1 − LCSS / min(|a|, |b|).
+double LcssDistance(const traj::Trajectory& a, const traj::Trajectory& b,
+                    double eps, int delta = -1);
+
+/// Edit Distance on Real sequences (Chen et al.): edit distance where a match
+/// (both coordinate differences ≤ eps) costs 0 and any edit costs 1.
+double EdrDistance(const traj::Trajectory& a, const traj::Trajectory& b,
+                   double eps);
+
+}  // namespace traclus::baseline
+
+#endif  // TRACLUS_BASELINE_WARPING_DISTANCES_H_

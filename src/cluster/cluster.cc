@@ -1,0 +1,23 @@
+#include "cluster/cluster.h"
+
+#include "common/logging.h"
+
+namespace traclus::cluster {
+
+std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
+    const std::vector<geom::Segment>& segments, const Cluster& cluster) {
+  std::unordered_set<geom::TrajectoryId> out;
+  out.reserve(cluster.member_indices.size());
+  for (const size_t idx : cluster.member_indices) {
+    TRACLUS_DCHECK(idx < segments.size());
+    out.insert(segments[idx].trajectory_id());
+  }
+  return out;
+}
+
+size_t TrajectoryCardinality(const std::vector<geom::Segment>& segments,
+                             const Cluster& cluster) {
+  return ParticipatingTrajectories(segments, cluster).size();
+}
+
+}  // namespace traclus::cluster

@@ -1,0 +1,49 @@
+#ifndef TRACLUS_CLUSTER_CLUSTER_H_
+#define TRACLUS_CLUSTER_CLUSTER_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/segment.h"
+
+namespace traclus::cluster {
+
+/// Label of a segment not (yet) assigned to any cluster.
+inline constexpr int kUnclassified = -2;
+/// Label of a segment classified as noise (Fig. 12 line 12).
+inline constexpr int kNoise = -1;
+
+/// A cluster: a set of trajectory partitions (line segments), identified by
+/// their indices into the segment database D (§2.1).
+struct Cluster {
+  int id = 0;
+  std::vector<size_t> member_indices;
+
+  size_t size() const { return member_indices.size(); }
+};
+
+/// Output of the grouping phase.
+struct ClusteringResult {
+  /// Surviving clusters, re-numbered densely from 0 after the trajectory
+  /// cardinality filter (Fig. 12 step 3).
+  std::vector<Cluster> clusters;
+  /// Per-segment label: cluster id, kNoise, or (never after completion)
+  /// kUnclassified. Indexed like the input segment vector.
+  std::vector<int> labels;
+  /// Number of segments labelled noise.
+  size_t num_noise = 0;
+};
+
+/// The set of participating trajectories PTR(C) of a cluster (Definition 10):
+/// the distinct trajectories its member segments were extracted from.
+std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
+    const std::vector<geom::Segment>& segments, const Cluster& cluster);
+
+/// |PTR(C)|, the trajectory cardinality used by the Fig. 12 step-3 filter.
+size_t TrajectoryCardinality(const std::vector<geom::Segment>& segments,
+                             const Cluster& cluster);
+
+}  // namespace traclus::cluster
+
+#endif  // TRACLUS_CLUSTER_CLUSTER_H_

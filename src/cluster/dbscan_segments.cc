@@ -1,0 +1,105 @@
+#include "cluster/dbscan_segments.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace traclus::cluster {
+
+namespace {
+
+// |Nε(L)| under the configured density: neighbor count, or the weighted count
+// of the §4.2 extension.
+double NeighborhoodMass(const std::vector<geom::Segment>& segments,
+                        const std::vector<size_t>& neighbors,
+                        const DbscanOptions& options) {
+  if (!options.use_weights) return static_cast<double>(neighbors.size());
+  double mass = 0.0;
+  for (const size_t i : neighbors) mass += segments[i].weight();
+  return mass;
+}
+
+}  // namespace
+
+ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
+                                const NeighborhoodProvider& provider,
+                                const DbscanOptions& options) {
+  TRACLUS_CHECK_EQ(provider.size(), segments.size());
+  TRACLUS_CHECK_GT(options.eps, 0.0);
+  TRACLUS_CHECK_GE(options.min_lns, 1.0);
+
+  const size_t n = segments.size();
+  ClusteringResult result;
+  result.labels.assign(n, kUnclassified);
+  std::vector<Cluster> raw_clusters;
+
+  int cluster_id = 0;  // Fig. 12 line 01.
+  for (size_t seed = 0; seed < n; ++seed) {  // Step 1 (lines 03-12).
+    if (result.labels[seed] != kUnclassified) continue;
+    const std::vector<size_t> seed_neighbors = provider.Neighbors(seed, options.eps);
+    if (NeighborhoodMass(segments, seed_neighbors, options) < options.min_lns) {
+      result.labels[seed] = kNoise;  // Line 12.
+      continue;
+    }
+
+    // Lines 07-08: assign the whole neighborhood, enqueue Nε(L) − {L}.
+    Cluster cluster;
+    cluster.id = cluster_id;
+    std::deque<size_t> queue;
+    for (const size_t i : seed_neighbors) {
+      // Previously-noise segments become border members here.
+      if (result.labels[i] == kUnclassified && i != seed) queue.push_back(i);
+      if (result.labels[i] == kUnclassified || result.labels[i] == kNoise) {
+        result.labels[i] = cluster_id;
+        cluster.member_indices.push_back(i);
+      }
+    }
+
+    // Step 2 (ExpandCluster, lines 17-28).
+    while (!queue.empty()) {
+      const size_t m = queue.front();
+      queue.pop_front();
+      const std::vector<size_t> m_neighbors = provider.Neighbors(m, options.eps);
+      if (NeighborhoodMass(segments, m_neighbors, options) < options.min_lns) {
+        continue;  // Not a core line segment: expand no further through it.
+      }
+      for (const size_t x : m_neighbors) {
+        const bool was_unclassified = result.labels[x] == kUnclassified;
+        if (was_unclassified || result.labels[x] == kNoise) {
+          result.labels[x] = cluster_id;  // Line 24.
+          cluster.member_indices.push_back(x);
+        }
+        if (was_unclassified) queue.push_back(x);  // Lines 25-26.
+      }
+    }
+
+    raw_clusters.push_back(std::move(cluster));
+    ++cluster_id;  // Line 10.
+  }
+
+  // Step 3 (lines 13-16): trajectory-cardinality filter.
+  const double cardinality_threshold = options.min_trajectory_cardinality < 0.0
+                                           ? options.min_lns
+                                           : options.min_trajectory_cardinality;
+  std::vector<int> remap(raw_clusters.size(), kNoise);
+  int dense_id = 0;
+  for (auto& cluster : raw_clusters) {
+    const double ptr =
+        static_cast<double>(TrajectoryCardinality(segments, cluster));
+    if (ptr < cardinality_threshold) continue;  // Removed; members become noise.
+    remap[cluster.id] = dense_id;
+    cluster.id = dense_id;
+    result.clusters.push_back(std::move(cluster));
+    ++dense_id;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (result.labels[i] >= 0) {
+      result.labels[i] = remap[result.labels[i]];
+    }
+    if (result.labels[i] == kNoise) ++result.num_noise;
+    TRACLUS_DCHECK(result.labels[i] != kUnclassified);
+  }
+  return result;
+}
+
+}  // namespace traclus::cluster

@@ -1,0 +1,40 @@
+#ifndef TRACLUS_CLUSTER_DBSCAN_SEGMENTS_H_
+#define TRACLUS_CLUSTER_DBSCAN_SEGMENTS_H_
+
+#include "cluster/cluster.h"
+#include "cluster/neighborhood.h"
+
+namespace traclus::cluster {
+
+/// Parameters of the line-segment clustering algorithm (Fig. 12).
+struct DbscanOptions {
+  /// Neighborhood radius ε (Definition 4).
+  double eps = 1.0;
+  /// Core-segment density threshold MinLns (Definition 5).
+  double min_lns = 3.0;
+  /// Trajectory-cardinality threshold of the step-3 filter. The paper notes "a
+  /// threshold other than MinLns can be used" (Fig. 12 line 14 comment);
+  /// a negative value means "use min_lns". 0 disables the filter.
+  double min_trajectory_cardinality = -1.0;
+  /// Weighted-trajectory extension (§4.2): when true, |Nε(L)| is the sum of the
+  /// neighbors' weights rather than their count, so e.g. a stronger hurricane
+  /// contributes more density.
+  bool use_weights = false;
+};
+
+/// Density-based clustering of line segments — the grouping phase of TRACLUS
+/// (Fig. 12), an adaptation of DBSCAN with two changes: the line-segment
+/// distance function, and the step-3 filter that removes density-connected sets
+/// drawn from too few distinct trajectories (Definition 10), since those do not
+/// "explain the behavior of a sufficient number of trajectories".
+///
+/// `provider` supplies exact ε-neighborhoods and must be bound to `segments`.
+/// Deterministic: segments are seeded in index order, and the expansion queue is
+/// FIFO, so identical inputs yield identical labellings.
+ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
+                                const NeighborhoodProvider& provider,
+                                const DbscanOptions& options);
+
+}  // namespace traclus::cluster
+
+#endif  // TRACLUS_CLUSTER_DBSCAN_SEGMENTS_H_

@@ -1,0 +1,18 @@
+#include "cluster/neighborhood.h"
+
+namespace traclus::cluster {
+
+std::vector<size_t> BruteForceNeighborhood::Neighbors(size_t query_index,
+                                                      double eps) const {
+  TRACLUS_DCHECK(query_index < segments_.size());
+  std::vector<size_t> out;
+  const geom::Segment& q = segments_[query_index];
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (i == query_index || dist_(q, segments_[i]) <= eps) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace traclus::cluster

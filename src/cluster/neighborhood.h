@@ -1,0 +1,52 @@
+#ifndef TRACLUS_CLUSTER_NEIGHBORHOOD_H_
+#define TRACLUS_CLUSTER_NEIGHBORHOOD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "distance/segment_distance.h"
+#include "geom/segment.h"
+
+namespace traclus::cluster {
+
+/// Source of ε-neighborhood queries Nε(L) (Definition 4) over a fixed segment
+/// database.
+///
+/// Implementations are bound to a segment vector at construction and must return
+/// the indices of ALL segments within distance ε of the query — including the
+/// query segment itself, which Definition 4 includes since dist(L, L) = 0.
+/// Exactness matters: DBSCAN's output (and the parameter heuristic's entropy)
+/// are defined in terms of exact ε-neighborhoods.
+class NeighborhoodProvider {
+ public:
+  virtual ~NeighborhoodProvider() = default;
+
+  /// Indices of all segments within distance `eps` of segment `query_index`.
+  virtual std::vector<size_t> Neighbors(size_t query_index, double eps) const = 0;
+
+  /// Number of segments in the bound database.
+  virtual size_t size() const = 0;
+};
+
+/// O(n)-per-query reference provider: scans every segment.
+///
+/// The "no index" configuration of Lemma 3 (O(n²) clustering) and the oracle
+/// that property tests compare the grid index against.
+class BruteForceNeighborhood : public NeighborhoodProvider {
+ public:
+  /// Both referents must outlive the provider.
+  BruteForceNeighborhood(const std::vector<geom::Segment>& segments,
+                         const distance::SegmentDistance& dist)
+      : segments_(segments), dist_(dist) {}
+
+  std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
+  size_t size() const override { return segments_.size(); }
+
+ private:
+  const std::vector<geom::Segment>& segments_;
+  const distance::SegmentDistance& dist_;
+};
+
+}  // namespace traclus::cluster
+
+#endif  // TRACLUS_CLUSTER_NEIGHBORHOOD_H_

@@ -1,0 +1,125 @@
+#include "cluster/neighborhood_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace traclus::cluster {
+
+namespace {
+
+// Mixes three 21-bit-truncated cell coordinates into one key. Collisions are
+// harmless (cells just share a bucket); correctness never depends on the key.
+uint64_t Mix(int64_t x, int64_t y, int64_t z) {
+  const uint64_t a = static_cast<uint64_t>(x) * 0x9E3779B97F4A7C15ull;
+  const uint64_t b = static_cast<uint64_t>(y) * 0xC2B2AE3D27D4EB4Full;
+  const uint64_t c = static_cast<uint64_t>(z) * 0x165667B19E3779F9ull;
+  uint64_t h = a ^ (b >> 1) ^ (c << 1);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+GridNeighborhoodIndex::GridNeighborhoodIndex(
+    const std::vector<geom::Segment>& segments,
+    const distance::SegmentDistance& dist, double cell_size)
+    : segments_(segments), dist_(dist) {
+  boxes_.reserve(segments_.size());
+  double extent_sum = 0.0;
+  for (const auto& s : segments_) {
+    geom::BBox b;
+    b.Extend(s);
+    for (int d = 0; d < b.dims(); ++d) extent_sum += b.Extent(d);
+    boxes_.push_back(b);
+  }
+  dims_ = segments_.empty() ? 2 : segments_.front().dims();
+
+  if (cell_size > 0.0) {
+    cell_size_ = cell_size;
+  } else {
+    const double denom =
+        std::max<size_t>(1, segments_.size()) * std::max(1, dims_);
+    const double mean_extent = extent_sum / static_cast<double>(denom);
+    cell_size_ = std::max(2.0 * mean_extent, 1e-9);
+  }
+
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const geom::BBox& b = boxes_[i];
+    const CellCoord lo = CellOf(b.lo(0), b.lo(1), dims_ == 3 ? b.lo(2) : 0.0);
+    const CellCoord hi = CellOf(b.hi(0), b.hi(1), dims_ == 3 ? b.hi(2) : 0.0);
+    for (int64_t cx = lo.x; cx <= hi.x; ++cx) {
+      for (int64_t cy = lo.y; cy <= hi.y; ++cy) {
+        for (int64_t cz = lo.z; cz <= hi.z; ++cz) {
+          cells_[CellKey({cx, cy, cz})].push_back(i);
+        }
+      }
+    }
+  }
+  visit_stamp_.assign(segments_.size(), 0);
+}
+
+GridNeighborhoodIndex::CellCoord GridNeighborhoodIndex::CellOf(double x, double y,
+                                                               double z) const {
+  return CellCoord{static_cast<int64_t>(std::floor(x / cell_size_)),
+                   static_cast<int64_t>(std::floor(y / cell_size_)),
+                   static_cast<int64_t>(std::floor(z / cell_size_))};
+}
+
+uint64_t GridNeighborhoodIndex::CellKey(const CellCoord& c) {
+  return Mix(c.x, c.y, c.z);
+}
+
+std::vector<size_t> GridNeighborhoodIndex::Neighbors(size_t query_index,
+                                                     double eps) const {
+  TRACLUS_DCHECK(query_index < segments_.size());
+  const double factor = dist_.LowerBoundFactor();
+  std::vector<size_t> out;
+
+  if (factor <= 0.0) {
+    // No usable lower bound for this weight configuration: exact scan.
+    const geom::Segment& q = segments_[query_index];
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      if (i == query_index || dist_(q, segments_[i]) <= eps) out.push_back(i);
+    }
+    return out;
+  }
+
+  const double radius = eps / factor;
+  const geom::Segment& q = segments_[query_index];
+  const geom::BBox& qbox = boxes_[query_index];
+
+  ++stamp_;
+  if (stamp_ == 0) {  // Wrap-around: reset stamps once every 2^32 queries.
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0u);
+    stamp_ = 1;
+  }
+
+  const CellCoord lo = CellOf(qbox.lo(0) - radius, qbox.lo(1) - radius,
+                              dims_ == 3 ? qbox.lo(2) - radius : 0.0);
+  const CellCoord hi = CellOf(qbox.hi(0) + radius, qbox.hi(1) + radius,
+                              dims_ == 3 ? qbox.hi(2) + radius : 0.0);
+  for (int64_t cx = lo.x; cx <= hi.x; ++cx) {
+    for (int64_t cy = lo.y; cy <= hi.y; ++cy) {
+      for (int64_t cz = lo.z; cz <= hi.z; ++cz) {
+        const auto it = cells_.find(CellKey({cx, cy, cz}));
+        if (it == cells_.end()) continue;
+        for (const size_t i : it->second) {
+          if (visit_stamp_[i] == stamp_) continue;
+          visit_stamp_[i] = stamp_;
+          if (i == query_index) {
+            out.push_back(i);
+            continue;
+          }
+          if (boxes_[i].MinDist(qbox) > radius) continue;  // Sound prune.
+          if (dist_(q, segments_[i]) <= eps) out.push_back(i);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace traclus::cluster

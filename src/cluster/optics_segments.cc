@@ -1,0 +1,146 @@
+#include "cluster/optics_segments.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace traclus::cluster {
+
+namespace {
+
+// Min-heap entry for the OPTICS seed list; ties broken by index so the walk is
+// deterministic.
+struct Seed {
+  double reachability;
+  size_t index;
+  bool operator>(const Seed& o) const {
+    if (reachability != o.reachability) return reachability > o.reachability;
+    return index > o.index;
+  }
+};
+
+}  // namespace
+
+OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
+                            const distance::SegmentDistance& dist,
+                            const NeighborhoodProvider& provider,
+                            const OpticsOptions& options) {
+  TRACLUS_CHECK_EQ(provider.size(), segments.size());
+  const size_t n = segments.size();
+  OpticsResult result;
+  result.ordering.reserve(n);
+  result.reachability.reserve(n);
+  result.core_distance.reserve(n);
+
+  std::vector<bool> processed(n, false);
+  std::vector<double> reach(n, kUndefinedReachability);
+
+  auto core_distance_of = [&](size_t i,
+                              const std::vector<size_t>& neighbors) -> double {
+    if (neighbors.size() < static_cast<size_t>(options.min_lns)) {
+      return kUndefinedReachability;
+    }
+    // MinLns-th smallest distance to a neighbor (the query itself contributes
+    // distance 0, exactly as in point OPTICS).
+    std::vector<double> ds;
+    ds.reserve(neighbors.size());
+    for (const size_t j : neighbors) {
+      ds.push_back(i == j ? 0.0 : dist(segments[i], segments[j]));
+    }
+    const size_t k = static_cast<size_t>(options.min_lns) - 1;
+    std::nth_element(ds.begin(), ds.begin() + k, ds.end());
+    return ds[k];
+  };
+
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+
+    std::priority_queue<Seed, std::vector<Seed>, std::greater<Seed>> seeds;
+    seeds.push(Seed{kUndefinedReachability, start});
+
+    while (!seeds.empty()) {
+      const Seed s = seeds.top();
+      seeds.pop();
+      if (processed[s.index]) continue;
+      // Stale-entry lazy deletion: only the best reachability for an index wins.
+      if (s.reachability > reach[s.index] &&
+          !(s.reachability == kUndefinedReachability &&
+            reach[s.index] == kUndefinedReachability)) {
+        continue;
+      }
+      processed[s.index] = true;
+
+      const std::vector<size_t> neighbors =
+          provider.Neighbors(s.index, options.eps);
+      const double core_d = core_distance_of(s.index, neighbors);
+
+      result.ordering.push_back(s.index);
+      result.reachability.push_back(reach[s.index]);
+      result.core_distance.push_back(core_d);
+
+      if (core_d == kUndefinedReachability) continue;  // Not a core segment.
+      for (const size_t j : neighbors) {
+        if (processed[j]) continue;
+        const double d = dist(segments[s.index], segments[j]);
+        const double new_reach = std::max(core_d, d);
+        if (new_reach < reach[j]) {
+          reach[j] = new_reach;
+          seeds.push(Seed{new_reach, j});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ClusteringResult ExtractDbscanClustering(
+    const std::vector<geom::Segment>& segments, const OpticsResult& optics,
+    double eps_cut, double min_lns, double min_trajectory_cardinality) {
+  const size_t n = segments.size();
+  ClusteringResult result;
+  result.labels.assign(n, kNoise);
+  std::vector<Cluster> raw;
+
+  int cluster_id = -1;
+  for (size_t k = 0; k < optics.ordering.size(); ++k) {
+    const size_t idx = optics.ordering[k];
+    const double r = optics.reachability[k];
+    const double c = optics.core_distance[k];
+    if (r > eps_cut) {
+      if (c <= eps_cut) {  // New cluster seeded by a core object.
+        ++cluster_id;
+        raw.push_back(Cluster{cluster_id, {}});
+        raw.back().member_indices.push_back(idx);
+        result.labels[idx] = cluster_id;
+      }
+      // else: noise (stays kNoise).
+    } else if (cluster_id >= 0) {
+      raw[cluster_id].member_indices.push_back(idx);
+      result.labels[idx] = cluster_id;
+    }
+  }
+
+  const double threshold =
+      min_trajectory_cardinality < 0.0 ? min_lns : min_trajectory_cardinality;
+  std::vector<int> remap(raw.size(), kNoise);
+  int dense_id = 0;
+  for (auto& cluster : raw) {
+    if (static_cast<double>(TrajectoryCardinality(segments, cluster)) <
+        threshold) {
+      continue;
+    }
+    remap[cluster.id] = dense_id;
+    cluster.id = dense_id;
+    result.clusters.push_back(std::move(cluster));
+    ++dense_id;
+  }
+  result.num_noise = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (result.labels[i] >= 0) result.labels[i] = remap[result.labels[i]];
+    if (result.labels[i] == kNoise) ++result.num_noise;
+  }
+  return result;
+}
+
+}  // namespace traclus::cluster

@@ -1,0 +1,56 @@
+#ifndef TRACLUS_CLUSTER_OPTICS_SEGMENTS_H_
+#define TRACLUS_CLUSTER_OPTICS_SEGMENTS_H_
+
+#include <limits>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/neighborhood.h"
+
+namespace traclus::cluster {
+
+/// Reachability value of a segment never reached within ε.
+inline constexpr double kUndefinedReachability =
+    std::numeric_limits<double>::infinity();
+
+/// Parameters of OPTICS over line segments.
+struct OpticsOptions {
+  double eps = 1.0;      ///< Generating distance ε.
+  double min_lns = 3.0;  ///< MinLns (MinPts analogue).
+};
+
+/// OPTICS output: a cluster ordering with reachability/core distances.
+struct OpticsResult {
+  /// Segment indices in OPTICS visit order.
+  std::vector<size_t> ordering;
+  /// reachability-distance of ordering[k] (kUndefinedReachability at walk
+  /// starts / never-reached segments).
+  std::vector<double> reachability;
+  /// core-distance of ordering[k] (kUndefinedReachability for non-core).
+  std::vector<double> core_distance;
+};
+
+/// OPTICS (Ankerst et al.) adapted to line segments with the TRACLUS distance.
+///
+/// Implements the §7.1(2) "parameter insensitivity" extension and powers the
+/// Appendix D analysis: for point data the pairwise distance inside an
+/// ε-neighborhood is bounded by 2ε, whereas for segments it is unbounded, so
+/// reachability-distances of cluster members stay close to ε and clusters are
+/// harder to tell from noise — the paper's argument for preferring DBSCAN.
+/// Deterministic for fixed inputs.
+OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
+                            const distance::SegmentDistance& dist,
+                            const NeighborhoodProvider& provider,
+                            const OpticsOptions& options);
+
+/// Extracts DBSCAN-equivalent clusters from an OPTICS ordering at `eps_cut` ≤
+/// the generating ε (Ankerst et al. §4.1 ExtractDBSCAN-Clustering), then applies
+/// the TRACLUS trajectory-cardinality filter so results are comparable with
+/// DbscanSegments.
+ClusteringResult ExtractDbscanClustering(
+    const std::vector<geom::Segment>& segments, const OpticsResult& optics,
+    double eps_cut, double min_lns, double min_trajectory_cardinality = -1.0);
+
+}  // namespace traclus::cluster
+
+#endif  // TRACLUS_CLUSTER_OPTICS_SEGMENTS_H_

@@ -1,0 +1,130 @@
+#include "cluster/rtree_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace traclus::cluster {
+
+namespace {
+
+// Center of a box along dimension d; STR sorts by tile centers.
+double Center(const geom::BBox& b, int d) { return 0.5 * (b.lo(d) + b.hi(d)); }
+
+}  // namespace
+
+StrRTreeIndex::StrRTreeIndex(const std::vector<geom::Segment>& segments,
+                             const distance::SegmentDistance& dist,
+                             int leaf_capacity)
+    : segments_(segments), dist_(dist) {
+  TRACLUS_CHECK_GE(leaf_capacity, 2);
+  if (segments_.empty()) return;
+
+  // Level 0: one leaf entry per segment. The STR pass groups segment indices
+  // into leaves; subsequent passes group node indices into internal nodes.
+  std::vector<size_t> entries(segments_.size());
+  for (size_t i = 0; i < entries.size(); ++i) entries[i] = i;
+  std::vector<size_t> level = PackLevel(entries, /*leaf_level=*/true,
+                                        leaf_capacity);
+  height_ = 1;
+  while (level.size() > 1) {
+    level = PackLevel(level, /*leaf_level=*/false, leaf_capacity);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+std::vector<size_t> StrRTreeIndex::PackLevel(const std::vector<size_t>& level,
+                                             bool leaf_level, int capacity) {
+  // Boxes of the entries being packed.
+  auto box_of = [&](size_t entry) -> geom::BBox {
+    if (leaf_level) {
+      geom::BBox b;
+      b.Extend(segments_[entry]);
+      return b;
+    }
+    return nodes_[entry].box;
+  };
+
+  std::vector<size_t> sorted = level;
+  std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+    return Center(box_of(a), 0) < Center(box_of(b), 0);
+  });
+
+  // STR: S = ceil(sqrt(n / capacity)) vertical slabs of S*capacity entries,
+  // each slab sorted by y and chopped into nodes of `capacity`.
+  const size_t n = sorted.size();
+  const size_t num_nodes_target =
+      (n + capacity - 1) / static_cast<size_t>(capacity);
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_nodes_target))));
+  // Entries per vertical slab: capacity × (nodes per slab).
+  const size_t per_slab = static_cast<size_t>(capacity) *
+                          ((num_nodes_target + slabs - 1) / slabs);
+
+  std::vector<size_t> parents;
+  for (size_t s = 0; s * per_slab < n; ++s) {
+    const size_t lo = s * per_slab;
+    const size_t hi = std::min(n, lo + per_slab);
+    std::sort(sorted.begin() + lo, sorted.begin() + hi,
+              [&](size_t a, size_t b) {
+                return Center(box_of(a), 1) < Center(box_of(b), 1);
+              });
+    for (size_t start = lo; start < hi;
+         start += static_cast<size_t>(capacity)) {
+      Node node;
+      node.leaf = leaf_level;
+      const size_t end = std::min(hi, start + static_cast<size_t>(capacity));
+      for (size_t k = start; k < end; ++k) {
+        node.children.push_back(sorted[k]);
+        node.box.Extend(box_of(sorted[k]));
+      }
+      nodes_.push_back(std::move(node));
+      parents.push_back(nodes_.size() - 1);
+    }
+  }
+  return parents;
+}
+
+std::vector<size_t> StrRTreeIndex::Neighbors(size_t query_index,
+                                             double eps) const {
+  TRACLUS_DCHECK(query_index < segments_.size());
+  std::vector<size_t> out;
+  const geom::Segment& q = segments_[query_index];
+
+  const double factor = dist_.LowerBoundFactor();
+  if (factor <= 0.0) {  // No usable bound: exact scan.
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      if (i == query_index || dist_(q, segments_[i]) <= eps) out.push_back(i);
+    }
+    return out;
+  }
+  const double radius = eps / factor;
+  geom::BBox qbox;
+  qbox.Extend(q);
+
+  // Depth-first descent with MBR mindist pruning.
+  std::vector<size_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.box.MinDist(qbox) > radius) continue;
+    if (!node.leaf) {
+      for (const size_t child : node.children) stack.push_back(child);
+      continue;
+    }
+    for (const size_t i : node.children) {
+      if (i == query_index) {
+        out.push_back(i);
+        continue;
+      }
+      geom::BBox b;
+      b.Extend(segments_[i]);
+      if (b.MinDist(qbox) > radius) continue;
+      if (dist_(q, segments_[i]) <= eps) out.push_back(i);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace traclus::cluster

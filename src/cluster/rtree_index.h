@@ -1,0 +1,61 @@
+#ifndef TRACLUS_CLUSTER_RTREE_INDEX_H_
+#define TRACLUS_CLUSTER_RTREE_INDEX_H_
+
+#include <vector>
+
+#include "cluster/neighborhood.h"
+#include "geom/bbox.h"
+
+namespace traclus::cluster {
+
+/// Exact ε-neighborhood index over line segments: an STR bulk-loaded R-tree —
+/// the index Lemma 3 names ("If we use an appropriate index such as the
+/// R-tree [10] ... the time complexity is reduced to O(n log n)").
+///
+/// Same exactness contract as GridNeighborhoodIndex and the same pruning
+/// theory: because the TRACLUS distance is not a metric (§4.2) the tree prunes
+/// with the Euclidean lower bound dist ≥ min(w⊥/2, w∥) · mindist(MBRs), then
+/// verifies every candidate with the exact distance. When the bound is
+/// unusable (a zero weight) queries transparently degrade to a scan.
+///
+/// Built once over a fixed segment set by Sort-Tile-Recursive packing (Leutenegger
+/// et al.): leaves hold `leaf_capacity` segments tiled by x then y, upper
+/// levels pack the same way, giving near-100% node occupancy and deterministic
+/// structure. Read-only thereafter — TRACLUS never mutates the segment set
+/// between phases, so an update path would be dead code.
+class StrRTreeIndex : public NeighborhoodProvider {
+ public:
+  /// Builds the tree; `segments` and `dist` must outlive the index.
+  StrRTreeIndex(const std::vector<geom::Segment>& segments,
+                const distance::SegmentDistance& dist, int leaf_capacity = 16);
+
+  std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
+  size_t size() const override { return segments_.size(); }
+
+  /// Tree height (1 = a single leaf level); diagnostics/tests.
+  int Height() const { return height_; }
+  /// Total node count; diagnostics/tests.
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    geom::BBox box;
+    /// Children: node indices for internal nodes, segment indices for leaves.
+    std::vector<size_t> children;
+    bool leaf = true;
+  };
+
+  /// Packs one level of boxes into parent nodes; returns parent node indices.
+  std::vector<size_t> PackLevel(const std::vector<size_t>& level, bool leaf_level,
+                                int capacity);
+
+  const std::vector<geom::Segment>& segments_;
+  const distance::SegmentDistance& dist_;
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace traclus::cluster
+
+#endif  // TRACLUS_CLUSTER_RTREE_INDEX_H_

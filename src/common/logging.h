@@ -1,0 +1,67 @@
+#ifndef TRACLUS_COMMON_LOGGING_H_
+#define TRACLUS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace traclus::common {
+
+namespace internal {
+
+/// Accumulates a fatal-check message and aborts on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[TRACLUS FATAL] " << file << ":" << line << " Check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when a check passes.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace traclus::common
+
+/// Always-on invariant check. Aborts with file/line and the streamed message.
+#define TRACLUS_CHECK(condition)                                              \
+  if (!(condition))                                                           \
+  ::traclus::common::internal::FatalLogMessage(__FILE__, __LINE__, #condition) \
+      .stream()
+
+#define TRACLUS_CHECK_EQ(a, b) TRACLUS_CHECK((a) == (b))
+#define TRACLUS_CHECK_NE(a, b) TRACLUS_CHECK((a) != (b))
+#define TRACLUS_CHECK_LT(a, b) TRACLUS_CHECK((a) < (b))
+#define TRACLUS_CHECK_LE(a, b) TRACLUS_CHECK((a) <= (b))
+#define TRACLUS_CHECK_GT(a, b) TRACLUS_CHECK((a) > (b))
+#define TRACLUS_CHECK_GE(a, b) TRACLUS_CHECK((a) >= (b))
+
+/// Debug-only precondition check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define TRACLUS_DCHECK(condition) \
+  if (false) ::traclus::common::internal::NullStream()
+#else
+#define TRACLUS_DCHECK(condition) TRACLUS_CHECK(condition)
+#endif
+
+#define TRACLUS_DCHECK_EQ(a, b) TRACLUS_DCHECK((a) == (b))
+#define TRACLUS_DCHECK_LT(a, b) TRACLUS_DCHECK((a) < (b))
+#define TRACLUS_DCHECK_LE(a, b) TRACLUS_DCHECK((a) <= (b))
+#define TRACLUS_DCHECK_GT(a, b) TRACLUS_DCHECK((a) > (b))
+#define TRACLUS_DCHECK_GE(a, b) TRACLUS_DCHECK((a) >= (b))
+
+#endif  // TRACLUS_COMMON_LOGGING_H_

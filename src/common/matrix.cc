@@ -1,0 +1,96 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace traclus::common {
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  TRACLUS_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+namespace {
+
+// Attempts an in-place Cholesky factorization of `a` (lower triangle).
+// Returns false on a non-positive pivot.
+bool CholeskyFactor(Matrix* a) {
+  const size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double d = (*a)(j, j);
+    for (size_t k = 0; k < j; ++k) d -= (*a)(j, k) * (*a)(j, k);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    (*a)(j, j) = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = (*a)(i, j);
+      for (size_t k = 0; k < j; ++k) s -= (*a)(i, k) * (*a)(j, k);
+      (*a)(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b) {
+  TRACLUS_CHECK_EQ(a.rows(), a.cols());
+  TRACLUS_CHECK_EQ(a.rows(), b.size());
+  const size_t n = a.rows();
+
+  Matrix l = a;
+  double ridge = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    l = a;
+    if (ridge > 0.0) {
+      for (size_t i = 0; i < n; ++i) l(i, i) += ridge;
+    }
+    if (CholeskyFactor(&l)) break;
+    ridge = (ridge == 0.0) ? 1e-10 : ridge * 100.0;
+    TRACLUS_CHECK(attempt < 7) << "SolveSpd: matrix is not factorizable even with "
+                               << "ridge " << ridge;
+  }
+
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Backward substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace traclus::common

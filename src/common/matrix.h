@@ -1,0 +1,59 @@
+#ifndef TRACLUS_COMMON_MATRIX_H_
+#define TRACLUS_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace traclus::common {
+
+/// Minimal dense row-major matrix of doubles.
+///
+/// Supports exactly what the regression-mixture baseline needs: construction,
+/// element access, multiply, transpose, and a symmetric positive-definite solve
+/// (Cholesky with a diagonal ridge fallback). Not a general linear-algebra
+/// library by design; TRACLUS itself is purely geometric.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) {
+    TRACLUS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    TRACLUS_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Matrix product this * other.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-(semi)definite A via Cholesky.
+///
+/// Adds an escalating ridge to the diagonal if the factorization encounters a
+/// non-positive pivot, which keeps EM iterations stable on degenerate designs.
+/// Checks dimension agreement; returns the solution vector.
+std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace traclus::common
+
+#endif  // TRACLUS_COMMON_MATRIX_H_

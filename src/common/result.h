@@ -1,0 +1,66 @@
+#ifndef TRACLUS_COMMON_RESULT_H_
+#define TRACLUS_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace traclus::common {
+
+/// Value-or-Status, modeled after arrow::Result.
+///
+/// A Result<T> holds either a T (success) or a non-OK Status (failure). Accessing
+/// the value of a failed result is a checked programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(runtime/explicit)
+    TRACLUS_CHECK(!std::get<Status>(state_).ok())
+        << "Result<T> must not be constructed from an OK Status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// The failure status; Status::OK() when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  const T& ValueOrDie() const& {
+    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(state_);
+  }
+  T& ValueOrDie() & {
+    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(state_);
+  }
+  T&& ValueOrDie() && {
+    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace traclus::common
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its Status.
+#define TRACLUS_ASSIGN_OR_RETURN(lhs, rexpr)                \
+  auto&& _result_tmp_##__LINE__ = (rexpr);                  \
+  if (!_result_tmp_##__LINE__.ok())                         \
+    return _result_tmp_##__LINE__.status();                 \
+  lhs = std::move(_result_tmp_##__LINE__).ValueOrDie()
+
+#endif  // TRACLUS_COMMON_RESULT_H_

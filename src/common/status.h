@@ -1,0 +1,80 @@
+#ifndef TRACLUS_COMMON_STATUS_H_
+#define TRACLUS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace traclus::common {
+
+/// Machine-readable error category, modeled after the Arrow/RocksDB status idiom.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation that produces no value.
+///
+/// Cheap to copy in the OK case (no allocation); carries a message otherwise.
+/// Use the factory functions (`Status::OK()`, `Status::InvalidArgument(...)`) and
+/// test with `ok()`. Algorithmic preconditions use TRACLUS_DCHECK instead; Status
+/// is reserved for runtime-fallible paths (IO, parsing, user-supplied config).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace traclus::common
+
+/// Propagates a non-OK Status to the caller.
+#define TRACLUS_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::traclus::common::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // TRACLUS_COMMON_STATUS_H_

@@ -1,0 +1,95 @@
+#include "core/traclus.h"
+
+#include "cluster/neighborhood.h"
+#include "cluster/neighborhood_index.h"
+#include "partition/approximate_partitioner.h"
+#include "partition/optimal_partitioner.h"
+#include "partition/partitioner.h"
+
+namespace traclus::core {
+
+Traclus::Traclus(const TraclusConfig& config) : config_(config) {
+  TRACLUS_CHECK_GT(config.eps, 0.0);
+  TRACLUS_CHECK_GE(config.min_lns, 1.0);
+}
+
+std::vector<geom::Segment> Traclus::PartitionPhase(
+    const traj::TrajectoryDatabase& db,
+    std::vector<std::vector<size_t>>* characteristic_points) const {
+  std::unique_ptr<partition::TrajectoryPartitioner> partitioner;
+  switch (config_.partitioning_algorithm) {
+    case PartitioningAlgorithm::kApproximateMdl:
+      partitioner =
+          std::make_unique<partition::ApproximatePartitioner>(config_.partition);
+      break;
+    case PartitioningAlgorithm::kOptimalMdl:
+      partitioner =
+          std::make_unique<partition::OptimalPartitioner>(config_.partition);
+      break;
+  }
+
+  std::vector<geom::Segment> segments;
+  if (characteristic_points != nullptr) {
+    characteristic_points->clear();
+    characteristic_points->reserve(db.size());
+  }
+  for (const auto& tr : db.trajectories()) {  // Fig. 4 lines 01-03.
+    std::vector<size_t> cp = partitioner->CharacteristicPoints(tr);
+    std::vector<geom::Segment> partitions = partition::MakePartitionSegments(
+        tr, cp, static_cast<geom::SegmentId>(segments.size()));
+    segments.insert(segments.end(), partitions.begin(), partitions.end());
+    if (characteristic_points != nullptr) {
+      characteristic_points->push_back(std::move(cp));
+    }
+  }
+  return segments;
+}
+
+cluster::ClusteringResult Traclus::GroupPhase(
+    const std::vector<geom::Segment>& segments) const {
+  const distance::SegmentDistance dist(config_.distance);
+  std::unique_ptr<cluster::NeighborhoodProvider> provider;
+  if (config_.use_index) {
+    provider = std::make_unique<cluster::GridNeighborhoodIndex>(segments, dist);
+  } else {
+    provider = std::make_unique<cluster::BruteForceNeighborhood>(segments, dist);
+  }
+  cluster::DbscanOptions options;
+  options.eps = config_.eps;
+  options.min_lns = config_.min_lns;
+  options.min_trajectory_cardinality = config_.min_trajectory_cardinality;
+  options.use_weights = config_.use_weights;
+  return cluster::DbscanSegments(segments, *provider, options);  // Fig. 4 line 04.
+}
+
+std::vector<traj::Trajectory> Traclus::RepresentativePhase(
+    const std::vector<geom::Segment>& segments,
+    const cluster::ClusteringResult& clustering) const {
+  cluster::RepresentativeOptions options;
+  options.min_lns = config_.representative_min_lns < 0.0
+                        ? config_.min_lns
+                        : config_.representative_min_lns;
+  options.gamma = std::max(config_.gamma, 0.0);
+  options.method = config_.representative_method;
+  options.use_weights = config_.use_weights;
+
+  std::vector<traj::Trajectory> reps;
+  reps.reserve(clustering.clusters.size());
+  for (const auto& c : clustering.clusters) {  // Fig. 4 lines 05-06.
+    reps.push_back(cluster::RepresentativeTrajectory(segments, c, options));
+  }
+  return reps;
+}
+
+TraclusResult Traclus::Run(const traj::TrajectoryDatabase& db) const {
+  TraclusResult result;
+  result.segments = PartitionPhase(db, &result.characteristic_points);
+  result.clustering = GroupPhase(result.segments);
+  if (config_.generate_representatives) {
+    result.representatives = RepresentativePhase(result.segments,
+                                                 result.clustering);
+  }
+  return result;
+}
+
+}  // namespace traclus::core

@@ -1,0 +1,105 @@
+#ifndef TRACLUS_CORE_TRACLUS_H_
+#define TRACLUS_CORE_TRACLUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/dbscan_segments.h"
+#include "cluster/representative.h"
+#include "distance/segment_distance.h"
+#include "partition/mdl.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::core {
+
+/// Which partitioning algorithm drives the partitioning phase.
+enum class PartitioningAlgorithm {
+  kApproximateMdl,  ///< Fig. 8, O(n) — the paper's algorithm and the default.
+  kOptimalMdl,      ///< Exact DP optimum — exact but O(n²) edges; experiments only.
+};
+
+/// Full configuration of the TRACLUS pipeline (Fig. 4).
+struct TraclusConfig {
+  /// --- Partitioning phase (§3) ---
+  partition::MdlOptions partition;
+  PartitioningAlgorithm partitioning_algorithm =
+      PartitioningAlgorithm::kApproximateMdl;
+
+  /// --- Distance function (§2.3) ---
+  distance::SegmentDistanceConfig distance;
+
+  /// --- Grouping phase (§4) ---
+  double eps = 25.0;       ///< Neighborhood radius ε.
+  double min_lns = 5.0;    ///< MinLns.
+  /// Trajectory-cardinality threshold (negative: use min_lns; 0: disabled).
+  double min_trajectory_cardinality = -1.0;
+  /// Weighted-trajectory extension (§4.2 / §7.1).
+  bool use_weights = false;
+  /// Use the grid spatial index for ε-neighborhood queries (Lemma 3); when
+  /// false, brute-force scans are used (the O(n²) configuration).
+  bool use_index = true;
+
+  /// --- Representative trajectories (§4.3) ---
+  bool generate_representatives = true;
+  /// Sweep hit threshold; negative means "use min_lns" (the paper's choice).
+  double representative_min_lns = -1.0;
+  /// Smoothing parameter γ (Fig. 15): minimum sweep gap between emitted
+  /// representative points. 0 disables smoothing.
+  double gamma = 0.0;
+  cluster::RepresentativeMethod representative_method =
+      cluster::RepresentativeMethod::kProjection;
+};
+
+/// Everything TRACLUS produces, including intermediate artifacts that the
+/// paper's experiments measure.
+struct TraclusResult {
+  /// The segment database D accumulated by the partitioning phase (Fig. 4
+  /// line 03): all trajectory partitions with provenance.
+  std::vector<geom::Segment> segments;
+  /// Characteristic-point indices per input trajectory (parallel to the input
+  /// database order).
+  std::vector<std::vector<size_t>> characteristic_points;
+  /// The grouping-phase output O = {C_1, ..., C_numclus}.
+  cluster::ClusteringResult clustering;
+  /// One representative trajectory per cluster (empty when disabled).
+  std::vector<traj::Trajectory> representatives;
+};
+
+/// The TRACLUS algorithm (Fig. 4): partition every trajectory with the MDL
+/// partitioner, accumulate the segments into D, density-cluster D, filter by
+/// trajectory cardinality, and generate one representative trajectory per
+/// cluster.
+///
+/// Thread-compatible: `Run` is const and carries no mutable state.
+class Traclus {
+ public:
+  Traclus() : Traclus(TraclusConfig{}) {}
+  explicit Traclus(const TraclusConfig& config);
+
+  const TraclusConfig& config() const { return config_; }
+
+  /// Runs the full pipeline on `db`.
+  TraclusResult Run(const traj::TrajectoryDatabase& db) const;
+
+  /// Runs only the partitioning phase (Fig. 4 lines 01-03): returns the segment
+  /// database D and fills `characteristic_points` when non-null.
+  std::vector<geom::Segment> PartitionPhase(
+      const traj::TrajectoryDatabase& db,
+      std::vector<std::vector<size_t>>* characteristic_points = nullptr) const;
+
+  /// Runs only the grouping phase (Fig. 4 line 04) on a prebuilt segment set.
+  cluster::ClusteringResult GroupPhase(
+      const std::vector<geom::Segment>& segments) const;
+
+  /// Generates representative trajectories (Fig. 4 lines 05-06).
+  std::vector<traj::Trajectory> RepresentativePhase(
+      const std::vector<geom::Segment>& segments,
+      const cluster::ClusteringResult& clustering) const;
+
+ private:
+  TraclusConfig config_;
+};
+
+}  // namespace traclus::core
+
+#endif  // TRACLUS_CORE_TRACLUS_H_

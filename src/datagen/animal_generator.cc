@@ -1,0 +1,172 @@
+#include "datagen/animal_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/bbox.h"
+
+namespace traclus::datagen {
+
+namespace {
+
+geom::BBox StarkeyWorld() {
+  geom::BBox world;
+  world.Extend(geom::Point(0, 0));
+  world.Extend(geom::Point(400, 300));
+  return world;
+}
+
+// Nearest corridor entry (by endpoint distance to p); returns corridor index
+// and whether to traverse forward.
+void NearestCorridor(const std::vector<Corridor>& corridors,
+                     const geom::Point& p, size_t* index, bool* forward) {
+  double best = std::numeric_limits<double>::infinity();
+  *index = 0;
+  *forward = true;
+  for (size_t c = 0; c < corridors.size(); ++c) {
+    const double d_front = geom::Distance(p, corridors[c].waypoints.front());
+    const double d_back = geom::Distance(p, corridors[c].waypoints.back());
+    if (d_front < best) {
+      best = d_front;
+      *index = c;
+      *forward = true;
+    }
+    if (d_back < best) {
+      best = d_back;
+      *index = c;
+      *forward = false;
+    }
+  }
+}
+
+}  // namespace
+
+AnimalConfig Elk1993Config() {
+  AnimalConfig cfg;
+  cfg.num_trajectories = 33;
+  cfg.points_per_trajectory = 1430;  // 33 × 1430 ≈ 47,190 ≈ the paper's 47,204.
+  cfg.seed = 19930401;
+  cfg.add_divergent_region = true;
+  // Thirteen corridors spread over the range (Fig. 21: thirteen clusters in
+  // "most of the dense regions"). Kept well separated so each yields a distinct
+  // cluster at sane ε.
+  cfg.corridors = {
+      Corridor{{geom::Point(30, 40), geom::Point(110, 55)}},
+      Corridor{{geom::Point(40, 110), geom::Point(120, 95)}},
+      Corridor{{geom::Point(35, 180), geom::Point(115, 195)}},
+      Corridor{{geom::Point(50, 250), geom::Point(130, 240)}},
+      Corridor{{geom::Point(160, 35), geom::Point(240, 50)}},
+      Corridor{{geom::Point(170, 105), geom::Point(250, 90)}},
+      Corridor{{geom::Point(165, 170), geom::Point(245, 185)}},
+      Corridor{{geom::Point(180, 250), geom::Point(255, 235)}},
+      Corridor{{geom::Point(290, 40), geom::Point(370, 55)}},
+      Corridor{{geom::Point(300, 110), geom::Point(380, 95)}},
+      Corridor{{geom::Point(60, 70), geom::Point(60, 150)}},   // vertical
+      Corridor{{geom::Point(210, 70), geom::Point(210, 150)}}, // vertical
+      Corridor{{geom::Point(330, 130), geom::Point(330, 210)}} // vertical
+  };
+  return cfg;
+}
+
+AnimalConfig Deer1995Config() {
+  AnimalConfig cfg;
+  cfg.num_trajectories = 32;
+  cfg.points_per_trajectory = 627;  // 32 × 627 ≈ 20,064 ≈ the paper's 20,065.
+  cfg.seed = 19950401;
+  cfg.add_divergent_region = false;
+  // Two heavily used corridors in the two densest regions (Fig. 22). Commutes
+  // are more frequent so the two regions clearly dominate.
+  cfg.corridors = {
+      Corridor{{geom::Point(70, 80), geom::Point(160, 95)}},
+      Corridor{{geom::Point(240, 200), geom::Point(330, 185)}},
+  };
+  cfg.commute_probability = 0.035;
+  return cfg;
+}
+
+traj::TrajectoryDatabase GenerateAnimals(const AnimalConfig& config) {
+  TRACLUS_CHECK_GT(config.num_trajectories, 0);
+  TRACLUS_CHECK_GE(config.points_per_trajectory, 10);
+  TRACLUS_CHECK(!config.corridors.empty());
+  common::Rng rng(config.seed);
+  traj::TrajectoryDatabase db;
+  const geom::BBox world = StarkeyWorld();
+
+  // The divergent region: a box many animals cross in unrelated directions.
+  const geom::Point divergent_center(340, 250);
+  const double divergent_radius = 35.0;
+
+  for (int i = 0; i < config.num_trajectories; ++i) {
+    traj::Trajectory tr(/*id=*/i, /*label=*/"animal");
+    // Home range near one of the corridors so commutes are natural.
+    const size_t home_corridor = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(config.corridors.size()) - 1));
+    geom::Point p = config.corridors[home_corridor].At(rng.Uniform(0.0, 1.0));
+    p = geom::Point(p.x() + rng.Gaussian(0.0, 15.0),
+                    p.y() + rng.Gaussian(0.0, 15.0));
+    double heading = rng.Uniform(0.0, 2.0 * M_PI);
+
+    while (static_cast<int>(tr.size()) < config.points_per_trajectory) {
+      const int remaining = config.points_per_trajectory -
+                            static_cast<int>(tr.size());
+      if (config.add_divergent_region && rng.Bernoulli(0.005) &&
+          remaining > 30) {
+        // Cross the divergent region along a random chord: entry and exit are
+        // independent boundary points, so crossings share the region but not a
+        // path — dense yet divergent, exactly the Fig. 21 upper-right regime.
+        const double a1 = rng.Uniform(0.0, 2.0 * M_PI);
+        const double a2 = rng.Uniform(0.0, 2.0 * M_PI);
+        const geom::Point entry =
+            divergent_center +
+            geom::Point(std::cos(a1), std::sin(a1)) * divergent_radius;
+        const geom::Point exit =
+            divergent_center +
+            geom::Point(std::cos(a2), std::sin(a2)) * divergent_radius;
+        const int steps = std::min(14, remaining);
+        for (int k = 0; k < steps; ++k) {
+          const double u = static_cast<double>(k) / (steps - 1);
+          geom::Point q = entry + (exit - entry) * u;
+          // Strong lateral noise: even similar chords yield segments with
+          // visibly different headings, so no crossing path repeats.
+          tr.Add(geom::Point(q.x() + rng.Gaussian(0.0, 3.0),
+                             q.y() + rng.Gaussian(0.0, 3.0)));
+        }
+        p = exit;
+        heading = rng.Uniform(0.0, 2.0 * M_PI);
+        continue;
+      }
+      if (rng.Bernoulli(config.commute_probability) && remaining > 10) {
+        // Commute along the nearest corridor.
+        size_t c = 0;
+        bool forward = true;
+        NearestCorridor(config.corridors, p, &c, &forward);
+        const int steps = std::min(config.commute_steps, remaining);
+        TraverseCorridor(config.corridors[c], forward ? 0.0 : 1.0,
+                         forward ? 1.0 : 0.0, steps, config.corridor_noise,
+                         &rng, &tr);
+        p = tr.points().back();
+        continue;
+      }
+      // Home-range wander: a correlated walk — heading persists with small
+      // turns, so movement bouts are straight-ish (and MDL-compressible), like
+      // real telemetry fixes.
+      heading += rng.Gaussian(0.0, config.turn_sigma);
+      const double step = std::abs(rng.Gaussian(config.wander_sigma,
+                                                config.wander_sigma * 0.3));
+      geom::Point next(p.x() + step * std::cos(heading),
+                       p.y() + step * std::sin(heading));
+      if (next.x() < world.lo(0) || next.x() > world.hi(0) ||
+          next.y() < world.lo(1) || next.y() > world.hi(1)) {
+        heading += M_PI;  // Bounce off the range boundary.
+        next = geom::Point(std::clamp(next.x(), world.lo(0), world.hi(0)),
+                           std::clamp(next.y(), world.lo(1), world.hi(1)));
+      }
+      tr.Add(next);
+      p = next;
+    }
+    db.Add(std::move(tr));
+  }
+  return db;
+}
+
+}  // namespace traclus::datagen

@@ -1,0 +1,56 @@
+#ifndef TRACLUS_DATAGEN_ANIMAL_GENERATOR_H_
+#define TRACLUS_DATAGEN_ANIMAL_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/corridor.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::datagen {
+
+/// Configuration of the synthetic radio-telemetry generator, the substitute for
+/// the Starkey-project animal movement data (§5.1). The real sets are few, very
+/// long trajectories: Elk1993 = 33 trajectories / 47,204 points, Deer1995 =
+/// 32 / 20,065. Animals alternate home-range wandering with commutes along
+/// habitual shared corridors; the corridors are the ground-truth clusters.
+struct AnimalConfig {
+  int num_trajectories = 33;
+  int points_per_trajectory = 1430;
+  /// Shared movement corridors (ground-truth common sub-trajectories).
+  std::vector<Corridor> corridors;
+  /// Probability that an animal starts a commute at any wander step.
+  double commute_probability = 0.02;
+  /// Points spent traversing a corridor per commute.
+  int commute_steps = 60;
+  /// Lateral noise while on a corridor.
+  double corridor_noise = 2.0;
+  /// Step scale of home-range wandering.
+  double wander_sigma = 3.5;
+  /// Heading persistence of the wander: per-step turn stddev in radians.
+  /// Telemetry movement is a correlated walk — animals keep a heading for a
+  /// while — which is also what makes MDL partitioning compress it.
+  double turn_sigma = 0.35;
+  /// When true, plants a dense-but-divergent region: many crossings, all in
+  /// different directions, which must NOT become a cluster (Fig. 21's
+  /// upper-right region: "the elks actually moved along different paths").
+  bool add_divergent_region = false;
+  uint64_t seed = 19930401;
+};
+
+/// Elk1993-shaped configuration: 33 long trajectories, 13 shared corridors
+/// (Fig. 21 reports thirteen clusters), plus the divergent region.
+AnimalConfig Elk1993Config();
+
+/// Deer1995-shaped configuration: 32 trajectories, 2 heavily-used corridors in
+/// the two densest regions (Fig. 22 reports two clusters) and a center region
+/// that is "not so dense to be identified as a cluster".
+AnimalConfig Deer1995Config();
+
+/// Generates the synthetic telemetry database. World frame: x ∈ [0, 400],
+/// y ∈ [0, 300] (Starkey-like metric grid).
+traj::TrajectoryDatabase GenerateAnimals(const AnimalConfig& config);
+
+}  // namespace traclus::datagen
+
+#endif  // TRACLUS_DATAGEN_ANIMAL_GENERATOR_H_

@@ -1,0 +1,45 @@
+#include "datagen/common_subtrajectory.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace traclus::datagen {
+
+traj::TrajectoryDatabase GenerateCommonSubTrajectory(
+    const CommonSubTrajectoryConfig& config) {
+  TRACLUS_CHECK_GE(config.num_trajectories, 2);
+  TRACLUS_CHECK_GE(config.shared_points, 2);
+  TRACLUS_CHECK_GE(config.branch_points, 2);
+  common::Rng rng(config.seed);
+  traj::TrajectoryDatabase db;
+
+  for (int i = 0; i < config.num_trajectories; ++i) {
+    traj::Trajectory tr(/*id=*/i, /*label=*/"fig1");
+    // Shared corridor: (0,0) → (shared_length, 0).
+    for (int k = 0; k < config.shared_points; ++k) {
+      const double x = config.shared_length * k /
+                       static_cast<double>(config.shared_points - 1);
+      tr.Add(geom::Point(x + rng.Gaussian(0.0, config.noise_sigma),
+                         rng.Gaussian(0.0, config.noise_sigma)));
+    }
+    // Branch: a per-trajectory angle fanning over ±100 degrees.
+    const double span = 200.0 * M_PI / 180.0;
+    const double angle =
+        -span / 2.0 +
+        span * i / static_cast<double>(config.num_trajectories - 1);
+    const geom::Point origin(config.shared_length, 0.0);
+    for (int k = 1; k <= config.branch_points; ++k) {
+      const double r = config.branch_length * k /
+                       static_cast<double>(config.branch_points);
+      tr.Add(geom::Point(
+          origin.x() + r * std::cos(angle) + rng.Gaussian(0.0, config.noise_sigma),
+          origin.y() + r * std::sin(angle) +
+              rng.Gaussian(0.0, config.noise_sigma)));
+    }
+    db.Add(std::move(tr));
+  }
+  return db;
+}
+
+}  // namespace traclus::datagen

@@ -1,0 +1,35 @@
+#ifndef TRACLUS_DATAGEN_COMMON_SUBTRAJECTORY_H_
+#define TRACLUS_DATAGEN_COMMON_SUBTRAJECTORY_H_
+
+#include <cstdint>
+
+#include "traj/trajectory_database.h"
+
+namespace traclus::datagen {
+
+/// Configuration of the Fig. 1 / Example 1 scenario: trajectories that share
+/// one common sub-trajectory and then fan out in entirely different directions.
+/// Whole-trajectory clustering must fail on this set (the full paths are
+/// dissimilar); the partition-and-group framework must recover the shared part.
+struct CommonSubTrajectoryConfig {
+  int num_trajectories = 5;  ///< TR1..TR5 in Fig. 1.
+  /// Shared segment runs from (0, 0) to (shared_length, 0). Scales are chosen
+  /// well above the MDL precision δ = 1 (like the paper's degree/meter
+  /// coordinates), so step lengths carry nonzero description cost.
+  double shared_length = 200.0;
+  int shared_points = 12;    ///< Samples on the shared portion.
+  int branch_points = 12;    ///< Samples on the divergent portion.
+  double branch_length = 225.0;
+  double noise_sigma = 2.0;
+  uint64_t seed = 1;
+};
+
+/// Generates the common-sub-trajectory database. Each trajectory walks the
+/// shared corridor left→right, then branches at an angle unique to it (angles
+/// spread over ±100°), so no two full trajectories resemble each other.
+traj::TrajectoryDatabase GenerateCommonSubTrajectory(
+    const CommonSubTrajectoryConfig& config);
+
+}  // namespace traclus::datagen
+
+#endif  // TRACLUS_DATAGEN_COMMON_SUBTRAJECTORY_H_

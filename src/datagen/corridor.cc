@@ -1,0 +1,66 @@
+#include "datagen/corridor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/bbox.h"
+
+namespace traclus::datagen {
+
+double Corridor::Length() const {
+  double total = 0.0;
+  for (size_t i = 1; i < waypoints.size(); ++i) {
+    total += geom::Distance(waypoints[i - 1], waypoints[i]);
+  }
+  return total;
+}
+
+geom::Point Corridor::At(double t) const {
+  TRACLUS_CHECK_GE(waypoints.size(), 2u);
+  t = std::clamp(t, 0.0, 1.0);
+  const double target = t * Length();
+  double walked = 0.0;
+  for (size_t i = 1; i < waypoints.size(); ++i) {
+    const double leg = geom::Distance(waypoints[i - 1], waypoints[i]);
+    if (walked + leg >= target || i == waypoints.size() - 1) {
+      const double u = (leg == 0.0) ? 0.0 : (target - walked) / leg;
+      return waypoints[i - 1] +
+             (waypoints[i] - waypoints[i - 1]) * std::clamp(u, 0.0, 1.0);
+    }
+    walked += leg;
+  }
+  return waypoints.back();
+}
+
+void TraverseCorridor(const Corridor& corridor, double t_begin, double t_end,
+                      int steps, double noise_sigma, common::Rng* rng,
+                      traj::Trajectory* out) {
+  TRACLUS_CHECK_GE(steps, 2);
+  for (int k = 0; k < steps; ++k) {
+    const double u = static_cast<double>(k) / static_cast<double>(steps - 1);
+    const double t = t_begin + (t_end - t_begin) * u;
+    geom::Point p = corridor.At(t);
+    p = geom::Point(p.x() + rng->Gaussian(0.0, noise_sigma),
+                    p.y() + rng->Gaussian(0.0, noise_sigma));
+    out->Add(p);
+  }
+}
+
+void RandomWalk(const geom::Point& start, int steps, double step_sigma,
+                const geom::BBox* world, common::Rng* rng,
+                traj::Trajectory* out) {
+  TRACLUS_CHECK_GE(steps, 1);
+  geom::Point p = start;
+  for (int k = 0; k < steps; ++k) {
+    out->Add(p);
+    geom::Point next(p.x() + rng->Gaussian(0.0, step_sigma),
+                     p.y() + rng->Gaussian(0.0, step_sigma));
+    if (world != nullptr && !world->empty()) {
+      next = geom::Point(std::clamp(next.x(), world->lo(0), world->hi(0)),
+                         std::clamp(next.y(), world->lo(1), world->hi(1)));
+    }
+    p = next;
+  }
+}
+
+}  // namespace traclus::datagen

@@ -1,0 +1,46 @@
+#ifndef TRACLUS_DATAGEN_CORRIDOR_H_
+#define TRACLUS_DATAGEN_CORRIDOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/bbox.h"
+#include "geom/point.h"
+#include "traj/trajectory.h"
+
+namespace traclus::datagen {
+
+/// A corridor: a polyline that many generated trajectories follow with noise.
+///
+/// Corridors are the ground-truth common sub-trajectories of the synthetic data
+/// sets: each planted corridor should surface as (at least part of) a TRACLUS
+/// cluster, which is what the figure-reproduction benches check.
+struct Corridor {
+  std::vector<geom::Point> waypoints;
+
+  /// Total polyline length.
+  double Length() const;
+
+  /// Point at arc-length parameter t ∈ [0, 1] along the polyline.
+  geom::Point At(double t) const;
+};
+
+/// Appends a noisy traversal of `corridor` to `out`.
+///
+/// Walks from arc-length fraction `t_begin` to `t_end` (either order) in
+/// `steps` samples, adding isotropic Gaussian jitter of `noise_sigma` to each
+/// sample. This is how generators simulate "many objects moved along this path,
+/// each slightly differently".
+void TraverseCorridor(const Corridor& corridor, double t_begin, double t_end,
+                      int steps, double noise_sigma, common::Rng* rng,
+                      traj::Trajectory* out);
+
+/// Appends a `steps`-point Gaussian random walk starting at `start` with step
+/// scale `step_sigma`, clamped into `world` when non-null.
+void RandomWalk(const geom::Point& start, int steps, double step_sigma,
+                const geom::BBox* world, common::Rng* rng,
+                traj::Trajectory* out);
+
+}  // namespace traclus::datagen
+
+#endif  // TRACLUS_DATAGEN_CORRIDOR_H_

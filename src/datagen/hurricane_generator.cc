@@ -1,0 +1,86 @@
+#include "datagen/hurricane_generator.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "datagen/corridor.h"
+#include "geom/bbox.h"
+
+namespace traclus::datagen {
+
+namespace {
+
+enum class TrackKind { kWestward, kRecurving, kEastward, kErratic };
+
+TrackKind PickKind(const HurricaneConfig& cfg, common::Rng* rng) {
+  const double u = rng->Uniform(0.0, 1.0);
+  if (u < cfg.frac_straight_westward) return TrackKind::kWestward;
+  if (u < cfg.frac_straight_westward + cfg.frac_recurving) {
+    return TrackKind::kRecurving;
+  }
+  if (u < cfg.frac_straight_westward + cfg.frac_recurving +
+              cfg.frac_straight_eastward) {
+    return TrackKind::kEastward;
+  }
+  return TrackKind::kErratic;
+}
+
+}  // namespace
+
+traj::TrajectoryDatabase GenerateHurricanes(const HurricaneConfig& config) {
+  TRACLUS_CHECK_GT(config.num_trajectories, 0);
+  TRACLUS_CHECK_GE(config.mean_track_points, 4);
+  common::Rng rng(config.seed);
+  traj::TrajectoryDatabase db;
+
+  // The three planted corridors (see header). Recurve = west, north, east.
+  const Corridor westward{{geom::Point(95, 15), geom::Point(15, 12)}};
+  const Corridor recurve{{geom::Point(75, 11), geom::Point(32, 14),
+                          geom::Point(27, 25), geom::Point(29, 40),
+                          geom::Point(45, 43), geom::Point(85, 45)}};
+  const Corridor eastward{{geom::Point(20, 46), geom::Point(88, 44)}};
+
+  geom::BBox world;
+  world.Extend(geom::Point(0, 0));
+  world.Extend(geom::Point(100, 60));
+
+  for (int i = 0; i < config.num_trajectories; ++i) {
+    const TrackKind kind = PickKind(config, &rng);
+    const int len = std::max<int>(
+        4, static_cast<int>(rng.Gaussian(config.mean_track_points,
+                                         config.mean_track_points / 4.0)));
+    traj::Trajectory tr(/*id=*/i, /*label=*/"hurricane",
+                        rng.Uniform(config.min_weight, config.max_weight));
+
+    switch (kind) {
+      case TrackKind::kWestward: {
+        // A random sub-span of the westward corridor (tracks die at sea).
+        const double a = rng.Uniform(0.0, 0.35);
+        const double b = rng.Uniform(0.65, 1.0);
+        TraverseCorridor(westward, a, b, len, config.corridor_noise, &rng, &tr);
+        break;
+      }
+      case TrackKind::kRecurving: {
+        const double a = rng.Uniform(0.0, 0.15);
+        const double b = rng.Uniform(0.7, 1.0);
+        TraverseCorridor(recurve, a, b, len, config.corridor_noise, &rng, &tr);
+        break;
+      }
+      case TrackKind::kEastward: {
+        const double a = rng.Uniform(0.0, 0.3);
+        const double b = rng.Uniform(0.7, 1.0);
+        TraverseCorridor(eastward, a, b, len, config.corridor_noise, &rng, &tr);
+        break;
+      }
+      case TrackKind::kErratic: {
+        const geom::Point start(rng.Uniform(5.0, 95.0), rng.Uniform(5.0, 55.0));
+        RandomWalk(start, len, /*step_sigma=*/2.0, &world, &rng, &tr);
+        break;
+      }
+    }
+    db.Add(std::move(tr));
+  }
+  return db;
+}
+
+}  // namespace traclus::datagen

@@ -1,0 +1,46 @@
+#ifndef TRACLUS_DATAGEN_HURRICANE_GENERATOR_H_
+#define TRACLUS_DATAGEN_HURRICANE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "traj/trajectory_database.h"
+
+namespace traclus::datagen {
+
+/// Configuration of the synthetic Atlantic-hurricane track generator, the
+/// substitute for the Best Track data set (§5.1: 570 trajectories, 17,736
+/// points; Atlantic hurricanes 1950–2004). See DESIGN.md §2 for the
+/// substitution rationale.
+struct HurricaneConfig {
+  int num_trajectories = 570;
+  /// Mean points per track; Best Track averages ≈31 six-hourly fixes.
+  int mean_track_points = 31;
+  /// Population mix, matching the §5.2 narrative. Fractions must sum to ≤ 1;
+  /// the remainder becomes erratic (noise) tracks.
+  double frac_straight_westward = 0.40;  ///< Lower E→W band.
+  double frac_recurving = 0.30;          ///< E→W, then S→N, then W→E curve.
+  double frac_straight_eastward = 0.15;  ///< Upper W→E band.
+  /// Lateral spread of tracks around their corridor (world units ~ degrees).
+  double corridor_noise = 1.2;
+  /// Per-hurricane intensity weight range (used by the weighted extension).
+  double min_weight = 1.0;
+  double max_weight = 1.0;
+  uint64_t seed = 20070612;  ///< Default chosen arbitrarily; fully deterministic.
+};
+
+/// Generates the synthetic hurricane-track database.
+///
+/// World frame: x ∈ [0, 100] (longitude-like, east positive), y ∈ [0, 60]
+/// (latitude-like, north positive). Planted structure (cf. Fig. 18):
+///  - a lower corridor of east-to-west movers around y ≈ 15,
+///  - recurving tracks that run west, turn north around x ≈ 28, then east at
+///    y ≈ 42 — contributing vertical south-to-north cluster mass,
+///  - an upper corridor of west-to-east movers around y ≈ 45,
+///  - erratic remainder tracks that should end up as noise.
+/// Tracks cover random sub-spans of their corridor so lengths vary like real
+/// hurricane lifetimes.
+traj::TrajectoryDatabase GenerateHurricanes(const HurricaneConfig& config);
+
+}  // namespace traclus::datagen
+
+#endif  // TRACLUS_DATAGEN_HURRICANE_GENERATOR_H_

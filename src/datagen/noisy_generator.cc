@@ -1,0 +1,52 @@
+#include "datagen/noisy_generator.h"
+
+#include "common/rng.h"
+#include "datagen/corridor.h"
+#include "geom/bbox.h"
+
+namespace traclus::datagen {
+
+traj::TrajectoryDatabase GenerateNoisy(const NoisyConfig& config) {
+  TRACLUS_CHECK_GT(config.num_trajectories, 0);
+  TRACLUS_CHECK(config.noise_fraction >= 0.0 && config.noise_fraction <= 1.0);
+  TRACLUS_CHECK_GE(config.num_planted_corridors, 1);
+  common::Rng rng(config.seed);
+  traj::TrajectoryDatabase db;
+
+  geom::BBox world;
+  world.Extend(geom::Point(0, 0));
+  world.Extend(geom::Point(100, 100));
+
+  // Horizontal corridors stacked with even vertical spacing.
+  std::vector<Corridor> corridors;
+  for (int c = 0; c < config.num_planted_corridors; ++c) {
+    const double y = 100.0 * (c + 1) / (config.num_planted_corridors + 1);
+    corridors.push_back(Corridor{{geom::Point(5, y), geom::Point(95, y)}});
+  }
+
+  const int num_noise = static_cast<int>(
+      config.noise_fraction * config.num_trajectories + 0.5);
+  for (int i = 0; i < config.num_trajectories; ++i) {
+    traj::Trajectory tr(/*id=*/i);
+    if (i < num_noise) {
+      tr.set_label("noise");
+      const geom::Point start(rng.Uniform(5.0, 95.0), rng.Uniform(5.0, 95.0));
+      RandomWalk(start, config.points_per_trajectory, /*step_sigma=*/3.0, &world,
+                 &rng, &tr);
+    } else {
+      tr.set_label("corridor");
+      const size_t c = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(corridors.size()) - 1));
+      const double a = rng.Uniform(0.0, 0.2);
+      const double b = rng.Uniform(0.8, 1.0);
+      const bool forward = rng.Bernoulli(0.5);
+      TraverseCorridor(corridors[c], forward ? a : b, forward ? b : a,
+                       config.points_per_trajectory, config.corridor_noise, &rng,
+                       &tr);
+    }
+    db.Add(std::move(tr));
+  }
+  return db;
+}
+
+}  // namespace traclus::datagen

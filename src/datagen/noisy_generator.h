@@ -1,0 +1,30 @@
+#ifndef TRACLUS_DATAGEN_NOISY_GENERATOR_H_
+#define TRACLUS_DATAGEN_NOISY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "traj/trajectory_database.h"
+
+namespace traclus::datagen {
+
+/// Configuration of the Fig. 23 robustness experiment data: planted clusters
+/// plus a controlled fraction of pure-noise trajectories ("25% of trajectories
+/// are generated as noises").
+struct NoisyConfig {
+  int num_trajectories = 200;
+  double noise_fraction = 0.25;
+  int points_per_trajectory = 40;
+  /// Number of planted corridors; the clustering should recover exactly these.
+  int num_planted_corridors = 4;
+  double corridor_noise = 1.0;
+  uint64_t seed = 20070723;
+};
+
+/// Generates the noisy synthetic database. Non-noise trajectories follow one of
+/// `num_planted_corridors` horizontal corridors stacked in a [0,100]² world;
+/// noise trajectories are unconstrained random walks across the same world.
+traj::TrajectoryDatabase GenerateNoisy(const NoisyConfig& config);
+
+}  // namespace traclus::datagen
+
+#endif  // TRACLUS_DATAGEN_NOISY_GENERATOR_H_

@@ -1,0 +1,32 @@
+#include "distance/endpoint_distance.h"
+
+#include <algorithm>
+
+namespace traclus::distance {
+
+double EndpointSumDistance(const geom::Segment& a, const geom::Segment& b) {
+  TRACLUS_DCHECK_EQ(a.dims(), b.dims());
+  const double forward = geom::Distance(a.start(), b.start()) +
+                         geom::Distance(a.end(), b.end());
+  const double reversed = geom::Distance(a.start(), b.end()) +
+                          geom::Distance(a.end(), b.start());
+  return std::min(forward, reversed);
+}
+
+double DirectedNearestEndpointSum(const geom::Segment& a,
+                                  const geom::Segment& b) {
+  TRACLUS_DCHECK_EQ(a.dims(), b.dims());
+  const double from_start = std::min(geom::Distance(a.start(), b.start()),
+                                     geom::Distance(a.start(), b.end()));
+  const double from_end = std::min(geom::Distance(a.end(), b.start()),
+                                   geom::Distance(a.end(), b.end()));
+  return from_start + from_end;
+}
+
+double NearestEndpointSumDistance(const geom::Segment& a,
+                                  const geom::Segment& b) {
+  return std::max(DirectedNearestEndpointSum(a, b),
+                  DirectedNearestEndpointSum(b, a));
+}
+
+}  // namespace traclus::distance

@@ -1,0 +1,35 @@
+#ifndef TRACLUS_DISTANCE_ENDPOINT_DISTANCE_H_
+#define TRACLUS_DISTANCE_ENDPOINT_DISTANCE_H_
+
+#include "geom/segment.h"
+
+namespace traclus::distance {
+
+/// Naive segment distances the paper argues against in Appendix A ("the sum of
+/// the distances of endpoints may not be adequate"), kept as baselines for
+/// `bench_appendix_a_distance`.
+///
+/// With the Appendix A coordinates — L1 = (0,0)→(200,0), L2 = (100,100)→
+/// (300,100) (parallel) and L3 = (100,100)→(200,200) (45° rotated) — the
+/// nearest-endpoint sum evaluates to exactly 200·√2 for BOTH pairs, so the
+/// naive measure cannot rank L2 as more similar to L1 than L3, although it
+/// plainly is; the TRACLUS distance can, thanks to the angle component.
+
+/// Corresponding-endpoint sum: min over the two orientations of
+/// ‖s_i − s_j‖ + ‖e_i − e_j‖. Orientation-insensitive so reversals don't
+/// dominate the comparison.
+double EndpointSumDistance(const geom::Segment& a, const geom::Segment& b);
+
+/// Directed nearest-endpoint sum: Σ_{p ∈ {s_a, e_a}} min_{q ∈ {s_b, e_b}}
+/// ‖p − q‖ — the reading of "sum of the distances of endpoints" consistent with
+/// Appendix A's arithmetic (it is the line-segment-Hausdorff-style measure of
+/// the paper's reference [4]).
+double DirectedNearestEndpointSum(const geom::Segment& a, const geom::Segment& b);
+
+/// Symmetrized nearest-endpoint sum: max of the two directed sums.
+double NearestEndpointSumDistance(const geom::Segment& a,
+                                  const geom::Segment& b);
+
+}  // namespace traclus::distance
+
+#endif  // TRACLUS_DISTANCE_ENDPOINT_DISTANCE_H_

@@ -1,0 +1,51 @@
+#include "distance/metric_shift.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace traclus::distance {
+
+namespace {
+
+// Materializes the symmetric distance matrix once; the O(n³) triple scan then
+// reads from memory instead of re-evaluating the (possibly expensive) functor.
+std::vector<std::vector<double>> Materialize(
+    size_t n, const std::function<double(size_t, size_t)>& dist) {
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = dist(i, j);
+      TRACLUS_DCHECK_GE(v, 0.0);
+      d[i][j] = d[j][i] = v;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+double MaxTriangleViolation(size_t n,
+                            const std::function<double(size_t, size_t)>& dist) {
+  const auto d = Materialize(n, dist);
+  double worst = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i == k) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i || j == k) continue;
+        worst = std::max(worst, d[i][k] - d[i][j] - d[j][k]);
+      }
+    }
+  }
+  return worst;
+}
+
+double MinimalMetricShift(size_t n,
+                          const std::function<double(size_t, size_t)>& dist) {
+  // d'(i,k) ≤ d'(i,j) + d'(j,k) ⇔ d(i,k) + c ≤ d(i,j) + d(j,k) + 2c
+  // ⇔ c ≥ d(i,k) − d(i,j) − d(j,k); the tight c is the max violation.
+  return MaxTriangleViolation(n, dist);
+}
+
+}  // namespace traclus::distance

@@ -1,0 +1,59 @@
+#ifndef TRACLUS_DISTANCE_METRIC_SHIFT_H_
+#define TRACLUS_DISTANCE_METRIC_SHIFT_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace traclus::distance {
+
+/// Constant-shift embedding of a non-metric distance (§4.2 / §7.1(3)).
+///
+/// The TRACLUS distance violates the triangle inequality, which blocks classic
+/// metric indexes; the paper points to constant shift embedding (Roth et al.,
+/// the paper's reference [18]) as the standard repair: adding a constant c to
+/// every off-diagonal distance yields
+///   d'(i, j) = d(i, j) + c   (i ≠ j),   d'(i, i) = 0,
+/// and d' satisfies the triangle inequality whenever
+///   c ≥ max_{i,j,k} ( d(i, k) − d(i, j) − d(j, k) ).
+/// MinimalMetricShift computes that tight c over a distance matrix; the
+/// ShiftedDistance wrapper then exposes a metric view of any pairwise function.
+///
+/// The shift preserves *ordering* of distances (and hence k-NN rankings) but
+/// not ε-balls, so TRACLUS itself keeps using the unshifted distance with the
+/// Euclidean lower-bound index; this utility exists for integrations that
+/// require a true metric (VP-trees, metric embeddings).
+
+/// Tight minimal shift for the (symmetric, zero-diagonal) distance matrix of
+/// `n` objects given by `dist`. Returns 0 if the distance is already a metric
+/// on the sample. O(n³).
+double MinimalMetricShift(size_t n,
+                          const std::function<double(size_t, size_t)>& dist);
+
+/// A metric view of a non-metric pairwise distance: adds `shift` off-diagonal.
+class ShiftedDistance {
+ public:
+  ShiftedDistance(std::function<double(size_t, size_t)> base, double shift)
+      : base_(std::move(base)), shift_(shift) {}
+
+  /// d'(i, j) = d(i, j) + shift for i ≠ j; 0 on the diagonal.
+  double operator()(size_t i, size_t j) const {
+    if (i == j) return 0.0;
+    return base_(i, j) + shift_;
+  }
+
+  double shift() const { return shift_; }
+
+ private:
+  std::function<double(size_t, size_t)> base_;
+  double shift_;
+};
+
+/// Verifies the triangle inequality of `dist` over all triples of `n` objects;
+/// returns the largest violation max(0, d(i,k) − d(i,j) − d(j,k)). O(n³).
+double MaxTriangleViolation(size_t n,
+                            const std::function<double(size_t, size_t)>& dist);
+
+}  // namespace traclus::distance
+
+#endif  // TRACLUS_DISTANCE_METRIC_SHIFT_H_

@@ -1,0 +1,99 @@
+#ifndef TRACLUS_DISTANCE_SEGMENT_DISTANCE_H_
+#define TRACLUS_DISTANCE_SEGMENT_DISTANCE_H_
+
+#include "geom/segment.h"
+
+namespace traclus::distance {
+
+/// The three components of the TRACLUS line-segment distance (§2.3, Fig. 5):
+/// perpendicular (d⊥, Definition 1), parallel (d∥, Definition 2), and angle
+/// (dθ, Definition 3). All are non-negative and expressed in world units.
+struct DistanceComponents {
+  double perpendicular = 0.0;
+  double parallel = 0.0;
+  double angle = 0.0;
+};
+
+/// Configuration of the weighted line-segment distance
+/// dist(Li, Lj) = w⊥·d⊥ + w∥·d∥ + wθ·dθ (§2.3).
+///
+/// The paper's default is w⊥ = w∥ = wθ = 1, which "generally works well in many
+/// applications" (Appendix B); non-uniform weights are supported for
+/// domain-specific tuning. `directed` selects Definition 3 (directed
+/// trajectories) or the simplified angle distance ‖Lj‖·sin(θ) with θ folded into
+/// [0°, 90°] for undirected trajectories (§2.3 remark, §7.1 Extensibility).
+struct SegmentDistanceConfig {
+  double w_perpendicular = 1.0;
+  double w_parallel = 1.0;
+  double w_angle = 1.0;
+  bool directed = true;
+
+  /// Factory for the paper's default configuration.
+  static SegmentDistanceConfig Defaults() { return SegmentDistanceConfig{}; }
+};
+
+/// The TRACLUS line-segment distance function.
+///
+/// Stateless aside from its configuration; cheap to copy. The function is
+/// symmetric (Lemma 2): internally, the longer segment plays the role of Li and
+/// the shorter of Lj, ties broken by the segments' internal identifiers and, as a
+/// final fallback, by lexicographic endpoint comparison so the result never
+/// depends on argument order. It is NOT a metric: the triangle inequality can
+/// fail (§4.2), which is why `LowerBoundFactor` exists — it converts plain
+/// Euclidean segment distance into a provable lower bound usable for exact index
+/// pruning.
+class SegmentDistance {
+ public:
+  SegmentDistance() : config_(SegmentDistanceConfig::Defaults()) {}
+  explicit SegmentDistance(const SegmentDistanceConfig& config) : config_(config) {
+    TRACLUS_DCHECK(config.w_perpendicular >= 0 && config.w_parallel >= 0 &&
+                   config.w_angle >= 0);
+  }
+
+  const SegmentDistanceConfig& config() const { return config_; }
+
+  /// Full weighted distance dist(Li, Lj).
+  double operator()(const geom::Segment& a, const geom::Segment& b) const;
+
+  /// All three components, computed with the canonical longer/shorter roles.
+  DistanceComponents Components(const geom::Segment& a,
+                                const geom::Segment& b) const;
+
+  /// Perpendicular distance d⊥ (Definition 1): Lehmer mean of order 2 of the two
+  /// projection distances l⊥1, l⊥2.
+  double Perpendicular(const geom::Segment& a, const geom::Segment& b) const;
+
+  /// Parallel distance d∥ (Definition 2): MIN(l∥1, l∥2). The MIN makes the
+  /// measure robust to broken line segments (§2.3 remark).
+  double Parallel(const geom::Segment& a, const geom::Segment& b) const;
+
+  /// Angle distance dθ (Definition 3), directed or undirected per the config.
+  double Angle(const geom::Segment& a, const geom::Segment& b) const;
+
+  /// Multiplier c such that dist(Li, Lj) ≥ c · EuclideanSegmentDistance(Li, Lj)
+  /// for every pair of segments.
+  ///
+  /// Proof sketch (see DESIGN.md §4.1): let k ∈ {1, 2} attain d∥ = l∥k and let
+  /// q be the corresponding endpoint of Lj. The Euclidean distance from q to the
+  /// segment Li is at most l⊥k + l∥k (project to the line, then walk along it to
+  /// the nearer endpoint). Since the Lehmer mean of order 2 satisfies
+  /// d⊥ ≥ max(l⊥1, l⊥2)/2, we get
+  ///   mindist(Li, Lj) ≤ l⊥k + l∥k ≤ 2·d⊥ + d∥,
+  /// hence dist ≥ w⊥·d⊥ + w∥·d∥ ≥ min(w⊥/2, w∥) · mindist.
+  /// Returns 0 when either weight is 0 (no usable bound; indexes must fall back
+  /// to a scan).
+  double LowerBoundFactor() const {
+    return std::min(config_.w_perpendicular / 2.0, config_.w_parallel);
+  }
+
+ private:
+  /// Orders the pair into (longer, shorter) with the Lemma 2 tie-breaks.
+  static void Canonicalize(const geom::Segment*& longer,
+                           const geom::Segment*& shorter);
+
+  SegmentDistanceConfig config_;
+};
+
+}  // namespace traclus::distance
+
+#endif  // TRACLUS_DISTANCE_SEGMENT_DISTANCE_H_

@@ -1,0 +1,34 @@
+#include "eval/cluster_stats.h"
+
+#include <algorithm>
+
+namespace traclus::eval {
+
+ClusterStatsSummary SummarizeClustering(
+    const std::vector<geom::Segment>& segments,
+    const cluster::ClusteringResult& clustering) {
+  ClusterStatsSummary s;
+  s.num_segments = segments.size();
+  s.num_clusters = clustering.clusters.size();
+  s.num_noise = clustering.num_noise;
+  if (s.num_clusters == 0) return s;
+
+  size_t total_members = 0;
+  double total_cardinality = 0.0;
+  s.min_cluster_size = clustering.clusters.front().size();
+  for (const auto& c : clustering.clusters) {
+    total_members += c.size();
+    total_cardinality +=
+        static_cast<double>(cluster::TrajectoryCardinality(segments, c));
+    s.min_cluster_size = std::min(s.min_cluster_size, c.size());
+    s.max_cluster_size = std::max(s.max_cluster_size, c.size());
+  }
+  s.num_clustered_segments = total_members;
+  s.avg_segments_per_cluster =
+      static_cast<double>(total_members) / static_cast<double>(s.num_clusters);
+  s.avg_trajectory_cardinality =
+      total_cardinality / static_cast<double>(s.num_clusters);
+  return s;
+}
+
+}  // namespace traclus::eval

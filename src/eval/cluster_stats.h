@@ -1,0 +1,31 @@
+#ifndef TRACLUS_EVAL_CLUSTER_STATS_H_
+#define TRACLUS_EVAL_CLUSTER_STATS_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace traclus::eval {
+
+/// Headline statistics of a clustering, matching the quantities §5.4 reports
+/// ("when ε = 25, nine clusters are discovered, and each cluster contains 38
+/// line segments on average").
+struct ClusterStatsSummary {
+  size_t num_clusters = 0;
+  size_t num_segments = 0;           ///< Total segments in the database.
+  size_t num_clustered_segments = 0; ///< Segments belonging to some cluster.
+  size_t num_noise = 0;
+  double avg_segments_per_cluster = 0.0;
+  double avg_trajectory_cardinality = 0.0;  ///< Mean |PTR(C)| over clusters.
+  size_t min_cluster_size = 0;
+  size_t max_cluster_size = 0;
+};
+
+/// Summarizes a clustering result.
+ClusterStatsSummary SummarizeClustering(
+    const std::vector<geom::Segment>& segments,
+    const cluster::ClusteringResult& clustering);
+
+}  // namespace traclus::eval
+
+#endif  // TRACLUS_EVAL_CLUSTER_STATS_H_

@@ -1,0 +1,61 @@
+#include "eval/precision.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace traclus::eval {
+
+namespace {
+
+size_t IntersectionSize(const std::vector<size_t>& a,
+                        const std::vector<size_t>& b) {
+  TRACLUS_DCHECK(std::is_sorted(a.begin(), a.end()));
+  TRACLUS_DCHECK(std::is_sorted(b.begin(), b.end()));
+  size_t count = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+std::vector<size_t> Interior(const std::vector<size_t>& cp) {
+  if (cp.size() <= 2) return {};
+  return std::vector<size_t>(cp.begin() + 1, cp.end() - 1);
+}
+
+}  // namespace
+
+double CharacteristicPointPrecision(const std::vector<size_t>& approximate,
+                                    const std::vector<size_t>& exact) {
+  if (approximate.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(approximate, exact)) /
+         static_cast<double>(approximate.size());
+}
+
+double CharacteristicPointRecall(const std::vector<size_t>& approximate,
+                                 const std::vector<size_t>& exact) {
+  if (exact.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(approximate, exact)) /
+         static_cast<double>(exact.size());
+}
+
+double InteriorCharacteristicPointPrecision(
+    const std::vector<size_t>& approximate, const std::vector<size_t>& exact) {
+  const std::vector<size_t> ai = Interior(approximate);
+  if (ai.empty()) return 1.0;
+  return static_cast<double>(IntersectionSize(ai, Interior(exact))) /
+         static_cast<double>(ai.size());
+}
+
+}  // namespace traclus::eval

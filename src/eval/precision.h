@@ -1,0 +1,29 @@
+#ifndef TRACLUS_EVAL_PRECISION_H_
+#define TRACLUS_EVAL_PRECISION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace traclus::eval {
+
+/// Precision of an approximate characteristic-point selection against the exact
+/// optimum: |approx ∩ exact| / |approx| — "80% of the approximate solutions
+/// appear also in the exact solutions" (§3.3). Both inputs are strictly
+/// increasing index vectors. Returns 1 for an empty approximation.
+double CharacteristicPointPrecision(const std::vector<size_t>& approximate,
+                                    const std::vector<size_t>& exact);
+
+/// Recall counterpart: |approx ∩ exact| / |exact|.
+double CharacteristicPointRecall(const std::vector<size_t>& approximate,
+                                 const std::vector<size_t>& exact);
+
+/// Precision restricted to interior points. The first and last points are
+/// characteristic by construction in both solutions, which inflates the plain
+/// ratio on short trajectories; this variant drops them before comparing.
+/// Returns 1 when the approximation has no interior points.
+double InteriorCharacteristicPointPrecision(
+    const std::vector<size_t>& approximate, const std::vector<size_t>& exact);
+
+}  // namespace traclus::eval
+
+#endif  // TRACLUS_EVAL_PRECISION_H_

@@ -1,0 +1,77 @@
+#include "eval/qmeasure.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace traclus::eval {
+
+namespace {
+
+// (1 / 2|S|) Σ_{x,y ∈ S} dist(x, y)² over a set S of segment indices.
+//
+// Each unordered pair appears twice in the double sum, so the term equals
+// Σ_{unordered pairs} d² / |S|. When the pair count exceeds the configured
+// bound, a seeded uniform sample of pairs estimates the mean pair value, which
+// is then scaled by the true pair count — unbiased, deterministic for a fixed
+// seed.
+double HalfMeanPairwiseSquared(const std::vector<geom::Segment>& segments,
+                               const std::vector<size_t>& members,
+                               const distance::SegmentDistance& dist,
+                               const QMeasureOptions& options) {
+  const size_t n = members.size();
+  if (n < 2) return 0.0;
+  const double total_pairs =
+      0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+
+  const bool exact = options.max_pairs_per_set == 0 ||
+                     total_pairs <= static_cast<double>(options.max_pairs_per_set);
+  if (exact) {
+    double sum = 0.0;
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        const double d = dist(segments[members[a]], segments[members[b]]);
+        sum += d * d;
+      }
+    }
+    return sum / static_cast<double>(n);
+  }
+
+  common::Rng rng(options.sample_seed);
+  double sum = 0.0;
+  const size_t samples = options.max_pairs_per_set;
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t a =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    size_t b =
+        static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 2));
+    if (b >= a) ++b;  // Uniform over off-diagonal pairs.
+    const double d = dist(segments[members[a]], segments[members[b]]);
+    sum += d * d;
+  }
+  const double mean_pair = sum / static_cast<double>(samples);
+  return mean_pair * total_pairs / static_cast<double>(n);
+}
+
+}  // namespace
+
+QMeasureResult ComputeQMeasure(const std::vector<geom::Segment>& segments,
+                               const cluster::ClusteringResult& clustering,
+                               const distance::SegmentDistance& dist,
+                               const QMeasureOptions& options) {
+  TRACLUS_CHECK_EQ(clustering.labels.size(), segments.size());
+  QMeasureResult out;
+  for (const auto& c : clustering.clusters) {
+    out.total_sse +=
+        HalfMeanPairwiseSquared(segments, c.member_indices, dist, options);
+  }
+  std::vector<size_t> noise;
+  noise.reserve(clustering.num_noise);
+  for (size_t i = 0; i < clustering.labels.size(); ++i) {
+    if (clustering.labels[i] == cluster::kNoise) noise.push_back(i);
+  }
+  out.noise_penalty = HalfMeanPairwiseSquared(segments, noise, dist, options);
+  out.qmeasure = out.total_sse + out.noise_penalty;
+  return out;
+}
+
+}  // namespace traclus::eval

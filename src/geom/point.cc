@@ -1,0 +1,18 @@
+#include "geom/point.h"
+
+#include <sstream>
+
+namespace traclus::geom {
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (int i = 0; i < dims_; ++i) {
+    if (i > 0) os << ", ";
+    os << coords_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace traclus::geom

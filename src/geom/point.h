@@ -1,0 +1,123 @@
+#ifndef TRACLUS_GEOM_POINT_H_
+#define TRACLUS_GEOM_POINT_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace traclus::geom {
+
+/// Maximum spatial dimensionality supported by the library.
+///
+/// The paper defines trajectories over d-dimensional points and evaluates in 2-D,
+/// noting the approach "can be applied also to three dimensions" (§4.3 fn. 3).
+/// Fixed inline storage keeps points trivially copyable and cache-friendly, which
+/// matters because distance computations dominate the clustering phase.
+inline constexpr int kMaxDims = 3;
+
+/// A d-dimensional point (d = 2 or 3) with value semantics.
+///
+/// Also used as a free vector; `vector_ops.h` provides the vector algebra from
+/// Formulas (4), (5), and (8) of the paper.
+class Point {
+ public:
+  /// Default: 2-D origin.
+  Point() : coords_{0.0, 0.0, 0.0}, dims_(2) {}
+
+  /// 2-D point.
+  Point(double x, double y) : coords_{x, y, 0.0}, dims_(2) {}
+
+  /// 3-D point.
+  Point(double x, double y, double z) : coords_{x, y, z}, dims_(3) {}
+
+  int dims() const { return dims_; }
+
+  double operator[](int i) const {
+    TRACLUS_DCHECK(i >= 0 && i < dims_);
+    return coords_[i];
+  }
+  double& operator[](int i) {
+    TRACLUS_DCHECK(i >= 0 && i < dims_);
+    return coords_[i];
+  }
+
+  double x() const { return coords_[0]; }
+  double y() const {
+    TRACLUS_DCHECK(dims_ >= 2);
+    return coords_[1];
+  }
+  double z() const {
+    TRACLUS_DCHECK(dims_ >= 3);
+    return coords_[2];
+  }
+
+  /// Component-wise sum; both points must share dimensionality.
+  Point operator+(const Point& o) const {
+    TRACLUS_DCHECK_EQ(dims_, o.dims_);
+    Point r = *this;
+    for (int i = 0; i < dims_; ++i) r.coords_[i] += o.coords_[i];
+    return r;
+  }
+
+  /// Component-wise difference; yields the vector from `o` to `*this`.
+  Point operator-(const Point& o) const {
+    TRACLUS_DCHECK_EQ(dims_, o.dims_);
+    Point r = *this;
+    for (int i = 0; i < dims_; ++i) r.coords_[i] -= o.coords_[i];
+    return r;
+  }
+
+  Point operator*(double s) const {
+    Point r = *this;
+    for (int i = 0; i < dims_; ++i) r.coords_[i] *= s;
+    return r;
+  }
+
+  Point operator/(double s) const {
+    TRACLUS_DCHECK(s != 0.0);
+    return *this * (1.0 / s);
+  }
+
+  bool operator==(const Point& o) const {
+    if (dims_ != o.dims_) return false;
+    for (int i = 0; i < dims_; ++i) {
+      if (coords_[i] != o.coords_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+
+  /// Squared Euclidean norm when the point is interpreted as a vector.
+  double SquaredNorm() const {
+    double s = 0.0;
+    for (int i = 0; i < dims_; ++i) s += coords_[i] * coords_[i];
+    return s;
+  }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// "(x, y)" / "(x, y, z)" for debugging and test failure messages.
+  std::string ToString() const;
+
+ private:
+  std::array<double, kMaxDims> coords_;
+  int dims_;
+};
+
+inline Point operator*(double s, const Point& p) { return p * s; }
+
+/// Euclidean distance between two points of equal dimensionality.
+inline double Distance(const Point& a, const Point& b) { return (a - b).Norm(); }
+
+/// Squared Euclidean distance; avoids the sqrt when comparing distances.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  return (a - b).SquaredNorm();
+}
+
+}  // namespace traclus::geom
+
+#endif  // TRACLUS_GEOM_POINT_H_

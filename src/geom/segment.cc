@@ -1,0 +1,72 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "geom/vector_ops.h"
+
+namespace traclus::geom {
+
+std::string Segment::ToString() const {
+  std::ostringstream os;
+  os << start_.ToString() << " -> " << end_.ToString();
+  if (id_ >= 0) os << " [id=" << id_ << ", tr=" << trajectory_id_ << "]";
+  return os.str();
+}
+
+double SegmentToSegmentDistance(const Segment& a, const Segment& b) {
+  // Closed-form segment/segment distance via the standard clamped-parameter
+  // approach (Eberly). Handles degenerate (point-like) segments.
+  const Point d1 = a.Direction();
+  const Point d2 = b.Direction();
+  const Point r = a.start() - b.start();
+  const double a11 = d1.SquaredNorm();
+  const double a22 = d2.SquaredNorm();
+  const double a12 = -Dot(d1, d2);
+  const double b1 = -Dot(d1, r);
+  const double b2 = Dot(d2, r);
+
+  double s = 0.0;
+  double t = 0.0;
+  const double det = a11 * a22 - a12 * a12;
+  if (a11 == 0.0 && a22 == 0.0) {
+    // Both degenerate: point-to-point.
+    return Distance(a.start(), b.start());
+  }
+  if (a11 == 0.0) {
+    // `a` is a point.
+    return PointToSegmentDistance(a.start(), b.start(), b.end());
+  }
+  if (a22 == 0.0) {
+    // `b` is a point.
+    return PointToSegmentDistance(b.start(), a.start(), a.end());
+  }
+
+  if (det > 1e-14 * a11 * a22) {
+    // Non-parallel: unconstrained minimizer, then clamp and re-solve.
+    s = std::clamp((b1 * a22 - b2 * a12) / det, 0.0, 1.0);
+  } else {
+    s = 0.0;  // Parallel: pick an endpoint of `a`, clamping fixes the rest.
+  }
+  t = (b2 - a12 * s) / a22;
+  if (t < 0.0) {
+    t = 0.0;
+    s = std::clamp(b1 / a11, 0.0, 1.0);
+  } else if (t > 1.0) {
+    t = 1.0;
+    s = std::clamp((b1 - a12) / a11, 0.0, 1.0);
+  }
+
+  const Point pa = a.start() + d1 * s;
+  const Point pb = b.start() + d2 * t;
+  double best = Distance(pa, pb);
+  // Parallel/degenerate cases can still leave a suboptimal interior solution;
+  // endpoint-to-segment distances complete the candidate set exactly.
+  best = std::min(best, PointToSegmentDistance(a.start(), b.start(), b.end()));
+  best = std::min(best, PointToSegmentDistance(a.end(), b.start(), b.end()));
+  best = std::min(best, PointToSegmentDistance(b.start(), a.start(), a.end()));
+  best = std::min(best, PointToSegmentDistance(b.end(), a.start(), a.end()));
+  return best;
+}
+
+}  // namespace traclus::geom

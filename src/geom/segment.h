@@ -1,0 +1,86 @@
+#ifndef TRACLUS_GEOM_SEGMENT_H_
+#define TRACLUS_GEOM_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/point.h"
+
+namespace traclus::geom {
+
+/// Identifier of the trajectory a segment was extracted from.
+using TrajectoryId = int64_t;
+
+/// Identifier of a line segment inside a segment database.
+using SegmentId = int64_t;
+
+/// A directed line segment, the unit of clustering in the partition-and-group
+/// framework (§2.1: a trajectory partition is a line segment p_i p_j).
+///
+/// Carries the provenance needed by the grouping phase: `trajectory_id` feeds the
+/// trajectory-cardinality filter (Definition 10) and `weight` feeds the
+/// weighted-trajectory extension (§4.2). `id` is the "internal identifier" the
+/// paper uses to break ties when ordering segments for the symmetric distance
+/// (Lemma 2 proof).
+class Segment {
+ public:
+  Segment() : id_(-1), trajectory_id_(-1), weight_(1.0) {}
+
+  Segment(Point start, Point end, SegmentId id = -1, TrajectoryId trajectory_id = -1,
+          double weight = 1.0)
+      : start_(start),
+        end_(end),
+        id_(id),
+        trajectory_id_(trajectory_id),
+        weight_(weight) {
+    TRACLUS_DCHECK_EQ(start.dims(), end.dims());
+  }
+
+  const Point& start() const { return start_; }
+  const Point& end() const { return end_; }
+  SegmentId id() const { return id_; }
+  TrajectoryId trajectory_id() const { return trajectory_id_; }
+  double weight() const { return weight_; }
+  int dims() const { return start_.dims(); }
+
+  void set_id(SegmentId id) { id_ = id; }
+  void set_trajectory_id(TrajectoryId tid) { trajectory_id_ = tid; }
+  void set_weight(double w) { weight_ = w; }
+
+  /// Direction vector end - start.
+  Point Direction() const { return end_ - start_; }
+
+  /// Euclidean length ||end - start||.
+  double Length() const { return Direction().Norm(); }
+
+  /// Midpoint of the segment.
+  Point Midpoint() const { return (start_ + end_) * 0.5; }
+
+  /// Reversed copy (start and end swapped); provenance fields are preserved.
+  Segment Reversed() const {
+    return Segment(end_, start_, id_, trajectory_id_, weight_);
+  }
+
+  bool operator==(const Segment& o) const {
+    return start_ == o.start_ && end_ == o.end_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Point start_;
+  Point end_;
+  SegmentId id_;
+  TrajectoryId trajectory_id_;
+  double weight_;
+};
+
+/// Minimum Euclidean distance between two closed segments.
+///
+/// Used by the neighborhood index as the geometric quantity that lower-bounds the
+/// (non-metric) TRACLUS distance; see `distance/segment_distance.h` for the bound.
+double SegmentToSegmentDistance(const Segment& a, const Segment& b);
+
+}  // namespace traclus::geom
+
+#endif  // TRACLUS_GEOM_SEGMENT_H_

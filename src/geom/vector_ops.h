@@ -1,0 +1,70 @@
+#ifndef TRACLUS_GEOM_VECTOR_OPS_H_
+#define TRACLUS_GEOM_VECTOR_OPS_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point.h"
+
+namespace traclus::geom {
+
+/// Dot product of two vectors of equal dimensionality.
+inline double Dot(const Point& a, const Point& b) {
+  TRACLUS_DCHECK_EQ(a.dims(), b.dims());
+  double s = 0.0;
+  for (int i = 0; i < a.dims(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Projection coefficient u of point `p` onto the line through `s` with direction
+/// `e - s`, per Formula (4): u = (sp · se) / ||se||².
+///
+/// u = 0 at `s`, u = 1 at `e`; values outside [0, 1] project beyond the segment.
+/// A degenerate (zero-length) base yields u = 0, i.e. the projection collapses to
+/// `s`, which keeps downstream distances well defined for point-like segments.
+inline double ProjectionCoefficient(const Point& p, const Point& s, const Point& e) {
+  const Point se = e - s;
+  const double denom = se.SquaredNorm();
+  if (denom == 0.0) return 0.0;
+  return Dot(p - s, se) / denom;
+}
+
+/// Projection point of `p` onto the (infinite) line through `s` and `e`.
+inline Point ProjectOntoLine(const Point& p, const Point& s, const Point& e) {
+  const double u = ProjectionCoefficient(p, s, e);
+  return s + (e - s) * u;
+}
+
+/// Distance from `p` to the infinite line through `s` and `e`.
+inline double PointToLineDistance(const Point& p, const Point& s, const Point& e) {
+  return Distance(p, ProjectOntoLine(p, s, e));
+}
+
+/// Distance from `p` to the closed segment [s, e].
+inline double PointToSegmentDistance(const Point& p, const Point& s,
+                                     const Point& e) {
+  double u = ProjectionCoefficient(p, s, e);
+  u = std::clamp(u, 0.0, 1.0);
+  return Distance(p, s + (e - s) * u);
+}
+
+/// Cosine of the angle between two non-degenerate vectors, per Formula (5),
+/// clamped into [-1, 1] to absorb floating-point drift. Degenerate input (a zero
+/// vector) returns 1 (angle 0), matching the observation in §4.1.3 that a very
+/// short segment has no directional strength.
+inline double CosAngleBetween(const Point& v1, const Point& v2) {
+  const double n1 = v1.Norm();
+  const double n2 = v2.Norm();
+  if (n1 == 0.0 || n2 == 0.0) return 1.0;
+  return std::clamp(Dot(v1, v2) / (n1 * n2), -1.0, 1.0);
+}
+
+/// Smaller intersecting angle between directed vectors, in radians within
+/// [0, pi].
+inline double AngleBetween(const Point& v1, const Point& v2) {
+  return std::acos(CosAngleBetween(v1, v2));
+}
+
+}  // namespace traclus::geom
+
+#endif  // TRACLUS_GEOM_VECTOR_OPS_H_

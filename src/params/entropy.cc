@@ -1,0 +1,102 @@
+#include "params/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace traclus::params {
+
+namespace {
+
+template <typename T>
+double EntropyOfMasses(const std::vector<T>& masses) {
+  double total = 0.0;
+  for (const T m : masses) total += static_cast<double>(m);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const T m : masses) {
+    if (m <= T{0}) continue;
+    const double p = static_cast<double>(m) / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double NeighborhoodEntropy(const std::vector<size_t>& neighborhood_sizes) {
+  return EntropyOfMasses(neighborhood_sizes);
+}
+
+double NeighborhoodEntropy(const std::vector<double>& neighborhood_masses) {
+  return EntropyOfMasses(neighborhood_masses);
+}
+
+std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provider,
+                                      double eps) {
+  std::vector<size_t> sizes(provider.size());
+  for (size_t i = 0; i < provider.size(); ++i) {
+    sizes[i] = provider.Neighbors(i, eps).size();
+  }
+  return sizes;
+}
+
+NeighborhoodProfile::NeighborhoodProfile(
+    const std::vector<geom::Segment>& segments,
+    const distance::SegmentDistance& dist, std::vector<double> eps_grid)
+    : eps_grid_(std::move(eps_grid)) {
+  TRACLUS_CHECK(!eps_grid_.empty());
+  TRACLUS_CHECK(std::is_sorted(eps_grid_.begin(), eps_grid_.end()));
+  const size_t n = segments.size();
+  const size_t g = eps_grid_.size();
+
+  // delta[gi][i] counts pairs whose distance first fits at grid position gi.
+  std::vector<std::vector<size_t>> delta(g, std::vector<size_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = dist(segments[i], segments[j]);
+      const auto it =
+          std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
+      if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
+      const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
+      ++delta[gi][i];
+      ++delta[gi][j];
+    }
+  }
+
+  // counts_[gi][i] = 1 (self) + Σ_{g' ≤ gi} delta[g'][i].
+  counts_.assign(g, std::vector<size_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) {
+    size_t running = 1;
+    for (size_t gi = 0; gi < g; ++gi) {
+      running += delta[gi][i];
+      counts_[gi][i] = running;
+    }
+  }
+}
+
+double NeighborhoodProfile::EntropyAt(size_t g) const {
+  return NeighborhoodEntropy(SizesAt(g));
+}
+
+double NeighborhoodProfile::AvgNeighborhoodSizeAt(size_t g) const {
+  const auto& sizes = SizesAt(g);
+  if (sizes.empty()) return 0.0;
+  double total = 0.0;
+  for (const size_t s : sizes) total += static_cast<double>(s);
+  return total / static_cast<double>(sizes.size());
+}
+
+size_t NeighborhoodProfile::MinEntropyPosition() const {
+  size_t best = 0;
+  double best_h = EntropyAt(0);
+  for (size_t g = 1; g < grid_size(); ++g) {
+    const double h = EntropyAt(g);
+    if (h < best_h) {
+      best_h = h;
+      best = g;
+    }
+  }
+  return best;
+}
+
+}  // namespace traclus::params

@@ -1,0 +1,70 @@
+#ifndef TRACLUS_PARAMS_ENTROPY_H_
+#define TRACLUS_PARAMS_ENTROPY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/neighborhood.h"
+#include "distance/segment_distance.h"
+#include "geom/segment.h"
+
+namespace traclus::params {
+
+/// Shannon entropy H(X) of the ε-neighborhood-size distribution, Formula (10):
+/// p(x_i) = |Nε(x_i)| / Σ_j |Nε(x_j)|. The §4.4 heuristic selects the ε
+/// minimizing this entropy — uniform |Nε| (all 1, or all n) maximizes it, a
+/// skewed distribution (real clusters) lowers it.
+///
+/// `neighborhood_sizes` must be the exact |Nε(L)| of every segment (each ≥ 1:
+/// a neighborhood contains its own segment). Returns 0 for an empty input.
+double NeighborhoodEntropy(const std::vector<size_t>& neighborhood_sizes);
+
+/// Weighted-count overload used with the §4.2 weighted extension.
+double NeighborhoodEntropy(const std::vector<double>& neighborhood_masses);
+
+/// Computes |Nε(L)| for all L at one ε through a neighborhood provider.
+std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provider,
+                                      double eps);
+
+/// Precomputed neighborhood-size profile over a whole grid of ε values.
+///
+/// The Fig. 16/19 entropy curves need |Nε(L)| for every segment at every ε in a
+/// sweep. Querying an index once per (ε, L) costs O(grid · n · query); this
+/// profile instead makes a single O(n²) pass over segment pairs, bucketing each
+/// pairwise distance into the first grid cell that admits it and suffix-summing,
+/// which answers the whole sweep at once. Exact, and typically ~grid-size times
+/// faster than repeated queries for sweep workloads.
+class NeighborhoodProfile {
+ public:
+  /// `eps_grid` must be strictly increasing. O(n²) construction.
+  NeighborhoodProfile(const std::vector<geom::Segment>& segments,
+                      const distance::SegmentDistance& dist,
+                      std::vector<double> eps_grid);
+
+  size_t grid_size() const { return eps_grid_.size(); }
+  const std::vector<double>& eps_grid() const { return eps_grid_; }
+
+  /// |Nε(L)| for every segment at grid position g.
+  const std::vector<size_t>& SizesAt(size_t g) const {
+    TRACLUS_DCHECK(g < counts_.size());
+    return counts_[g];
+  }
+
+  /// H(X) at grid position g.
+  double EntropyAt(size_t g) const;
+
+  /// avg|Nε(L)| at grid position g (§4.4 uses this to set MinLns).
+  double AvgNeighborhoodSizeAt(size_t g) const;
+
+  /// Grid position with minimal entropy (ties: smaller ε).
+  size_t MinEntropyPosition() const;
+
+ private:
+  std::vector<double> eps_grid_;
+  /// counts_[g][i] = |N_{eps_grid_[g]}(L_i)|.
+  std::vector<std::vector<size_t>> counts_;
+};
+
+}  // namespace traclus::params
+
+#endif  // TRACLUS_PARAMS_ENTROPY_H_

@@ -1,0 +1,49 @@
+#ifndef TRACLUS_PARAMS_PARAMETER_HEURISTIC_H_
+#define TRACLUS_PARAMS_PARAMETER_HEURISTIC_H_
+
+#include <vector>
+
+#include "distance/segment_distance.h"
+#include "geom/segment.h"
+#include "params/entropy.h"
+#include "params/simulated_annealing.h"
+
+namespace traclus::params {
+
+/// Output of the §4.4 parameter-selection heuristic.
+struct ParameterEstimate {
+  double eps = 0.0;                      ///< Entropy-minimal ε.
+  double entropy = 0.0;                  ///< H(X) at that ε.
+  double avg_neighborhood_size = 0.0;    ///< avg|Nε(L)| at that ε.
+  /// MinLns search range: avg|Nε(L)| + 1 through + 3 (§4.4).
+  double min_lns_low = 0.0;
+  double min_lns_high = 0.0;
+  /// The full entropy curve when grid search was used (for Fig. 16/19 plots).
+  std::vector<double> grid_eps;
+  std::vector<double> grid_entropy;
+};
+
+/// Options of the heuristic.
+struct HeuristicOptions {
+  /// ε search interval. hi must exceed lo.
+  double eps_lo = 1.0;
+  double eps_hi = 60.0;
+  /// Number of grid points for the sweep (Fig. 16 uses integer ε 1..60).
+  int grid_points = 60;
+  /// When true, refines the grid minimum with simulated annealing (§4.4
+  /// prescribes SA; the grid supplies both the plot and a good starting basin).
+  bool refine_with_annealing = false;
+  AnnealingOptions annealing;
+};
+
+/// Runs the §4.4 heuristic: finds the ε minimizing the neighborhood-size
+/// entropy, records avg|Nε(L)| there, and derives the MinLns range
+/// (avg + 1 .. avg + 3). Uses a NeighborhoodProfile for the grid sweep (one
+/// O(n²) distance pass for the entire curve).
+ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
+                                     const distance::SegmentDistance& dist,
+                                     const HeuristicOptions& options);
+
+}  // namespace traclus::params
+
+#endif  // TRACLUS_PARAMS_PARAMETER_HEURISTIC_H_

@@ -1,0 +1,57 @@
+#include "params/simulated_annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace traclus::params {
+
+namespace {
+
+// Reflects x into [lo, hi] (billiard reflection handles overshoot of any size).
+double Reflect(double x, double lo, double hi) {
+  const double width = hi - lo;
+  if (width <= 0.0) return lo;
+  double t = std::fmod(x - lo, 2.0 * width);
+  if (t < 0.0) t += 2.0 * width;
+  return (t <= width) ? lo + t : hi - (t - width);
+}
+
+}  // namespace
+
+AnnealingResult Minimize1D(const std::function<double(double)>& objective,
+                           const AnnealingOptions& options) {
+  TRACLUS_CHECK_LT(options.lo, options.hi);
+  TRACLUS_CHECK_GT(options.iterations, 0);
+
+  common::Rng rng(options.seed);
+  const double width = options.hi - options.lo;
+  const double step = options.step_fraction * width;
+
+  double x = options.lo + 0.5 * width;
+  double fx = objective(x);
+  AnnealingResult result{x, fx, 1};
+  double temp = options.initial_temp;
+
+  for (int it = 0; it < options.iterations; ++it) {
+    const double candidate = Reflect(x + rng.Gaussian(0.0, step), options.lo,
+                                     options.hi);
+    const double fc = objective(candidate);
+    ++result.evaluations;
+    const double delta = fc - fx;
+    if (delta <= 0.0 ||
+        (temp > 0.0 && rng.Uniform(0.0, 1.0) < std::exp(-delta / temp))) {
+      x = candidate;
+      fx = fc;
+    }
+    if (fx < result.best_value) {
+      result.best_value = fx;
+      result.best_x = x;
+    }
+    temp *= options.cooling;
+  }
+  return result;
+}
+
+}  // namespace traclus::params

@@ -1,0 +1,39 @@
+#ifndef TRACLUS_PARAMS_SIMULATED_ANNEALING_H_
+#define TRACLUS_PARAMS_SIMULATED_ANNEALING_H_
+
+#include <functional>
+
+#include "common/rng.h"
+
+namespace traclus::params {
+
+/// Options of the 1-D simulated-annealing minimizer.
+struct AnnealingOptions {
+  double lo = 0.0;            ///< Lower bound of the search interval.
+  double hi = 1.0;            ///< Upper bound of the search interval.
+  double initial_temp = 1.0;  ///< Initial temperature.
+  double cooling = 0.95;      ///< Geometric cooling factor per iteration.
+  int iterations = 200;       ///< Proposal count.
+  double step_fraction = 0.1; ///< Proposal step stddev as a fraction of (hi−lo).
+  uint64_t seed = 42;         ///< RNG seed (deterministic runs).
+};
+
+/// Result of a minimization.
+struct AnnealingResult {
+  double best_x = 0.0;
+  double best_value = 0.0;
+  int evaluations = 0;
+};
+
+/// Minimizes `objective` over [lo, hi] with simulated annealing (Kirkpatrick et
+/// al.), the technique §4.4 prescribes for finding the entropy-minimal ε.
+///
+/// Standard Metropolis acceptance with Gaussian proposals reflected into the
+/// interval. Deterministic for a fixed seed. The objective is treated as a
+/// black box (entropy requires neighborhood queries; no gradients exist).
+AnnealingResult Minimize1D(const std::function<double(double)>& objective,
+                           const AnnealingOptions& options);
+
+}  // namespace traclus::params
+
+#endif  // TRACLUS_PARAMS_SIMULATED_ANNEALING_H_

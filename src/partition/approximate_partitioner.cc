@@ -1,0 +1,32 @@
+#include "partition/approximate_partitioner.h"
+
+namespace traclus::partition {
+
+std::vector<size_t> ApproximatePartitioner::CharacteristicPoints(
+    const traj::Trajectory& tr) const {
+  std::vector<size_t> cp;
+  const size_t n = tr.size();
+  if (n < 2) return cp;
+
+  cp.push_back(0);  // The starting point (Fig. 8 line 01).
+  size_t start_index = 0;
+  size_t length = 1;
+  while (start_index + length < n) {  // Fig. 8 line 03.
+    const size_t curr_index = start_index + length;
+    const double cost_par = cost_.MdlPar(tr, start_index, curr_index);
+    const double cost_nopar = cost_.MdlNoPar(tr, start_index, curr_index);
+    // A single-segment candidate (curr_index == start_index + 1) cannot be
+    // partitioned any further; forcing growth here also guarantees progress.
+    if (cost_par > cost_nopar && curr_index - 1 > start_index) {
+      cp.push_back(curr_index - 1);  // Partition at the previous point (line 08).
+      start_index = curr_index - 1;
+      length = 1;
+    } else {
+      ++length;  // Line 11.
+    }
+  }
+  cp.push_back(n - 1);  // The ending point (line 12).
+  return cp;
+}
+
+}  // namespace traclus::partition

@@ -1,0 +1,33 @@
+#ifndef TRACLUS_PARTITION_APPROXIMATE_PARTITIONER_H_
+#define TRACLUS_PARTITION_APPROXIMATE_PARTITIONER_H_
+
+#include "partition/mdl.h"
+#include "partition/partitioner.h"
+
+namespace traclus::partition {
+
+/// The O(n) Approximate Trajectory Partitioning algorithm of Fig. 8.
+///
+/// Treats the set of local optima as the global optimum: it grows a candidate
+/// partition from the current characteristic point and, at the first index where
+/// MDL_par exceeds MDL_nopar, commits the previous point as a characteristic
+/// point and restarts from it. Exactly n − 1 MDL evaluations per trajectory
+/// (Lemma 1). May miss the true optimum (Fig. 9); §3.3 reports ≈80% precision
+/// against the exact solution, which `eval::PartitioningPrecision` measures.
+class ApproximatePartitioner : public TrajectoryPartitioner {
+ public:
+  ApproximatePartitioner() = default;
+  explicit ApproximatePartitioner(const MdlOptions& options) : cost_(options) {}
+
+  std::vector<size_t> CharacteristicPoints(
+      const traj::Trajectory& tr) const override;
+
+  const MdlCostModel& cost_model() const { return cost_; }
+
+ private:
+  MdlCostModel cost_;
+};
+
+}  // namespace traclus::partition
+
+#endif  // TRACLUS_PARTITION_APPROXIMATE_PARTITIONER_H_

@@ -1,0 +1,58 @@
+#include "partition/douglas_peucker.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/vector_ops.h"
+
+namespace traclus::partition {
+
+namespace {
+
+// Marks kept indices between [lo, hi] recursively (iterative stack to avoid
+// deep recursion on long telemetry trajectories).
+void Simplify(const traj::Trajectory& tr, double tolerance,
+              std::vector<bool>* keep) {
+  std::vector<std::pair<size_t, size_t>> stack;
+  stack.emplace_back(0, tr.size() - 1);
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi <= lo + 1) continue;
+    double worst = -1.0;
+    size_t worst_idx = lo;
+    for (size_t k = lo + 1; k < hi; ++k) {
+      const double d =
+          (tr[lo] == tr[hi])
+              ? geom::Distance(tr[k], tr[lo])
+              : geom::PointToSegmentDistance(tr[k], tr[lo], tr[hi]);
+      if (d > worst) {
+        worst = d;
+        worst_idx = k;
+      }
+    }
+    if (worst > tolerance) {
+      (*keep)[worst_idx] = true;
+      stack.emplace_back(lo, worst_idx);
+      stack.emplace_back(worst_idx, hi);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> DouglasPeuckerPartitioner::CharacteristicPoints(
+    const traj::Trajectory& tr) const {
+  std::vector<size_t> cp;
+  const size_t n = tr.size();
+  if (n < 2) return cp;
+  std::vector<bool> keep(n, false);
+  keep.front() = keep.back() = true;
+  Simplify(tr, tolerance_, &keep);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i]) cp.push_back(i);
+  }
+  return cp;
+}
+
+}  // namespace traclus::partition

@@ -1,0 +1,15 @@
+#include "partition/equal_interval.h"
+
+namespace traclus::partition {
+
+std::vector<size_t> EqualIntervalPartitioner::CharacteristicPoints(
+    const traj::Trajectory& tr) const {
+  std::vector<size_t> cp;
+  const size_t n = tr.size();
+  if (n < 2) return cp;
+  for (size_t i = 0; i < n - 1; i += stride_) cp.push_back(i);
+  cp.push_back(n - 1);
+  return cp;
+}
+
+}  // namespace traclus::partition

@@ -1,0 +1,30 @@
+#ifndef TRACLUS_PARTITION_EQUAL_INTERVAL_H_
+#define TRACLUS_PARTITION_EQUAL_INTERVAL_H_
+
+#include "partition/partitioner.h"
+
+namespace traclus::partition {
+
+/// Trivial baseline: a characteristic point every `stride` input points.
+///
+/// The weakest plausible partitioner — it ignores geometry entirely. Used in
+/// ablation benches to quantify how much the MDL criterion contributes to
+/// clustering quality, and in tests as a deterministic fixture.
+class EqualIntervalPartitioner : public TrajectoryPartitioner {
+ public:
+  explicit EqualIntervalPartitioner(size_t stride) : stride_(stride) {
+    TRACLUS_CHECK_GE(stride, 1u);
+  }
+
+  std::vector<size_t> CharacteristicPoints(
+      const traj::Trajectory& tr) const override;
+
+  size_t stride() const { return stride_; }
+
+ private:
+  size_t stride_;
+};
+
+}  // namespace traclus::partition
+
+#endif  // TRACLUS_PARTITION_EQUAL_INTERVAL_H_

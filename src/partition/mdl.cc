@@ -1,0 +1,63 @@
+#include "partition/mdl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace traclus::partition {
+
+MdlCostModel::MdlCostModel(const MdlOptions& options) : options_(options) {
+  distance::SegmentDistanceConfig cfg;
+  cfg.directed = options.directed;
+  distance_ = distance::SegmentDistance(cfg);
+}
+
+double MdlCostModel::Encode(double x) const {
+  TRACLUS_DCHECK_GE(x, 0.0);
+  switch (options_.encoding) {
+    case MdlEncoding::kLog2Plus1:
+      return std::log2(1.0 + x);
+    case MdlEncoding::kLog2Clamped:
+      return std::log2(std::max(x, 1.0));
+  }
+  return 0.0;
+}
+
+double MdlCostModel::LH(const traj::Trajectory& tr, size_t i, size_t j) const {
+  TRACLUS_DCHECK(i < j && j < tr.size());
+  return Encode(geom::Distance(tr[i], tr[j]));
+}
+
+double MdlCostModel::LDH(const traj::Trajectory& tr, size_t i, size_t j) const {
+  TRACLUS_DCHECK(i < j && j < tr.size());
+  const geom::Segment hypothesis(tr[i], tr[j]);
+  double total = 0.0;
+  for (size_t k = i; k < j; ++k) {
+    if (tr[k] == tr[k + 1]) continue;  // Zero-length data segment: no deviation.
+    const geom::Segment data(tr[k], tr[k + 1]);
+    if (hypothesis.Length() == 0.0) {
+      // Degenerate hypothesis (p_i == p_j): deviation is the data segment's own
+      // extent — perpendicular collapses to point distances, angle to length.
+      total += Encode(geom::Distance(tr[k], tr[i])) + Encode(data.Length());
+      continue;
+    }
+    total += Encode(distance_.Perpendicular(hypothesis, data));
+    total += Encode(distance_.Angle(hypothesis, data));
+  }
+  return total;
+}
+
+double MdlCostModel::MdlPar(const traj::Trajectory& tr, size_t i, size_t j) const {
+  return LH(tr, i, j) + LDH(tr, i, j);
+}
+
+double MdlCostModel::MdlNoPar(const traj::Trajectory& tr, size_t i,
+                              size_t j) const {
+  TRACLUS_DCHECK(i < j && j < tr.size());
+  double total = 0.0;
+  for (size_t k = i; k < j; ++k) {
+    total += Encode(geom::Distance(tr[k], tr[k + 1]));
+  }
+  return total + options_.suppression_bits;
+}
+
+}  // namespace traclus::partition

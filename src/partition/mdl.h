@@ -1,0 +1,82 @@
+#ifndef TRACLUS_PARTITION_MDL_H_
+#define TRACLUS_PARTITION_MDL_H_
+
+#include <cstddef>
+
+#include "distance/segment_distance.h"
+#include "traj/trajectory.h"
+
+namespace traclus::partition {
+
+/// Encoding of a non-negative real quantity as a description length in bits.
+///
+/// The paper encodes reals with precision δ = 1, giving L(x) = log2(x) (§3.2),
+/// which is undefined at 0 and negative below 1 — both routinely occur for the
+/// perpendicular/angle deviations of nearly straight trajectories. Two
+/// well-defined variants are provided (see DESIGN.md §2):
+enum class MdlEncoding {
+  /// L(x) = log2(1 + x): monotone, L(0) = 0, asymptotically log2(x). Charges
+  /// for sub-precision deviations too, which over-partitions noisy data; kept
+  /// as an ablation (see bench_ablation_partitioning).
+  kLog2Plus1,
+  /// L(x) = log2(max(x, 1)): the paper's formula (precision δ = 1) made total —
+  /// deviations below the coordinate precision are free, which is what lets
+  /// MDL compress noisy but straight runs into long partitions. Default.
+  kLog2Clamped,
+};
+
+/// Options of the MDL partitioning cost (Formulas (6) and (7)).
+struct MdlOptions {
+  MdlEncoding encoding = MdlEncoding::kLog2Clamped;
+  /// Constant (in bits) added to the no-partition cost to suppress partitioning,
+  /// §4.1.3: suppression trades preciseness for longer trajectory partitions,
+  /// which avoids the short-segment over-clustering pathology of Fig. 11.
+  /// 0 disables suppression.
+  double suppression_bits = 0.0;
+  /// Angle-distance flavor used inside L(D|H); matches the clustering distance.
+  bool directed = true;
+};
+
+/// MDL cost model for trajectory partitioning (§3.2, Fig. 7).
+///
+/// A hypothesis H is a set of trajectory partitions. L(H) is the total encoded
+/// length of the partitions (Formula (6)); L(D|H) is the encoded deviation of the
+/// original trajectory from them — the sum of perpendicular and angle distances
+/// between each partition and each constituent line segment (Formula (7); the
+/// parallel distance is omitted because a trajectory encloses its partitions).
+/// L(H) is deliberately a function of segment *lengths*, not endpoint
+/// coordinates, so partitioning is translation-invariant (Appendix C).
+class MdlCostModel {
+ public:
+  MdlCostModel() : MdlCostModel(MdlOptions{}) {}
+  explicit MdlCostModel(const MdlOptions& options);
+
+  const MdlOptions& options() const { return options_; }
+
+  /// Description length of a non-negative real under the configured encoding.
+  double Encode(double x) const;
+
+  /// L(H) for the single candidate partition p_i → p_j of `tr`.
+  double LH(const traj::Trajectory& tr, size_t i, size_t j) const;
+
+  /// L(D|H) for the single candidate partition p_i → p_j of `tr`: the encoded
+  /// perpendicular + angle deviation of every enclosed line segment.
+  double LDH(const traj::Trajectory& tr, size_t i, size_t j) const;
+
+  /// MDL_par(p_i, p_j) = L(H) + L(D|H), assuming p_i and p_j are the only
+  /// characteristic points between them (§3.3).
+  double MdlPar(const traj::Trajectory& tr, size_t i, size_t j) const;
+
+  /// MDL_nopar(p_i, p_j): the cost of keeping the original trajectory between
+  /// p_i and p_j; L(D|H) is zero, so this is the encoded length of the raw
+  /// polyline, plus the configured suppression constant.
+  double MdlNoPar(const traj::Trajectory& tr, size_t i, size_t j) const;
+
+ private:
+  MdlOptions options_;
+  distance::SegmentDistance distance_;
+};
+
+}  // namespace traclus::partition
+
+#endif  // TRACLUS_PARTITION_MDL_H_

@@ -1,0 +1,49 @@
+#include "partition/optimal_partitioner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace traclus::partition {
+
+std::vector<size_t> OptimalPartitioner::CharacteristicPoints(
+    const traj::Trajectory& tr) const {
+  std::vector<size_t> cp;
+  const size_t n = tr.size();
+  if (n < 2) return cp;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, kInf);
+  std::vector<size_t> parent(n, 0);
+  best[0] = 0.0;
+  for (size_t j = 1; j < n; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      if (best[i] == kInf) continue;
+      const double c = best[i] + cost_.MdlPar(tr, i, j);
+      if (c < best[j]) {
+        best[j] = c;
+        parent[j] = i;
+      }
+    }
+  }
+
+  for (size_t j = n - 1; j != 0; j = parent[j]) cp.push_back(j);
+  cp.push_back(0);
+  std::reverse(cp.begin(), cp.end());
+  return cp;
+}
+
+double OptimalPartitioner::TotalCost(
+    const traj::Trajectory& tr,
+    const std::vector<size_t>& characteristic_points) const {
+  TRACLUS_CHECK_GE(characteristic_points.size(), 2u);
+  TRACLUS_CHECK_EQ(characteristic_points.front(), 0u);
+  TRACLUS_CHECK_EQ(characteristic_points.back(), tr.size() - 1);
+  double total = 0.0;
+  for (size_t c = 1; c < characteristic_points.size(); ++c) {
+    total += cost_.MdlPar(tr, characteristic_points[c - 1],
+                          characteristic_points[c]);
+  }
+  return total;
+}
+
+}  // namespace traclus::partition

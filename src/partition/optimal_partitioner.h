@@ -1,0 +1,43 @@
+#ifndef TRACLUS_PARTITION_OPTIMAL_PARTITIONER_H_
+#define TRACLUS_PARTITION_OPTIMAL_PARTITIONER_H_
+
+#include "partition/mdl.h"
+#include "partition/partitioner.h"
+
+namespace traclus::partition {
+
+/// Exact MDL-optimal trajectory partitioning.
+///
+/// §3.2 calls optimal partitioning prohibitive because "we need to consider
+/// every subset of the points"; however, the MDL cost is *additive over
+/// partitions*, so the optimum is a shortest path in the DAG whose nodes are
+/// point indices and whose edge (i, j) costs MDL_par(p_i, p_j). Dynamic
+/// programming solves it exactly with O(n²) edges / O(n³) arithmetic — far too
+/// slow for the clustering pipeline but exactly what's needed to measure the
+/// approximate algorithm's precision (§3.3 reports ≈80%).
+///
+/// Note: MDL_nopar never competes here; keeping raw sub-polylines corresponds to
+/// selecting *every* intermediate point as characteristic, which is itself a
+/// path in the DAG (each unit edge has L(D|H) = 0).
+class OptimalPartitioner : public TrajectoryPartitioner {
+ public:
+  OptimalPartitioner() = default;
+  explicit OptimalPartitioner(const MdlOptions& options) : cost_(options) {}
+
+  std::vector<size_t> CharacteristicPoints(
+      const traj::Trajectory& tr) const override;
+
+  /// Total MDL cost of an arbitrary characteristic-point selection, used by
+  /// tests to verify global optimality against brute-force enumeration.
+  double TotalCost(const traj::Trajectory& tr,
+                   const std::vector<size_t>& characteristic_points) const;
+
+  const MdlCostModel& cost_model() const { return cost_; }
+
+ private:
+  MdlCostModel cost_;
+};
+
+}  // namespace traclus::partition
+
+#endif  // TRACLUS_PARTITION_OPTIMAL_PARTITIONER_H_

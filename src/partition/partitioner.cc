@@ -1,0 +1,22 @@
+#include "partition/partitioner.h"
+
+namespace traclus::partition {
+
+std::vector<geom::Segment> MakePartitionSegments(
+    const traj::Trajectory& tr, const std::vector<size_t>& characteristic_points,
+    geom::SegmentId first_segment_id) {
+  std::vector<geom::Segment> out;
+  if (characteristic_points.size() < 2) return out;
+  out.reserve(characteristic_points.size() - 1);
+  geom::SegmentId next_id = first_segment_id;
+  for (size_t c = 1; c < characteristic_points.size(); ++c) {
+    const size_t a = characteristic_points[c - 1];
+    const size_t b = characteristic_points[c];
+    TRACLUS_DCHECK(a < b && b < tr.size());
+    if (tr[a] == tr[b]) continue;
+    out.emplace_back(tr[a], tr[b], next_id++, tr.id(), tr.weight());
+  }
+  return out;
+}
+
+}  // namespace traclus::partition

@@ -1,0 +1,35 @@
+#ifndef TRACLUS_PARTITION_PARTITIONER_H_
+#define TRACLUS_PARTITION_PARTITIONER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/segment.h"
+#include "traj/trajectory.h"
+
+namespace traclus::partition {
+
+/// Interface of the partitioning phase: maps a trajectory to the indices of its
+/// characteristic points (§3.1). Implementations must include the first and last
+/// point and return strictly increasing indices; a trajectory with fewer than two
+/// points yields an empty result.
+class TrajectoryPartitioner {
+ public:
+  virtual ~TrajectoryPartitioner() = default;
+
+  /// Indices of the characteristic points of `tr`, in increasing order.
+  virtual std::vector<size_t> CharacteristicPoints(
+      const traj::Trajectory& tr) const = 0;
+};
+
+/// Materializes the trajectory partitions (line segments between consecutive
+/// characteristic points, §3.1) with provenance: trajectory id, weight, and
+/// sequential segment ids starting at `first_segment_id`.
+/// Zero-length partitions (coincident characteristic points) are skipped.
+std::vector<geom::Segment> MakePartitionSegments(
+    const traj::Trajectory& tr, const std::vector<size_t>& characteristic_points,
+    geom::SegmentId first_segment_id);
+
+}  // namespace traclus::partition
+
+#endif  // TRACLUS_PARTITION_PARTITIONER_H_

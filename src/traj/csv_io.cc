@@ -1,0 +1,170 @@
+#include "traj/csv_io.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace traclus::traj {
+
+namespace {
+
+// Splits a CSV row on commas; no quoting support (the schema is numeric).
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  // std::from_chars<double> is not universally available; strtod is fine here.
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseId(std::string_view s, int64_t* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+common::Result<TrajectoryDatabase> ParseCsv(const std::string& content) {
+  TrajectoryDatabase db;
+  std::istringstream in(content);
+  std::string line;
+  Trajectory current;
+  bool have_current = false;
+  size_t line_no = 0;
+
+  auto flush = [&]() {
+    if (have_current && !current.empty()) db.Add(std::move(current));
+    current = Trajectory();
+    have_current = false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv.front() == '#') continue;
+    const auto fields = SplitFields(sv);
+    if (fields.size() < 3) {
+      return common::Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + ": expected at least 3 fields");
+    }
+    int64_t id = 0;
+    if (!ParseId(fields[0], &id)) {
+      // Tolerate a header row once at the top of the file.
+      if (line_no == 1) continue;
+      return common::Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + ": bad trajectory id '" +
+          std::string(fields[0]) + "'");
+    }
+
+    double x = 0.0;
+    double y = 0.0;
+    if (!ParseDouble(fields[1], &x) || !ParseDouble(fields[2], &y)) {
+      return common::Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + ": bad coordinate");
+    }
+
+    double z = 0.0;
+    double weight = 1.0;
+    bool has_z = false;
+    if (fields.size() == 4) {
+      // Ambiguous 4th column: treat as weight (most common export shape).
+      if (!ParseDouble(fields[3], &weight)) {
+        return common::Status::InvalidArgument(
+            "CSV line " + std::to_string(line_no) + ": bad weight");
+      }
+    } else if (fields.size() >= 5) {
+      if (!ParseDouble(fields[3], &z) || !ParseDouble(fields[4], &weight)) {
+        return common::Status::InvalidArgument(
+            "CSV line " + std::to_string(line_no) + ": bad z or weight");
+      }
+      has_z = true;
+    }
+
+    if (!have_current || current.id() != id) {
+      flush();
+      current = Trajectory(id, /*label=*/"", weight);
+      have_current = true;
+    }
+    current.Add(has_z ? geom::Point(x, y, z) : geom::Point(x, y));
+  }
+  flush();
+  return db;
+}
+
+common::Result<TrajectoryDatabase> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+common::Status WriteCsv(const TrajectoryDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::IOError("cannot open '" + path + "' for writing");
+  }
+  bool any_weight = false;
+  for (const auto& tr : db.trajectories()) {
+    if (tr.weight() != 1.0) any_weight = true;
+  }
+  const int dims = db.empty() ? 2 : db[0].dims();
+  out << "# trajectory_id,x,y";
+  if (dims == 3) out << ",z";
+  if (any_weight) out << ",weight";
+  out << "\n";
+  out.precision(12);
+  for (const auto& tr : db.trajectories()) {
+    for (const auto& p : tr.points()) {
+      out << tr.id() << "," << p.x() << "," << p.y();
+      if (dims == 3) out << "," << p.z();
+      if (any_weight) out << "," << tr.weight();
+      out << "\n";
+    }
+  }
+  if (!out) return common::Status::IOError("write to '" + path + "' failed");
+  return common::Status::OK();
+}
+
+}  // namespace traclus::traj

@@ -1,0 +1,31 @@
+#ifndef TRACLUS_TRAJ_CSV_IO_H_
+#define TRACLUS_TRAJ_CSV_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::traj {
+
+/// Reads a trajectory database from a CSV file.
+///
+/// Expected schema, one point per row, header optional:
+///   trajectory_id,x,y[,z][,weight]
+/// Rows of the same trajectory_id must be contiguous and ordered by time (the
+/// file format mirrors how both Best Track and Starkey telemetry exports are
+/// typically flattened). Lines starting with '#' are comments. The trajectory
+/// weight is taken from its first row; later weight cells are ignored.
+common::Result<TrajectoryDatabase> ReadCsv(const std::string& path);
+
+/// Parses the same schema from an in-memory string (used by tests).
+common::Result<TrajectoryDatabase> ParseCsv(const std::string& content);
+
+/// Writes a database in the schema accepted by ReadCsv. Weight is emitted only
+/// when some trajectory has a non-unit weight.
+common::Status WriteCsv(const TrajectoryDatabase& db, const std::string& path);
+
+}  // namespace traclus::traj
+
+#endif  // TRACLUS_TRAJ_CSV_IO_H_

@@ -1,0 +1,91 @@
+#include "traj/svg_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace traclus::traj {
+
+SvgWriter::SvgWriter(const geom::BBox& world, int width_px, int height_px)
+    : world_(world), width_px_(width_px), height_px_(height_px) {
+  TRACLUS_CHECK(!world.empty()) << "SvgWriter needs a non-empty world box";
+  const double margin = 0.05;
+  const double ww = std::max(world.Extent(0), 1e-9);
+  const double wh = std::max(world.Extent(1), 1e-9);
+  const double usable_w = width_px * (1.0 - 2 * margin);
+  const double usable_h = height_px * (1.0 - 2 * margin);
+  scale_ = std::min(usable_w / ww, usable_h / wh);
+  offset_x_ = width_px * margin - world.lo(0) * scale_;
+  // The y axis is flipped: world hi(1) maps to the top margin.
+  offset_y_ = height_px * margin + world.hi(1) * scale_;
+}
+
+void SvgWriter::Map(const geom::Point& p, double* px, double* py) const {
+  *px = offset_x_ + p.x() * scale_;
+  *py = offset_y_ - p.y() * scale_;
+}
+
+void SvgWriter::AddDatabase(const TrajectoryDatabase& db, const std::string& color,
+                            double stroke_width) {
+  for (const auto& tr : db.trajectories()) {
+    AddTrajectory(tr, color, stroke_width);
+  }
+}
+
+void SvgWriter::AddTrajectory(const Trajectory& tr, const std::string& color,
+                              double stroke_width) {
+  if (tr.size() < 2) return;
+  std::ostringstream os;
+  os << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+     << stroke_width << "\" points=\"";
+  for (const auto& p : tr.points()) {
+    double px = 0.0;
+    double py = 0.0;
+    Map(p, &px, &py);
+    os << px << "," << py << " ";
+  }
+  os << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::AddSegment(const geom::Segment& s, const std::string& color,
+                           double stroke_width) {
+  double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+  Map(s.start(), &x1, &y1);
+  Map(s.end(), &x2, &y2);
+  std::ostringstream os;
+  os << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2 << "\" y2=\""
+     << y2 << "\" stroke=\"" << color << "\" stroke-width=\"" << stroke_width
+     << "\"/>";
+  elements_.push_back(os.str());
+}
+
+void SvgWriter::AddLabel(const geom::Point& at, const std::string& text,
+                         const std::string& color) {
+  double px = 0.0, py = 0.0;
+  Map(at, &px, &py);
+  std::ostringstream os;
+  os << "<text x=\"" << px << "\" y=\"" << py << "\" fill=\"" << color
+     << "\" font-size=\"12\">" << text << "</text>";
+  elements_.push_back(os.str());
+}
+
+std::string SvgWriter::ToString() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_
+     << "\" height=\"" << height_px_ << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& e : elements_) os << e << "\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+common::Status SvgWriter::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return common::Status::IOError("cannot open '" + path + "'");
+  out << ToString();
+  if (!out) return common::Status::IOError("write to '" + path + "' failed");
+  return common::Status::OK();
+}
+
+}  // namespace traclus::traj

@@ -1,0 +1,61 @@
+#ifndef TRACLUS_TRAJ_SVG_WRITER_H_
+#define TRACLUS_TRAJ_SVG_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/bbox.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::traj {
+
+/// SVG renderer standing in for the paper's "visual inspection tool" (§5.1).
+///
+/// Mirrors the figures' styling: input trajectories as thin green polylines,
+/// representative trajectories as thick red ones (Figs. 18/21/22/23). World
+/// coordinates are mapped into a fixed canvas with the y axis flipped so that
+/// north is up.
+class SvgWriter {
+ public:
+  /// Creates a writer whose viewport covers `world` with a small margin.
+  SvgWriter(const geom::BBox& world, int width_px = 900, int height_px = 600);
+
+  /// Adds every trajectory in `db` as a thin polyline.
+  void AddDatabase(const TrajectoryDatabase& db,
+                   const std::string& color = "#2e8b57", double stroke_width = 0.6);
+
+  /// Adds one trajectory (e.g. a representative trajectory) as a polyline.
+  void AddTrajectory(const Trajectory& tr, const std::string& color = "#cc0000",
+                     double stroke_width = 2.5);
+
+  /// Adds a single segment, used to render cluster members.
+  void AddSegment(const geom::Segment& s, const std::string& color,
+                  double stroke_width = 1.0);
+
+  /// Adds a text annotation at a world coordinate.
+  void AddLabel(const geom::Point& at, const std::string& text,
+                const std::string& color = "#333333");
+
+  /// Writes the accumulated document to `path`.
+  common::Status Save(const std::string& path) const;
+
+  /// Returns the SVG document as a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  /// Maps world coordinates to pixel coordinates.
+  void Map(const geom::Point& p, double* px, double* py) const;
+
+  geom::BBox world_;
+  int width_px_;
+  int height_px_;
+  double scale_;
+  double offset_x_;
+  double offset_y_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace traclus::traj
+
+#endif  // TRACLUS_TRAJ_SVG_WRITER_H_

@@ -1,0 +1,31 @@
+#include "traj/trajectory.h"
+
+namespace traclus::traj {
+
+double Trajectory::Length() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += geom::Distance(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+Trajectory Trajectory::SubTrajectory(size_t from, size_t to) const {
+  TRACLUS_DCHECK(from <= to && to < points_.size());
+  Trajectory sub(id_, label_, weight_);
+  for (size_t i = from; i <= to; ++i) sub.Add(points_[i]);
+  return sub;
+}
+
+std::vector<geom::Segment> Trajectory::RawSegments() const {
+  std::vector<geom::Segment> out;
+  if (points_.size() < 2) return out;
+  out.reserve(points_.size() - 1);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i - 1] == points_[i]) continue;  // Skip zero-length segments.
+    out.emplace_back(points_[i - 1], points_[i], /*id=*/-1, id_, weight_);
+  }
+  return out;
+}
+
+}  // namespace traclus::traj

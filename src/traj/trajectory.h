@@ -1,0 +1,65 @@
+#ifndef TRACLUS_TRAJ_TRAJECTORY_H_
+#define TRACLUS_TRAJ_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/segment.h"
+
+namespace traclus::traj {
+
+/// A trajectory: a sequence of d-dimensional points (§2.1), with an identifier,
+/// an optional human-readable label (e.g. hurricane name), and a weight for the
+/// weighted-trajectory extension (§4.2: "a stronger hurricane should have a
+/// higher weight").
+class Trajectory {
+ public:
+  Trajectory() : id_(-1), weight_(1.0) {}
+  explicit Trajectory(geom::TrajectoryId id, std::string label = "",
+                      double weight = 1.0)
+      : id_(id), label_(std::move(label)), weight_(weight) {}
+
+  geom::TrajectoryId id() const { return id_; }
+  const std::string& label() const { return label_; }
+  double weight() const { return weight_; }
+  void set_id(geom::TrajectoryId id) { id_ = id; }
+  void set_label(std::string label) { label_ = std::move(label); }
+  void set_weight(double w) { weight_ = w; }
+
+  /// Appends a point; all points of a trajectory must share dimensionality.
+  void Add(const geom::Point& p) {
+    TRACLUS_DCHECK(points_.empty() || points_.front().dims() == p.dims());
+    points_.push_back(p);
+  }
+
+  const std::vector<geom::Point>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const geom::Point& operator[](size_t i) const {
+    TRACLUS_DCHECK(i < points_.size());
+    return points_[i];
+  }
+
+  int dims() const { return points_.empty() ? 0 : points_.front().dims(); }
+
+  /// Total polyline length (sum of consecutive point distances).
+  double Length() const;
+
+  /// The sub-trajectory restricted to indices [from, to] inclusive.
+  Trajectory SubTrajectory(size_t from, size_t to) const;
+
+  /// Consecutive-point line segments of the raw trajectory (no partitioning).
+  /// Zero-length segments (repeated points) are skipped.
+  std::vector<geom::Segment> RawSegments() const;
+
+ private:
+  geom::TrajectoryId id_;
+  std::string label_;
+  double weight_;
+  std::vector<geom::Point> points_;
+};
+
+}  // namespace traclus::traj
+
+#endif  // TRACLUS_TRAJ_TRAJECTORY_H_

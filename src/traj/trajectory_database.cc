@@ -1,0 +1,36 @@
+#include "traj/trajectory_database.h"
+
+namespace traclus::traj {
+
+geom::TrajectoryId TrajectoryDatabase::Add(Trajectory tr) {
+  if (tr.id() < 0) {
+    tr.set_id(static_cast<geom::TrajectoryId>(trajectories_.size()));
+  }
+  const geom::TrajectoryId id = tr.id();
+  trajectories_.push_back(std::move(tr));
+  return id;
+}
+
+size_t TrajectoryDatabase::TotalPoints() const {
+  size_t n = 0;
+  for (const auto& tr : trajectories_) n += tr.size();
+  return n;
+}
+
+DatabaseStats TrajectoryDatabase::Stats() const {
+  DatabaseStats st;
+  st.num_trajectories = trajectories_.size();
+  if (trajectories_.empty()) return st;
+  st.min_length = trajectories_.front().size();
+  for (const auto& tr : trajectories_) {
+    st.num_points += tr.size();
+    st.min_length = std::min(st.min_length, tr.size());
+    st.max_length = std::max(st.max_length, tr.size());
+    for (const auto& p : tr.points()) st.bounds.Extend(p);
+  }
+  st.mean_length =
+      static_cast<double>(st.num_points) / static_cast<double>(st.num_trajectories);
+  return st;
+}
+
+}  // namespace traclus::traj

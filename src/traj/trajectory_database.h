@@ -1,0 +1,53 @@
+#ifndef TRACLUS_TRAJ_TRAJECTORY_DATABASE_H_
+#define TRACLUS_TRAJ_TRAJECTORY_DATABASE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/bbox.h"
+#include "traj/trajectory.h"
+
+namespace traclus::traj {
+
+/// Summary statistics of a trajectory database (used in reports and EXPERIMENTS
+/// bookkeeping: the paper quotes "570 trajectories and 17736 points" etc.).
+struct DatabaseStats {
+  size_t num_trajectories = 0;
+  size_t num_points = 0;
+  size_t min_length = 0;       ///< Shortest trajectory, in points.
+  size_t max_length = 0;       ///< Longest trajectory, in points.
+  double mean_length = 0.0;    ///< Mean trajectory length, in points.
+  geom::BBox bounds;           ///< Spatial extent of all points.
+};
+
+/// An in-memory trajectory database: the input set I = {TR_1, ..., TR_numtra}
+/// of the TRACLUS problem statement (§2.1).
+class TrajectoryDatabase {
+ public:
+  TrajectoryDatabase() = default;
+
+  /// Adds a trajectory; if its id is negative, assigns the next sequential id.
+  /// Returns the stored id.
+  geom::TrajectoryId Add(Trajectory tr);
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+  const Trajectory& operator[](size_t i) const {
+    TRACLUS_DCHECK(i < trajectories_.size());
+    return trajectories_[i];
+  }
+
+  /// Total number of points across all trajectories.
+  size_t TotalPoints() const;
+
+  /// Computes summary statistics over the current contents.
+  DatabaseStats Stats() const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace traclus::traj
+
+#endif  // TRACLUS_TRAJ_TRAJECTORY_DATABASE_H_

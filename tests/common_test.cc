@@ -1,0 +1,226 @@
+// Unit tests for the common substrate: Status/Result, Rng, Matrix/SolveSpd.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/matrix.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace traclus::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsCarryCodeAndMessage) {
+  const Status st = Status::InvalidArgument("bad eps");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad eps");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad eps");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Internal("x"));
+}
+
+TEST(ReturnNotOkMacroTest, PropagatesFailure) {
+  auto fails = []() -> Status { return Status::NotFound("gone"); };
+  auto wrapper = [&]() -> Status {
+    TRACLUS_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::IOError("disk on fire"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(99);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix i2 = Matrix::Identity(2);
+  const Matrix prod = i2.Multiply(a);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposedSwapsDims) {
+  Matrix a(2, 3);
+  a(0, 2) = 9.5;
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 9.5);
+}
+
+TEST(SolveSpdTest, SolvesDiagonalSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 2;
+  a(1, 1) = 4;
+  a(2, 2) = 8;
+  const std::vector<double> x = SolveSpd(a, {2, 8, 32});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 4.0, 1e-12);
+}
+
+TEST(SolveSpdTest, SolvesDenseSpdSystem) {
+  // A = B^T B + I is SPD for any B.
+  Matrix b(3, 3);
+  double v = 1.0;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) b(r, c) = (v += 0.7);
+  }
+  Matrix a = b.Transposed().Multiply(b);
+  for (size_t i = 0; i < 3; ++i) a(i, i) += 1.0;
+
+  const std::vector<double> truth = {1.5, -2.0, 0.25};
+  std::vector<double> rhs(3, 0.0);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) rhs[r] += a(r, c) * truth[c];
+  }
+  const std::vector<double> x = SolveSpd(a, rhs);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(SolveSpdTest, RidgeRescuesSingularMatrix) {
+  // Rank-deficient: second row duplicates the first. The ridge fallback must
+  // still produce a finite solution.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 1;
+  const std::vector<double> x = SolveSpd(a, {2, 2});
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_TRUE(std::isfinite(x[1]));
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace traclus::common

@@ -1,0 +1,273 @@
+// Tests for the line-segment DBSCAN adaptation (Fig. 12): density semantics,
+// the trajectory-cardinality filter, the weighted extension, determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/dbscan_segments.h"
+#include "cluster/neighborhood.h"
+#include "cluster/neighborhood_index.h"
+#include "common/rng.h"
+#include "distance/segment_distance.h"
+
+namespace traclus::cluster {
+namespace {
+
+using distance::SegmentDistance;
+using geom::Point;
+using geom::Segment;
+
+// A bundle of `count` parallel horizontal segments around (x0, y0), one per
+// trajectory id starting at tid0.
+std::vector<Segment> Bundle(double x0, double y0, int count,
+                            geom::TrajectoryId tid0, double spacing = 0.3,
+                            double len = 10.0) {
+  std::vector<Segment> out;
+  for (int i = 0; i < count; ++i) {
+    out.emplace_back(Point(x0, y0 + i * spacing), Point(x0 + len, y0 + i * spacing),
+                     /*id=*/-1, tid0 + i);
+  }
+  return out;
+}
+
+std::vector<Segment> WithIds(std::vector<Segment> segs) {
+  for (size_t i = 0; i < segs.size(); ++i) {
+    segs[i].set_id(static_cast<geom::SegmentId>(i));
+  }
+  return segs;
+}
+
+DbscanOptions Options(double eps, double min_lns) {
+  DbscanOptions opt;
+  opt.eps = eps;
+  opt.min_lns = min_lns;
+  return opt;
+}
+
+TEST(DbscanTest, SingleDenseBundleFormsOneCluster) {
+  const auto segs = WithIds(Bundle(0, 0, 6, 0));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].size(), 6u);
+  EXPECT_EQ(result.num_noise, 0u);
+  for (const int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(DbscanTest, TwoSeparatedBundlesFormTwoClusters) {
+  auto segs = Bundle(0, 0, 5, 0);
+  const auto far = Bundle(0, 100, 5, 10);
+  segs.insert(segs.end(), far.begin(), far.end());
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  ASSERT_EQ(result.clusters.size(), 2u);
+  EXPECT_EQ(result.clusters[0].size(), 5u);
+  EXPECT_EQ(result.clusters[1].size(), 5u);
+  // Labels must not mix across the two bundles.
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(result.labels[i], result.labels[0]);
+  for (size_t i = 5; i < 10; ++i) EXPECT_EQ(result.labels[i], result.labels[5]);
+  EXPECT_NE(result.labels[0], result.labels[5]);
+}
+
+TEST(DbscanTest, IsolatedSegmentIsNoise) {
+  auto segs = Bundle(0, 0, 5, 0);
+  segs.emplace_back(Point(500, 500), Point(510, 500), -1, 99);
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  EXPECT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.num_noise, 1u);
+  EXPECT_EQ(result.labels.back(), kNoise);
+}
+
+TEST(DbscanTest, MinLnsAboveBundleSizeYieldsAllNoise) {
+  const auto segs = WithIds(Bundle(0, 0, 4, 0));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = DbscanSegments(segs, provider, Options(2.0, 10));
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.num_noise, segs.size());
+}
+
+TEST(DbscanTest, TrajectoryCardinalityFilterRemovesSingleTrajectoryCluster) {
+  // Fig. 12 step 3: a dense bundle extracted from ONE trajectory must be
+  // filtered out — it does not explain the behaviour of enough trajectories.
+  auto segs = Bundle(0, 0, 6, /*tid0=*/0);
+  for (auto& s : segs) s.set_trajectory_id(7);  // All from trajectory 7.
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.num_noise, segs.size());
+  for (const int label : result.labels) EXPECT_EQ(label, kNoise);
+}
+
+TEST(DbscanTest, CardinalityThresholdCanDifferFromMinLns) {
+  // "a threshold other than MinLns can be used" (Fig. 12 line 14 comment).
+  auto segs = Bundle(0, 0, 6, /*tid0=*/0);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    segs[i].set_trajectory_id(static_cast<geom::TrajectoryId>(i % 2));  // 2 tids.
+  }
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+
+  DbscanOptions strict = Options(2.0, 3);  // Default threshold = MinLns = 3 > 2.
+  EXPECT_TRUE(DbscanSegments(segs, provider, strict).clusters.empty());
+
+  DbscanOptions relaxed = Options(2.0, 3);
+  relaxed.min_trajectory_cardinality = 2;
+  EXPECT_EQ(DbscanSegments(segs, provider, relaxed).clusters.size(), 1u);
+
+  DbscanOptions disabled = Options(2.0, 3);
+  disabled.min_trajectory_cardinality = 0;
+  EXPECT_EQ(DbscanSegments(segs, provider, disabled).clusters.size(), 1u);
+}
+
+TEST(DbscanTest, WeightedCountsReachDensityWithFewSegments) {
+  // §4.2 extension: two heavy segments can satisfy MinLns = 4 by weight.
+  auto segs = Bundle(0, 0, 2, /*tid0=*/0);
+  segs[0].set_weight(3.0);
+  segs[1].set_weight(2.0);
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+
+  DbscanOptions unweighted = Options(2.0, 4);
+  unweighted.min_trajectory_cardinality = 2;
+  EXPECT_TRUE(DbscanSegments(segs, provider, unweighted).clusters.empty());
+
+  DbscanOptions weighted = unweighted;
+  weighted.use_weights = true;  // Mass = 5 ≥ 4.
+  EXPECT_EQ(DbscanSegments(segs, provider, weighted).clusters.size(), 1u);
+}
+
+TEST(DbscanTest, BorderSegmentJoinsClusterButDoesNotExpand) {
+  // Classic DBSCAN border semantics: a non-core segment inside a core segment's
+  // neighborhood joins the cluster; segments only reachable through it do not.
+  std::vector<Segment> segs = Bundle(0, 0, 5, 0, 0.2);  // Dense core at y≈0.
+  // Border at y=2.0: within ε of the top core segments but with only 4
+  // neighbors itself (< MinLns). Behind-border at y=3.2: reachable only
+  // through the border.
+  segs.emplace_back(Point(0, 2.0), Point(10, 2.0), -1, 20);
+  segs.emplace_back(Point(0, 3.2), Point(10, 3.2), -1, 21);
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  DbscanOptions opt = Options(1.6, 5);
+  opt.min_trajectory_cardinality = 0;
+  const auto result = DbscanSegments(segs, provider, opt);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.labels[5], 0) << "border segment should join";
+  EXPECT_EQ(result.labels[6], kNoise) << "border must not expand the cluster";
+}
+
+TEST(DbscanTest, IndexAndBruteForceProduceIdenticalClusterings) {
+  common::Rng rng(5);
+  std::vector<Segment> segs;
+  for (int b = 0; b < 6; ++b) {
+    const double x = rng.Uniform(0, 200);
+    const double y = rng.Uniform(0, 200);
+    for (const auto& s : Bundle(x, y, 5, b * 10)) segs.push_back(s);
+  }
+  for (int i = 0; i < 30; ++i) {  // Scatter noise.
+    const Point s(rng.Uniform(0, 400), rng.Uniform(0, 400));
+    segs.emplace_back(s, Point(s.x() + rng.Uniform(-5, 5), s.y() + 300), -1,
+                      100 + i);
+  }
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood brute(segs, dist);
+  const GridNeighborhoodIndex index(segs, dist);
+  DbscanOptions opt = Options(3.0, 4);
+  opt.min_trajectory_cardinality = 3;
+  const auto a = DbscanSegments(segs, brute, opt);
+  const auto b = DbscanSegments(segs, index, opt);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.clusters.size(), b.clusters.size());
+  EXPECT_EQ(a.num_noise, b.num_noise);
+}
+
+TEST(DbscanTest, DeterministicAcrossRuns) {
+  common::Rng rng(9);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 120; ++i) {
+    const Point s(rng.Uniform(0, 60), rng.Uniform(0, 60));
+    segs.emplace_back(s, Point(s.x() + rng.Uniform(-6, 6),
+                               s.y() + rng.Uniform(-6, 6)),
+                      i, i % 9);
+  }
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto r1 = DbscanSegments(segs, provider, Options(4.0, 4));
+  const auto r2 = DbscanSegments(segs, provider, Options(4.0, 4));
+  EXPECT_EQ(r1.labels, r2.labels);
+}
+
+TEST(DbscanTest, AllLabelsAreResolvedAfterCompletion) {
+  common::Rng rng(13);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 150; ++i) {
+    const Point s(rng.Uniform(0, 80), rng.Uniform(0, 80));
+    segs.emplace_back(s, Point(s.x() + rng.Uniform(-4, 4),
+                               s.y() + rng.Uniform(-4, 4)),
+                      i, i % 11);
+  }
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = DbscanSegments(segs, provider, Options(5.0, 4));
+  size_t clustered = 0;
+  for (const int label : result.labels) {
+    EXPECT_NE(label, kUnclassified);
+    if (label >= 0) {
+      ASSERT_LT(static_cast<size_t>(label), result.clusters.size());
+      ++clustered;
+    }
+  }
+  EXPECT_EQ(clustered + result.num_noise, segs.size());
+  // Cluster member lists and labels must agree.
+  for (const auto& c : result.clusters) {
+    for (const size_t idx : c.member_indices) {
+      EXPECT_EQ(result.labels[idx], c.id);
+    }
+  }
+}
+
+TEST(DbscanTest, ClusterIdsAreDenseAfterFiltering) {
+  // Three bundles; the middle one comes from a single trajectory and gets
+  // filtered, so the surviving ids must be renumbered 0..k-1.
+  auto segs = Bundle(0, 0, 5, 0);
+  auto single = Bundle(100, 0, 5, 50);
+  for (auto& s : single) s.set_trajectory_id(50);
+  auto third = Bundle(200, 0, 5, 60);
+  segs.insert(segs.end(), single.begin(), single.end());
+  segs.insert(segs.end(), third.begin(), third.end());
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  ASSERT_EQ(result.clusters.size(), 2u);
+  EXPECT_EQ(result.clusters[0].id, 0);
+  EXPECT_EQ(result.clusters[1].id, 1);
+}
+
+TEST(ParticipatingTrajectoriesTest, CountsDistinctTrajectories) {
+  auto segs = WithIds(Bundle(0, 0, 6, 0));
+  segs[1].set_trajectory_id(0);  // Duplicate a trajectory id.
+  Cluster c;
+  c.id = 0;
+  for (size_t i = 0; i < segs.size(); ++i) c.member_indices.push_back(i);
+  EXPECT_EQ(TrajectoryCardinality(segs, c), 5u);
+  const auto ptr = ParticipatingTrajectories(segs, c);
+  EXPECT_TRUE(ptr.count(0));
+  EXPECT_FALSE(ptr.count(1));
+}
+
+}  // namespace
+}  // namespace traclus::cluster

@@ -1,0 +1,217 @@
+// Deeper invariants of the TRACLUS distance function, checked against an
+// independently-coded reference implementation of Definitions 1-3 and against
+// geometric transformations (rotation, scaling, translation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "distance/segment_distance.h"
+#include "geom/vector_ops.h"
+
+namespace traclus::distance {
+namespace {
+
+using geom::Point;
+using geom::Segment;
+
+// ---------- Independent reference implementation (deliberately naive). ----------
+
+// Projection of p onto the line through (s, e), computed coordinate-wise.
+Point RefProject(const Point& p, const Point& s, const Point& e) {
+  const double vx = e.x() - s.x();
+  const double vy = e.y() - s.y();
+  const double denom = vx * vx + vy * vy;
+  if (denom == 0.0) return s;
+  const double u = ((p.x() - s.x()) * vx + (p.y() - s.y()) * vy) / denom;
+  return Point(s.x() + u * vx, s.y() + u * vy);
+}
+
+DistanceComponents RefComponents(const Segment& longer, const Segment& shorter,
+                                 bool directed) {
+  DistanceComponents c;
+  const Point ps = RefProject(shorter.start(), longer.start(), longer.end());
+  const Point pe = RefProject(shorter.end(), longer.start(), longer.end());
+  const double l_perp1 = geom::Distance(shorter.start(), ps);
+  const double l_perp2 = geom::Distance(shorter.end(), pe);
+  c.perpendicular = (l_perp1 + l_perp2 == 0.0)
+                        ? 0.0
+                        : (l_perp1 * l_perp1 + l_perp2 * l_perp2) /
+                              (l_perp1 + l_perp2);
+  const double l_par1 = std::min(geom::Distance(ps, longer.start()),
+                                 geom::Distance(ps, longer.end()));
+  const double l_par2 = std::min(geom::Distance(pe, longer.start()),
+                                 geom::Distance(pe, longer.end()));
+  c.parallel = std::min(l_par1, l_par2);
+
+  const double len = shorter.Length();
+  if (len == 0.0) {
+    c.angle = 0.0;
+    return c;
+  }
+  const double dot = (longer.end().x() - longer.start().x()) *
+                         (shorter.end().x() - shorter.start().x()) +
+                     (longer.end().y() - longer.start().y()) *
+                         (shorter.end().y() - shorter.start().y());
+  const double cos_t =
+      std::clamp(dot / (longer.Length() * len), -1.0, 1.0);
+  const double sin_t = std::sqrt(1.0 - cos_t * cos_t);
+  if (directed && cos_t <= 0.0) {
+    c.angle = len;
+  } else {
+    c.angle = len * sin_t;
+  }
+  return c;
+}
+
+Segment RandomSegment(common::Rng* rng, double world = 50, double max_len = 15) {
+  const Point s(rng->Uniform(-world, world), rng->Uniform(-world, world));
+  const double ang = rng->Uniform(0, 2 * M_PI);
+  const double len = rng->Uniform(0.01, max_len);
+  return Segment(s, Point(s.x() + len * std::cos(ang),
+                          s.y() + len * std::sin(ang)));
+}
+
+class DistanceRefTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistanceRefTest, ComponentsMatchNaiveReference) {
+  common::Rng rng(GetParam());
+  for (const bool directed : {true, false}) {
+    SegmentDistanceConfig cfg;
+    cfg.directed = directed;
+    const SegmentDistance dist(cfg);
+    for (int i = 0; i < 200; ++i) {
+      Segment a = RandomSegment(&rng);
+      Segment b = RandomSegment(&rng);
+      // The reference needs canonical (longer, shorter) roles.
+      if (a.Length() < b.Length()) std::swap(a, b);
+      const DistanceComponents got = dist.Components(a, b);
+      const DistanceComponents want = RefComponents(a, b, directed);
+      EXPECT_NEAR(got.perpendicular, want.perpendicular, 1e-9);
+      EXPECT_NEAR(got.parallel, want.parallel, 1e-9);
+      EXPECT_NEAR(got.angle, want.angle, 1e-9);
+    }
+  }
+}
+
+TEST_P(DistanceRefTest, RigidMotionInvariance) {
+  // dist is defined by relative geometry only: invariant under rotation +
+  // translation of both segments together.
+  common::Rng rng(GetParam() + 50);
+  const SegmentDistance dist;
+  for (int i = 0; i < 100; ++i) {
+    const Segment a = RandomSegment(&rng);
+    const Segment b = RandomSegment(&rng);
+    const double phi = rng.Uniform(0, 2 * M_PI);
+    const Point t(rng.Uniform(-100, 100), rng.Uniform(-100, 100));
+    auto move = [&](const Point& p) {
+      return Point(std::cos(phi) * p.x() - std::sin(phi) * p.y() + t.x(),
+                   std::sin(phi) * p.x() + std::cos(phi) * p.y() + t.y());
+    };
+    const Segment a2(move(a.start()), move(a.end()));
+    const Segment b2(move(b.start()), move(b.end()));
+    EXPECT_NEAR(dist(a, b), dist(a2, b2), 1e-7);
+  }
+}
+
+TEST_P(DistanceRefTest, ScalingCovariance) {
+  // All three components have units of length: dist(s·a, s·b) = s · dist(a, b).
+  common::Rng rng(GetParam() + 99);
+  const SegmentDistance dist;
+  for (int i = 0; i < 100; ++i) {
+    const Segment a = RandomSegment(&rng);
+    const Segment b = RandomSegment(&rng);
+    const double s = rng.Uniform(0.1, 20.0);
+    const Segment a2(a.start() * s, a.end() * s);
+    const Segment b2(b.start() * s, b.end() * s);
+    EXPECT_NEAR(dist(a2, b2), s * dist(a, b), 1e-6 * std::max(1.0, s));
+  }
+}
+
+TEST_P(DistanceRefTest, PerpendicularIsLehmerMeanBounded) {
+  // Lehmer mean of order 2 lies between the arithmetic mean and the max of
+  // the two projection distances.
+  common::Rng rng(GetParam() + 123);
+  const SegmentDistance dist;
+  for (int i = 0; i < 200; ++i) {
+    Segment a = RandomSegment(&rng);
+    Segment b = RandomSegment(&rng);
+    if (a.Length() < b.Length()) std::swap(a, b);
+    const double l1 = geom::PointToLineDistance(b.start(), a.start(), a.end());
+    const double l2 = geom::PointToLineDistance(b.end(), a.start(), a.end());
+    const double perp = dist.Perpendicular(a, b);
+    EXPECT_GE(perp, (l1 + l2) / 2.0 - 1e-9);
+    EXPECT_LE(perp, std::max(l1, l2) + 1e-9);
+  }
+}
+
+TEST_P(DistanceRefTest, AngleBoundedByShorterLength) {
+  common::Rng rng(GetParam() + 321);
+  const SegmentDistance dist;
+  for (int i = 0; i < 200; ++i) {
+    const Segment a = RandomSegment(&rng);
+    const Segment b = RandomSegment(&rng);
+    const double shorter = std::min(a.Length(), b.Length());
+    EXPECT_LE(dist.Angle(a, b), shorter + 1e-9);
+  }
+}
+
+TEST_P(DistanceRefTest, UndirectedAngleNeverExceedsDirected) {
+  common::Rng rng(GetParam() + 777);
+  SegmentDistanceConfig undirected_cfg;
+  undirected_cfg.directed = false;
+  const SegmentDistance directed;
+  const SegmentDistance undirected(undirected_cfg);
+  for (int i = 0; i < 200; ++i) {
+    const Segment a = RandomSegment(&rng);
+    const Segment b = RandomSegment(&rng);
+    EXPECT_LE(undirected.Angle(a, b), directed.Angle(a, b) + 1e-9);
+  }
+}
+
+TEST_P(DistanceRefTest, ReversingShorterFlipsDirectedAngleRegime) {
+  // sin(θ) is shared by θ and 180°−θ, so the undirected angle is reversal-
+  // invariant, while the directed one switches to the ‖Lj‖ regime.
+  common::Rng rng(GetParam() + 888);
+  SegmentDistanceConfig undirected_cfg;
+  undirected_cfg.directed = false;
+  const SegmentDistance undirected(undirected_cfg);
+  for (int i = 0; i < 100; ++i) {
+    Segment a = RandomSegment(&rng);
+    Segment b = RandomSegment(&rng);
+    if (a.Length() < b.Length()) std::swap(a, b);
+    EXPECT_NEAR(undirected.Angle(a, b), undirected.Angle(a, b.Reversed()),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceRefTest,
+                         ::testing::Values(10u, 20u, 30u, 40u, 50u));
+
+TEST(DistanceDegenerateTest, BothSegmentsDegenerate) {
+  const SegmentDistance dist;
+  const Segment a(Point(1, 1), Point(1, 1));
+  const Segment b(Point(4, 5), Point(4, 5));
+  // Point-to-point: perpendicular collapses to the Euclidean distance and
+  // parallel to 0 (projection onto a point is the point itself).
+  const DistanceComponents c = dist.Components(a, b);
+  EXPECT_TRUE(std::isfinite(c.perpendicular));
+  EXPECT_TRUE(std::isfinite(c.parallel));
+  EXPECT_DOUBLE_EQ(c.angle, 0.0);
+  EXPECT_GT(dist(a, b), 0.0);
+}
+
+TEST(DistanceDegenerateTest, NearlyParallelNumericalStability) {
+  // cos θ can drift outside [−1, 1] for near-parallel long segments; the
+  // clamp must keep sin θ real.
+  const SegmentDistance dist;
+  const Segment a(Point(0, 0), Point(1e6, 1));
+  const Segment b(Point(0, 1), Point(1e6, 2));
+  const double angle = dist.Angle(a, b);
+  EXPECT_TRUE(std::isfinite(angle));
+  EXPECT_GE(angle, 0.0);
+}
+
+}  // namespace
+}  // namespace traclus::distance

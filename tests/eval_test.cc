@@ -1,0 +1,190 @@
+// Tests for evaluation measures: QMeasure (Formula (11)), characteristic-point
+// precision (§3.3), and cluster statistics (§5.4).
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "distance/segment_distance.h"
+#include "eval/cluster_stats.h"
+#include "eval/precision.h"
+#include "eval/qmeasure.h"
+
+namespace traclus::eval {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusteringResult;
+using cluster::kNoise;
+using distance::SegmentDistance;
+using geom::Point;
+using geom::Segment;
+
+TEST(QMeasureTest, SingleClusterHandComputed) {
+  // Three parallel segments at y = 0, 1, 2; pairwise distances are d⊥ = dy
+  // (identical spans ⇒ d∥ = dθ = 0). Unordered pair distances: 1, 1, 2.
+  // SSE = (1/|C|)·Σ_{unordered} dist² = (1 + 1 + 4) / 3 = 2.
+  std::vector<Segment> segs = {
+      Segment(Point(0, 0), Point(10, 0), 0, 0),
+      Segment(Point(0, 1), Point(10, 1), 1, 1),
+      Segment(Point(0, 2), Point(10, 2), 2, 2),
+  };
+  ClusteringResult clustering;
+  Cluster c;
+  c.id = 0;
+  c.member_indices = {0, 1, 2};
+  clustering.clusters.push_back(c);
+  clustering.labels = {0, 0, 0};
+  clustering.num_noise = 0;
+
+  const SegmentDistance dist;
+  const QMeasureResult q = ComputeQMeasure(segs, clustering, dist);
+  EXPECT_NEAR(q.total_sse, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.noise_penalty, 0.0);
+  EXPECT_NEAR(q.qmeasure, 2.0, 1e-9);
+}
+
+TEST(QMeasureTest, NoisePenaltyHandComputed) {
+  // Two noise segments 5 apart: penalty = (1/|N|)·dist² = 25 / 2.
+  std::vector<Segment> segs = {
+      Segment(Point(0, 0), Point(10, 0), 0, 0),
+      Segment(Point(0, 5), Point(10, 5), 1, 1),
+  };
+  ClusteringResult clustering;
+  clustering.labels = {kNoise, kNoise};
+  clustering.num_noise = 2;
+  const SegmentDistance dist;
+  const QMeasureResult q = ComputeQMeasure(segs, clustering, dist);
+  EXPECT_DOUBLE_EQ(q.total_sse, 0.0);
+  EXPECT_NEAR(q.noise_penalty, 12.5, 1e-9);
+  EXPECT_NEAR(q.qmeasure, 12.5, 1e-9);
+}
+
+TEST(QMeasureTest, EmptyClusteringIsZero) {
+  std::vector<Segment> segs;
+  ClusteringResult clustering;
+  const SegmentDistance dist;
+  const QMeasureResult q = ComputeQMeasure(segs, clustering, dist);
+  EXPECT_DOUBLE_EQ(q.qmeasure, 0.0);
+}
+
+TEST(QMeasureTest, TighterClustersScoreLower) {
+  auto make = [](double spread) {
+    std::vector<Segment> segs;
+    for (int i = 0; i < 5; ++i) {
+      segs.emplace_back(Point(0, spread * i), Point(10, spread * i), i, i);
+    }
+    return segs;
+  };
+  ClusteringResult clustering;
+  Cluster c;
+  c.id = 0;
+  c.member_indices = {0, 1, 2, 3, 4};
+  clustering.clusters.push_back(c);
+  clustering.labels.assign(5, 0);
+  const SegmentDistance dist;
+  const double tight = ComputeQMeasure(make(0.2), clustering, dist).qmeasure;
+  const double loose = ComputeQMeasure(make(2.0), clustering, dist).qmeasure;
+  EXPECT_LT(tight, loose);
+}
+
+TEST(PrecisionTest, IdenticalSelectionsAreperfect) {
+  const std::vector<size_t> cp = {0, 3, 7, 11};
+  EXPECT_DOUBLE_EQ(CharacteristicPointPrecision(cp, cp), 1.0);
+  EXPECT_DOUBLE_EQ(CharacteristicPointRecall(cp, cp), 1.0);
+  EXPECT_DOUBLE_EQ(InteriorCharacteristicPointPrecision(cp, cp), 1.0);
+}
+
+TEST(PrecisionTest, PartialOverlapHandComputed) {
+  const std::vector<size_t> approx = {0, 3, 5, 11};
+  const std::vector<size_t> exact = {0, 3, 8, 11};
+  // Intersection {0, 3, 11} of 4 approx points.
+  EXPECT_DOUBLE_EQ(CharacteristicPointPrecision(approx, exact), 0.75);
+  EXPECT_DOUBLE_EQ(CharacteristicPointRecall(approx, exact), 0.75);
+  // Interior: approx {3, 5}, exact {3, 8} ⇒ 1/2.
+  EXPECT_DOUBLE_EQ(InteriorCharacteristicPointPrecision(approx, exact), 0.5);
+}
+
+TEST(PrecisionTest, DisjointInteriorsScoreZero) {
+  const std::vector<size_t> approx = {0, 4, 9};
+  const std::vector<size_t> exact = {0, 5, 9};
+  EXPECT_DOUBLE_EQ(InteriorCharacteristicPointPrecision(approx, exact), 0.0);
+  EXPECT_NEAR(CharacteristicPointPrecision(approx, exact), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrecisionTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(CharacteristicPointPrecision({}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(CharacteristicPointRecall({0, 1}, {}), 1.0);
+  // Endpoint-only selections have no interior.
+  EXPECT_DOUBLE_EQ(InteriorCharacteristicPointPrecision({0, 9}, {0, 4, 9}), 1.0);
+}
+
+TEST(QMeasureTest, SampledEstimatorTracksExactValue) {
+  // Above the pair budget the measure switches to a seeded pair-sample; on a
+  // 200-member set the estimate must land within a few percent of the exact
+  // value and be deterministic.
+  std::vector<Segment> segs;
+  common::Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const Point s(rng.Uniform(0, 50), rng.Uniform(0, 50));
+    segs.emplace_back(s, Point(s.x() + rng.Uniform(-6, 6),
+                               s.y() + rng.Uniform(-6, 6)),
+                      i, i);
+  }
+  ClusteringResult clustering;
+  Cluster c;
+  c.id = 0;
+  for (size_t i = 0; i < segs.size(); ++i) c.member_indices.push_back(i);
+  clustering.clusters.push_back(c);
+  clustering.labels.assign(segs.size(), 0);
+
+  const SegmentDistance dist;
+  QMeasureOptions exact_opt;
+  exact_opt.max_pairs_per_set = 0;  // Force the exact path.
+  const double exact = ComputeQMeasure(segs, clustering, dist, exact_opt).qmeasure;
+
+  QMeasureOptions sampled_opt;
+  sampled_opt.max_pairs_per_set = 4000;  // 200 choose 2 = 19900 > 4000.
+  const double sampled =
+      ComputeQMeasure(segs, clustering, dist, sampled_opt).qmeasure;
+  EXPECT_NEAR(sampled, exact, 0.06 * exact);
+  // Deterministic for the same seed.
+  EXPECT_DOUBLE_EQ(sampled,
+                   ComputeQMeasure(segs, clustering, dist, sampled_opt).qmeasure);
+}
+
+TEST(ClusterStatsTest, SummaryHandComputed) {
+  std::vector<Segment> segs;
+  for (int i = 0; i < 10; ++i) {
+    segs.emplace_back(Point(0, i), Point(10, i), i, i % 4);
+  }
+  ClusteringResult clustering;
+  Cluster a;
+  a.id = 0;
+  a.member_indices = {0, 1, 2, 3};  // Trajectories 0,1,2,3 ⇒ |PTR| = 4.
+  Cluster b;
+  b.id = 1;
+  b.member_indices = {4, 5};  // Trajectories 0,1 ⇒ |PTR| = 2.
+  clustering.clusters = {a, b};
+  clustering.labels = {0, 0, 0, 0, 1, 1, kNoise, kNoise, kNoise, kNoise};
+  clustering.num_noise = 4;
+
+  const ClusterStatsSummary s = SummarizeClustering(segs, clustering);
+  EXPECT_EQ(s.num_clusters, 2u);
+  EXPECT_EQ(s.num_segments, 10u);
+  EXPECT_EQ(s.num_clustered_segments, 6u);
+  EXPECT_EQ(s.num_noise, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_segments_per_cluster, 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_trajectory_cardinality, 3.0);  // (4 + 2) / 2.
+  EXPECT_EQ(s.min_cluster_size, 2u);
+  EXPECT_EQ(s.max_cluster_size, 4u);
+}
+
+TEST(ClusterStatsTest, EmptyClusteringSummary) {
+  const ClusterStatsSummary s = SummarizeClustering({}, ClusteringResult{});
+  EXPECT_EQ(s.num_clusters, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_segments_per_cluster, 0.0);
+}
+
+}  // namespace
+}  // namespace traclus::eval

@@ -1,0 +1,257 @@
+// Unit and property tests for the geometry substrate: points, vector ops,
+// segments, segment-to-segment distance, bounding boxes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/bbox.h"
+#include "geom/point.h"
+#include "geom/segment.h"
+#include "geom/vector_ops.h"
+
+namespace traclus::geom {
+namespace {
+
+TEST(PointTest, DefaultIs2DOrigin) {
+  Point p;
+  EXPECT_EQ(p.dims(), 2);
+  EXPECT_DOUBLE_EQ(p.x(), 0.0);
+  EXPECT_DOUBLE_EQ(p.y(), 0.0);
+}
+
+TEST(PointTest, ThreeDimensionalAccess) {
+  Point p(1, 2, 3);
+  EXPECT_EQ(p.dims(), 3);
+  EXPECT_DOUBLE_EQ(p.z(), 3.0);
+  EXPECT_DOUBLE_EQ(p[2], 3.0);
+}
+
+TEST(PointTest, Arithmetic) {
+  const Point a(1, 2);
+  const Point b(3, 5);
+  EXPECT_EQ(a + b, Point(4, 7));
+  EXPECT_EQ(b - a, Point(2, 3));
+  EXPECT_EQ(a * 2.0, Point(2, 4));
+  EXPECT_EQ(2.0 * a, Point(2, 4));
+  EXPECT_EQ(b / 2.0, Point(1.5, 2.5));
+}
+
+TEST(PointTest, NormAndDistance) {
+  EXPECT_DOUBLE_EQ(Point(3, 4).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Point(3, 4).SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(Point(1, 1), Point(4, 5)), 25.0);
+}
+
+TEST(PointTest, EqualityRespectsDims) {
+  EXPECT_FALSE(Point(1, 2) == Point(1, 2, 0));
+  EXPECT_TRUE(Point(1, 2) != Point(1, 2, 0));
+}
+
+TEST(PointTest, ToStringFormats) {
+  EXPECT_EQ(Point(1, 2).ToString(), "(1, 2)");
+  EXPECT_EQ(Point(1, 2, 3).ToString(), "(1, 2, 3)");
+}
+
+TEST(VectorOpsTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot(Point(1, 2), Point(3, 4)), 11.0);
+  EXPECT_DOUBLE_EQ(Dot(Point(1, 0, 2), Point(0, 5, 3)), 6.0);
+}
+
+TEST(VectorOpsTest, ProjectionCoefficientFormula4) {
+  // Formula (4): u = (sp · se) / ||se||².
+  const Point s(0, 0);
+  const Point e(10, 0);
+  EXPECT_DOUBLE_EQ(ProjectionCoefficient(Point(5, 3), s, e), 0.5);
+  EXPECT_DOUBLE_EQ(ProjectionCoefficient(Point(0, 7), s, e), 0.0);
+  EXPECT_DOUBLE_EQ(ProjectionCoefficient(Point(10, -2), s, e), 1.0);
+  EXPECT_DOUBLE_EQ(ProjectionCoefficient(Point(15, 1), s, e), 1.5);
+  EXPECT_DOUBLE_EQ(ProjectionCoefficient(Point(-5, 1), s, e), -0.5);
+}
+
+TEST(VectorOpsTest, ProjectionDegenerateBaseCollapsesToStart) {
+  const Point s(2, 2);
+  EXPECT_DOUBLE_EQ(ProjectionCoefficient(Point(9, 9), s, s), 0.0);
+  EXPECT_EQ(ProjectOntoLine(Point(9, 9), s, s), s);
+}
+
+TEST(VectorOpsTest, PointToLineVsSegmentDistance) {
+  const Point s(0, 0);
+  const Point e(10, 0);
+  // Beyond the end: line distance uses the perpendicular, segment distance the
+  // endpoint.
+  EXPECT_DOUBLE_EQ(PointToLineDistance(Point(15, 3), s, e), 3.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(15, 0), s, e), 5.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(5, 4), s, e), 4.0);
+}
+
+TEST(VectorOpsTest, AngleBetweenKnownVectors) {
+  EXPECT_NEAR(AngleBetween(Point(1, 0), Point(0, 1)), M_PI / 2, 1e-12);
+  EXPECT_NEAR(AngleBetween(Point(1, 0), Point(-1, 0)), M_PI, 1e-12);
+  EXPECT_NEAR(AngleBetween(Point(1, 0), Point(1, 1)), M_PI / 4, 1e-12);
+  EXPECT_NEAR(AngleBetween(Point(2, 0), Point(5, 0)), 0.0, 1e-12);
+}
+
+TEST(VectorOpsTest, CosAngleDegenerateVectorIsOne) {
+  EXPECT_DOUBLE_EQ(CosAngleBetween(Point(0, 0), Point(1, 1)), 1.0);
+}
+
+TEST(SegmentTest, BasicAccessors) {
+  const Segment s(Point(0, 0), Point(3, 4), /*id=*/7, /*trajectory_id=*/2, 1.5);
+  EXPECT_DOUBLE_EQ(s.Length(), 5.0);
+  EXPECT_EQ(s.Midpoint(), Point(1.5, 2.0));
+  EXPECT_EQ(s.Direction(), Point(3, 4));
+  EXPECT_EQ(s.id(), 7);
+  EXPECT_EQ(s.trajectory_id(), 2);
+  EXPECT_DOUBLE_EQ(s.weight(), 1.5);
+}
+
+TEST(SegmentTest, ReversedPreservesProvenance) {
+  const Segment s(Point(0, 0), Point(1, 0), 7, 2, 1.5);
+  const Segment r = s.Reversed();
+  EXPECT_EQ(r.start(), Point(1, 0));
+  EXPECT_EQ(r.end(), Point(0, 0));
+  EXPECT_EQ(r.id(), 7);
+  EXPECT_EQ(r.trajectory_id(), 2);
+}
+
+TEST(SegmentDistanceTest, IntersectingSegmentsHaveZeroDistance) {
+  const Segment a(Point(0, 0), Point(10, 0));
+  const Segment b(Point(5, -5), Point(5, 5));
+  EXPECT_NEAR(SegmentToSegmentDistance(a, b), 0.0, 1e-12);
+}
+
+TEST(SegmentDistanceTest, ParallelSegments) {
+  const Segment a(Point(0, 0), Point(10, 0));
+  const Segment b(Point(0, 3), Point(10, 3));
+  EXPECT_NEAR(SegmentToSegmentDistance(a, b), 3.0, 1e-12);
+}
+
+TEST(SegmentDistanceTest, CollinearDisjointSegments) {
+  const Segment a(Point(0, 0), Point(10, 0));
+  const Segment b(Point(14, 0), Point(20, 0));
+  EXPECT_NEAR(SegmentToSegmentDistance(a, b), 4.0, 1e-12);
+}
+
+TEST(SegmentDistanceTest, DegeneratePointSegments) {
+  const Segment a(Point(0, 0), Point(0, 0));
+  const Segment b(Point(3, 4), Point(3, 4));
+  EXPECT_NEAR(SegmentToSegmentDistance(a, b), 5.0, 1e-12);
+  const Segment c(Point(0, 0), Point(10, 0));
+  EXPECT_NEAR(SegmentToSegmentDistance(a, c), 0.0, 1e-12);
+  EXPECT_NEAR(SegmentToSegmentDistance(b, c), 4.0, 1e-12);
+}
+
+TEST(SegmentDistanceTest, SymmetricByConstruction) {
+  common::Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const Segment a(Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)),
+                    Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)));
+    const Segment b(Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)),
+                    Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)));
+    EXPECT_NEAR(SegmentToSegmentDistance(a, b), SegmentToSegmentDistance(b, a),
+                1e-9);
+  }
+}
+
+TEST(SegmentDistanceTest, MatchesDenseSamplingLowerEnvelope) {
+  // Property: the analytic distance equals the minimum over a dense sampling of
+  // both segments (up to sampling resolution).
+  common::Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Segment a(Point(rng.Uniform(-5, 5), rng.Uniform(-5, 5)),
+                    Point(rng.Uniform(-5, 5), rng.Uniform(-5, 5)));
+    const Segment b(Point(rng.Uniform(-5, 5), rng.Uniform(-5, 5)),
+                    Point(rng.Uniform(-5, 5), rng.Uniform(-5, 5)));
+    const double analytic = SegmentToSegmentDistance(a, b);
+    double sampled = std::numeric_limits<double>::infinity();
+    const int kSteps = 60;
+    for (int i = 0; i <= kSteps; ++i) {
+      const Point pa = a.start() + a.Direction() * (static_cast<double>(i) / kSteps);
+      sampled = std::min(sampled, PointToSegmentDistance(pa, b.start(), b.end()));
+    }
+    for (int j = 0; j <= kSteps; ++j) {
+      const Point pb = b.start() + b.Direction() * (static_cast<double>(j) / kSteps);
+      sampled = std::min(sampled, PointToSegmentDistance(pb, a.start(), a.end()));
+    }
+    EXPECT_LE(analytic, sampled + 1e-9);
+    EXPECT_GE(analytic, sampled - 0.25);  // Sampling is only approximate.
+  }
+}
+
+TEST(BBoxTest, EmptyBoxBehaviour) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.Contains(Point(0, 0)));
+  BBox other;
+  other.Extend(Point(1, 1));
+  EXPECT_TRUE(std::isinf(b.MinDist(other)));
+}
+
+TEST(BBoxTest, ExtendAndContains) {
+  BBox b;
+  b.Extend(Point(0, 0));
+  b.Extend(Point(10, 5));
+  EXPECT_TRUE(b.Contains(Point(5, 2)));
+  EXPECT_TRUE(b.Contains(Point(0, 0)));
+  EXPECT_TRUE(b.Contains(Point(10, 5)));
+  EXPECT_FALSE(b.Contains(Point(10.01, 5)));
+  EXPECT_DOUBLE_EQ(b.Extent(0), 10.0);
+  EXPECT_DOUBLE_EQ(b.Extent(1), 5.0);
+}
+
+TEST(BBoxTest, ExtendWithSegmentAndBox) {
+  BBox b;
+  b.Extend(Segment(Point(1, 2), Point(3, -1)));
+  EXPECT_DOUBLE_EQ(b.lo(1), -1.0);
+  EXPECT_DOUBLE_EQ(b.hi(0), 3.0);
+  BBox c;
+  c.Extend(Point(10, 10));
+  b.Extend(c);
+  EXPECT_DOUBLE_EQ(b.hi(0), 10.0);
+}
+
+TEST(BBoxTest, MinDistDisjointAndOverlapping) {
+  BBox a;
+  a.Extend(Point(0, 0));
+  a.Extend(Point(1, 1));
+  BBox b;
+  b.Extend(Point(4, 5));
+  b.Extend(Point(6, 7));
+  EXPECT_DOUBLE_EQ(a.MinDist(b), 5.0);  // dx=3, dy=4.
+  BBox c;
+  c.Extend(Point(0.5, 0.5));
+  c.Extend(Point(2, 2));
+  EXPECT_DOUBLE_EQ(a.MinDist(c), 0.0);
+}
+
+TEST(BBoxTest, MinDistLowerBoundsGeometryDistance) {
+  // Property: MBR mindist never exceeds the true segment distance.
+  common::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Segment a(Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)),
+                    Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)));
+    const Segment b(Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)),
+                    Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)));
+    BBox ba;
+    ba.Extend(a);
+    BBox bb;
+    bb.Extend(b);
+    EXPECT_LE(ba.MinDist(bb), SegmentToSegmentDistance(a, b) + 1e-9);
+  }
+}
+
+TEST(BBox3DTest, ThreeDimensionalMinDist) {
+  BBox a;
+  a.Extend(Point(0, 0, 0));
+  a.Extend(Point(1, 1, 1));
+  BBox b;
+  b.Extend(Point(1, 1, 4));
+  b.Extend(Point(2, 2, 5));
+  EXPECT_DOUBLE_EQ(a.MinDist(b), 3.0);
+}
+
+}  // namespace
+}  // namespace traclus::geom

@@ -1,0 +1,384 @@
+// Tests for the MDL cost model (§3.2) and all partitioners: the approximate
+// O(n) algorithm (Fig. 8), the exact DP optimum, and the baselines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "partition/approximate_partitioner.h"
+#include "partition/douglas_peucker.h"
+#include "partition/equal_interval.h"
+#include "partition/mdl.h"
+#include "partition/optimal_partitioner.h"
+#include "partition/partitioner.h"
+
+namespace traclus::partition {
+namespace {
+
+using geom::Point;
+
+traj::Trajectory MakeTrajectory(std::initializer_list<Point> pts,
+                                geom::TrajectoryId id = 0) {
+  traj::Trajectory tr(id);
+  for (const Point& p : pts) tr.Add(p);
+  return tr;
+}
+
+// A straight horizontal line with n points spaced `step` apart.
+traj::Trajectory StraightLine(size_t n, double step = 5.0) {
+  traj::Trajectory tr(0);
+  for (size_t i = 0; i < n; ++i) tr.Add(Point(step * i, 0.0));
+  return tr;
+}
+
+// A square-wave zigzag with sharp 90° corners every `leg` points.
+traj::Trajectory ZigZag(size_t corners, size_t points_per_leg = 4,
+                        double step = 3.0) {
+  traj::Trajectory tr(0);
+  Point cursor(0, 0);
+  bool horizontal = true;
+  tr.Add(cursor);
+  for (size_t c = 0; c < corners + 1; ++c) {
+    for (size_t k = 0; k < points_per_leg; ++k) {
+      cursor = horizontal ? Point(cursor.x() + step, cursor.y())
+                          : Point(cursor.x(), cursor.y() + step);
+      tr.Add(cursor);
+    }
+    horizontal = !horizontal;
+  }
+  return tr;
+}
+
+TEST(MdlEncodingTest, Log2Plus1KnownValues) {
+  MdlOptions opt;
+  opt.encoding = MdlEncoding::kLog2Plus1;
+  const MdlCostModel model(opt);
+  EXPECT_DOUBLE_EQ(model.Encode(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Encode(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.Encode(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(model.Encode(7.0), 3.0);
+}
+
+TEST(MdlEncodingTest, Log2ClampedKnownValuesAndIsDefault) {
+  const MdlCostModel model;  // kLog2Clamped is the default (paper's δ = 1).
+  EXPECT_DOUBLE_EQ(model.Encode(0.0), 0.0);   // Clamped below 1.
+  EXPECT_DOUBLE_EQ(model.Encode(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(model.Encode(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.Encode(8.0), 3.0);
+}
+
+TEST(MdlEncodingTest, BothEncodersAreMonotone) {
+  for (const MdlEncoding enc : {MdlEncoding::kLog2Plus1,
+                                MdlEncoding::kLog2Clamped}) {
+    MdlOptions opt;
+    opt.encoding = enc;
+    const MdlCostModel model(opt);
+    double prev = model.Encode(0.0);
+    for (double x = 0.25; x < 100.0; x += 0.25) {
+      const double cur = model.Encode(x);
+      EXPECT_GE(cur, prev);
+      prev = cur;
+    }
+  }
+}
+
+TEST(MdlCostTest, LHIsEncodedChordLength) {
+  const MdlCostModel model;  // Default encoder: log2(max(x, 1)).
+  const auto tr = MakeTrajectory({Point(0, 0), Point(3, 4), Point(6, 8)});
+  EXPECT_DOUBLE_EQ(model.LH(tr, 0, 2), std::log2(10.0));  // len = 10.
+}
+
+TEST(MdlCostTest, StraightTrajectoryHasZeroDeviation) {
+  const MdlCostModel model;
+  const auto tr = StraightLine(6);
+  EXPECT_NEAR(model.LDH(tr, 0, 5), 0.0, 1e-9);
+  EXPECT_NEAR(model.MdlPar(tr, 0, 5), model.LH(tr, 0, 5), 1e-9);
+}
+
+TEST(MdlCostTest, RightAngleTurnHasPositiveDeviation) {
+  const MdlCostModel model;
+  const auto tr = MakeTrajectory({Point(0, 0), Point(10, 0), Point(10, 10)});
+  EXPECT_GT(model.LDH(tr, 0, 2), 10.0);  // Large d⊥ and dθ on both legs.
+}
+
+TEST(MdlCostTest, NoParIsSumOfEncodedStepLengthsPlusSuppression) {
+  MdlOptions opt;
+  opt.suppression_bits = 2.5;
+  const MdlCostModel model(opt);
+  const auto tr = StraightLine(4, 5.0);
+  EXPECT_DOUBLE_EQ(model.MdlNoPar(tr, 0, 3), 3.0 * std::log2(5.0) + 2.5);
+}
+
+TEST(MdlCostTest, DegenerateHypothesisIsFiniteAndExpensive) {
+  // A loop that returns to its start: p_i == p_j makes the hypothesis segment
+  // degenerate; the cost must stay finite and exceed the straight alternative.
+  const MdlCostModel model;
+  const auto tr = MakeTrajectory(
+      {Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10), Point(0, 0)});
+  const double cost = model.MdlPar(tr, 0, 4);
+  EXPECT_TRUE(std::isfinite(cost));
+  EXPECT_GT(cost, model.MdlNoPar(tr, 0, 4));
+}
+
+TEST(ApproximatePartitionerTest, TooShortTrajectories) {
+  const ApproximatePartitioner part;
+  traj::Trajectory empty(0);
+  EXPECT_TRUE(part.CharacteristicPoints(empty).empty());
+  const auto single = MakeTrajectory({Point(1, 1)});
+  EXPECT_TRUE(part.CharacteristicPoints(single).empty());
+  const auto pair = MakeTrajectory({Point(0, 0), Point(1, 1)});
+  EXPECT_EQ(part.CharacteristicPoints(pair), (std::vector<size_t>{0, 1}));
+}
+
+TEST(ApproximatePartitionerTest, StraightLineKeepsOnlyEndpoints) {
+  const ApproximatePartitioner part;
+  const auto tr = StraightLine(50);
+  EXPECT_EQ(part.CharacteristicPoints(tr), (std::vector<size_t>{0, 49}));
+}
+
+TEST(ApproximatePartitionerTest, RightAngleTurnPartitionsAtCorner) {
+  const ApproximatePartitioner part;
+  const auto tr = MakeTrajectory({Point(0, 0), Point(10, 0), Point(10, 10)});
+  EXPECT_EQ(part.CharacteristicPoints(tr), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ApproximatePartitionerTest, ZigZagPartitionsNearEveryCorner) {
+  const ApproximatePartitioner part;
+  const auto tr = ZigZag(/*corners=*/6, /*points_per_leg=*/5);
+  const auto cp = part.CharacteristicPoints(tr);
+  // One characteristic point per corner (±1 index), plus the two endpoints.
+  EXPECT_GE(cp.size(), 6u);
+  EXPECT_EQ(cp.front(), 0u);
+  EXPECT_EQ(cp.back(), tr.size() - 1);
+}
+
+TEST(ApproximatePartitionerTest, IndicesAreStrictlyIncreasing) {
+  common::Rng rng(8);
+  const ApproximatePartitioner part;
+  for (int trial = 0; trial < 20; ++trial) {
+    traj::Trajectory tr(0);
+    Point p(0, 0);
+    for (int i = 0; i < 60; ++i) {
+      p = Point(p.x() + rng.Uniform(-2, 4), p.y() + rng.Uniform(-3, 3));
+      tr.Add(p);
+    }
+    const auto cp = part.CharacteristicPoints(tr);
+    ASSERT_GE(cp.size(), 2u);
+    EXPECT_EQ(cp.front(), 0u);
+    EXPECT_EQ(cp.back(), tr.size() - 1);
+    for (size_t i = 1; i < cp.size(); ++i) EXPECT_LT(cp[i - 1], cp[i]);
+  }
+}
+
+TEST(ApproximatePartitionerTest, SuppressionYieldsLongerPartitions) {
+  // §4.1.3: adding a constant to cost_nopar suppresses partitioning.
+  const ApproximatePartitioner plain;
+  MdlOptions suppressed_opt;
+  suppressed_opt.suppression_bits = 4.0;
+  const ApproximatePartitioner suppressed(suppressed_opt);
+  common::Rng rng(99);
+  traj::Trajectory tr(0);
+  Point p(0, 0);
+  for (int i = 0; i < 200; ++i) {
+    p = Point(p.x() + rng.Uniform(0, 3), p.y() + rng.Uniform(-2.5, 2.5));
+    tr.Add(p);
+  }
+  const size_t plain_parts = plain.CharacteristicPoints(tr).size();
+  const size_t suppressed_parts = suppressed.CharacteristicPoints(tr).size();
+  EXPECT_LT(suppressed_parts, plain_parts);
+  EXPECT_GE(suppressed_parts, 2u);
+}
+
+TEST(ApproximatePartitionerTest, AppendixCShiftInvariance) {
+  // Appendix C: because L(H) encodes lengths rather than endpoint coordinates,
+  // shifting a trajectory by (10000, 10000) must not change its partitioning.
+  const ApproximatePartitioner part;
+  common::Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    traj::Trajectory tr(0);
+    traj::Trajectory shifted(1);
+    Point p(100 + rng.Uniform(0, 100), 100 + rng.Uniform(0, 100));
+    for (int i = 0; i < 80; ++i) {
+      p = Point(p.x() + rng.Uniform(-1, 5), p.y() + rng.Uniform(-4, 4));
+      tr.Add(p);
+      shifted.Add(Point(p.x() + 10000.0, p.y() + 10000.0));
+    }
+    EXPECT_EQ(part.CharacteristicPoints(tr),
+              part.CharacteristicPoints(shifted));
+  }
+}
+
+TEST(ApproximatePartitionerTest, DuplicatePointsDoNotCrash) {
+  const ApproximatePartitioner part;
+  const auto tr = MakeTrajectory(
+      {Point(0, 0), Point(0, 0), Point(5, 0), Point(5, 0), Point(5, 5)});
+  const auto cp = part.CharacteristicPoints(tr);
+  EXPECT_EQ(cp.front(), 0u);
+  EXPECT_EQ(cp.back(), 4u);
+}
+
+TEST(OptimalPartitionerTest, MatchesExhaustiveEnumerationOnSmallInputs) {
+  // The DP must find the global optimum over all 2^(n-2) selections.
+  common::Rng rng(55);
+  const OptimalPartitioner optimal;
+  for (int trial = 0; trial < 15; ++trial) {
+    traj::Trajectory tr(0);
+    Point p(0, 0);
+    const int n = 8;
+    for (int i = 0; i < n; ++i) {
+      p = Point(p.x() + rng.Uniform(0.5, 4), p.y() + rng.Uniform(-3, 3));
+      tr.Add(p);
+    }
+    const auto dp_cp = optimal.CharacteristicPoints(tr);
+    const double dp_cost = optimal.TotalCost(tr, dp_cp);
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    const int interior = n - 2;
+    for (int mask = 0; mask < (1 << interior); ++mask) {
+      std::vector<size_t> cp{0};
+      for (int b = 0; b < interior; ++b) {
+        if (mask & (1 << b)) cp.push_back(static_cast<size_t>(b + 1));
+      }
+      cp.push_back(static_cast<size_t>(n - 1));
+      best_cost = std::min(best_cost, optimal.TotalCost(tr, cp));
+    }
+    EXPECT_NEAR(dp_cost, best_cost, 1e-9);
+  }
+}
+
+TEST(OptimalPartitionerTest, NeverWorseThanApproximate) {
+  common::Rng rng(77);
+  const OptimalPartitioner optimal;
+  const ApproximatePartitioner approx;
+  for (int trial = 0; trial < 10; ++trial) {
+    traj::Trajectory tr(0);
+    Point p(0, 0);
+    for (int i = 0; i < 40; ++i) {
+      p = Point(p.x() + rng.Uniform(0, 4), p.y() + rng.Uniform(-3, 3));
+      tr.Add(p);
+    }
+    const double opt_cost = optimal.TotalCost(tr, optimal.CharacteristicPoints(tr));
+    const double approx_cost =
+        optimal.TotalCost(tr, approx.CharacteristicPoints(tr));
+    EXPECT_LE(opt_cost, approx_cost + 1e-9);
+  }
+}
+
+TEST(OptimalPartitionerTest, StraightLineKeepsOnlyEndpoints) {
+  const OptimalPartitioner optimal;
+  const auto tr = StraightLine(12);
+  EXPECT_EQ(optimal.CharacteristicPoints(tr), (std::vector<size_t>{0, 11}));
+}
+
+TEST(DouglasPeuckerTest, StraightLineCollapsesToEndpoints) {
+  const DouglasPeuckerPartitioner dp(0.01);
+  const auto tr = StraightLine(30);
+  EXPECT_EQ(dp.CharacteristicPoints(tr), (std::vector<size_t>{0, 29}));
+}
+
+TEST(DouglasPeuckerTest, KeepsCornerAboveTolerance) {
+  const DouglasPeuckerPartitioner dp(1.0);
+  const auto tr = MakeTrajectory({Point(0, 0), Point(10, 0), Point(10, 10)});
+  EXPECT_EQ(dp.CharacteristicPoints(tr), (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(DouglasPeuckerTest, LargerToleranceKeepsFewerPoints) {
+  const auto tr = ZigZag(5, 4, 2.0);
+  const auto tight = DouglasPeuckerPartitioner(0.1).CharacteristicPoints(tr);
+  const auto loose = DouglasPeuckerPartitioner(5.0).CharacteristicPoints(tr);
+  EXPECT_LE(loose.size(), tight.size());
+}
+
+TEST(DouglasPeuckerTest, ClosedLoopDoesNotDegenerate) {
+  // First == last point: the chord is degenerate, distances fall back to
+  // point-to-point.
+  const DouglasPeuckerPartitioner dp(0.5);
+  const auto tr = MakeTrajectory(
+      {Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10), Point(0, 0)});
+  const auto cp = dp.CharacteristicPoints(tr);
+  EXPECT_GE(cp.size(), 4u);
+}
+
+TEST(EqualIntervalTest, StrideSelectsEveryKth) {
+  const EqualIntervalPartitioner part(3);
+  const auto tr = StraightLine(10);
+  EXPECT_EQ(part.CharacteristicPoints(tr), (std::vector<size_t>{0, 3, 6, 9}));
+}
+
+TEST(EqualIntervalTest, StrideOneKeepsEverything) {
+  const EqualIntervalPartitioner part(1);
+  const auto tr = StraightLine(5);
+  EXPECT_EQ(part.CharacteristicPoints(tr),
+            (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(EqualIntervalTest, LargeStrideKeepsEndpointsOnly) {
+  const EqualIntervalPartitioner part(100);
+  const auto tr = StraightLine(10);
+  EXPECT_EQ(part.CharacteristicPoints(tr), (std::vector<size_t>{0, 9}));
+}
+
+TEST(MakePartitionSegmentsTest, ProvenanceAndSequentialIds) {
+  auto tr = MakeTrajectory({Point(0, 0), Point(5, 0), Point(5, 5), Point(9, 5)},
+                           /*id=*/42);
+  tr.set_weight(2.5);
+  const auto segs = MakePartitionSegments(tr, {0, 2, 3}, /*first_segment_id=*/10);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].id(), 10);
+  EXPECT_EQ(segs[1].id(), 11);
+  EXPECT_EQ(segs[0].trajectory_id(), 42);
+  EXPECT_DOUBLE_EQ(segs[0].weight(), 2.5);
+  EXPECT_EQ(segs[0].start(), Point(0, 0));
+  EXPECT_EQ(segs[0].end(), Point(5, 5));
+}
+
+TEST(MakePartitionSegmentsTest, SkipsZeroLengthPartitions) {
+  const auto tr = MakeTrajectory({Point(0, 0), Point(0, 0), Point(5, 0)});
+  const auto segs = MakePartitionSegments(tr, {0, 1, 2}, 0);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].end(), Point(5, 0));
+}
+
+TEST(MakePartitionSegmentsTest, FewerThanTwoPointsYieldsNothing) {
+  const auto tr = MakeTrajectory({Point(0, 0), Point(1, 0)});
+  EXPECT_TRUE(MakePartitionSegments(tr, {}, 0).empty());
+  EXPECT_TRUE(MakePartitionSegments(tr, {0}, 0).empty());
+}
+
+// Parameterized sweep: the §3.3 precision claim should hold in the ballpark on
+// random-walk trajectories — the approximate solution recovers most of the
+// exact characteristic points.
+class PrecisionSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrecisionSweepTest, ApproximateFindsMostExactPoints) {
+  common::Rng rng(GetParam());
+  const ApproximatePartitioner approx;
+  const OptimalPartitioner optimal;
+  size_t hits = 0;
+  size_t total = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    traj::Trajectory tr(0);
+    Point p(0, 0);
+    // Steps well above the δ = 1 precision, like the paper's coordinates.
+    for (int i = 0; i < 50; ++i) {
+      p = Point(p.x() + rng.Uniform(0, 16), p.y() + rng.Uniform(-12, 12));
+      tr.Add(p);
+    }
+    const auto a = approx.CharacteristicPoints(tr);
+    const auto e = optimal.CharacteristicPoints(tr);
+    for (const size_t idx : a) {
+      total += 1;
+      hits += std::binary_search(e.begin(), e.end(), idx) ? 1 : 0;
+    }
+  }
+  // The paper reports ≈80% on its data; random walks are harsher, so we only
+  // require a clear majority here (the bench measures the real figure).
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecisionSweepTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace traclus::partition

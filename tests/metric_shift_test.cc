@@ -1,0 +1,121 @@
+// Tests for constant-shift embedding (§4.2 / §7.1(3), the paper's reference
+// [18] repair for the non-metric TRACLUS distance).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "distance/metric_shift.h"
+#include "distance/segment_distance.h"
+#include "geom/segment.h"
+
+namespace traclus::distance {
+namespace {
+
+using geom::Point;
+using geom::Segment;
+
+std::vector<Segment> RandomSegments(size_t n, uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Segment> segs;
+  for (size_t i = 0; i < n; ++i) {
+    const Point s(rng.Uniform(0, 40), rng.Uniform(0, 40));
+    segs.emplace_back(s, Point(s.x() + rng.Uniform(-10, 10),
+                               s.y() + rng.Uniform(-10, 10)),
+                      static_cast<geom::SegmentId>(i),
+                      static_cast<geom::TrajectoryId>(i));
+  }
+  return segs;
+}
+
+TEST(MetricShiftTest, EuclideanPointsNeedNoShift) {
+  common::Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
+  }
+  auto dist = [&](size_t i, size_t j) { return geom::Distance(pts[i], pts[j]); };
+  EXPECT_NEAR(MinimalMetricShift(pts.size(), dist), 0.0, 1e-9);
+  EXPECT_NEAR(MaxTriangleViolation(pts.size(), dist), 0.0, 1e-9);
+}
+
+TEST(MetricShiftTest, DetectsKnownViolation) {
+  // The §4.2 collinear-chain counterexample: d(0,1) = d(1,2) = 0, d(0,2) = 10.
+  const SegmentDistance dist;
+  std::vector<Segment> segs = {
+      Segment(Point(0, 0), Point(10, 0), 0, 0),
+      Segment(Point(10, 0), Point(20, 0), 1, 1),
+      Segment(Point(20, 0), Point(30, 0), 2, 2),
+  };
+  auto d = [&](size_t i, size_t j) { return dist(segs[i], segs[j]); };
+  EXPECT_NEAR(MaxTriangleViolation(segs.size(), d), 10.0, 1e-9);
+  EXPECT_NEAR(MinimalMetricShift(segs.size(), d), 10.0, 1e-9);
+}
+
+TEST(MetricShiftTest, TraclusDistanceViolatesOnRandomSets) {
+  // Random segment sets routinely contain triangle violations — the reason the
+  // index cannot prune with the raw distance.
+  const SegmentDistance dist;
+  const auto segs = RandomSegments(30, 7);
+  auto d = [&](size_t i, size_t j) { return dist(segs[i], segs[j]); };
+  EXPECT_GT(MaxTriangleViolation(segs.size(), d), 0.0);
+}
+
+class ShiftPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShiftPropertyTest, ShiftedDistanceIsAMetric) {
+  const SegmentDistance dist;
+  const auto segs = RandomSegments(25, GetParam());
+  auto base = [&](size_t i, size_t j) { return dist(segs[i], segs[j]); };
+  const double c = MinimalMetricShift(segs.size(), base);
+  const ShiftedDistance shifted(base, c);
+  // Zero diagonal, symmetry, triangle inequality over all triples.
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(shifted(i, i), 0.0);
+    for (size_t j = 0; j < segs.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(shifted(i, j), shifted(j, i));
+      EXPECT_GE(shifted(i, j), 0.0);
+    }
+  }
+  auto as_fn = [&](size_t i, size_t j) { return shifted(i, j); };
+  EXPECT_LE(MaxTriangleViolation(segs.size(), as_fn), 1e-9);
+}
+
+TEST_P(ShiftPropertyTest, ShiftPreservesDistanceOrdering) {
+  const SegmentDistance dist;
+  const auto segs = RandomSegments(15, GetParam() + 100);
+  auto base = [&](size_t i, size_t j) { return dist(segs[i], segs[j]); };
+  const ShiftedDistance shifted(base, 5.0);
+  // Off-diagonal order of distances from any anchor is unchanged.
+  for (size_t anchor = 0; anchor < segs.size(); ++anchor) {
+    for (size_t a = 0; a < segs.size(); ++a) {
+      for (size_t b = 0; b < segs.size(); ++b) {
+        if (a == anchor || b == anchor) continue;
+        if (base(anchor, a) < base(anchor, b)) {
+          EXPECT_LT(shifted(anchor, a), shifted(anchor, b));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShiftPropertyTest, SmallerShiftStillViolates) {
+  // Minimality: the tight shift minus epsilon must leave a violation.
+  const SegmentDistance dist;
+  const auto segs = RandomSegments(20, GetParam() + 200);
+  auto base = [&](size_t i, size_t j) { return dist(segs[i], segs[j]); };
+  const double c = MinimalMetricShift(segs.size(), base);
+  if (c < 1e-6) return;  // Already metric on this draw; nothing to check.
+  const ShiftedDistance under(base, c * 0.9);
+  auto as_fn = [&](size_t i, size_t j) { return under(i, j); };
+  EXPECT_GT(MaxTriangleViolation(segs.size(), as_fn), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShiftPropertyTest,
+                         ::testing::Values(3u, 14u, 159u, 2653u));
+
+}  // namespace
+}  // namespace traclus::distance

@@ -1,0 +1,190 @@
+// Tests for ε-neighborhood providers: the brute-force oracle and the grid
+// index, including the exactness property that makes Lemma 3's index usable.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/neighborhood.h"
+#include "cluster/neighborhood_index.h"
+#include "common/rng.h"
+#include "distance/segment_distance.h"
+
+namespace traclus::cluster {
+namespace {
+
+using distance::SegmentDistance;
+using distance::SegmentDistanceConfig;
+using geom::Point;
+using geom::Segment;
+
+std::vector<Segment> RandomSegments(size_t n, double world, double max_len,
+                                    uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Segment> segs;
+  segs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point s(rng.Uniform(0, world), rng.Uniform(0, world));
+    const double angle = rng.Uniform(0, 2 * M_PI);
+    const double len = rng.Uniform(0.1, max_len);
+    const Point e(s.x() + len * std::cos(angle), s.y() + len * std::sin(angle));
+    segs.emplace_back(s, e, static_cast<geom::SegmentId>(i),
+                      static_cast<geom::TrajectoryId>(i % 7));
+  }
+  return segs;
+}
+
+TEST(BruteForceNeighborhoodTest, IncludesSelf) {
+  const auto segs = RandomSegments(20, 100, 5, 1);
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const auto n = provider.Neighbors(i, 0.0001);
+    EXPECT_NE(std::find(n.begin(), n.end(), i), n.end());
+  }
+}
+
+TEST(BruteForceNeighborhoodTest, LargeEpsReturnsEverything) {
+  const auto segs = RandomSegments(25, 50, 5, 2);
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  EXPECT_EQ(provider.Neighbors(0, 1e9).size(), segs.size());
+}
+
+TEST(BruteForceNeighborhoodTest, NeighborsRespectEps) {
+  const auto segs = RandomSegments(40, 100, 8, 3);
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const double eps = 15.0;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    for (const size_t j : provider.Neighbors(i, eps)) {
+      EXPECT_LE(dist(segs[i], segs[j]), eps);
+    }
+  }
+}
+
+TEST(GridNeighborhoodIndexTest, AutoCellSizeIsPositive) {
+  const auto segs = RandomSegments(30, 100, 5, 4);
+  const SegmentDistance dist;
+  const GridNeighborhoodIndex index(segs, dist);
+  EXPECT_GT(index.cell_size(), 0.0);
+  EXPECT_GT(index.NumCells(), 0u);
+}
+
+TEST(GridNeighborhoodIndexTest, ExplicitCellSizeHonored) {
+  const auto segs = RandomSegments(30, 100, 5, 4);
+  const SegmentDistance dist;
+  const GridNeighborhoodIndex index(segs, dist, 7.5);
+  EXPECT_DOUBLE_EQ(index.cell_size(), 7.5);
+}
+
+// The core exactness property: for every workload/ε/weight configuration the
+// grid index must return exactly the brute-force neighborhoods.
+struct IndexExactnessCase {
+  uint64_t seed;
+  size_t n;
+  double world;
+  double max_len;
+  double eps;
+  double w_perp;
+  double w_par;
+  double w_angle;
+  bool directed;
+};
+
+class IndexExactnessTest : public ::testing::TestWithParam<IndexExactnessCase> {};
+
+TEST_P(IndexExactnessTest, MatchesBruteForceExactly) {
+  const IndexExactnessCase& c = GetParam();
+  const auto segs = RandomSegments(c.n, c.world, c.max_len, c.seed);
+  SegmentDistanceConfig cfg;
+  cfg.w_perpendicular = c.w_perp;
+  cfg.w_parallel = c.w_par;
+  cfg.w_angle = c.w_angle;
+  cfg.directed = c.directed;
+  const SegmentDistance dist(cfg);
+  const BruteForceNeighborhood brute(segs, dist);
+  const GridNeighborhoodIndex index(segs, dist);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(index.Neighbors(i, c.eps), brute.Neighbors(i, c.eps))
+        << "query " << i << " eps " << c.eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexExactnessTest,
+    ::testing::Values(
+        IndexExactnessCase{1, 150, 100, 5, 3.0, 1, 1, 1, true},
+        IndexExactnessCase{2, 150, 100, 5, 10.0, 1, 1, 1, true},
+        IndexExactnessCase{3, 150, 100, 5, 40.0, 1, 1, 1, true},
+        IndexExactnessCase{4, 200, 50, 20, 5.0, 1, 1, 1, true},      // Long segs.
+        IndexExactnessCase{5, 100, 300, 2, 8.0, 1, 1, 1, true},      // Sparse.
+        IndexExactnessCase{6, 150, 100, 5, 5.0, 2.0, 0.5, 1.5, true},// Weights.
+        IndexExactnessCase{7, 150, 100, 5, 5.0, 0.3, 2.0, 0.0, true},
+        IndexExactnessCase{8, 150, 100, 5, 5.0, 1, 1, 1, false},     // Undirected.
+        IndexExactnessCase{9, 60, 10, 4, 2.0, 1, 1, 1, true},        // Dense.
+        IndexExactnessCase{10, 150, 100, 5, 0.05, 1, 1, 1, true}));  // Tiny eps.
+
+TEST(GridNeighborhoodIndexTest, ZeroWeightFallsBackToExactScan) {
+  // w∥ = 0 kills the lower bound; the index must still be exact (via scan).
+  const auto segs = RandomSegments(80, 60, 6, 21);
+  SegmentDistanceConfig cfg;
+  cfg.w_parallel = 0.0;
+  const SegmentDistance dist(cfg);
+  EXPECT_DOUBLE_EQ(dist.LowerBoundFactor(), 0.0);
+  const BruteForceNeighborhood brute(segs, dist);
+  const GridNeighborhoodIndex index(segs, dist);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(index.Neighbors(i, 6.0), brute.Neighbors(i, 6.0));
+  }
+}
+
+TEST(GridNeighborhoodIndexTest, CollinearChainsAreFound) {
+  // Collinear far-apart segments have d⊥ = dθ = 0; only d∥ separates them.
+  // This is the regime where a naive "prune by ε directly" index would be
+  // wrong, and where the 2·d⊥ + d∥ bound is tight.
+  std::vector<Segment> segs;
+  for (int i = 0; i < 10; ++i) {
+    segs.emplace_back(Point(i * 10.0, 0), Point(i * 10.0 + 8.0, 0),
+                      /*id=*/i, /*trajectory_id=*/i);
+  }
+  const SegmentDistance dist;
+  const BruteForceNeighborhood brute(segs, dist);
+  const GridNeighborhoodIndex index(segs, dist);
+  for (double eps : {1.0, 2.0, 5.0, 12.0, 30.0}) {
+    for (size_t i = 0; i < segs.size(); ++i) {
+      EXPECT_EQ(index.Neighbors(i, eps), brute.Neighbors(i, eps));
+    }
+  }
+}
+
+TEST(GridNeighborhoodIndexTest, ThreeDimensionalSegments) {
+  common::Rng rng(31);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 80; ++i) {
+    const Point s(rng.Uniform(0, 50), rng.Uniform(0, 50), rng.Uniform(0, 50));
+    const Point e(s.x() + rng.Uniform(-4, 4), s.y() + rng.Uniform(-4, 4),
+                  s.z() + rng.Uniform(-4, 4));
+    segs.emplace_back(s, e, i, i % 5);
+  }
+  const SegmentDistance dist;
+  const BruteForceNeighborhood brute(segs, dist);
+  const GridNeighborhoodIndex index(segs, dist);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(index.Neighbors(i, 6.0), brute.Neighbors(i, 6.0));
+  }
+}
+
+TEST(GridNeighborhoodIndexTest, RepeatedQueriesAreConsistent) {
+  // The visit-stamp dedup must not leak state between queries.
+  const auto segs = RandomSegments(60, 40, 5, 77);
+  const SegmentDistance dist;
+  const GridNeighborhoodIndex index(segs, dist);
+  const auto first = index.Neighbors(5, 8.0);
+  for (int rep = 0; rep < 50; ++rep) {
+    EXPECT_EQ(index.Neighbors(5, 8.0), first);
+  }
+}
+
+}  // namespace
+}  // namespace traclus::cluster

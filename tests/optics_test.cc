@@ -1,0 +1,184 @@
+// Tests for the OPTICS adaptation to line segments (Appendix D, §7.1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/dbscan_segments.h"
+#include "cluster/neighborhood.h"
+#include "cluster/optics_segments.h"
+#include "common/rng.h"
+#include "distance/segment_distance.h"
+
+namespace traclus::cluster {
+namespace {
+
+using distance::SegmentDistance;
+using geom::Point;
+using geom::Segment;
+
+std::vector<Segment> Bundle(double x0, double y0, int count,
+                            geom::TrajectoryId tid0, double spacing = 0.3) {
+  std::vector<Segment> out;
+  for (int i = 0; i < count; ++i) {
+    out.emplace_back(Point(x0, y0 + i * spacing),
+                     Point(x0 + 10.0, y0 + i * spacing), -1, tid0 + i);
+  }
+  return out;
+}
+
+std::vector<Segment> WithIds(std::vector<Segment> segs) {
+  for (size_t i = 0; i < segs.size(); ++i) {
+    segs[i].set_id(static_cast<geom::SegmentId>(i));
+  }
+  return segs;
+}
+
+OpticsOptions Options(double eps, double min_lns) {
+  OpticsOptions opt;
+  opt.eps = eps;
+  opt.min_lns = min_lns;
+  return opt;
+}
+
+TEST(OpticsTest, OrderingIsAPermutation) {
+  common::Rng rng(3);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 60; ++i) {
+    const Point s(rng.Uniform(0, 50), rng.Uniform(0, 50));
+    segs.emplace_back(s, Point(s.x() + rng.Uniform(-5, 5),
+                               s.y() + rng.Uniform(-5, 5)),
+                      i, i % 6);
+  }
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = OpticsSegments(segs, dist, provider, Options(5.0, 3));
+  ASSERT_EQ(result.ordering.size(), segs.size());
+  std::vector<size_t> sorted = result.ordering;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_EQ(result.reachability.size(), segs.size());
+  EXPECT_EQ(result.core_distance.size(), segs.size());
+}
+
+TEST(OpticsTest, DenseBundleHasLowReachability) {
+  auto segs = WithIds(Bundle(0, 0, 8, 0));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = OpticsSegments(segs, dist, provider, Options(5.0, 3));
+  // All but the first processed segment must be reachable well within ε.
+  int finite = 0;
+  for (const double r : result.reachability) {
+    if (r != kUndefinedReachability) {
+      EXPECT_LE(r, 5.0);
+      ++finite;
+    }
+  }
+  EXPECT_EQ(finite, 7);  // Everything except the walk start.
+}
+
+TEST(OpticsTest, CoreDistanceIsMinLnsThNeighborDistance) {
+  // Evenly spaced parallel segments: core distance of an edge segment at
+  // MinLns = 3 is the distance to its 2nd-nearest other segment.
+  auto segs = WithIds(Bundle(0, 0, 5, 0, /*spacing=*/1.0));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = OpticsSegments(segs, dist, provider, Options(10.0, 3));
+  // Find the entry for segment 0 (y = 0); its neighbors are at dy = 1, 2, 3, 4.
+  for (size_t k = 0; k < result.ordering.size(); ++k) {
+    if (result.ordering[k] == 0) {
+      EXPECT_NEAR(result.core_distance[k], 2.0, 1e-9);
+    }
+  }
+}
+
+TEST(OpticsTest, SparseSegmentsHaveUndefinedCoreDistance) {
+  std::vector<Segment> segs = WithIds({
+      Segment(Point(0, 0), Point(10, 0), -1, 0),
+      Segment(Point(0, 100), Point(10, 100), -1, 1),
+  });
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto result = OpticsSegments(segs, dist, provider, Options(5.0, 3));
+  for (const double c : result.core_distance) {
+    EXPECT_EQ(c, kUndefinedReachability);
+  }
+}
+
+TEST(OpticsTest, ExtractionMatchesDbscanClusterCount) {
+  // Ankerst et al.: extracting at eps_cut = generating ε reproduces DBSCAN's
+  // density-connected sets (border-assignment may differ slightly; cluster
+  // counts and core memberships must match).
+  auto segs = Bundle(0, 0, 6, 0);
+  auto far = Bundle(0, 100, 6, 10);
+  segs.insert(segs.end(), far.begin(), far.end());
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+
+  const auto optics = OpticsSegments(segs, dist, provider, Options(3.0, 3));
+  const auto extracted = ExtractDbscanClustering(segs, optics, 3.0, 3);
+
+  DbscanOptions dopt;
+  dopt.eps = 3.0;
+  dopt.min_lns = 3;
+  const auto dbscan = DbscanSegments(segs, provider, dopt);
+
+  EXPECT_EQ(extracted.clusters.size(), dbscan.clusters.size());
+  EXPECT_EQ(extracted.num_noise, dbscan.num_noise);
+}
+
+TEST(OpticsTest, ExtractionAppliesCardinalityFilter) {
+  auto segs = Bundle(0, 0, 6, 0);
+  for (auto& s : segs) s.set_trajectory_id(3);  // Single trajectory.
+  segs = WithIds(std::move(segs));
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto optics = OpticsSegments(segs, dist, provider, Options(3.0, 3));
+  const auto extracted = ExtractDbscanClustering(segs, optics, 3.0, 3);
+  EXPECT_TRUE(extracted.clusters.empty());
+  EXPECT_EQ(extracted.num_noise, segs.size());
+}
+
+TEST(OpticsTest, AppendixDPairwiseDistanceUnboundedForSegments) {
+  // Appendix D, Fig. 25: for POINTS, any two members of an ε-neighborhood are
+  // within 2ε of each other. For SEGMENTS this bound fails: two long segments
+  // can both be within ε of a short core segment yet arbitrarily far apart
+  // (the parallel/angle components see very different geometry).
+  const SegmentDistance dist;
+  // Short core segment at the origin; two long anti-parallel segments start
+  // next to it and run in opposite directions. Because the core is short, its
+  // angle distance to both is tiny (§4.1.3: no directional strength), so both
+  // are ε-neighbors — yet their mutual angle distance is the full 60-unit
+  // length of the shorter one.
+  const Segment core(Point(0, 0), Point(1, 0), 0, 0);
+  const Segment east(Point(0, 0.3), Point(60, 0.3), 1, 1);
+  const Segment west(Point(1, -0.3), Point(-59, -0.3), 2, 2);
+  const double eps = 2.0;
+  // Both are ε-neighbors of the core segment...
+  EXPECT_LE(dist(core, east), eps);
+  EXPECT_LE(dist(core, west), eps);
+  // ...but their mutual distance is far beyond 2ε.
+  EXPECT_GT(dist(east, west), 2 * eps + 10.0);
+}
+
+TEST(OpticsTest, DeterministicAcrossRuns) {
+  common::Rng rng(17);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 80; ++i) {
+    const Point s(rng.Uniform(0, 60), rng.Uniform(0, 60));
+    segs.emplace_back(s, Point(s.x() + rng.Uniform(-6, 6),
+                               s.y() + rng.Uniform(-6, 6)),
+                      i, i % 8);
+  }
+  const SegmentDistance dist;
+  const BruteForceNeighborhood provider(segs, dist);
+  const auto a = OpticsSegments(segs, dist, provider, Options(5.0, 4));
+  const auto b = OpticsSegments(segs, dist, provider, Options(5.0, 4));
+  EXPECT_EQ(a.ordering, b.ordering);
+  EXPECT_EQ(a.reachability, b.reachability);
+}
+
+}  // namespace
+}  // namespace traclus::cluster

@@ -1,0 +1,121 @@
+// Tests for the STR-packed R-tree neighborhood index (the Lemma 3 structure),
+// mirroring the exactness contract of the grid index.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/neighborhood.h"
+#include "cluster/rtree_index.h"
+#include "common/rng.h"
+#include "distance/segment_distance.h"
+
+namespace traclus::cluster {
+namespace {
+
+using distance::SegmentDistance;
+using distance::SegmentDistanceConfig;
+using geom::Point;
+using geom::Segment;
+
+std::vector<Segment> RandomSegments(size_t n, double world, double max_len,
+                                    uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Segment> segs;
+  segs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point s(rng.Uniform(0, world), rng.Uniform(0, world));
+    const double angle = rng.Uniform(0, 2 * M_PI);
+    const double len = rng.Uniform(0.1, max_len);
+    segs.emplace_back(s, Point(s.x() + len * std::cos(angle),
+                               s.y() + len * std::sin(angle)),
+                      static_cast<geom::SegmentId>(i),
+                      static_cast<geom::TrajectoryId>(i % 7));
+  }
+  return segs;
+}
+
+TEST(StrRTreeIndexTest, StructureIsPacked) {
+  const auto segs = RandomSegments(1000, 200, 5, 1);
+  const SegmentDistance dist;
+  const StrRTreeIndex tree(segs, dist, /*leaf_capacity=*/16);
+  // 1000 entries at capacity 16: 63 leaves, packed into ~4 internal nodes,
+  // then a root — height 3, node count close to the packing optimum.
+  EXPECT_EQ(tree.Height(), 3);
+  EXPECT_GE(tree.NumNodes(), 63u);
+  EXPECT_LE(tree.NumNodes(), 80u);
+}
+
+TEST(StrRTreeIndexTest, SingleSegmentTree) {
+  const auto segs = RandomSegments(1, 10, 3, 2);
+  const SegmentDistance dist;
+  const StrRTreeIndex tree(segs, dist);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_EQ(tree.Neighbors(0, 1.0), (std::vector<size_t>{0}));
+}
+
+struct RTreeCase {
+  uint64_t seed;
+  size_t n;
+  double world;
+  double max_len;
+  double eps;
+  int leaf_capacity;
+  double w_perp;
+  double w_par;
+};
+
+class RTreeExactnessTest : public ::testing::TestWithParam<RTreeCase> {};
+
+TEST_P(RTreeExactnessTest, MatchesBruteForceExactly) {
+  const RTreeCase& c = GetParam();
+  const auto segs = RandomSegments(c.n, c.world, c.max_len, c.seed);
+  SegmentDistanceConfig cfg;
+  cfg.w_perpendicular = c.w_perp;
+  cfg.w_parallel = c.w_par;
+  const SegmentDistance dist(cfg);
+  const BruteForceNeighborhood brute(segs, dist);
+  const StrRTreeIndex tree(segs, dist, c.leaf_capacity);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(tree.Neighbors(i, c.eps), brute.Neighbors(i, c.eps))
+        << "query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeExactnessTest,
+    ::testing::Values(RTreeCase{1, 200, 100, 5, 3.0, 16, 1, 1},
+                      RTreeCase{2, 200, 100, 5, 12.0, 4, 1, 1},
+                      RTreeCase{3, 150, 40, 25, 5.0, 8, 1, 1},   // Long segments.
+                      RTreeCase{4, 300, 400, 3, 8.0, 16, 1, 1},  // Sparse.
+                      RTreeCase{5, 200, 100, 5, 5.0, 16, 2.0, 0.4},  // Weights.
+                      RTreeCase{6, 64, 20, 4, 1.0, 2, 1, 1},    // Tiny leaves.
+                      RTreeCase{7, 200, 100, 5, 0.05, 16, 1, 1}));  // Tiny eps.
+
+TEST(StrRTreeIndexTest, ZeroWeightFallsBackToExactScan) {
+  const auto segs = RandomSegments(100, 60, 6, 9);
+  SegmentDistanceConfig cfg;
+  cfg.w_perpendicular = 0.0;  // Kills the lower bound.
+  const SegmentDistance dist(cfg);
+  const BruteForceNeighborhood brute(segs, dist);
+  const StrRTreeIndex tree(segs, dist);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(tree.Neighbors(i, 6.0), brute.Neighbors(i, 6.0));
+  }
+}
+
+TEST(StrRTreeIndexTest, AgreesWithGridIndexOnClusteredWorkload) {
+  // Both exact indexes must return identical neighborhoods everywhere.
+  const auto segs = RandomSegments(400, 80, 6, 13);
+  const SegmentDistance dist;
+  const StrRTreeIndex tree(segs, dist);
+  const BruteForceNeighborhood brute(segs, dist);
+  for (const double eps : {0.5, 2.0, 8.0, 30.0}) {
+    for (size_t i = 0; i < segs.size(); i += 7) {
+      EXPECT_EQ(tree.Neighbors(i, eps), brute.Neighbors(i, eps));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace traclus::cluster

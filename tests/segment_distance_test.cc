@@ -1,0 +1,293 @@
+// Tests for the TRACLUS line-segment distance function (§2.3, Definitions 1-3)
+// and the naive endpoint baselines (Appendix A).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "distance/endpoint_distance.h"
+#include "distance/segment_distance.h"
+
+namespace traclus::distance {
+namespace {
+
+using geom::Point;
+using geom::Segment;
+
+// Worked example used throughout: Li horizontal (0,0)→(10,0), Lj = (2,2)→(5,4).
+//   l⊥1 = 2, l⊥2 = 4            ⇒ d⊥ = (4 + 16) / (2 + 4) = 10/3
+//   ps = (2,0) ⇒ l∥1 = 2; pe = (5,0) ⇒ l∥2 = 5 ⇒ d∥ = 2
+//   sinθ = 2/√13, ‖Lj‖ = √13    ⇒ dθ = 2
+class WorkedExampleTest : public ::testing::Test {
+ protected:
+  const Segment li_{Point(0, 0), Point(10, 0)};
+  const Segment lj_{Point(2, 2), Point(5, 4)};
+  const SegmentDistance dist_{};
+};
+
+TEST_F(WorkedExampleTest, PerpendicularIsLehmerMeanOfOrder2) {
+  EXPECT_NEAR(dist_.Perpendicular(li_, lj_), 10.0 / 3.0, 1e-12);
+}
+
+TEST_F(WorkedExampleTest, ParallelIsMinOfProjectionGaps) {
+  EXPECT_NEAR(dist_.Parallel(li_, lj_), 2.0, 1e-12);
+}
+
+TEST_F(WorkedExampleTest, AngleIsShorterLengthTimesSine) {
+  EXPECT_NEAR(dist_.Angle(li_, lj_), 2.0, 1e-12);
+}
+
+TEST_F(WorkedExampleTest, TotalIsWeightedSum) {
+  EXPECT_NEAR(dist_(li_, lj_), 10.0 / 3.0 + 2.0 + 2.0, 1e-12);
+}
+
+TEST_F(WorkedExampleTest, ComponentsBundleMatchesIndividualCalls) {
+  const DistanceComponents c = dist_.Components(li_, lj_);
+  EXPECT_DOUBLE_EQ(c.perpendicular, dist_.Perpendicular(li_, lj_));
+  EXPECT_DOUBLE_EQ(c.parallel, dist_.Parallel(li_, lj_));
+  EXPECT_DOUBLE_EQ(c.angle, dist_.Angle(li_, lj_));
+}
+
+TEST_F(WorkedExampleTest, CustomWeightsScaleComponents) {
+  SegmentDistanceConfig cfg;
+  cfg.w_perpendicular = 2.0;
+  cfg.w_parallel = 0.5;
+  cfg.w_angle = 3.0;
+  const SegmentDistance weighted(cfg);
+  EXPECT_NEAR(weighted(li_, lj_), 2.0 * 10.0 / 3.0 + 0.5 * 2.0 + 3.0 * 2.0,
+              1e-12);
+}
+
+TEST(SegmentDistanceTest, IdenticalSegmentsHaveZeroDistance) {
+  const Segment s(Point(3, 4), Point(8, 1));
+  const SegmentDistance dist;
+  EXPECT_DOUBLE_EQ(dist(s, s), 0.0);
+}
+
+TEST(SegmentDistanceTest, EnclosedParallelSegmentUsesNearestEndpointGap) {
+  // Lj strictly inside Li's span, offset by 1 vertically.
+  const Segment li(Point(0, 0), Point(100, 0));
+  const Segment lj(Point(40, 1), Point(60, 1));
+  const SegmentDistance dist;
+  EXPECT_NEAR(dist.Perpendicular(li, lj), 1.0, 1e-12);
+  // ps=(40,0): min(40,60)=40; pe=(60,0): min(60,40)=40 ⇒ d∥ = 40.
+  EXPECT_NEAR(dist.Parallel(li, lj), 40.0, 1e-12);
+  EXPECT_NEAR(dist.Angle(li, lj), 0.0, 1e-12);
+}
+
+TEST(SegmentDistanceTest, AdjacentSegmentsOfATrajectoryHaveZeroParallel) {
+  // §4.1.1: "the parallel distance between two adjacent line segments in a
+  // trajectory is always zero" — they share an endpoint, so one projection gap
+  // is zero.
+  const Segment a(Point(0, 0), Point(10, 0));
+  const Segment b(Point(10, 0), Point(15, 7));
+  const SegmentDistance dist;
+  EXPECT_DOUBLE_EQ(dist.Parallel(a, b), 0.0);
+}
+
+TEST(SegmentDistanceTest, DirectedAngleUsesFullLengthBeyond90Degrees) {
+  const Segment li(Point(0, 0), Point(10, 0));
+  const Segment opposite(Point(5, 1), Point(1, 1));  // θ = 180°.
+  const SegmentDistance dist;
+  EXPECT_DOUBLE_EQ(dist.Angle(li, opposite), 4.0);  // ‖Lj‖.
+
+  const Segment backward_diag(Point(5, 1), Point(2, 4));  // θ = 135°.
+  EXPECT_DOUBLE_EQ(dist.Angle(li, backward_diag), backward_diag.Length());
+}
+
+TEST(SegmentDistanceTest, UndirectedAngleFoldsBeyond90Degrees) {
+  SegmentDistanceConfig cfg;
+  cfg.directed = false;
+  const SegmentDistance dist(cfg);
+  const Segment li(Point(0, 0), Point(10, 0));
+  const Segment opposite(Point(5, 1), Point(1, 1));  // θ = 180° folds to 0°.
+  EXPECT_NEAR(dist.Angle(li, opposite), 0.0, 1e-12);
+
+  const Segment backward_diag(Point(5, 1), Point(2, 4));  // 135° folds to 45°.
+  EXPECT_NEAR(dist.Angle(li, backward_diag),
+              backward_diag.Length() * std::sin(M_PI / 4), 1e-12);
+}
+
+TEST(SegmentDistanceTest, PointLikeSegmentHasZeroAngle) {
+  // §4.1.3: a very short segment has no directional strength; the limit case
+  // (zero length) must contribute zero angle distance, not NaN.
+  const Segment li(Point(0, 0), Point(10, 0));
+  const Segment pt(Point(5, 3), Point(5, 3));
+  const SegmentDistance dist;
+  EXPECT_DOUBLE_EQ(dist.Angle(li, pt), 0.0);
+  EXPECT_TRUE(std::isfinite(dist(li, pt)));
+}
+
+TEST(SegmentDistanceTest, ShortSegmentShrinksAngleDistanceFig11) {
+  // Fig. 11: with L1 and L3 at a fixed mutual angle, a very short connector L2
+  // yields small dθ to both, while a long L2 yields large dθ — the
+  // over-clustering hazard the partition-suppression heuristic addresses.
+  const Segment l1(Point(0, 0), Point(10, 0));
+  const Segment short_l2(Point(11, 0.5), Point(11.5, 1.0));
+  const Segment long_l2(Point(11, 0.5), Point(16, 5.5));
+  const SegmentDistance dist;
+  EXPECT_LT(dist.Angle(l1, short_l2), 0.51);
+  EXPECT_GT(dist.Angle(l1, long_l2), 4.9);
+}
+
+// --- Symmetry (Lemma 2) as a parameterized property over random pairs. ---
+
+class SymmetryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SymmetryPropertyTest, DistanceIsSymmetric) {
+  common::Rng rng(GetParam());
+  const SegmentDistance dist;
+  SegmentDistanceConfig undirected_cfg;
+  undirected_cfg.directed = false;
+  const SegmentDistance undirected(undirected_cfg);
+  for (int i = 0; i < 100; ++i) {
+    Segment a(Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)),
+              Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)),
+              /*id=*/2 * i, /*trajectory_id=*/0);
+    Segment b(Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)),
+              Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)),
+              /*id=*/2 * i + 1, /*trajectory_id=*/1);
+    EXPECT_DOUBLE_EQ(dist(a, b), dist(b, a)) << a.ToString() << " / "
+                                             << b.ToString();
+    EXPECT_DOUBLE_EQ(undirected(a, b), undirected(b, a));
+  }
+}
+
+TEST_P(SymmetryPropertyTest, EqualLengthTieBreakIsStillSymmetric) {
+  // Equal-length pairs exercise the id / lexicographic tie-breaks.
+  common::Rng rng(GetParam() + 1000);
+  const SegmentDistance dist;
+  for (int i = 0; i < 100; ++i) {
+    const Point s1(rng.Uniform(-10, 10), rng.Uniform(-10, 10));
+    const Point s2(rng.Uniform(-10, 10), rng.Uniform(-10, 10));
+    const double angle1 = rng.Uniform(0, 2 * M_PI);
+    const double angle2 = rng.Uniform(0, 2 * M_PI);
+    const double len = rng.Uniform(0.5, 10.0);
+    Segment a(s1, s1 + Point(std::cos(angle1), std::sin(angle1)) * len);
+    Segment b(s2, s2 + Point(std::cos(angle2), std::sin(angle2)) * len);
+    EXPECT_DOUBLE_EQ(dist(a, b), dist(b, a));
+  }
+}
+
+TEST_P(SymmetryPropertyTest, ComponentsAreNonNegativeAndFinite) {
+  common::Rng rng(GetParam() + 2000);
+  const SegmentDistance dist;
+  for (int i = 0; i < 100; ++i) {
+    Segment a(Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)),
+              Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)));
+    Segment b(Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)),
+              Point(rng.Uniform(-50, 50), rng.Uniform(-50, 50)));
+    const DistanceComponents c = dist.Components(a, b);
+    EXPECT_GE(c.perpendicular, 0.0);
+    EXPECT_GE(c.parallel, 0.0);
+    EXPECT_GE(c.angle, 0.0);
+    EXPECT_TRUE(std::isfinite(c.perpendicular));
+    EXPECT_TRUE(std::isfinite(c.parallel));
+    EXPECT_TRUE(std::isfinite(c.angle));
+  }
+}
+
+TEST_P(SymmetryPropertyTest, LowerBoundHoldsForRandomWeights) {
+  // DESIGN.md §4.1: dist ≥ min(w⊥/2, w∥) · EuclideanSegmentDistance — the
+  // inequality that makes exact grid-index pruning possible.
+  common::Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 100; ++i) {
+    SegmentDistanceConfig cfg;
+    cfg.w_perpendicular = rng.Uniform(0.1, 3.0);
+    cfg.w_parallel = rng.Uniform(0.1, 3.0);
+    cfg.w_angle = rng.Uniform(0.0, 3.0);
+    cfg.directed = rng.Bernoulli(0.5);
+    const SegmentDistance dist(cfg);
+    Segment a(Point(rng.Uniform(-30, 30), rng.Uniform(-30, 30)),
+              Point(rng.Uniform(-30, 30), rng.Uniform(-30, 30)));
+    Segment b(Point(rng.Uniform(-30, 30), rng.Uniform(-30, 30)),
+              Point(rng.Uniform(-30, 30), rng.Uniform(-30, 30)));
+    const double lower =
+        dist.LowerBoundFactor() * geom::SegmentToSegmentDistance(a, b);
+    EXPECT_GE(dist(a, b), lower - 1e-9)
+        << a.ToString() << " / " << b.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetryPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(SegmentDistanceTest, TriangleInequalityCanFail) {
+  // §4.2: the distance is not a metric. Collinear chain: L2 touches both L1 and
+  // L3 (distance 0 each) while L1 and L3 are 10 apart.
+  const SegmentDistance dist;
+  const Segment l1(Point(0, 0), Point(10, 0));
+  const Segment l2(Point(10, 0), Point(20, 0));
+  const Segment l3(Point(20, 0), Point(30, 0));
+  EXPECT_DOUBLE_EQ(dist(l1, l2), 0.0);
+  EXPECT_DOUBLE_EQ(dist(l2, l3), 0.0);
+  EXPECT_GT(dist(l1, l3), dist(l1, l2) + dist(l2, l3));
+}
+
+TEST(SegmentDistanceTest, ThreeDimensionalSegmentsSupported) {
+  const SegmentDistance dist;
+  const Segment a(Point(0, 0, 0), Point(10, 0, 0));
+  const Segment b(Point(2, 3, 4), Point(7, 3, 4));
+  const DistanceComponents c = dist.Components(a, b);
+  EXPECT_NEAR(c.perpendicular, 5.0, 1e-12);  // Both offsets are √(9+16) = 5.
+  EXPECT_NEAR(c.angle, 0.0, 1e-12);
+  EXPECT_NEAR(c.parallel, 2.0, 1e-12);  // ps=(2,0,0) → min(2, 8) = 2.
+}
+
+TEST(SegmentDistanceTest, TranslationInvariance) {
+  common::Rng rng(77);
+  const SegmentDistance dist;
+  for (int i = 0; i < 50; ++i) {
+    const Point shift(rng.Uniform(-1000, 1000), rng.Uniform(-1000, 1000));
+    Segment a(Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)),
+              Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)));
+    Segment b(Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)),
+              Point(rng.Uniform(-10, 10), rng.Uniform(-10, 10)));
+    Segment a2(a.start() + shift, a.end() + shift);
+    Segment b2(b.start() + shift, b.end() + shift);
+    EXPECT_NEAR(dist(a, b), dist(a2, b2), 1e-7);
+  }
+}
+
+// --- Appendix A baselines. ---
+
+TEST(EndpointDistanceTest, AppendixAExampleNaiveMeasureCannotRank) {
+  const Segment l1(Point(0, 0), Point(200, 0));
+  const Segment l2(Point(100, 100), Point(300, 100));
+  const Segment l3(Point(100, 100), Point(200, 200));
+  // Both nearest-endpoint sums are exactly 200·√2 — the naive measure ties.
+  const double expected = 200.0 * std::sqrt(2.0);
+  EXPECT_NEAR(DirectedNearestEndpointSum(l1, l2), expected, 1e-9);
+  EXPECT_NEAR(DirectedNearestEndpointSum(l1, l3), expected, 1e-9);
+  // The TRACLUS distance ranks L2 (parallel) closer than L3 (45° rotated).
+  const SegmentDistance dist;
+  EXPECT_LT(dist(l1, l2), dist(l1, l3));
+}
+
+TEST(EndpointDistanceTest, CorrespondingSumIsOrientationInsensitive) {
+  const Segment a(Point(0, 0), Point(10, 0));
+  const Segment b(Point(10, 1), Point(0, 1));  // Reversed parallel.
+  EXPECT_NEAR(EndpointSumDistance(a, b), 2.0, 1e-12);
+}
+
+TEST(EndpointDistanceTest, SymmetrizedNearestEndpointIsSymmetric) {
+  common::Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    Segment a(Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)),
+              Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)));
+    Segment b(Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)),
+              Point(rng.Uniform(-20, 20), rng.Uniform(-20, 20)));
+    EXPECT_DOUBLE_EQ(NearestEndpointSumDistance(a, b),
+                     NearestEndpointSumDistance(b, a));
+  }
+}
+
+TEST(EndpointDistanceTest, IdenticalSegmentsAreZeroUnderAllMeasures) {
+  const Segment s(Point(1, 2), Point(3, 4));
+  EXPECT_DOUBLE_EQ(EndpointSumDistance(s, s), 0.0);
+  EXPECT_DOUBLE_EQ(NearestEndpointSumDistance(s, s), 0.0);
+}
+
+}  // namespace
+}  // namespace traclus::distance

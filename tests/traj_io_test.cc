@@ -1,0 +1,206 @@
+// Tests for the trajectory data model, CSV IO, and the SVG writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "traj/csv_io.h"
+#include "traj/svg_writer.h"
+#include "traj/trajectory.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::traj {
+namespace {
+
+using geom::Point;
+
+Trajectory MakeTrajectory(geom::TrajectoryId id,
+                          std::initializer_list<Point> pts) {
+  Trajectory tr(id);
+  for (const auto& p : pts) tr.Add(p);
+  return tr;
+}
+
+TEST(TrajectoryTest, LengthIsPolylineLength) {
+  const auto tr = MakeTrajectory(0, {Point(0, 0), Point(3, 4), Point(3, 14)});
+  EXPECT_DOUBLE_EQ(tr.Length(), 15.0);
+}
+
+TEST(TrajectoryTest, SubTrajectoryInclusive) {
+  const auto tr =
+      MakeTrajectory(5, {Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)});
+  const auto sub = tr.SubTrajectory(1, 2);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0], Point(1, 0));
+  EXPECT_EQ(sub[1], Point(2, 0));
+  EXPECT_EQ(sub.id(), 5);
+}
+
+TEST(TrajectoryTest, RawSegmentsSkipDuplicates) {
+  const auto tr = MakeTrajectory(
+      3, {Point(0, 0), Point(0, 0), Point(1, 0), Point(2, 0)});
+  const auto segs = tr.RawSegments();
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].trajectory_id(), 3);
+}
+
+TEST(TrajectoryDatabaseTest, AutoAssignsSequentialIds) {
+  TrajectoryDatabase db;
+  Trajectory a;  // id = -1.
+  a.Add(Point(0, 0));
+  EXPECT_EQ(db.Add(std::move(a)), 0);
+  Trajectory b;
+  b.Add(Point(1, 1));
+  EXPECT_EQ(db.Add(std::move(b)), 1);
+  Trajectory c(77);
+  c.Add(Point(2, 2));
+  EXPECT_EQ(db.Add(std::move(c)), 77);  // Explicit id preserved.
+}
+
+TEST(TrajectoryDatabaseTest, StatsAggregateCorrectly) {
+  TrajectoryDatabase db;
+  db.Add(MakeTrajectory(0, {Point(0, 0), Point(10, 0)}));
+  db.Add(MakeTrajectory(1, {Point(0, 5), Point(1, 5), Point(2, 8), Point(3, 5)}));
+  const DatabaseStats st = db.Stats();
+  EXPECT_EQ(st.num_trajectories, 2u);
+  EXPECT_EQ(st.num_points, 6u);
+  EXPECT_EQ(st.min_length, 2u);
+  EXPECT_EQ(st.max_length, 4u);
+  EXPECT_DOUBLE_EQ(st.mean_length, 3.0);
+  EXPECT_DOUBLE_EQ(st.bounds.hi(0), 10.0);
+  EXPECT_DOUBLE_EQ(st.bounds.hi(1), 8.0);
+}
+
+TEST(CsvTest, ParseBasic2D) {
+  const auto result = ParseCsv(
+      "# comment\n"
+      "0,1.5,2.5\n"
+      "0,2.5,3.5\n"
+      "1,0,0\n"
+      "1,1,1\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TrajectoryDatabase& db = *result;
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].size(), 2u);
+  EXPECT_EQ(db[0][0], Point(1.5, 2.5));
+  EXPECT_EQ(db[1].id(), 1);
+}
+
+TEST(CsvTest, ParseWeightColumn) {
+  const auto result = ParseCsv("3,0,0,2.5\n3,1,0,2.5\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ((*result)[0].weight(), 2.5);
+}
+
+TEST(CsvTest, ParseZAndWeightColumns) {
+  const auto result = ParseCsv("0,1,2,3,1.5\n0,2,3,4,1.5\n");
+  ASSERT_TRUE(result.ok());
+  const auto& tr = (*result)[0];
+  EXPECT_EQ(tr.dims(), 3);
+  EXPECT_EQ(tr[0], Point(1, 2, 3));
+  EXPECT_DOUBLE_EQ(tr.weight(), 1.5);
+}
+
+TEST(CsvTest, HeaderRowTolerated) {
+  const auto result = ParseCsv("trajectory_id,x,y\n0,1,2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(CsvTest, RejectsMalformedRows) {
+  EXPECT_FALSE(ParseCsv("0,1\n").ok());            // Too few fields.
+  EXPECT_FALSE(ParseCsv("0,1,2\nx,1,2\n").ok());   // Bad id past header.
+  EXPECT_FALSE(ParseCsv("0,abc,2\n").ok());        // Bad coordinate.
+  EXPECT_FALSE(ParseCsv("0,1,2,zz\n").ok());       // Bad weight.
+}
+
+TEST(CsvTest, EmptyInputYieldsEmptyDatabase) {
+  const auto result = ParseCsv("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  TrajectoryDatabase db;
+  auto tr0 = MakeTrajectory(0, {Point(0.125, 2), Point(3, 4.5)});
+  tr0.set_weight(2.0);
+  db.Add(std::move(tr0));
+  db.Add(MakeTrajectory(1, {Point(-1, -2), Point(5, 6), Point(7, 8)}));
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "traclus_csv_roundtrip.csv")
+          .string();
+  ASSERT_TRUE(WriteCsv(db, path).ok());
+  const auto result = ReadCsv(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TrajectoryDatabase& rt = *result;
+  ASSERT_EQ(rt.size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    ASSERT_EQ(rt[i].size(), db[i].size());
+    EXPECT_DOUBLE_EQ(rt[i].weight(), db[i].weight());
+    for (size_t j = 0; j < db[i].size(); ++j) {
+      EXPECT_EQ(rt[i][j], db[i][j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  const auto result = ReadCsv("/nonexistent/path/to/file.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kIOError);
+}
+
+TEST(SvgWriterTest, ProducesWellFormedDocument) {
+  geom::BBox world;
+  world.Extend(Point(0, 0));
+  world.Extend(Point(100, 50));
+  SvgWriter svg(world);
+  svg.AddTrajectory(MakeTrajectory(0, {Point(0, 0), Point(50, 25), Point(100, 0)}),
+                    "#00ff00", 1.0);
+  svg.AddSegment(geom::Segment(Point(10, 10), Point(20, 20)), "#ff0000", 2.0);
+  svg.AddLabel(Point(50, 40), "cluster 0");
+  const std::string doc = svg.ToString();
+  EXPECT_NE(doc.find("<svg"), std::string::npos);
+  EXPECT_NE(doc.find("</svg>"), std::string::npos);
+  EXPECT_NE(doc.find("<polyline"), std::string::npos);
+  EXPECT_NE(doc.find("<line"), std::string::npos);
+  EXPECT_NE(doc.find("cluster 0"), std::string::npos);
+}
+
+TEST(SvgWriterTest, DatabaseRendersOnePolylinePerTrajectory) {
+  geom::BBox world;
+  world.Extend(Point(0, 0));
+  world.Extend(Point(10, 10));
+  TrajectoryDatabase db;
+  db.Add(MakeTrajectory(0, {Point(0, 0), Point(1, 1)}));
+  db.Add(MakeTrajectory(1, {Point(2, 2), Point(3, 3)}));
+  db.Add(MakeTrajectory(2, {Point(5, 5)}));  // Single point: skipped.
+  SvgWriter svg(world);
+  svg.AddDatabase(db);
+  const std::string doc = svg.ToString();
+  size_t count = 0;
+  for (size_t pos = doc.find("<polyline"); pos != std::string::npos;
+       pos = doc.find("<polyline", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SvgWriterTest, SavesToDisk) {
+  geom::BBox world;
+  world.Extend(Point(0, 0));
+  world.Extend(Point(1, 1));
+  SvgWriter svg(world);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "traclus_svg_test.svg").string();
+  ASSERT_TRUE(svg.Save(path).ok());
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace traclus::traj

@@ -1,0 +1,314 @@
+// traclus — command-line front end to the library.
+//
+// Subcommands:
+//   generate <hurricane|elk|deer|noisy|fig1> <out.csv> [--seed N]
+//       Synthesize one of the built-in data sets (DESIGN.md §2) as CSV.
+//   stats <in.csv>
+//       Print database statistics (trajectories, points, bounds).
+//   partition <in.csv> [--suppression BITS] [--out segments.csv]
+//       Run the partitioning phase only; report compression and optionally
+//       dump the trajectory partitions.
+//   estimate <in.csv> [--eps-lo X] [--eps-hi X] [--grid N]
+//       Run the §4.4 parameter heuristic; print the entropy curve and the
+//       suggested (eps, MinLns) values.
+//   cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]
+//           [--suppression BITS] [--no-index] [--labels out.csv]
+//           [--reps out.csv] [--svg out.svg]
+//       Run the full pipeline and write the requested artifacts.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on IO/parse errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/traclus.h"
+#include "datagen/animal_generator.h"
+#include "datagen/common_subtrajectory.h"
+#include "datagen/hurricane_generator.h"
+#include "datagen/noisy_generator.h"
+#include "params/parameter_heuristic.h"
+#include "traj/csv_io.h"
+#include "traj/svg_writer.h"
+
+namespace {
+
+using namespace traclus;
+
+// Minimal flag parser: positional args plus --key value / --switch flags.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> switches;
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool GetSwitch(const std::string& key) const {
+    const auto it = switches.find(key);
+    return it != switches.end() && it->second;
+  }
+};
+
+Args Parse(int argc, char** argv, const std::vector<std::string>& value_flags) {
+  Args args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      const bool takes_value =
+          std::find(value_flags.begin(), value_flags.end(), key) !=
+          value_flags.end();
+      if (takes_value && i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        args.switches[key] = true;
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: traclus <command> ...\n"
+      "  generate <hurricane|elk|deer|noisy|fig1> <out.csv> [--seed N]\n"
+      "  stats <in.csv>\n"
+      "  partition <in.csv> [--suppression BITS] [--out segments.csv]\n"
+      "  estimate <in.csv> [--eps-lo X] [--eps-hi X] [--grid N]\n"
+      "  cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]\n"
+      "          [--suppression BITS] [--no-index] [--labels out.csv]\n"
+      "          [--reps out.csv] [--svg out.svg]\n");
+  return 1;
+}
+
+common::Result<traj::TrajectoryDatabase> Load(const std::string& path) {
+  return traj::ReadCsv(path);
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  const std::string& kind = args.positional[0];
+  const std::string& out = args.positional[1];
+  const uint64_t seed =
+      static_cast<uint64_t>(args.GetDouble("seed", 0));
+
+  traj::TrajectoryDatabase db;
+  if (kind == "hurricane") {
+    datagen::HurricaneConfig cfg;
+    if (seed) cfg.seed = seed;
+    db = datagen::GenerateHurricanes(cfg);
+  } else if (kind == "elk") {
+    auto cfg = datagen::Elk1993Config();
+    if (seed) cfg.seed = seed;
+    db = datagen::GenerateAnimals(cfg);
+  } else if (kind == "deer") {
+    auto cfg = datagen::Deer1995Config();
+    if (seed) cfg.seed = seed;
+    db = datagen::GenerateAnimals(cfg);
+  } else if (kind == "noisy") {
+    datagen::NoisyConfig cfg;
+    if (seed) cfg.seed = seed;
+    db = datagen::GenerateNoisy(cfg);
+  } else if (kind == "fig1") {
+    datagen::CommonSubTrajectoryConfig cfg;
+    if (seed) cfg.seed = seed;
+    db = datagen::GenerateCommonSubTrajectory(cfg);
+  } else {
+    std::fprintf(stderr, "unknown data set kind '%s'\n", kind.c_str());
+    return 1;
+  }
+  const auto st = traj::WriteCsv(db, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %zu trajectories / %zu points to %s\n", db.size(),
+              db.TotalPoints(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto loaded = Load(args.positional[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  const auto st = loaded->Stats();
+  std::printf("trajectories : %zu\n", st.num_trajectories);
+  std::printf("points       : %zu\n", st.num_points);
+  std::printf("length       : min %zu / mean %.1f / max %zu points\n",
+              st.min_length, st.mean_length, st.max_length);
+  if (!st.bounds.empty()) {
+    std::printf("bounds       : x [%.2f, %.2f]  y [%.2f, %.2f]\n",
+                st.bounds.lo(0), st.bounds.hi(0), st.bounds.lo(1),
+                st.bounds.hi(1));
+  }
+  return 0;
+}
+
+int CmdPartition(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto loaded = Load(args.positional[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  core::TraclusConfig cfg;
+  cfg.partition.suppression_bits = args.GetDouble("suppression", 0.0);
+  const auto segments = core::Traclus(cfg).PartitionPhase(*loaded);
+  std::printf("%zu points -> %zu trajectory partitions (%.2f points/partition)\n",
+              loaded->TotalPoints(), segments.size(),
+              static_cast<double>(loaded->TotalPoints()) /
+                  std::max<size_t>(1, segments.size()));
+
+  const std::string out = args.GetString("out");
+  if (!out.empty()) {
+    std::ofstream f(out);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", out.c_str());
+      return 2;
+    }
+    f << "segment_id,trajectory_id,start_x,start_y,end_x,end_y\n";
+    for (const auto& s : segments) {
+      f << s.id() << "," << s.trajectory_id() << "," << s.start().x() << ","
+        << s.start().y() << "," << s.end().x() << "," << s.end().y() << "\n";
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int CmdEstimate(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const auto loaded = Load(args.positional[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  core::TraclusConfig base;
+  const auto segments = core::Traclus(base).PartitionPhase(*loaded);
+  const distance::SegmentDistance dist;
+  params::HeuristicOptions opt;
+  opt.eps_lo = args.GetDouble("eps-lo", 0.25);
+  opt.eps_hi = args.GetDouble("eps-hi", 40.0);
+  opt.grid_points = static_cast<int>(args.GetDouble("grid", 60));
+  const auto est = params::EstimateParameters(segments, dist, opt);
+  std::printf("# eps entropy\n");
+  for (size_t g = 0; g < est.grid_eps.size(); ++g) {
+    std::printf("%.4f %.4f\n", est.grid_eps[g], est.grid_entropy[g]);
+  }
+  std::printf("\nestimated eps    : %.4f (entropy %.4f)\n", est.eps, est.entropy);
+  std::printf("avg|N_eps(L)|    : %.2f\n", est.avg_neighborhood_size);
+  std::printf("suggested MinLns : %.0f .. %.0f\n", est.min_lns_low,
+              est.min_lns_high);
+  return 0;
+}
+
+int CmdCluster(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  if (args.options.find("eps") == args.options.end() ||
+      args.options.find("min-lns") == args.options.end()) {
+    std::fprintf(stderr, "cluster requires --eps and --min-lns\n");
+    return 1;
+  }
+  const auto loaded = Load(args.positional[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  const auto& db = *loaded;
+
+  core::TraclusConfig cfg;
+  cfg.eps = args.GetDouble("eps", 1.0);
+  cfg.min_lns = args.GetDouble("min-lns", 3.0);
+  cfg.partition.suppression_bits = args.GetDouble("suppression", 0.0);
+  cfg.distance.directed = !args.GetSwitch("undirected");
+  cfg.use_weights = args.GetSwitch("weighted");
+  cfg.use_index = !args.GetSwitch("no-index");
+
+  const auto result = core::Traclus(cfg).Run(db);
+  std::printf("%zu partitions -> %zu clusters, %zu noise segments\n",
+              result.segments.size(), result.clustering.clusters.size(),
+              result.clustering.num_noise);
+  for (size_t c = 0; c < result.clustering.clusters.size(); ++c) {
+    std::printf("  cluster %zu: %zu segments, %zu trajectories\n", c,
+                result.clustering.clusters[c].size(),
+                cluster::TrajectoryCardinality(result.segments,
+                                               result.clustering.clusters[c]));
+  }
+
+  const std::string labels = args.GetString("labels");
+  if (!labels.empty()) {
+    std::ofstream f(labels);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", labels.c_str());
+      return 2;
+    }
+    f << "segment_id,trajectory_id,cluster\n";
+    for (size_t i = 0; i < result.segments.size(); ++i) {
+      f << result.segments[i].id() << "," << result.segments[i].trajectory_id()
+        << "," << result.clustering.labels[i] << "\n";
+    }
+    std::printf("wrote %s\n", labels.c_str());
+  }
+
+  const std::string reps = args.GetString("reps");
+  if (!reps.empty()) {
+    traj::TrajectoryDatabase rep_db;
+    for (const auto& rep : result.representatives) rep_db.Add(rep);
+    const auto st = traj::WriteCsv(rep_db, reps);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", reps.c_str());
+  }
+
+  const std::string svg_path = args.GetString("svg");
+  if (!svg_path.empty()) {
+    traj::SvgWriter svg(db.Stats().bounds);
+    svg.AddDatabase(db, "#2e8b57", 0.5);
+    for (const auto& rep : result.representatives) {
+      svg.AddTrajectory(rep, "#cc0000", 3.0);
+    }
+    const auto st = svg.Save(svg_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", svg_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> value_flags = {
+      "seed", "suppression", "out",  "eps-lo", "eps-hi", "grid",
+      "eps",  "min-lns",     "labels", "reps", "svg"};
+  const Args args = Parse(argc - 2, argv + 2, value_flags);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "partition") return CmdPartition(args);
+  if (cmd == "estimate") return CmdEstimate(args);
+  if (cmd == "cluster") return CmdCluster(args);
+  return Usage();
+}
