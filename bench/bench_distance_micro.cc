@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "distance/endpoint_distance.h"
 #include "distance/segment_distance.h"
 
@@ -105,6 +106,21 @@ void BM_EuclideanSegmentDistanceLowerBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EuclideanSegmentDistanceLowerBound);
+
+// The batch primitive behind the baselines: all n² distances across a pool.
+// Arg = worker threads (1 = serial reference).
+void BM_PairwiseDistanceMatrix(benchmark::State& state) {
+  const auto& segs = Pool();
+  const distance::SegmentDistance dist;
+  auto& pool = common::SharedPool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distance::PairwiseDistanceMatrix(segs, dist, pool));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(segs.size() * segs.size() / 2));
+}
+BENCHMARK(BM_PairwiseDistanceMatrix)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -102,6 +102,78 @@ BENCHMARK(BM_NeighborhoodQueryGridIndex)
     ->Range(1024, 16384)
     ->Complexity();
 
+// Thread scaling of the parallel execution engine on the largest slice:
+// the ε-neighborhood batch is fanned across a pool and the sequential
+// expansion loop consumes cached lists. Args = {slice size, num_threads}.
+// Labels and cluster IDs are asserted identical to the single-threaded run
+// before timing starts, so a speedup here is a speedup of the same answer.
+void BM_DbscanGridIndexThreads(benchmark::State& state) {
+  const auto segs = Slice(static_cast<size_t>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
+  const distance::SegmentDistance dist;
+
+  cluster::DbscanOptions serial_opt = Options();
+  serial_opt.num_threads = 1;
+  cluster::DbscanOptions opt = Options();
+  opt.num_threads = threads;
+
+  // Built once, outside the timed region: construction is serial for every
+  // thread count (it would Amdahl-cap the scaling signal), and the index is
+  // read-only under the parallel batch (per-chunk QueryScratch), so reuse
+  // across iterations is safe. BM_DbscanWithGridIndex above still measures
+  // the build-inclusive Lemma 3 cost.
+  const cluster::GridNeighborhoodIndex index(segs, dist);
+
+  const auto expect = cluster::DbscanSegments(segs, index, serial_opt);
+  const auto got = cluster::DbscanSegments(segs, index, opt);
+  if (expect.labels != got.labels ||
+      expect.clusters.size() != got.clusters.size()) {
+    state.SkipWithError("thread count changed the clustering!");
+    return;
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::DbscanSegments(segs, index, opt));
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_DbscanGridIndexThreads)
+    ->ArgsProduct({{4096, 16384}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();  // Wall clock, not per-thread CPU: speedup is the point.
+
+// Thread scaling of the partitioning phase (Fig. 8 MDL scans, one per
+// trajectory) on the full hurricane database.
+void BM_PartitionPhaseThreads(benchmark::State& state) {
+  datagen::HurricaneConfig gen;
+  gen.num_trajectories = 1200;
+  const auto db = datagen::GenerateHurricanes(gen);
+  core::TraclusConfig cfg;
+  cfg.num_threads = static_cast<int>(state.range(0));
+  const core::Traclus traclus(cfg);
+
+  {
+    core::TraclusConfig serial_cfg = cfg;
+    serial_cfg.num_threads = 1;
+    std::vector<std::vector<size_t>> expect_cp, got_cp;
+    core::Traclus(serial_cfg).PartitionPhase(db, &expect_cp);
+    traclus.PartitionPhase(db, &got_cp);
+    if (expect_cp != got_cp) {
+      state.SkipWithError("thread count changed the partitioning!");
+      return;
+    }
+  }
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traclus.PartitionPhase(db));
+  }
+  state.counters["threads"] = cfg.num_threads;
+}
+BENCHMARK(BM_PartitionPhaseThreads)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_NeighborhoodQueryBruteForce(benchmark::State& state) {
   const auto segs = Slice(static_cast<size_t>(state.range(0)));
   const distance::SegmentDistance dist;

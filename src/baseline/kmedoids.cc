@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace traclus::baseline {
 
@@ -16,13 +17,15 @@ KMedoidsResult KMedoids(size_t n,
   const int k = config.k;
   common::Rng rng(config.seed);
 
-  // Cache the (symmetric) distance matrix; n is small for whole-trajectory use.
+  // Cache the (symmetric) distance matrix; n is small for whole-trajectory
+  // use, but the entries (e.g. DTW warps) can be individually expensive, so
+  // the fill is spread across the pool (one writer per element; see
+  // ParallelForPairs).
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      d[i][j] = d[j][i] = dist(i, j);
-    }
-  }
+  common::SharedPool(config.num_threads)
+      .ParallelForPairs(n, [&](size_t i, size_t j) {
+        d[i][j] = d[j][i] = dist(i, j);
+      });
 
   KMedoidsResult out;
   // k-medoids++ seeding: first medoid random, then proportional-to-distance².

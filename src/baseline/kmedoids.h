@@ -12,6 +12,12 @@ struct KMedoidsConfig {
   int k = 3;
   int max_iterations = 50;
   uint64_t seed = 11;
+  /// Worker threads for the upfront pairwise distance matrix (0 = hardware
+  /// concurrency, 1 = serial). The distance callback must then be safe to
+  /// invoke concurrently — true for the warping/trajectory distances, which
+  /// are pure functions. Seeding and iteration stay serial (they are cheap
+  /// and RNG-ordered), so results are identical for every value.
+  int num_threads = 1;
 };
 
 /// k-medoids result.

@@ -1,8 +1,10 @@
 #include "cluster/dbscan_segments.h"
 
 #include <deque>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace traclus::cluster {
 
@@ -28,6 +30,25 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
   TRACLUS_CHECK_GT(options.eps, 0.0);
   TRACLUS_CHECK_GE(options.min_lns, 1.0);
 
+  // With >1 thread, batch every ε-neighborhood query up front across the pool
+  // and run the (inherently sequential) expansion below against the cache.
+  // Each cached list equals what `provider` would return inline, so labels and
+  // cluster IDs are byte-identical at any thread count.
+  const int num_threads = common::ResolveNumThreads(options.num_threads);
+  std::unique_ptr<NeighborhoodCache> cache;
+  if (num_threads > 1) {
+    cache = std::make_unique<NeighborhoodCache>(
+        provider, options.eps, common::SharedPool(num_threads));
+  }
+  // Cached lists are served by reference (no per-query copy); the serial path
+  // computes into `storage` exactly as the seed did.
+  auto neighbors_of = [&](size_t i,
+                          std::vector<size_t>& storage) -> const std::vector<size_t>& {
+    if (cache) return cache->lists()[i];
+    storage = provider.Neighbors(i, options.eps);
+    return storage;
+  };
+
   const size_t n = segments.size();
   ClusteringResult result;
   result.labels.assign(n, kUnclassified);
@@ -36,7 +57,8 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
   int cluster_id = 0;  // Fig. 12 line 01.
   for (size_t seed = 0; seed < n; ++seed) {  // Step 1 (lines 03-12).
     if (result.labels[seed] != kUnclassified) continue;
-    const std::vector<size_t> seed_neighbors = provider.Neighbors(seed, options.eps);
+    std::vector<size_t> seed_storage;
+    const std::vector<size_t>& seed_neighbors = neighbors_of(seed, seed_storage);
     if (NeighborhoodMass(segments, seed_neighbors, options) < options.min_lns) {
       result.labels[seed] = kNoise;  // Line 12.
       continue;
@@ -59,7 +81,8 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
     while (!queue.empty()) {
       const size_t m = queue.front();
       queue.pop_front();
-      const std::vector<size_t> m_neighbors = provider.Neighbors(m, options.eps);
+      std::vector<size_t> m_storage;
+      const std::vector<size_t>& m_neighbors = neighbors_of(m, m_storage);
       if (NeighborhoodMass(segments, m_neighbors, options) < options.min_lns) {
         continue;  // Not a core line segment: expand no further through it.
       }

@@ -20,6 +20,12 @@ struct DbscanOptions {
   /// neighbors' weights rather than their count, so e.g. a stronger hurricane
   /// contributes more density.
   bool use_weights = false;
+  /// Worker threads for the ε-neighborhood batch (the Lemma 3 hot path): the
+  /// whole query set is computed across a pool, then the sequential expansion
+  /// loop consumes the cached lists. 0 = hardware concurrency; 1 = query
+  /// inline during expansion, exactly the original single-threaded behavior.
+  /// Cluster IDs and labels are identical for every value.
+  int num_threads = 1;
 };
 
 /// Density-based clustering of line segments — the grouping phase of TRACLUS

@@ -1,6 +1,47 @@
 #include "cluster/neighborhood.h"
 
+#include "common/logging.h"
+
 namespace traclus::cluster {
+
+std::vector<std::vector<size_t>> NeighborhoodProvider::AllNeighbors(
+    double eps, common::ThreadPool& pool) const {
+  std::vector<std::vector<size_t>> lists(size());
+  pool.ParallelFor(0, size(), [this, eps, &lists](size_t i) {
+    lists[i] = Neighbors(i, eps);
+  });
+  return lists;
+}
+
+std::vector<size_t> NeighborhoodProvider::AllNeighborhoodSizes(
+    double eps, common::ThreadPool& pool) const {
+  std::vector<size_t> sizes(size());
+  pool.ParallelFor(0, size(), [this, eps, &sizes](size_t i) {
+    sizes[i] = Neighbors(i, eps).size();
+  });
+  return sizes;
+}
+
+std::vector<size_t> NeighborhoodCache::Neighbors(size_t query_index,
+                                                 double eps) const {
+  TRACLUS_DCHECK(query_index < lists_.size());
+  TRACLUS_CHECK_EQ(eps, eps_);  // The cache is bound to one ε.
+  return lists_[query_index];
+}
+
+std::vector<std::vector<size_t>> NeighborhoodCache::AllNeighbors(
+    double eps, common::ThreadPool& /*pool*/) const {
+  TRACLUS_CHECK_EQ(eps, eps_);
+  return lists_;
+}
+
+std::vector<size_t> NeighborhoodCache::AllNeighborhoodSizes(
+    double eps, common::ThreadPool& /*pool*/) const {
+  TRACLUS_CHECK_EQ(eps, eps_);
+  std::vector<size_t> sizes(lists_.size());
+  for (size_t i = 0; i < lists_.size(); ++i) sizes[i] = lists_[i].size();
+  return sizes;
+}
 
 std::vector<size_t> BruteForceNeighborhood::Neighbors(size_t query_index,
                                                       double eps) const {

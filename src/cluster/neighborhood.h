@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "distance/segment_distance.h"
 #include "geom/segment.h"
 
@@ -24,8 +25,58 @@ class NeighborhoodProvider {
   /// Indices of all segments within distance `eps` of segment `query_index`.
   virtual std::vector<size_t> Neighbors(size_t query_index, double eps) const = 0;
 
+  /// Batch query: Nε(L) for every segment, computed across `pool`. Entry i is
+  /// exactly `Neighbors(i, eps)` regardless of thread count — results land in
+  /// index-addressed slots, so scheduling order cannot reorder them.
+  ///
+  /// The default implementation fans `Neighbors` out over the pool and
+  /// therefore requires `Neighbors` to be safe for concurrent calls (true for
+  /// the brute-force and R-tree providers, which keep no query-time state).
+  /// Providers with per-query scratch must override (see GridNeighborhoodIndex).
+  virtual std::vector<std::vector<size_t>> AllNeighbors(
+      double eps, common::ThreadPool& pool) const;
+
+  /// Size-only batch: |Nε(L)| for every segment. Same contract and default
+  /// thread-safety requirement as `AllNeighbors`, but each list is discarded
+  /// after counting, keeping peak memory at O(n) (the §4.4 entropy sweep
+  /// evaluates this at large ε, where the lists themselves approach O(n²)).
+  virtual std::vector<size_t> AllNeighborhoodSizes(
+      double eps, common::ThreadPool& pool) const;
+
   /// Number of segments in the bound database.
   virtual size_t size() const = 0;
+};
+
+/// A provider that materializes another provider's ε-neighborhoods up front
+/// (in parallel) and serves them from memory.
+///
+/// This is how the grouping phase batches its Lemma 3 neighborhood queries:
+/// DBSCAN's expansion loop is inherently sequential, but every query it will
+/// ever issue is known in advance (some subset of {Nε(L) : L ∈ D}), so the
+/// whole batch is computed across the pool and the sequential loop then runs
+/// at memory speed. Cluster IDs stay byte-identical to the direct path because
+/// each cached list is exactly what the wrapped provider would have returned.
+///
+/// Bound to one ε at construction; querying a different ε is a programming
+/// error (checked).
+class NeighborhoodCache : public NeighborhoodProvider {
+ public:
+  NeighborhoodCache(const NeighborhoodProvider& base, double eps,
+                    common::ThreadPool& pool)
+      : eps_(eps), lists_(base.AllNeighbors(eps, pool)) {}
+
+  std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
+  std::vector<std::vector<size_t>> AllNeighbors(
+      double eps, common::ThreadPool& pool) const override;
+  std::vector<size_t> AllNeighborhoodSizes(
+      double eps, common::ThreadPool& pool) const override;
+  size_t size() const override { return lists_.size(); }
+
+  const std::vector<std::vector<size_t>>& lists() const { return lists_; }
+
+ private:
+  double eps_;
+  std::vector<std::vector<size_t>> lists_;
 };
 
 /// O(n)-per-query reference provider: scans every segment.

@@ -57,7 +57,7 @@ GridNeighborhoodIndex::GridNeighborhoodIndex(
       }
     }
   }
-  visit_stamp_.assign(segments_.size(), 0);
+  scratch_.visit_stamp.assign(segments_.size(), 0);
 }
 
 GridNeighborhoodIndex::CellCoord GridNeighborhoodIndex::CellOf(double x, double y,
@@ -73,6 +73,40 @@ uint64_t GridNeighborhoodIndex::CellKey(const CellCoord& c) {
 
 std::vector<size_t> GridNeighborhoodIndex::Neighbors(size_t query_index,
                                                      double eps) const {
+  return Neighbors(query_index, eps, &scratch_);
+}
+
+std::vector<std::vector<size_t>> GridNeighborhoodIndex::AllNeighbors(
+    double eps, common::ThreadPool& pool) const {
+  std::vector<std::vector<size_t>> lists(segments_.size());
+  // One scratch per contiguous chunk: threads never share dedup stamps, and
+  // every list lands in its own index-addressed slot, so the batch is both
+  // race-free and bit-identical across thread counts.
+  pool.ParallelForChunked(
+      0, segments_.size(), [this, eps, &lists](size_t lo, size_t hi) {
+        QueryScratch scratch;
+        for (size_t i = lo; i < hi; ++i) {
+          lists[i] = Neighbors(i, eps, &scratch);
+        }
+      });
+  return lists;
+}
+
+std::vector<size_t> GridNeighborhoodIndex::AllNeighborhoodSizes(
+    double eps, common::ThreadPool& pool) const {
+  std::vector<size_t> sizes(segments_.size());
+  pool.ParallelForChunked(
+      0, segments_.size(), [this, eps, &sizes](size_t lo, size_t hi) {
+        QueryScratch scratch;
+        for (size_t i = lo; i < hi; ++i) {
+          sizes[i] = Neighbors(i, eps, &scratch).size();
+        }
+      });
+  return sizes;
+}
+
+std::vector<size_t> GridNeighborhoodIndex::Neighbors(
+    size_t query_index, double eps, QueryScratch* scratch) const {
   TRACLUS_DCHECK(query_index < segments_.size());
   const double factor = dist_.LowerBoundFactor();
   std::vector<size_t> out;
@@ -90,11 +124,14 @@ std::vector<size_t> GridNeighborhoodIndex::Neighbors(size_t query_index,
   const geom::Segment& q = segments_[query_index];
   const geom::BBox& qbox = boxes_[query_index];
 
-  ++stamp_;
-  if (stamp_ == 0) {  // Wrap-around: reset stamps once every 2^32 queries.
-    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0u);
-    stamp_ = 1;
+  std::vector<uint32_t>& visit_stamp = scratch->visit_stamp;
+  visit_stamp.resize(segments_.size(), 0u);
+  ++scratch->stamp;
+  if (scratch->stamp == 0) {  // Wrap-around: reset once every 2^32 queries.
+    std::fill(visit_stamp.begin(), visit_stamp.end(), 0u);
+    scratch->stamp = 1;
   }
+  const uint32_t stamp = scratch->stamp;
 
   const CellCoord lo = CellOf(qbox.lo(0) - radius, qbox.lo(1) - radius,
                               dims_ == 3 ? qbox.lo(2) - radius : 0.0);
@@ -106,8 +143,8 @@ std::vector<size_t> GridNeighborhoodIndex::Neighbors(size_t query_index,
         const auto it = cells_.find(CellKey({cx, cy, cz}));
         if (it == cells_.end()) continue;
         for (const size_t i : it->second) {
-          if (visit_stamp_[i] == stamp_) continue;
-          visit_stamp_[i] = stamp_;
+          if (visit_stamp[i] == stamp) continue;
+          visit_stamp[i] = stamp;
           if (i == query_index) {
             out.push_back(i);
             continue;

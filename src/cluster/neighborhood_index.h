@@ -37,7 +37,31 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
                         const distance::SegmentDistance& dist,
                         double cell_size = 0.0);
 
+  /// Reusable per-caller query state: candidate-dedup stamps. One scratch must
+  /// never be used by two threads at once; distinct scratches make `Neighbors`
+  /// safe to call concurrently.
+  struct QueryScratch {
+    std::vector<uint32_t> visit_stamp;
+    uint32_t stamp = 0;
+  };
+
+  /// Single-caller query (uses the index's own scratch; NOT thread-safe).
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
+
+  /// Thread-safe query against caller-owned scratch. Results are identical to
+  /// the single-caller overload.
+  std::vector<size_t> Neighbors(size_t query_index, double eps,
+                                QueryScratch* scratch) const;
+
+  /// Batched queries with one scratch per chunk of work, fanned over `pool`.
+  std::vector<std::vector<size_t>> AllNeighbors(
+      double eps, common::ThreadPool& pool) const override;
+
+  /// Size-only batch with the same per-chunk scratch scheme; lists are
+  /// discarded as soon as they are counted.
+  std::vector<size_t> AllNeighborhoodSizes(
+      double eps, common::ThreadPool& pool) const override;
+
   size_t size() const override { return segments_.size(); }
 
   double cell_size() const { return cell_size_; }
@@ -61,9 +85,8 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
   int dims_ = 2;
   std::vector<geom::BBox> boxes_;  // Per-segment MBR, parallel to segments_.
   std::unordered_map<uint64_t, std::vector<size_t>> cells_;
-  // Query-time dedup of candidates across cells.
-  mutable std::vector<uint32_t> visit_stamp_;
-  mutable uint32_t stamp_ = 0;
+  // Scratch for the single-caller Neighbors overload.
+  mutable QueryScratch scratch_;
 };
 
 }  // namespace traclus::cluster

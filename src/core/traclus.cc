@@ -2,6 +2,7 @@
 
 #include "cluster/neighborhood.h"
 #include "cluster/neighborhood_index.h"
+#include "common/thread_pool.h"
 #include "partition/approximate_partitioner.h"
 #include "partition/optimal_partitioner.h"
 #include "partition/partitioner.h"
@@ -28,19 +29,26 @@ std::vector<geom::Segment> Traclus::PartitionPhase(
       break;
   }
 
+  // Fig. 4 lines 01-03, parallelized per trajectory: the MDL scans are
+  // independent (the partitioners are stateless), so each trajectory's
+  // characteristic points land in their own slot. Segment materialization
+  // stays sequential below because segment IDs must be consecutive in
+  // database order — that pass is linear and cheap next to the MDL scans.
+  const auto& trajectories = db.trajectories();
+  std::vector<std::vector<size_t>> cps(trajectories.size());
+  common::SharedPool(config_.num_threads)
+      .ParallelFor(0, trajectories.size(), [&](size_t i) {
+        cps[i] = partitioner->CharacteristicPoints(trajectories[i]);
+      });
+
   std::vector<geom::Segment> segments;
-  if (characteristic_points != nullptr) {
-    characteristic_points->clear();
-    characteristic_points->reserve(db.size());
-  }
-  for (const auto& tr : db.trajectories()) {  // Fig. 4 lines 01-03.
-    std::vector<size_t> cp = partitioner->CharacteristicPoints(tr);
+  for (size_t i = 0; i < trajectories.size(); ++i) {
     std::vector<geom::Segment> partitions = partition::MakePartitionSegments(
-        tr, cp, static_cast<geom::SegmentId>(segments.size()));
+        trajectories[i], cps[i], static_cast<geom::SegmentId>(segments.size()));
     segments.insert(segments.end(), partitions.begin(), partitions.end());
-    if (characteristic_points != nullptr) {
-      characteristic_points->push_back(std::move(cp));
-    }
+  }
+  if (characteristic_points != nullptr) {
+    *characteristic_points = std::move(cps);
   }
   return segments;
 }
@@ -59,6 +67,7 @@ cluster::ClusteringResult Traclus::GroupPhase(
   options.min_lns = config_.min_lns;
   options.min_trajectory_cardinality = config_.min_trajectory_cardinality;
   options.use_weights = config_.use_weights;
+  options.num_threads = config_.num_threads;
   return cluster::DbscanSegments(segments, *provider, options);  // Fig. 4 line 04.
 }
 
@@ -73,11 +82,13 @@ std::vector<traj::Trajectory> Traclus::RepresentativePhase(
   options.method = config_.representative_method;
   options.use_weights = config_.use_weights;
 
-  std::vector<traj::Trajectory> reps;
-  reps.reserve(clustering.clusters.size());
-  for (const auto& c : clustering.clusters) {  // Fig. 4 lines 05-06.
-    reps.push_back(cluster::RepresentativeTrajectory(segments, c, options));
-  }
+  // Fig. 4 lines 05-06, one independent sweep per cluster.
+  std::vector<traj::Trajectory> reps(clustering.clusters.size());
+  common::SharedPool(config_.num_threads)
+      .ParallelFor(0, clustering.clusters.size(), [&](size_t i) {
+        reps[i] = cluster::RepresentativeTrajectory(
+            segments, clustering.clusters[i], options);
+      });
   return reps;
 }
 

@@ -48,6 +48,15 @@ struct TraclusConfig {
   double gamma = 0.0;
   cluster::RepresentativeMethod representative_method =
       cluster::RepresentativeMethod::kProjection;
+
+  /// --- Execution (not part of the paper's algorithm) ---
+  /// Worker threads for the parallel phases: per-trajectory MDL partitioning,
+  /// the batched ε-neighborhood queries of the grouping phase, and per-cluster
+  /// representative generation. 0 = hardware concurrency; 1 = run everything
+  /// inline on the calling thread, reproducing the original single-threaded
+  /// execution exactly. Results are identical for every value — parallel work
+  /// is assembled in deterministic index order, never in completion order.
+  int num_threads = 0;
 };
 
 /// Everything TRACLUS produces, including intermediate artifacts that the

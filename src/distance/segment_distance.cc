@@ -127,4 +127,20 @@ double SegmentDistance::Angle(const geom::Segment& a,
   return AngleCanonical(*li, *lj, config_.directed);
 }
 
+common::Matrix PairwiseDistanceMatrix(const std::vector<geom::Segment>& segments,
+                                      const SegmentDistance& dist,
+                                      common::ThreadPool& pool) {
+  const size_t n = segments.size();
+  common::Matrix m(n, n, 0.0);
+  // One writer per element: the chunk owning i writes (i, j) and (j, i) for
+  // all j > i. The pool's chunk oversubscription evens the triangular
+  // imbalance (later rows own fewer pairs) out.
+  pool.ParallelForPairs(n, [&](size_t i, size_t j) {
+    const double d = dist(segments[i], segments[j]);
+    m(i, j) = d;
+    m(j, i) = d;
+  });
+  return m;
+}
+
 }  // namespace traclus::distance

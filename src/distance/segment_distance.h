@@ -1,6 +1,10 @@
 #ifndef TRACLUS_DISTANCE_SEGMENT_DISTANCE_H_
 #define TRACLUS_DISTANCE_SEGMENT_DISTANCE_H_
 
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/thread_pool.h"
 #include "geom/segment.h"
 
 namespace traclus::distance {
@@ -93,6 +97,21 @@ class SegmentDistance {
 
   SegmentDistanceConfig config_;
 };
+
+/// Full symmetric n×n matrix of dist(Li, Lj), evaluated in parallel across
+/// `pool`.
+///
+/// The pair set is partitioned by leading index into contiguous chunks; the
+/// chunk owning i writes both (i, j) and its mirror (j, i) for every j > i, so
+/// every element has exactly one writer and the result is identical for every
+/// thread count. The diagonal is 0 (dist(L, L) = 0).
+///
+/// O(n²) memory — intended for the baseline algorithms and experiment scripts
+/// that need random access to all pairs, not for the clustering hot path
+/// (which goes through NeighborhoodProvider).
+common::Matrix PairwiseDistanceMatrix(const std::vector<geom::Segment>& segments,
+                                      const SegmentDistance& dist,
+                                      common::ThreadPool& pool);
 
 }  // namespace traclus::distance
 

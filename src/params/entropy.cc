@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+
+#include "common/thread_pool.h"
 
 namespace traclus::params {
 
@@ -32,7 +35,12 @@ double NeighborhoodEntropy(const std::vector<double>& neighborhood_masses) {
 }
 
 std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provider,
-                                      double eps) {
+                                      double eps, int num_threads) {
+  const int threads = common::ResolveNumThreads(num_threads);
+  if (threads > 1) {
+    // Size-only batch across the pool: no list is retained past counting.
+    return provider.AllNeighborhoodSizes(eps, common::SharedPool(threads));
+  }
   std::vector<size_t> sizes(provider.size());
   for (size_t i = 0; i < provider.size(); ++i) {
     sizes[i] = provider.Neighbors(i, eps).size();
@@ -42,7 +50,8 @@ std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provi
 
 NeighborhoodProfile::NeighborhoodProfile(
     const std::vector<geom::Segment>& segments,
-    const distance::SegmentDistance& dist, std::vector<double> eps_grid)
+    const distance::SegmentDistance& dist, std::vector<double> eps_grid,
+    int num_threads)
     : eps_grid_(std::move(eps_grid)) {
   TRACLUS_CHECK(!eps_grid_.empty());
   TRACLUS_CHECK(std::is_sorted(eps_grid_.begin(), eps_grid_.end()));
@@ -51,16 +60,57 @@ NeighborhoodProfile::NeighborhoodProfile(
 
   // delta[gi][i] counts pairs whose distance first fits at grid position gi.
   std::vector<std::vector<size_t>> delta(g, std::vector<size_t>(n, 0));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const double d = dist(segments[i], segments[j]);
-      const auto it =
-          std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
-      if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
-      const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
-      ++delta[gi][i];
-      ++delta[gi][j];
+  const int threads = common::ResolveNumThreads(num_threads);
+  if (threads == 1) {
+    // Serial: bucket straight into delta, no staging buffer.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double d = dist(segments[i], segments[j]);
+        const auto it = std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
+        if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
+        const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
+        ++delta[gi][i];
+        ++delta[gi][j];
+      }
     }
+  } else {
+    // One contiguous leading-index band per worker (not the pool's default 4x
+    // oversubscription: each band carries a g x n staging buffer and an
+    // O(g*n) locked merge, so fewer, balanced bands beat many small ones).
+    // Row i owns n-1-i pairs — cumulative work up to row x is ~nx - x²/2 —
+    // so equal-work boundaries follow x_k = n(1 - sqrt(1 - k/K)). Integer
+    // addition commutes, making the merged counts scheduling-independent.
+    const size_t bands = std::min<size_t>(static_cast<size_t>(threads), n);
+    std::vector<size_t> bound(bands + 1, n);
+    bound[0] = 0;
+    for (size_t k = 1; k < bands; ++k) {
+      const double frac = static_cast<double>(k) / static_cast<double>(bands);
+      const size_t x = static_cast<size_t>(
+          static_cast<double>(n) * (1.0 - std::sqrt(1.0 - frac)));
+      bound[k] = std::max(bound[k - 1], std::min(x, n));
+    }
+    std::mutex merge_mu;
+    common::SharedPool(threads).ParallelFor(0, bands, [&](size_t band) {
+      const size_t lo = bound[band];
+      const size_t hi = bound[band + 1];
+      if (lo >= hi) return;
+      std::vector<std::vector<size_t>> local(g, std::vector<size_t>(n, 0));
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          const double d = dist(segments[i], segments[j]);
+          const auto it =
+              std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
+          if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
+          const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
+          ++local[gi][i];
+          ++local[gi][j];
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      for (size_t gi = 0; gi < g; ++gi) {
+        for (size_t i = 0; i < n; ++i) delta[gi][i] += local[gi][i];
+      }
+    });
   }
 
   // counts_[gi][i] = 1 (self) + Σ_{g' ≤ gi} delta[g'][i].

@@ -23,8 +23,10 @@ double NeighborhoodEntropy(const std::vector<size_t>& neighborhood_sizes);
 double NeighborhoodEntropy(const std::vector<double>& neighborhood_masses);
 
 /// Computes |Nε(L)| for all L at one ε through a neighborhood provider.
+/// `num_threads` batches the queries across a pool (0 = hardware concurrency);
+/// the result is identical for every value.
 std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provider,
-                                      double eps);
+                                      double eps, int num_threads = 1);
 
 /// Precomputed neighborhood-size profile over a whole grid of ε values.
 ///
@@ -36,10 +38,13 @@ std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provi
 /// faster than repeated queries for sweep workloads.
 class NeighborhoodProfile {
  public:
-  /// `eps_grid` must be strictly increasing. O(n²) construction.
+  /// `eps_grid` must be strictly increasing. O(n²) construction; the pairwise
+  /// distance pass is spread over `num_threads` workers (0 = hardware
+  /// concurrency) with per-worker count buffers merged in index order, so the
+  /// profile is identical for every thread count.
   NeighborhoodProfile(const std::vector<geom::Segment>& segments,
                       const distance::SegmentDistance& dist,
-                      std::vector<double> eps_grid);
+                      std::vector<double> eps_grid, int num_threads = 1);
 
   size_t grid_size() const { return eps_grid_.size(); }
   const std::vector<double>& eps_grid() const { return eps_grid_; }

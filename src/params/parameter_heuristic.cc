@@ -18,7 +18,7 @@ ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
     grid[i] = options.eps_lo + step * i;
   }
 
-  NeighborhoodProfile profile(segments, dist, grid);
+  NeighborhoodProfile profile(segments, dist, grid, options.num_threads);
   ParameterEstimate est;
   est.grid_eps = grid;
   est.grid_entropy.reserve(grid.size());
@@ -36,7 +36,8 @@ ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
     // evaluated through the exact grid index.
     cluster::GridNeighborhoodIndex index(segments, dist);
     auto objective = [&](double eps) {
-      return NeighborhoodEntropy(NeighborhoodSizes(index, eps));
+      return NeighborhoodEntropy(
+          NeighborhoodSizes(index, eps, options.num_threads));
     };
     AnnealingOptions sa = options.annealing;
     // Search the ±2 grid-step basin around the grid minimum.
@@ -47,7 +48,8 @@ ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
       if (r.best_value < est.entropy) {
         est.eps = r.best_x;
         est.entropy = r.best_value;
-        const std::vector<size_t> sizes = NeighborhoodSizes(index, est.eps);
+        const std::vector<size_t> sizes =
+            NeighborhoodSizes(index, est.eps, options.num_threads);
         double total = 0.0;
         for (const size_t s : sizes) total += static_cast<double>(s);
         est.avg_neighborhood_size =

@@ -34,6 +34,10 @@ struct HeuristicOptions {
   /// prescribes SA; the grid supplies both the plot and a good starting basin).
   bool refine_with_annealing = false;
   AnnealingOptions annealing;
+  /// Worker threads for the O(n²) profile pass and the per-ε neighborhood
+  /// batches (0 = hardware concurrency, 1 = serial). Estimates are identical
+  /// for every value.
+  int num_threads = 1;
 };
 
 /// Runs the §4.4 heuristic: finds the ε minimizing the neighborhood-size

@@ -1,0 +1,223 @@
+// Unit tests for the execution substrate: ThreadPool, ParallelFor, SharedPool.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace traclus::common {
+namespace {
+
+TEST(ResolveNumThreadsTest, ZeroSelectsHardwareConcurrency) {
+  EXPECT_GE(ResolveNumThreads(0), 1);
+  EXPECT_GE(ResolveNumThreads(-3), 1);
+}
+
+TEST(ResolveNumThreadsTest, PositiveValuesPassThrough) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsTasksInlineAndInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  pool.Submit([&] { order.push_back(1); });
+  // Inline execution: the side effect is visible before Wait().
+  ASSERT_EQ(order.size(), 1u);
+  pool.Submit([&] { order.push_back(2); });
+  pool.Submit([&] { order.push_back(3); });
+  pool.Wait();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, MultiThreadPoolRunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  for (int t = 0; t < 100; ++t) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int t = 0; t < 10; ++t) pool.Submit([&count] { count.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitExceptionPropagatesAtWait) {
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    pool.Submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.Wait(), std::runtime_error);
+    // The error is consumed: the pool is reusable afterwards.
+    std::atomic<int> count{0};
+    pool.Submit([&count] { count.fetch_add(1); });
+    EXPECT_NO_THROW(pool.Wait());
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int t = 0; t < 50; ++t) pool.Submit([&count] { count.fetch_add(1); });
+  }  // No Wait(): destruction must still run or discard-safely join everything.
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelForTest, EmptyRangeInvokesNothing) {
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    std::atomic<int> calls{0};
+    pool.ParallelFor(0, 0, [&calls](size_t) { calls.fetch_add(1); });
+    pool.ParallelFor(5, 5, [&calls](size_t) { calls.fetch_add(1); });
+    pool.ParallelFor(7, 3, [&calls](size_t) { calls.fetch_add(1); });  // Inverted.
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST(ParallelForTest, EachIndexVisitedExactlyOnce) {
+  for (const int threads : {1, 2, 4, 9}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    constexpr size_t kBegin = 3;
+    constexpr size_t kEnd = 1003;
+    std::vector<std::atomic<int>> visits(kEnd);
+    pool.ParallelFor(kBegin, kEnd,
+                     [&visits](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < kEnd; ++i) {
+      EXPECT_EQ(visits[i].load(), i >= kBegin ? 1 : 0) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, RangeSmallerThanPool) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.ParallelFor(0, 3, [&visits](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    std::vector<size_t> seen;
+    pool.ParallelFor(41, 42, [&seen](size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, std::vector<size_t>{41});
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.ParallelFor(0, 100,
+                                  [](size_t i) {
+                                    if (i == 37) throw std::domain_error("bad");
+                                  }),
+                 std::domain_error);
+    // The pool survives a failed loop.
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 10, [&count](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 8, [&](size_t) {
+    pool.ParallelFor(0, 8, [&count](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelForChunkedTest, ChunksTileTheRangeExactly) {
+  struct Case {
+    int threads;
+    size_t begin;
+    size_t end;
+  };
+  // {2, 0, 10} regression: ceil-chunking overshoots (8 target chunks of 2
+  // cover 16 > 10) and must not produce phantom chunks with lo >= end.
+  for (const Case c : {Case{1, 10, 210}, Case{4, 10, 210}, Case{2, 0, 10},
+                       Case{4, 3, 10}, Case{3, 0, 11}}) {
+    SCOPED_TRACE(testing::Message() << c.threads << " threads, [" << c.begin
+                                    << ", " << c.end << ")");
+    ThreadPool pool(c.threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    pool.ParallelForChunked(c.begin, c.end, [&](size_t lo, size_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    ASSERT_FALSE(chunks.empty());
+    EXPECT_EQ(chunks.front().first, c.begin);
+    EXPECT_EQ(chunks.back().second, c.end);
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      EXPECT_LT(chunks[i].first, chunks[i].second);
+      if (i > 0) {
+        EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ConcurrentCallsOnSharedPoolAreIsolated) {
+  // Two threads drive independent ParallelFor calls through one pool; each
+  // must see exactly its own iterations and its own exceptions.
+  ThreadPool pool(4);
+  std::atomic<int> ok_count{0};
+  std::atomic<bool> threw{false};
+  std::thread a([&] {
+    pool.ParallelFor(0, 500, [&ok_count](size_t) { ok_count.fetch_add(1); });
+  });
+  std::thread b([&] {
+    try {
+      pool.ParallelFor(0, 500, [](size_t i) {
+        if (i == 250) throw std::runtime_error("b only");
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(ok_count.load(), 500);
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(SharedPoolTest, SameWidthYieldsSameInstance) {
+  ThreadPool& a = SharedPool(2);
+  ThreadPool& b = SharedPool(2);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_threads(), 2);
+}
+
+TEST(SharedPoolTest, ZeroResolvesToHardwareConcurrency) {
+  ThreadPool& pool = SharedPool(0);
+  EXPECT_EQ(pool.num_threads(), ResolveNumThreads(0));
+}
+
+}  // namespace
+}  // namespace traclus::common

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) every C++ source in the repo with the
+# project .clang-format. CI runs `tools/format.sh --check`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format-14}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  CLANG_FORMAT=clang-format
+fi
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: clang-format not found (set CLANG_FORMAT=...)" >&2
+  exit 1
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' \
+                                  'bench/*.h' 'bench/*.cc' 'tools/*.cc' \
+                                  'examples/*.cpp')
+
+if [[ "${1:-}" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "format check OK (${#files[@]} files)"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi

@@ -88,10 +88,15 @@ int Usage() {
       "  generate <hurricane|elk|deer|noisy|fig1> <out.csv> [--seed N]\n"
       "  stats <in.csv>\n"
       "  partition <in.csv> [--suppression BITS] [--out segments.csv]\n"
-      "  estimate <in.csv> [--eps-lo X] [--eps-hi X] [--grid N]\n"
+      "            [--threads N]\n"
+      "  estimate <in.csv> [--eps-lo X] [--eps-hi X] [--grid N] [--threads N]\n"
       "  cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]\n"
-      "          [--suppression BITS] [--no-index] [--labels out.csv]\n"
-      "          [--reps out.csv] [--svg out.svg]\n");
+      "          [--suppression BITS] [--no-index] [--threads N]\n"
+      "          [--labels out.csv] [--reps out.csv] [--svg out.svg]\n"
+      "\n"
+      "  --threads N: worker threads for the parallel phases; 0 = all\n"
+      "               hardware threads, 1 = single-threaded. Output is\n"
+      "               identical for every value.\n");
   return 1;
 }
 
@@ -170,6 +175,7 @@ int CmdPartition(const Args& args) {
   }
   core::TraclusConfig cfg;
   cfg.partition.suppression_bits = args.GetDouble("suppression", 0.0);
+  cfg.num_threads = static_cast<int>(args.GetDouble("threads", 0));
   const auto segments = core::Traclus(cfg).PartitionPhase(*loaded);
   std::printf("%zu points -> %zu trajectory partitions (%.2f points/partition)\n",
               loaded->TotalPoints(), segments.size(),
@@ -201,12 +207,14 @@ int CmdEstimate(const Args& args) {
     return 2;
   }
   core::TraclusConfig base;
+  base.num_threads = static_cast<int>(args.GetDouble("threads", 0));
   const auto segments = core::Traclus(base).PartitionPhase(*loaded);
   const distance::SegmentDistance dist;
   params::HeuristicOptions opt;
   opt.eps_lo = args.GetDouble("eps-lo", 0.25);
   opt.eps_hi = args.GetDouble("eps-hi", 40.0);
   opt.grid_points = static_cast<int>(args.GetDouble("grid", 60));
+  opt.num_threads = base.num_threads;
   const auto est = params::EstimateParameters(segments, dist, opt);
   std::printf("# eps entropy\n");
   for (size_t g = 0; g < est.grid_eps.size(); ++g) {
@@ -240,6 +248,7 @@ int CmdCluster(const Args& args) {
   cfg.distance.directed = !args.GetSwitch("undirected");
   cfg.use_weights = args.GetSwitch("weighted");
   cfg.use_index = !args.GetSwitch("no-index");
+  cfg.num_threads = static_cast<int>(args.GetDouble("threads", 0));
 
   const auto result = core::Traclus(cfg).Run(db);
   std::printf("%zu partitions -> %zu clusters, %zu noise segments\n",
@@ -302,8 +311,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const std::vector<std::string> value_flags = {
-      "seed", "suppression", "out",  "eps-lo", "eps-hi", "grid",
-      "eps",  "min-lns",     "labels", "reps", "svg"};
+      "seed", "suppression", "out",    "eps-lo", "eps-hi", "grid",
+      "eps",  "min-lns",     "labels", "reps",   "svg",    "threads"};
   const Args args = Parse(argc - 2, argv + 2, value_flags);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
