@@ -31,7 +31,8 @@ void Report(const char* label, const traj::TrajectoryDatabase& db,
       "%-26s: %6zu partitions (%4.1f pts/partition) -> %2zu clusters, "
       "%5zu noise\n",
       label, segments.size(),
-      static_cast<double>(db.TotalPoints()) / std::max<size_t>(1, segments.size()),
+      static_cast<double>(db.TotalPoints()) /
+          std::max<size_t>(1, segments.size()),
       stats.num_clusters, stats.num_noise);
 }
 
@@ -52,7 +53,8 @@ std::vector<geom::Segment> PartitionWith(
 
 int main() {
   bench::PrintHeader("E18 / bench_ablation_partitioning",
-                     "DESIGN.md §4 ablations (encoder, suppression, partitioner)",
+                     "DESIGN.md §4 ablations (encoder, suppression, "
+                     "partitioner)",
                      "MDL with suppression ~20-30%% longer partitions improves "
                      "clustering (§4.1.3); MDL needs no tolerance knob (§3.2)");
 

@@ -41,7 +41,8 @@ int main() {
               dist(l1, l2), c2.perpendicular, c2.parallel, c2.angle);
   std::printf("  dist(L1, L3) = %8.2f   (perp %.2f, par %.2f, angle %.2f)\n",
               dist(l1, l3), c3.perpendicular, c3.parallel, c3.angle);
-  std::printf("\nmeasured: TRACLUS ranks L2 %s than L3 (paper: L2 more similar)\n",
+  std::printf("\nmeasured: TRACLUS ranks L2 %s than L3 (paper: L2 more "
+              "similar)\n",
               dist(l1, l2) < dist(l1, l3) ? "MORE similar" : "LESS similar");
   return 0;
 }

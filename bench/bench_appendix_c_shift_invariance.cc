@@ -84,7 +84,8 @@ int main() {
         EndpointLH(shifted, 0, shifted.size() - 1));
     ++idx;
   }
-  std::printf("\nmeasured: partitioning shift-invariant for all trajectories: %s"
-              " (paper: must be invariant)\n", all_match ? "YES" : "NO");
+  std::printf("\nmeasured: partitioning shift-invariant for all trajectories: "
+              "%s (paper: must be invariant)\n",
+              all_match ? "YES" : "NO");
   return 0;
 }

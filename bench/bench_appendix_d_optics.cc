@@ -91,9 +91,12 @@ int main() {
     if (r != cluster::kUndefinedReachability) finite.push_back(r);
   }
   std::sort(finite.begin(), finite.end());
-  auto pct = [&](double q) { return finite[static_cast<size_t>(q * (finite.size() - 1))]; };
-  std::printf("OPTICS reachability over %zu hurricane partitions (eps = %.1f):\n",
-              hsegs.size(), oopt.eps);
+  auto pct = [&](double q) {
+    return finite[static_cast<size_t>(q * (finite.size() - 1))];
+  };
+  std::printf(
+      "OPTICS reachability over %zu hurricane partitions (eps = %.1f):\n",
+      hsegs.size(), oopt.eps);
   std::printf("  reachable segments: %zu; median %.3f, p90 %.3f, p99 %.3f "
               "(fractions of eps: %.2f / %.2f / %.2f)\n",
               finite.size(), pct(0.5), pct(0.9), pct(0.99), pct(0.5) / oopt.eps,

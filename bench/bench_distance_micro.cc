@@ -54,8 +54,8 @@ void BM_DistanceComponents(benchmark::State& state) {
   const distance::SegmentDistance dist;
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        dist.Components(segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
+    benchmark::DoNotOptimize(dist.Components(
+        segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
     ++i;
   }
 }
@@ -66,8 +66,8 @@ void BM_PerpendicularOnly(benchmark::State& state) {
   const distance::SegmentDistance dist;
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(dist.Perpendicular(segs[i % segs.size()],
-                                                segs[(i * 31 + 7) % segs.size()]));
+    benchmark::DoNotOptimize(dist.Perpendicular(
+        segs[i % segs.size()], segs[(i * 31 + 7) % segs.size()]));
     ++i;
   }
 }
@@ -114,7 +114,8 @@ void BM_PairwiseDistanceMatrix(benchmark::State& state) {
   const distance::SegmentDistance dist;
   auto& pool = common::SharedPool(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(distance::PairwiseDistanceMatrix(segs, dist, pool));
+    benchmark::DoNotOptimize(
+        distance::PairwiseDistanceMatrix(segs, dist, pool));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(segs.size() * segs.size() / 2));

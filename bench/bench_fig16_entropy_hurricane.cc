@@ -47,7 +47,8 @@ int main() {
 
   std::printf("\nmeasured: entropy minimum at eps = %.3f (entropy %.4f)\n",
               est.eps, est.entropy);
-  std::printf("measured: avg|N(L)| at minimum = %.2f  ->  MinLns range %.0f..%.0f\n",
+  std::printf("measured: avg|N(L)| at minimum = %.2f  ->  MinLns range "
+              "%.0f..%.0f\n",
               est.avg_neighborhood_size, est.min_lns_low, est.min_lns_high);
   std::printf("series written to %s\n", csv_path.c_str());
   return 0;

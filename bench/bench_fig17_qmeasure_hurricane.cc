@@ -43,7 +43,8 @@ int main() {
     eps_grid.push_back(est.eps * (1.0 + 0.1 * k));
   }
 
-  const std::string csv_path = bench::OutDir() + "/fig17_qmeasure_hurricane.csv";
+  const std::string csv_path =
+      bench::OutDir() + "/fig17_qmeasure_hurricane.csv";
   std::ofstream csv(csv_path);
   csv << "eps,min_lns,qmeasure,total_sse,noise_penalty,clusters\n";
   std::printf("%-8s %-8s %-14s %-14s %-14s %s\n", "eps", "MinLns", "QMeasure",
@@ -67,7 +68,8 @@ int main() {
                   q.qmeasure, q.total_sse, q.noise_penalty,
                   clustering.clusters.size());
       csv << eps << "," << min_lns << "," << q.qmeasure << "," << q.total_sse
-          << "," << q.noise_penalty << "," << clustering.clusters.size() << "\n";
+          << "," << q.noise_penalty << "," << clustering.clusters.size()
+          << "\n";
       if (first || q.qmeasure < best_q) {
         best_q = q.qmeasure;
         best_eps = eps;

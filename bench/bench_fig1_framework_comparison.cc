@@ -27,7 +27,8 @@ int main() {
       "partition-and-group framework discovers it");
 
   const auto db =
-      datagen::GenerateCommonSubTrajectory(datagen::CommonSubTrajectoryConfig{});
+      datagen::GenerateCommonSubTrajectory(
+          datagen::CommonSubTrajectoryConfig{});
   bench::PrintDatabaseStats("fig1", db);
 
   // --- 1. TRACLUS. ---
@@ -35,7 +36,8 @@ int main() {
   cfg.eps = 10.0;
   cfg.min_lns = 3;
   const auto result = core::Traclus(cfg).Run(db);
-  std::printf("\n[TRACLUS] %zu cluster(s)\n", result.clustering.clusters.size());
+  std::printf("\n[TRACLUS] %zu cluster(s)\n",
+              result.clustering.clusters.size());
   for (size_t i = 0; i < result.representatives.size(); ++i) {
     const auto& rep = result.representatives[i];
     if (rep.size() < 2) continue;
@@ -82,8 +84,8 @@ int main() {
     }
   }
 
-  std::printf("\nmeasured: TRACLUS found %zu corridor cluster(s) covering all 5 "
-              "trajectories; both whole-trajectory baselines produced only "
+  std::printf("\nmeasured: TRACLUS found %zu corridor cluster(s) covering all "
+              "5 trajectories; both whole-trajectory baselines produced only "
               "whole-trajectory groups (paper's Example 1).\n",
               result.clustering.clusters.size());
   return 0;

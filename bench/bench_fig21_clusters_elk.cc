@@ -41,16 +41,18 @@ int main() {
     const auto mid = rep[rep.size() / 2];
     const bool divergent = geom::Distance(mid, divergent_center) < 35.0;
     in_divergent += divergent ? 1 : 0;
-    std::printf("  cluster %2zu: (%5.1f, %5.1f) -> (%5.1f, %5.1f), %4zu segments%s\n",
-                i, rep.points().front().x(), rep.points().front().y(),
-                rep.points().back().x(), rep.points().back().y(),
-                result.clustering.clusters[i].size(),
-                divergent ? "  [in divergent region!]" : "");
+    std::printf(
+        "  cluster %2zu: (%5.1f, %5.1f) -> (%5.1f, %5.1f), %4zu segments%s\n",
+        i, rep.points().front().x(), rep.points().front().y(),
+        rep.points().back().x(), rep.points().back().y(),
+        result.clustering.clusters[i].size(),
+        divergent ? "  [in divergent region!]" : "");
   }
 
   const auto svg = bench::WriteClusterSvg("fig21_elk1993.svg", db, result);
-  std::printf("\nmeasured: %zu clusters (paper: 13; generator plants 13 corridors)\n",
-              result.clustering.clusters.size());
+  std::printf(
+      "\nmeasured: %zu clusters (paper: 13; generator plants 13 corridors)\n",
+      result.clustering.clusters.size());
   std::printf("measured: %d representative(s) inside the divergent region "
               "(paper: 0)\n", in_divergent);
   std::printf("figure written to %s\n", svg.c_str());

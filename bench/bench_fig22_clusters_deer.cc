@@ -41,8 +41,9 @@ int main() {
   }
 
   const auto svg = bench::WriteClusterSvg("fig22_deer1995.svg", db, result);
-  std::printf("\nmeasured: %zu clusters (paper: 2; generator plants 2 corridors)\n",
-              result.clustering.clusters.size());
+  std::printf(
+      "\nmeasured: %zu clusters (paper: 2; generator plants 2 corridors)\n",
+      result.clustering.clusters.size());
   std::printf("figure written to %s\n", svg.c_str());
   return 0;
 }

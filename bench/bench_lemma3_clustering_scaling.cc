@@ -76,7 +76,8 @@ void BM_DbscanBruteForce(benchmark::State& state) {
   const distance::SegmentDistance dist;
   for (auto _ : state) {
     const cluster::BruteForceNeighborhood provider(segs, dist);
-    benchmark::DoNotOptimize(cluster::DbscanSegments(segs, provider, Options()));
+    benchmark::DoNotOptimize(
+        cluster::DbscanSegments(segs, provider, Options()));
   }
   state.SetComplexityN(state.range(0));
 }

@@ -34,8 +34,9 @@ int main() {
   const double opt_eps = 0.94;
   const double opt_min_lns = 7;
 
-  std::printf("\n--- eps sweep at MinLns = %.0f (paper: eps 25 -> 30 -> 35) ---\n",
-              opt_min_lns);
+  std::printf(
+      "\n--- eps sweep at MinLns = %.0f (paper: eps 25 -> 30 -> 35) ---\n",
+      opt_min_lns);
   size_t prev_clusters = 0;
   bool first = true;
   for (const double mult : {0.8, 1.0, 1.2}) {
@@ -68,7 +69,8 @@ int main() {
     r.segments = segments;
     r.clustering = core::Traclus(cfg).GroupPhase(segments);
     bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, r);
-    prev_clusters = eval::SummarizeClustering(segments, r.clustering).num_clusters;
+    prev_clusters =
+        eval::SummarizeClustering(segments, r.clustering).num_clusters;
     (void)first;
     first = false;
   }

@@ -29,18 +29,19 @@ inline std::string OutDir() {
 /// Prints the standard bench header naming the paper artifact reproduced.
 inline void PrintHeader(const char* experiment_id, const char* paper_artifact,
                         const char* paper_result) {
-  std::printf("==============================================================\n");
+  std::printf("============================================================\n");
   std::printf("%s — reproduces %s\n", experiment_id, paper_artifact);
   std::printf("paper reports: %s\n", paper_result);
-  std::printf("==============================================================\n");
+  std::printf("============================================================\n");
 }
 
 /// Prints database shape (the paper quotes these in §5.1).
 inline void PrintDatabaseStats(const char* name,
                                const traj::TrajectoryDatabase& db) {
   const auto st = db.Stats();
-  std::printf("data set %-12s: %zu trajectories, %zu points (mean length %.1f)\n",
-              name, st.num_trajectories, st.num_points, st.mean_length);
+  std::printf(
+      "data set %-12s: %zu trajectories, %zu points (mean length %.1f)\n",
+      name, st.num_trajectories, st.num_points, st.mean_length);
 }
 
 /// Renders a clustering result in the style of Figs. 18/21/22/23: trajectories

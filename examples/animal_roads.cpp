@@ -28,8 +28,8 @@ using traclus::geom::Point;
 double DistanceToRoad(const Point& p, const std::vector<Point>& road) {
   double best = std::numeric_limits<double>::infinity();
   for (size_t i = 1; i < road.size(); ++i) {
-    best = std::min(best,
-                    traclus::geom::PointToSegmentDistance(p, road[i - 1], road[i]));
+    best = std::min(
+        best, traclus::geom::PointToSegmentDistance(p, road[i - 1], road[i]));
   }
   return best;
 }
@@ -39,7 +39,8 @@ double DistanceToRoad(const Point& p, const std::vector<Point>& road) {
 int main() {
   const auto db =
       traclus::datagen::GenerateAnimals(traclus::datagen::Deer1995Config());
-  std::printf("telemetry: %zu animals, %zu fixes\n", db.size(), db.TotalPoints());
+  std::printf("telemetry: %zu animals, %zu fixes\n", db.size(),
+              db.TotalPoints());
 
   // Two roads crossing the study area (cf. Fig. 2 of the paper).
   const std::vector<Point> high_traffic_road = {Point(0, 140), Point(400, 150)};
@@ -73,16 +74,19 @@ int main() {
   const auto stats = db.Stats();
   traclus::traj::SvgWriter svg(stats.bounds);
   svg.AddDatabase(db, "#2e8b57", 0.4);
-  svg.AddSegment(traclus::geom::Segment(high_traffic_road[0], high_traffic_road[1]),
-                 "#222222", 4.0);
-  svg.AddSegment(traclus::geom::Segment(low_traffic_road[0], low_traffic_road[1]),
-                 "#888888", 2.0);
+  svg.AddSegment(
+      traclus::geom::Segment(high_traffic_road[0], high_traffic_road[1]),
+      "#222222", 4.0);
+  svg.AddSegment(
+      traclus::geom::Segment(low_traffic_road[0], low_traffic_road[1]),
+      "#888888", 2.0);
   for (const auto& rep : result.representatives) {
     svg.AddTrajectory(rep, "#cc0000", 3.0);
   }
   const auto status = svg.Save("animal_roads.svg");
-  std::printf("%s\n", status.ok() ? "wrote animal_roads.svg (black: high-traffic "
-                                    "road, grey: low-traffic road)"
-                                  : status.ToString().c_str());
+  std::printf("%s\n", status.ok()
+                          ? "wrote animal_roads.svg (black: high-traffic "
+                            "road, grey: low-traffic road)"
+                          : status.ToString().c_str());
   return 0;
 }

@@ -63,7 +63,8 @@ int main() {
         b.y());
   }
   if (near_coast == 0) {
-    std::printf("  (none — raise eps or lower MinLns to find broader corridors)\n");
+    std::printf(
+        "  (none — raise eps or lower MinLns to find broader corridors)\n");
   }
 
   // Visual inspection file, Fig. 18 style.
@@ -76,8 +77,8 @@ int main() {
   svg.AddLabel(Point(coast_lo, stats.bounds.hi(1) - 2), "coastline band");
   const auto status = svg.Save("hurricane_landfall.svg");
   std::printf("\n%s\n", status.ok()
-                            ? "wrote hurricane_landfall.svg (thin green: tracks, "
-                              "thick red: common sub-trajectories)"
+                            ? "wrote hurricane_landfall.svg (thin green: "
+                              "tracks, thick red: common sub-trajectories)"
                             : status.ToString().c_str());
   return 0;
 }

@@ -51,7 +51,8 @@ KMedoidsResult KMedoids(size_t n,
         }
       }
     } else {
-      pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1));
     }
     if (std::find(out.medoids.begin(), out.medoids.end(), pick) ==
         out.medoids.end()) {

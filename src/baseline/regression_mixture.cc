@@ -45,7 +45,8 @@ RegressionMixtureClusterer::RegressionMixtureClusterer(
 geom::Point RegressionMixtureClusterer::Predict(
     const RegressionMixtureResult& model, int k, double t) {
   TRACLUS_CHECK(k >= 0 && k < static_cast<int>(model.coeff_x.size()));
-  return geom::Point(PolyEval(model.coeff_x[k], t), PolyEval(model.coeff_y[k], t));
+  return geom::Point(PolyEval(model.coeff_x[k], t),
+                     PolyEval(model.coeff_y[k], t));
 }
 
 RegressionMixtureResult RegressionMixtureClusterer::Fit(
@@ -128,7 +129,8 @@ RegressionMixtureResult RegressionMixtureClusterer::Fit(
         }
       }
       out.variances[k] =
-          std::max(config_.min_variance, sq / std::max(1e-12, 2.0 * point_mass));
+          std::max(config_.min_variance,
+                   sq / std::max(1e-12, 2.0 * point_mass));
       out.weights[k] = resp_sum / static_cast<double>(m);
     }
   };

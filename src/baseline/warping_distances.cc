@@ -94,7 +94,8 @@ double EdrDistance(const traj::Trajectory& a, const traj::Trajectory& b,
     curr[0] = static_cast<double>(i);
     for (size_t j = 1; j <= m; ++j) {
       const double subcost = MatchWithin(pa[i - 1], pb[j - 1], eps) ? 0.0 : 1.0;
-      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1.0, curr[j - 1] + 1.0});
+      curr[j] = std::min(
+          {prev[j - 1] + subcost, prev[j] + 1.0, curr[j - 1] + 1.0});
     }
     std::swap(prev, curr);
   }

@@ -42,8 +42,8 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
   }
   // Cached lists are served by reference (no per-query copy); the serial path
   // computes into `storage` exactly as the seed did.
-  auto neighbors_of = [&](size_t i,
-                          std::vector<size_t>& storage) -> const std::vector<size_t>& {
+  auto neighbors_of = [&](size_t i, std::vector<size_t>& storage)
+      -> const std::vector<size_t>& {
     if (cache) return cache->lists()[i];
     storage = provider.Neighbors(i, options.eps);
     return storage;
@@ -58,7 +58,8 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
   for (size_t seed = 0; seed < n; ++seed) {  // Step 1 (lines 03-12).
     if (result.labels[seed] != kUnclassified) continue;
     std::vector<size_t> seed_storage;
-    const std::vector<size_t>& seed_neighbors = neighbors_of(seed, seed_storage);
+    const std::vector<size_t>& seed_neighbors =
+        neighbors_of(seed, seed_storage);
     if (NeighborhoodMass(segments, seed_neighbors, options) < options.min_lns) {
       result.labels[seed] = kNoise;  // Line 12.
       continue;
@@ -109,7 +110,8 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
   for (auto& cluster : raw_clusters) {
     const double ptr =
         static_cast<double>(TrajectoryCardinality(segments, cluster));
-    if (ptr < cardinality_threshold) continue;  // Removed; members become noise.
+    // Removed; members become noise.
+    if (ptr < cardinality_threshold) continue;
     remap[cluster.id] = dense_id;
     cluster.id = dense_id;
     result.clusters.push_back(std::move(cluster));

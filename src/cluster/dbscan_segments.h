@@ -35,8 +35,8 @@ struct DbscanOptions {
 /// "explain the behavior of a sufficient number of trajectories".
 ///
 /// `provider` supplies exact ε-neighborhoods and must be bound to `segments`.
-/// Deterministic: segments are seeded in index order, and the expansion queue is
-/// FIFO, so identical inputs yield identical labellings.
+/// Deterministic: segments are seeded in index order, and the expansion queue
+/// is FIFO, so identical inputs yield identical labellings.
 ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
                                 const NeighborhoodProvider& provider,
                                 const DbscanOptions& options);

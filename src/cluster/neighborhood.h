@@ -13,17 +13,18 @@ namespace traclus::cluster {
 /// Source of ε-neighborhood queries Nε(L) (Definition 4) over a fixed segment
 /// database.
 ///
-/// Implementations are bound to a segment vector at construction and must return
-/// the indices of ALL segments within distance ε of the query — including the
-/// query segment itself, which Definition 4 includes since dist(L, L) = 0.
-/// Exactness matters: DBSCAN's output (and the parameter heuristic's entropy)
-/// are defined in terms of exact ε-neighborhoods.
+/// Implementations are bound to a segment vector at construction and must
+/// return the indices of ALL segments within distance ε of the query —
+/// including the query segment itself, which Definition 4 includes since
+/// dist(L, L) = 0. Exactness matters: DBSCAN's output (and the parameter
+/// heuristic's entropy) are defined in terms of exact ε-neighborhoods.
 class NeighborhoodProvider {
  public:
   virtual ~NeighborhoodProvider() = default;
 
   /// Indices of all segments within distance `eps` of segment `query_index`.
-  virtual std::vector<size_t> Neighbors(size_t query_index, double eps) const = 0;
+  virtual std::vector<size_t> Neighbors(size_t query_index,
+                                        double eps) const = 0;
 
   /// Batch query: Nε(L) for every segment, computed across `pool`. Entry i is
   /// exactly `Neighbors(i, eps)` regardless of thread count — results land in
@@ -32,7 +33,8 @@ class NeighborhoodProvider {
   /// The default implementation fans `Neighbors` out over the pool and
   /// therefore requires `Neighbors` to be safe for concurrent calls (true for
   /// the brute-force and R-tree providers, which keep no query-time state).
-  /// Providers with per-query scratch must override (see GridNeighborhoodIndex).
+  /// Providers with per-query scratch must override (see
+  /// GridNeighborhoodIndex).
   virtual std::vector<std::vector<size_t>> AllNeighbors(
       double eps, common::ThreadPool& pool) const;
 

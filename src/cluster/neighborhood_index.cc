@@ -60,8 +60,8 @@ GridNeighborhoodIndex::GridNeighborhoodIndex(
   scratch_.visit_stamp.assign(segments_.size(), 0);
 }
 
-GridNeighborhoodIndex::CellCoord GridNeighborhoodIndex::CellOf(double x, double y,
-                                                               double z) const {
+GridNeighborhoodIndex::CellCoord GridNeighborhoodIndex::CellOf(
+    double x, double y, double z) const {
   return CellCoord{static_cast<int64_t>(std::floor(x / cell_size_)),
                    static_cast<int64_t>(std::floor(y / cell_size_)),
                    static_cast<int64_t>(std::floor(z / cell_size_))};

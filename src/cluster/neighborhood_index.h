@@ -15,14 +15,14 @@ namespace traclus::cluster {
 ///
 /// Lemma 3 observes that a spatial index drops clustering from O(n²) to
 /// O(n log n), but §4.2 notes the TRACLUS distance is not a metric, so indexes
-/// cannot prune with the query distance directly. This index instead prunes with
-/// plain Euclidean geometry using the provable bound
+/// cannot prune with the query distance directly. This index instead prunes
+/// with plain Euclidean geometry using the provable bound
 ///   dist(Li, Lj) ≥ c · mindist(Li, Lj),  c = min(w⊥/2, w∥)
-/// (see SegmentDistance::LowerBoundFactor). A query with radius ε therefore only
-/// needs candidates whose MBR mindist is ≤ ε / c; every candidate is then checked
-/// with the exact distance, making results identical to brute force. When c = 0
-/// (a degenerate weight configuration) the index transparently degrades to a
-/// scan, preserving exactness.
+/// (see SegmentDistance::LowerBoundFactor). A query with radius ε therefore
+/// only needs candidates whose MBR mindist is ≤ ε / c; every candidate is then
+/// checked with the exact distance, making results identical to brute force.
+/// When c = 0 (a degenerate weight configuration) the index transparently
+/// degrades to a scan, preserving exactness.
 ///
 /// The cell edge defaults to twice the mean segment MBR extent, keeping per-
 /// segment cell fan-out O(1) on the paper's workloads. This plays the role of

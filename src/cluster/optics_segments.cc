@@ -63,7 +63,8 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
       const Seed s = seeds.top();
       seeds.pop();
       if (processed[s.index]) continue;
-      // Stale-entry lazy deletion: only the best reachability for an index wins.
+      // Stale-entry lazy deletion: only the best reachability for an index
+      // wins.
       if (s.reachability > reach[s.index] &&
           !(s.reachability == kUndefinedReachability &&
             reach[s.index] == kUndefinedReachability)) {

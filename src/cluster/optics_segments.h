@@ -44,9 +44,9 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
                             const OpticsOptions& options);
 
 /// Extracts DBSCAN-equivalent clusters from an OPTICS ordering at `eps_cut` ≤
-/// the generating ε (Ankerst et al. §4.1 ExtractDBSCAN-Clustering), then applies
-/// the TRACLUS trajectory-cardinality filter so results are comparable with
-/// DbscanSegments.
+/// the generating ε (Ankerst et al. §4.1 ExtractDBSCAN-Clustering), then
+/// applies the TRACLUS trajectory-cardinality filter so results are comparable
+/// with DbscanSegments.
 ClusteringResult ExtractDbscanClustering(
     const std::vector<geom::Segment>& segments, const OpticsResult& optics,
     double eps_cut, double min_lns, double min_trajectory_cardinality = -1.0);

@@ -67,7 +67,8 @@ traj::Trajectory RepresentativeTrajectory(
   if (cluster.member_indices.empty()) return rep;
 
   const int dims = segments[cluster.member_indices.front()].dims();
-  TRACLUS_CHECK(options.method != RepresentativeMethod::kRotation2D || dims == 2)
+  TRACLUS_CHECK(options.method != RepresentativeMethod::kRotation2D ||
+                dims == 2)
       << "kRotation2D requires 2-D segments";
 
   geom::Point axis = AverageDirectionVector(segments, cluster);
@@ -98,7 +99,8 @@ traj::Trajectory RepresentativeTrajectory(
       // a 2-D point (0, y') so both methods share the averaging code.
       t_s = cos_phi * s.start().x() + sin_phi * s.start().y();
       t_e = cos_phi * s.end().x() + sin_phi * s.end().y();
-      r_s = geom::Point(0.0, -sin_phi * s.start().x() + cos_phi * s.start().y());
+      r_s = geom::Point(
+          0.0, -sin_phi * s.start().x() + cos_phi * s.start().y());
       r_e = geom::Point(0.0, -sin_phi * s.end().x() + cos_phi * s.end().y());
     } else {
       Decompose(s.start(), axis, &t_s, &r_s);
@@ -153,7 +155,8 @@ traj::Trajectory RepresentativeTrajectory(
     geom::Point world;
     if (options.method == RepresentativeMethod::kRotation2D) {
       const double yp = r_avg.y();
-      world = geom::Point(cos_phi * t - sin_phi * yp, sin_phi * t + cos_phi * yp);
+      world = geom::Point(cos_phi * t - sin_phi * yp,
+                          sin_phi * t + cos_phi * yp);
     } else {
       world = axis * t + r_avg;
     }

@@ -11,8 +11,8 @@ namespace traclus::cluster {
 
 /// How the sweep coordinate frame is realized.
 enum class RepresentativeMethod {
-  /// The paper's 2-D formulation: rotate the axes with the Formula (9) matrix so
-  /// X becomes parallel to the average direction vector (Fig. 14). 2-D only.
+  /// The paper's 2-D formulation: rotate the axes with the Formula (9) matrix
+  /// so X becomes parallel to the average direction vector (Fig. 14). 2-D only.
   kRotation2D,
   /// Dimension-generic equivalent: scalar-project points onto the unit average
   /// direction vector and average the orthogonal residuals. Identical to
@@ -23,7 +23,8 @@ enum class RepresentativeMethod {
 /// Parameters of Representative Trajectory Generation (Fig. 15).
 struct RepresentativeOptions {
   /// Minimum number of segments the sweep line must hit for a point to be
-  /// emitted (Fig. 13: positions hit by fewer than MinLns segments are skipped).
+  /// emitted (Fig. 13: positions hit by fewer than MinLns segments are
+  /// skipped).
   double min_lns = 3.0;
   /// Smoothing parameter γ: minimum gap between consecutive emitted sweep
   /// positions (Fig. 15 line 09). 0 disables smoothing.

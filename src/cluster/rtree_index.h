@@ -18,11 +18,11 @@ namespace traclus::cluster {
 /// verifies every candidate with the exact distance. When the bound is
 /// unusable (a zero weight) queries transparently degrade to a scan.
 ///
-/// Built once over a fixed segment set by Sort-Tile-Recursive packing (Leutenegger
-/// et al.): leaves hold `leaf_capacity` segments tiled by x then y, upper
-/// levels pack the same way, giving near-100% node occupancy and deterministic
-/// structure. Read-only thereafter — TRACLUS never mutates the segment set
-/// between phases, so an update path would be dead code.
+/// Built once over a fixed segment set by Sort-Tile-Recursive packing
+/// (Leutenegger et al.): leaves hold `leaf_capacity` segments tiled by x then
+/// y, upper levels pack the same way, giving near-100% node occupancy and
+/// deterministic structure. Read-only thereafter — TRACLUS never mutates the
+/// segment set between phases, so an update path would be dead code.
 class StrRTreeIndex : public NeighborhoodProvider {
  public:
   /// Builds the tree; `segments` and `dist` must outlive the index.
@@ -46,8 +46,8 @@ class StrRTreeIndex : public NeighborhoodProvider {
   };
 
   /// Packs one level of boxes into parent nodes; returns parent node indices.
-  std::vector<size_t> PackLevel(const std::vector<size_t>& level, bool leaf_level,
-                                int capacity);
+  std::vector<size_t> PackLevel(const std::vector<size_t>& level,
+                                bool leaf_level, int capacity);
 
   const std::vector<geom::Segment>& segments_;
   const distance::SegmentDistance& dist_;

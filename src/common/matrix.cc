@@ -72,8 +72,8 @@ std::vector<double> SolveSpd(const Matrix& a, const std::vector<double>& b) {
     }
     if (CholeskyFactor(&l)) break;
     ridge = (ridge == 0.0) ? 1e-10 : ridge * 100.0;
-    TRACLUS_CHECK(attempt < 7) << "SolveSpd: matrix is not factorizable even with "
-                               << "ridge " << ridge;
+    TRACLUS_CHECK(attempt < 7)
+        << "SolveSpd: matrix is not factorizable even with ridge " << ridge;
   }
 
   // Forward substitution: L y = b.

@@ -11,15 +11,16 @@ namespace traclus::common {
 
 /// Value-or-Status, modeled after arrow::Result.
 ///
-/// A Result<T> holds either a T (success) or a non-OK Status (failure). Accessing
-/// the value of a failed result is a checked programming error.
+/// A Result<T> holds either a T (success) or a non-OK Status (failure).
+/// Accessing the value of a failed result is a checked programming error.
 template <typename T>
 class Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit construction from a non-OK status (failure).
-  Result(Status status) : state_(std::move(status)) {  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(runtime/explicit)
+  Result(Status status) : state_(std::move(status)) {
     TRACLUS_CHECK(!std::get<Status>(state_).ok())
         << "Result<T> must not be constructed from an OK Status";
   }
@@ -33,15 +34,18 @@ class Result {
   }
 
   const T& ValueOrDie() const& {
-    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: "
+                        << status().ToString();
     return std::get<T>(state_);
   }
   T& ValueOrDie() & {
-    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: "
+                        << status().ToString();
     return std::get<T>(state_);
   }
   T&& ValueOrDie() && {
-    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: " << status().ToString();
+    TRACLUS_CHECK(ok()) << "ValueOrDie on failed Result: "
+                        << status().ToString();
     return std::get<T>(std::move(state_));
   }
 

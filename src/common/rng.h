@@ -12,8 +12,8 @@ namespace traclus::common {
 /// randomized algorithms (e.g. simulated annealing, EM initialization).
 ///
 /// Wraps std::mt19937_64 behind a small convenience API so every consumer seeds
-/// explicitly; nothing in the library draws from global entropy. Identical seeds
-/// produce identical streams on every platform we target.
+/// explicitly; nothing in the library draws from global entropy. Identical
+/// seeds produce identical streams on every platform we target.
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}

@@ -6,7 +6,8 @@
 
 namespace traclus::common {
 
-/// Machine-readable error category, modeled after the Arrow/RocksDB status idiom.
+/// Machine-readable error category, modeled after the Arrow/RocksDB status
+/// idiom.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -17,15 +18,17 @@ enum class StatusCode {
   kInternal,
 };
 
-/// Returns a short human-readable name for a status code (e.g. "InvalidArgument").
+/// Returns a short human-readable name for a status code (e.g.
+/// "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
 /// Outcome of a fallible operation that produces no value.
 ///
 /// Cheap to copy in the OK case (no allocation); carries a message otherwise.
-/// Use the factory functions (`Status::OK()`, `Status::InvalidArgument(...)`) and
-/// test with `ok()`. Algorithmic preconditions use TRACLUS_DCHECK instead; Status
-/// is reserved for runtime-fallible paths (IO, parsing, user-supplied config).
+/// Use the factory functions (`Status::OK()`, `Status::InvalidArgument(...)`)
+/// and test with `ok()`. Algorithmic preconditions use TRACLUS_DCHECK instead;
+/// Status is reserved for runtime-fallible paths (IO, parsing, user-supplied
+/// config).
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}

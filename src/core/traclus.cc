@@ -20,8 +20,8 @@ std::vector<geom::Segment> Traclus::PartitionPhase(
   std::unique_ptr<partition::TrajectoryPartitioner> partitioner;
   switch (config_.partitioning_algorithm) {
     case PartitioningAlgorithm::kApproximateMdl:
-      partitioner =
-          std::make_unique<partition::ApproximatePartitioner>(config_.partition);
+      partitioner = std::make_unique<partition::ApproximatePartitioner>(
+          config_.partition);
       break;
     case PartitioningAlgorithm::kOptimalMdl:
       partitioner =
@@ -60,7 +60,8 @@ cluster::ClusteringResult Traclus::GroupPhase(
   if (config_.use_index) {
     provider = std::make_unique<cluster::GridNeighborhoodIndex>(segments, dist);
   } else {
-    provider = std::make_unique<cluster::BruteForceNeighborhood>(segments, dist);
+    provider =
+        std::make_unique<cluster::BruteForceNeighborhood>(segments, dist);
   }
   cluster::DbscanOptions options;
   options.eps = config_.eps;
@@ -68,7 +69,8 @@ cluster::ClusteringResult Traclus::GroupPhase(
   options.min_trajectory_cardinality = config_.min_trajectory_cardinality;
   options.use_weights = config_.use_weights;
   options.num_threads = config_.num_threads;
-  return cluster::DbscanSegments(segments, *provider, options);  // Fig. 4 line 04.
+  // Fig. 4 line 04.
+  return cluster::DbscanSegments(segments, *provider, options);
 }
 
 std::vector<traj::Trajectory> Traclus::RepresentativePhase(

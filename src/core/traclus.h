@@ -15,7 +15,7 @@ namespace traclus::core {
 /// Which partitioning algorithm drives the partitioning phase.
 enum class PartitioningAlgorithm {
   kApproximateMdl,  ///< Fig. 8, O(n) — the paper's algorithm and the default.
-  kOptimalMdl,      ///< Exact DP optimum — exact but O(n²) edges; experiments only.
+  kOptimalMdl,      ///< Exact DP optimum, O(n²) edges; experiments only.
 };
 
 /// Full configuration of the TRACLUS pipeline (Fig. 4).

@@ -33,7 +33,8 @@ traj::TrajectoryDatabase GenerateCommonSubTrajectory(
       const double r = config.branch_length * k /
                        static_cast<double>(config.branch_points);
       tr.Add(geom::Point(
-          origin.x() + r * std::cos(angle) + rng.Gaussian(0.0, config.noise_sigma),
+          origin.x() + r * std::cos(angle) +
+              rng.Gaussian(0.0, config.noise_sigma),
           origin.y() + r * std::sin(angle) +
               rng.Gaussian(0.0, config.noise_sigma)));
     }

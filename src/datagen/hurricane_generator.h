@@ -25,7 +25,7 @@ struct HurricaneConfig {
   /// Per-hurricane intensity weight range (used by the weighted extension).
   double min_weight = 1.0;
   double max_weight = 1.0;
-  uint64_t seed = 20070612;  ///< Default chosen arbitrarily; fully deterministic.
+  uint64_t seed = 20070612;  ///< Arbitrary default; fully deterministic.
 };
 
 /// Generates the synthetic hurricane-track database.

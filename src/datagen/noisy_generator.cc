@@ -31,8 +31,8 @@ traj::TrajectoryDatabase GenerateNoisy(const NoisyConfig& config) {
     if (i < num_noise) {
       tr.set_label("noise");
       const geom::Point start(rng.Uniform(5.0, 95.0), rng.Uniform(5.0, 95.0));
-      RandomWalk(start, config.points_per_trajectory, /*step_sigma=*/3.0, &world,
-                 &rng, &tr);
+      RandomWalk(start, config.points_per_trajectory, /*step_sigma=*/3.0,
+                 &world, &rng, &tr);
     } else {
       tr.set_label("corridor");
       const size_t c = static_cast<size_t>(
@@ -41,8 +41,8 @@ traj::TrajectoryDatabase GenerateNoisy(const NoisyConfig& config) {
       const double b = rng.Uniform(0.8, 1.0);
       const bool forward = rng.Bernoulli(0.5);
       TraverseCorridor(corridors[c], forward ? a : b, forward ? b : a,
-                       config.points_per_trajectory, config.corridor_noise, &rng,
-                       &tr);
+                       config.points_per_trajectory, config.corridor_noise,
+                       &rng, &tr);
     }
     db.Add(std::move(tr));
   }

@@ -24,7 +24,8 @@ double EndpointSumDistance(const geom::Segment& a, const geom::Segment& b);
 /// ‖p − q‖ — the reading of "sum of the distances of endpoints" consistent with
 /// Appendix A's arithmetic (it is the line-segment-Hausdorff-style measure of
 /// the paper's reference [4]).
-double DirectedNearestEndpointSum(const geom::Segment& a, const geom::Segment& b);
+double DirectedNearestEndpointSum(const geom::Segment& a,
+                                  const geom::Segment& b);
 
 /// Symmetrized nearest-endpoint sum: max of the two directed sums.
 double NearestEndpointSumDistance(const geom::Segment& a,

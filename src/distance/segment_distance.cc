@@ -22,7 +22,8 @@ bool LexLess(const geom::Segment& a, const geom::Segment& b) {
 
 // Perpendicular component between a canonicalized (longer Li, shorter Lj) pair:
 // Lehmer mean of order 2 of the projection distances (Definition 1).
-double PerpendicularCanonical(const geom::Segment& li, const geom::Segment& lj) {
+double PerpendicularCanonical(const geom::Segment& li,
+                              const geom::Segment& lj) {
   const double l1 =
       geom::PointToLineDistance(lj.start(), li.start(), li.end());
   const double l2 = geom::PointToLineDistance(lj.end(), li.start(), li.end());
@@ -52,14 +53,17 @@ double AngleCanonical(const geom::Segment& li, const geom::Segment& lj,
                       bool directed) {
   const double len_j = lj.Length();
   if (len_j == 0.0) return 0.0;  // Point-like Lj has no directional strength.
-  const double cos_theta = geom::CosAngleBetween(li.Direction(), lj.Direction());
+  const double cos_theta =
+      geom::CosAngleBetween(li.Direction(), lj.Direction());
   if (directed) {
     if (cos_theta <= 0.0) return len_j;  // θ in [90°, 180°].
-    const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+    const double sin_theta =
+        std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
     return len_j * sin_theta;
   }
   // Undirected: fold θ into [0°, 90°]; sin is unchanged by θ → 180° − θ.
-  const double sin_theta = std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const double sin_theta =
+      std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
   return len_j * sin_theta;
 }
 
@@ -74,7 +78,8 @@ void SegmentDistance::Canonicalize(const geom::Segment*& longer,
     swap = true;
   } else if (la == lb) {
     // Lemma 2 tie-break: internal identifier, then lexicographic endpoints.
-    if (longer->id() >= 0 && shorter->id() >= 0 && longer->id() != shorter->id()) {
+    if (longer->id() >= 0 && shorter->id() >= 0 &&
+        longer->id() != shorter->id()) {
       swap = longer->id() > shorter->id();
     } else {
       swap = LexLess(*shorter, *longer);
@@ -127,9 +132,9 @@ double SegmentDistance::Angle(const geom::Segment& a,
   return AngleCanonical(*li, *lj, config_.directed);
 }
 
-common::Matrix PairwiseDistanceMatrix(const std::vector<geom::Segment>& segments,
-                                      const SegmentDistance& dist,
-                                      common::ThreadPool& pool) {
+common::Matrix PairwiseDistanceMatrix(
+    const std::vector<geom::Segment>& segments, const SegmentDistance& dist,
+    common::ThreadPool& pool) {
   const size_t n = segments.size();
   common::Matrix m(n, n, 0.0);
   // One writer per element: the chunk owning i writes (i, j) and (j, i) for

@@ -24,7 +24,8 @@ struct DistanceComponents {
 /// The paper's default is w⊥ = w∥ = wθ = 1, which "generally works well in many
 /// applications" (Appendix B); non-uniform weights are supported for
 /// domain-specific tuning. `directed` selects Definition 3 (directed
-/// trajectories) or the simplified angle distance ‖Lj‖·sin(θ) with θ folded into
+/// trajectories) or the simplified angle distance ‖Lj‖·sin(θ) with θ folded
+/// into
 /// [0°, 90°] for undirected trajectories (§2.3 remark, §7.1 Extensibility).
 struct SegmentDistanceConfig {
   double w_perpendicular = 1.0;
@@ -40,16 +41,17 @@ struct SegmentDistanceConfig {
 ///
 /// Stateless aside from its configuration; cheap to copy. The function is
 /// symmetric (Lemma 2): internally, the longer segment plays the role of Li and
-/// the shorter of Lj, ties broken by the segments' internal identifiers and, as a
-/// final fallback, by lexicographic endpoint comparison so the result never
+/// the shorter of Lj, ties broken by the segments' internal identifiers and, as
+/// a final fallback, by lexicographic endpoint comparison so the result never
 /// depends on argument order. It is NOT a metric: the triangle inequality can
 /// fail (§4.2), which is why `LowerBoundFactor` exists — it converts plain
-/// Euclidean segment distance into a provable lower bound usable for exact index
-/// pruning.
+/// Euclidean segment distance into a provable lower bound usable for exact
+/// index pruning.
 class SegmentDistance {
  public:
   SegmentDistance() : config_(SegmentDistanceConfig::Defaults()) {}
-  explicit SegmentDistance(const SegmentDistanceConfig& config) : config_(config) {
+  explicit SegmentDistance(const SegmentDistanceConfig& config)
+      : config_(config) {
     TRACLUS_DCHECK(config.w_perpendicular >= 0 && config.w_parallel >= 0 &&
                    config.w_angle >= 0);
   }
@@ -63,8 +65,8 @@ class SegmentDistance {
   DistanceComponents Components(const geom::Segment& a,
                                 const geom::Segment& b) const;
 
-  /// Perpendicular distance d⊥ (Definition 1): Lehmer mean of order 2 of the two
-  /// projection distances l⊥1, l⊥2.
+  /// Perpendicular distance d⊥ (Definition 1): Lehmer mean of order 2 of the
+  /// two projection distances l⊥1, l⊥2.
   double Perpendicular(const geom::Segment& a, const geom::Segment& b) const;
 
   /// Parallel distance d∥ (Definition 2): MIN(l∥1, l∥2). The MIN makes the
@@ -78,9 +80,9 @@ class SegmentDistance {
   /// for every pair of segments.
   ///
   /// Proof sketch (see DESIGN.md §4.1): let k ∈ {1, 2} attain d∥ = l∥k and let
-  /// q be the corresponding endpoint of Lj. The Euclidean distance from q to the
-  /// segment Li is at most l⊥k + l∥k (project to the line, then walk along it to
-  /// the nearer endpoint). Since the Lehmer mean of order 2 satisfies
+  /// q be the corresponding endpoint of Lj. The Euclidean distance from q to
+  /// the segment Li is at most l⊥k + l∥k (project to the line, then walk along
+  /// it to the nearer endpoint). Since the Lehmer mean of order 2 satisfies
   /// d⊥ ≥ max(l⊥1, l⊥2)/2, we get
   ///   mindist(Li, Lj) ≤ l⊥k + l∥k ≤ 2·d⊥ + d∥,
   /// hence dist ≥ w⊥·d⊥ + w∥·d∥ ≥ min(w⊥/2, w∥) · mindist.
@@ -109,9 +111,9 @@ class SegmentDistance {
 /// O(n²) memory — intended for the baseline algorithms and experiment scripts
 /// that need random access to all pairs, not for the clustering hot path
 /// (which goes through NeighborhoodProvider).
-common::Matrix PairwiseDistanceMatrix(const std::vector<geom::Segment>& segments,
-                                      const SegmentDistance& dist,
-                                      common::ThreadPool& pool);
+common::Matrix PairwiseDistanceMatrix(
+    const std::vector<geom::Segment>& segments, const SegmentDistance& dist,
+    common::ThreadPool& pool);
 
 }  // namespace traclus::distance
 

@@ -23,8 +23,9 @@ double HalfMeanPairwiseSquared(const std::vector<geom::Segment>& segments,
   const double total_pairs =
       0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
 
-  const bool exact = options.max_pairs_per_set == 0 ||
-                     total_pairs <= static_cast<double>(options.max_pairs_per_set);
+  const bool exact =
+      options.max_pairs_per_set == 0 ||
+      total_pairs <= static_cast<double>(options.max_pairs_per_set);
   if (exact) {
     double sum = 0.0;
     for (size_t a = 0; a < n; ++a) {

@@ -66,7 +66,9 @@ class BBox {
   /// Minimum Euclidean distance between this box and `other` (0 if they
   /// intersect). Lower-bounds the distance between any contained geometries.
   double MinDist(const BBox& other) const {
-    if (empty() || other.empty()) return std::numeric_limits<double>::infinity();
+    if (empty() || other.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
     TRACLUS_DCHECK_EQ(dims_, other.dims_);
     double s = 0.0;
     for (int i = 0; i < dims_; ++i) {

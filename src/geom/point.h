@@ -12,10 +12,10 @@ namespace traclus::geom {
 
 /// Maximum spatial dimensionality supported by the library.
 ///
-/// The paper defines trajectories over d-dimensional points and evaluates in 2-D,
-/// noting the approach "can be applied also to three dimensions" (§4.3 fn. 3).
-/// Fixed inline storage keeps points trivially copyable and cache-friendly, which
-/// matters because distance computations dominate the clustering phase.
+/// The paper defines trajectories over d-dimensional points and evaluates in
+/// 2-D, noting the approach "can be applied also to three dimensions" (§4.3 fn.
+/// 3). Fixed inline storage keeps points trivially copyable and cache-friendly,
+/// which matters because distance computations dominate the clustering phase.
 inline constexpr int kMaxDims = 3;
 
 /// A d-dimensional point (d = 2 or 3) with value semantics.
@@ -111,7 +111,9 @@ class Point {
 inline Point operator*(double s, const Point& p) { return p * s; }
 
 /// Euclidean distance between two points of equal dimensionality.
-inline double Distance(const Point& a, const Point& b) { return (a - b).Norm(); }
+inline double Distance(const Point& a, const Point& b) {
+  return (a - b).Norm();
+}
 
 /// Squared Euclidean distance; avoids the sqrt when comparing distances.
 inline double SquaredDistance(const Point& a, const Point& b) {

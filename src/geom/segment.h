@@ -17,8 +17,8 @@ using SegmentId = int64_t;
 /// A directed line segment, the unit of clustering in the partition-and-group
 /// framework (§2.1: a trajectory partition is a line segment p_i p_j).
 ///
-/// Carries the provenance needed by the grouping phase: `trajectory_id` feeds the
-/// trajectory-cardinality filter (Definition 10) and `weight` feeds the
+/// Carries the provenance needed by the grouping phase: `trajectory_id` feeds
+/// the trajectory-cardinality filter (Definition 10) and `weight` feeds the
 /// weighted-trajectory extension (§4.2). `id` is the "internal identifier" the
 /// paper uses to break ties when ordering segments for the symmetric distance
 /// (Lemma 2 proof).
@@ -26,8 +26,8 @@ class Segment {
  public:
   Segment() : id_(-1), trajectory_id_(-1), weight_(1.0) {}
 
-  Segment(Point start, Point end, SegmentId id = -1, TrajectoryId trajectory_id = -1,
-          double weight = 1.0)
+  Segment(Point start, Point end, SegmentId id = -1,
+          TrajectoryId trajectory_id = -1, double weight = 1.0)
       : start_(start),
         end_(end),
         id_(id),
@@ -77,8 +77,9 @@ class Segment {
 
 /// Minimum Euclidean distance between two closed segments.
 ///
-/// Used by the neighborhood index as the geometric quantity that lower-bounds the
-/// (non-metric) TRACLUS distance; see `distance/segment_distance.h` for the bound.
+/// Used by the neighborhood index as the geometric quantity that lower-bounds
+/// the (non-metric) TRACLUS distance; see `distance/segment_distance.h` for the
+/// bound.
 double SegmentToSegmentDistance(const Segment& a, const Segment& b);
 
 }  // namespace traclus::geom

@@ -16,13 +16,15 @@ inline double Dot(const Point& a, const Point& b) {
   return s;
 }
 
-/// Projection coefficient u of point `p` onto the line through `s` with direction
-/// `e - s`, per Formula (4): u = (sp · se) / ||se||².
+/// Projection coefficient u of point `p` onto the line through `s` with
+/// direction `e - s`, per Formula (4): u = (sp · se) / ||se||².
 ///
-/// u = 0 at `s`, u = 1 at `e`; values outside [0, 1] project beyond the segment.
-/// A degenerate (zero-length) base yields u = 0, i.e. the projection collapses to
-/// `s`, which keeps downstream distances well defined for point-like segments.
-inline double ProjectionCoefficient(const Point& p, const Point& s, const Point& e) {
+/// u = 0 at `s`, u = 1 at `e`; values outside [0, 1] project beyond the
+/// segment. A degenerate (zero-length) base yields u = 0, i.e. the projection
+/// collapses to `s`, which keeps downstream distances well defined for
+/// point-like segments.
+inline double ProjectionCoefficient(const Point& p, const Point& s,
+                                    const Point& e) {
   const Point se = e - s;
   const double denom = se.SquaredNorm();
   if (denom == 0.0) return 0.0;
@@ -36,7 +38,8 @@ inline Point ProjectOntoLine(const Point& p, const Point& s, const Point& e) {
 }
 
 /// Distance from `p` to the infinite line through `s` and `e`.
-inline double PointToLineDistance(const Point& p, const Point& s, const Point& e) {
+inline double PointToLineDistance(const Point& p, const Point& s,
+                                  const Point& e) {
   return Distance(p, ProjectOntoLine(p, s, e));
 }
 
@@ -49,9 +52,9 @@ inline double PointToSegmentDistance(const Point& p, const Point& s,
 }
 
 /// Cosine of the angle between two non-degenerate vectors, per Formula (5),
-/// clamped into [-1, 1] to absorb floating-point drift. Degenerate input (a zero
-/// vector) returns 1 (angle 0), matching the observation in §4.1.3 that a very
-/// short segment has no directional strength.
+/// clamped into [-1, 1] to absorb floating-point drift. Degenerate input (a
+/// zero vector) returns 1 (angle 0), matching the observation in §4.1.3 that a
+/// very short segment has no directional strength.
 inline double CosAngleBetween(const Point& v1, const Point& v2) {
   const double n1 = v1.Norm();
   const double n2 = v2.Norm();

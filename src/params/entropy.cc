@@ -34,8 +34,9 @@ double NeighborhoodEntropy(const std::vector<double>& neighborhood_masses) {
   return EntropyOfMasses(neighborhood_masses);
 }
 
-std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provider,
-                                      double eps, int num_threads) {
+std::vector<size_t> NeighborhoodSizes(
+    const cluster::NeighborhoodProvider& provider, double eps,
+    int num_threads) {
   const int threads = common::ResolveNumThreads(num_threads);
   if (threads > 1) {
     // Size-only batch across the pool: no list is retained past counting.

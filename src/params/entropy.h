@@ -25,17 +25,18 @@ double NeighborhoodEntropy(const std::vector<double>& neighborhood_masses);
 /// Computes |Nε(L)| for all L at one ε through a neighborhood provider.
 /// `num_threads` batches the queries across a pool (0 = hardware concurrency);
 /// the result is identical for every value.
-std::vector<size_t> NeighborhoodSizes(const cluster::NeighborhoodProvider& provider,
-                                      double eps, int num_threads = 1);
+std::vector<size_t> NeighborhoodSizes(
+    const cluster::NeighborhoodProvider& provider, double eps,
+    int num_threads = 1);
 
 /// Precomputed neighborhood-size profile over a whole grid of ε values.
 ///
 /// The Fig. 16/19 entropy curves need |Nε(L)| for every segment at every ε in a
 /// sweep. Querying an index once per (ε, L) costs O(grid · n · query); this
 /// profile instead makes a single O(n²) pass over segment pairs, bucketing each
-/// pairwise distance into the first grid cell that admits it and suffix-summing,
-/// which answers the whole sweep at once. Exact, and typically ~grid-size times
-/// faster than repeated queries for sweep workloads.
+/// pairwise distance into the first grid cell that admits it and
+/// suffix-summing, which answers the whole sweep at once. Exact, and typically
+/// ~grid-size times faster than repeated queries for sweep workloads.
 class NeighborhoodProfile {
  public:
   /// `eps_grid` must be strictly increasing. O(n²) construction; the pairwise

@@ -14,7 +14,7 @@ struct AnnealingOptions {
   double initial_temp = 1.0;  ///< Initial temperature.
   double cooling = 0.95;      ///< Geometric cooling factor per iteration.
   int iterations = 200;       ///< Proposal count.
-  double step_fraction = 0.1; ///< Proposal step stddev as a fraction of (hi−lo).
+  double step_fraction = 0.1; ///< Step stddev as a fraction of (hi−lo).
   uint64_t seed = 42;         ///< RNG seed (deterministic runs).
 };
 

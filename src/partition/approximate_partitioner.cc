@@ -18,7 +18,8 @@ std::vector<size_t> ApproximatePartitioner::CharacteristicPoints(
     // A single-segment candidate (curr_index == start_index + 1) cannot be
     // partitioned any further; forcing growth here also guarantees progress.
     if (cost_par > cost_nopar && curr_index - 1 > start_index) {
-      cp.push_back(curr_index - 1);  // Partition at the previous point (line 08).
+      // Partition at the previous point (line 08).
+      cp.push_back(curr_index - 1);
       start_index = curr_index - 1;
       length = 1;
     } else {

@@ -9,11 +9,12 @@ namespace traclus::partition {
 /// The O(n) Approximate Trajectory Partitioning algorithm of Fig. 8.
 ///
 /// Treats the set of local optima as the global optimum: it grows a candidate
-/// partition from the current characteristic point and, at the first index where
-/// MDL_par exceeds MDL_nopar, commits the previous point as a characteristic
-/// point and restarts from it. Exactly n − 1 MDL evaluations per trajectory
-/// (Lemma 1). May miss the true optimum (Fig. 9); §3.3 reports ≈80% precision
-/// against the exact solution, which `eval::PartitioningPrecision` measures.
+/// partition from the current characteristic point and, at the first index
+/// where MDL_par exceeds MDL_nopar, commits the previous point as a
+/// characteristic point and restarts from it. Exactly n − 1 MDL evaluations per
+/// trajectory (Lemma 1). May miss the true optimum (Fig. 9); §3.3 reports ≈80%
+/// precision against the exact solution, which `eval::PartitioningPrecision`
+/// measures.
 class ApproximatePartitioner : public TrajectoryPartitioner {
  public:
   ApproximatePartitioner() = default;

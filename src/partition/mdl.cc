@@ -32,7 +32,8 @@ double MdlCostModel::LDH(const traj::Trajectory& tr, size_t i, size_t j) const {
   const geom::Segment hypothesis(tr[i], tr[j]);
   double total = 0.0;
   for (size_t k = i; k < j; ++k) {
-    if (tr[k] == tr[k + 1]) continue;  // Zero-length data segment: no deviation.
+    // Zero-length data segment: no deviation.
+    if (tr[k] == tr[k + 1]) continue;
     const geom::Segment data(tr[k], tr[k + 1]);
     if (hypothesis.Length() == 0.0) {
       // Degenerate hypothesis (p_i == p_j): deviation is the data segment's own
@@ -46,7 +47,8 @@ double MdlCostModel::LDH(const traj::Trajectory& tr, size_t i, size_t j) const {
   return total;
 }
 
-double MdlCostModel::MdlPar(const traj::Trajectory& tr, size_t i, size_t j) const {
+double MdlCostModel::MdlPar(const traj::Trajectory& tr, size_t i,
+                            size_t j) const {
   return LH(tr, i, j) + LDH(tr, i, j);
 }
 

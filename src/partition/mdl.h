@@ -28,10 +28,10 @@ enum class MdlEncoding {
 /// Options of the MDL partitioning cost (Formulas (6) and (7)).
 struct MdlOptions {
   MdlEncoding encoding = MdlEncoding::kLog2Clamped;
-  /// Constant (in bits) added to the no-partition cost to suppress partitioning,
-  /// §4.1.3: suppression trades preciseness for longer trajectory partitions,
-  /// which avoids the short-segment over-clustering pathology of Fig. 11.
-  /// 0 disables suppression.
+  /// Constant (in bits) added to the no-partition cost to suppress
+  /// partitioning, §4.1.3: suppression trades preciseness for longer trajectory
+  /// partitions, which avoids the short-segment over-clustering pathology of
+  /// Fig. 11. 0 disables suppression.
   double suppression_bits = 0.0;
   /// Angle-distance flavor used inside L(D|H); matches the clustering distance.
   bool directed = true;
@@ -40,12 +40,12 @@ struct MdlOptions {
 /// MDL cost model for trajectory partitioning (§3.2, Fig. 7).
 ///
 /// A hypothesis H is a set of trajectory partitions. L(H) is the total encoded
-/// length of the partitions (Formula (6)); L(D|H) is the encoded deviation of the
-/// original trajectory from them — the sum of perpendicular and angle distances
-/// between each partition and each constituent line segment (Formula (7); the
-/// parallel distance is omitted because a trajectory encloses its partitions).
-/// L(H) is deliberately a function of segment *lengths*, not endpoint
-/// coordinates, so partitioning is translation-invariant (Appendix C).
+/// length of the partitions (Formula (6)); L(D|H) is the encoded deviation of
+/// the original trajectory from them — the sum of perpendicular and angle
+/// distances between each partition and each constituent line segment (Formula
+/// (7); the parallel distance is omitted because a trajectory encloses its
+/// partitions). L(H) is deliberately a function of segment *lengths*, not
+/// endpoint coordinates, so partitioning is translation-invariant (Appendix C).
 class MdlCostModel {
  public:
   MdlCostModel() : MdlCostModel(MdlOptions{}) {}

@@ -16,8 +16,8 @@ namespace traclus::partition {
 /// slow for the clustering pipeline but exactly what's needed to measure the
 /// approximate algorithm's precision (§3.3 reports ≈80%).
 ///
-/// Note: MDL_nopar never competes here; keeping raw sub-polylines corresponds to
-/// selecting *every* intermediate point as characteristic, which is itself a
+/// Note: MDL_nopar never competes here; keeping raw sub-polylines corresponds
+/// to selecting *every* intermediate point as characteristic, which is itself a
 /// path in the DAG (each unit edge has L(D|H) = 0).
 class OptimalPartitioner : public TrajectoryPartitioner {
  public:

@@ -3,7 +3,8 @@
 namespace traclus::partition {
 
 std::vector<geom::Segment> MakePartitionSegments(
-    const traj::Trajectory& tr, const std::vector<size_t>& characteristic_points,
+    const traj::Trajectory& tr,
+    const std::vector<size_t>& characteristic_points,
     geom::SegmentId first_segment_id) {
   std::vector<geom::Segment> out;
   if (characteristic_points.size() < 2) return out;

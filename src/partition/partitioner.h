@@ -10,9 +10,9 @@
 namespace traclus::partition {
 
 /// Interface of the partitioning phase: maps a trajectory to the indices of its
-/// characteristic points (§3.1). Implementations must include the first and last
-/// point and return strictly increasing indices; a trajectory with fewer than two
-/// points yields an empty result.
+/// characteristic points (§3.1). Implementations must include the first and
+/// last point and return strictly increasing indices; a trajectory with fewer
+/// than two points yields an empty result.
 class TrajectoryPartitioner {
  public:
   virtual ~TrajectoryPartitioner() = default;
@@ -27,7 +27,8 @@ class TrajectoryPartitioner {
 /// sequential segment ids starting at `first_segment_id`.
 /// Zero-length partitions (coincident characteristic points) are skipped.
 std::vector<geom::Segment> MakePartitionSegments(
-    const traj::Trajectory& tr, const std::vector<size_t>& characteristic_points,
+    const traj::Trajectory& tr,
+    const std::vector<size_t>& characteristic_points,
     geom::SegmentId first_segment_id);
 
 }  // namespace traclus::partition

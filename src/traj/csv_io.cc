@@ -29,10 +29,12 @@ std::vector<std::string_view> SplitFields(std::string_view line) {
 }
 
 std::string_view Trim(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+  while (!s.empty() &&
+         (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
     s.remove_prefix(1);
   }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
     s.remove_suffix(1);
   }
   return s;
@@ -84,7 +86,8 @@ common::Result<TrajectoryDatabase> ParseCsv(const std::string& content) {
     const auto fields = SplitFields(sv);
     if (fields.size() < 3) {
       return common::Status::InvalidArgument(
-          "CSV line " + std::to_string(line_no) + ": expected at least 3 fields");
+          "CSV line " + std::to_string(line_no) +
+          ": expected at least 3 fields");
     }
     int64_t id = 0;
     if (!ParseId(fields[0], &id)) {

@@ -25,8 +25,8 @@ void SvgWriter::Map(const geom::Point& p, double* px, double* py) const {
   *py = offset_y_ - p.y() * scale_;
 }
 
-void SvgWriter::AddDatabase(const TrajectoryDatabase& db, const std::string& color,
-                            double stroke_width) {
+void SvgWriter::AddDatabase(const TrajectoryDatabase& db,
+                            const std::string& color, double stroke_width) {
   for (const auto& tr : db.trajectories()) {
     AddTrajectory(tr, color, stroke_width);
   }
@@ -54,9 +54,9 @@ void SvgWriter::AddSegment(const geom::Segment& s, const std::string& color,
   Map(s.start(), &x1, &y1);
   Map(s.end(), &x2, &y2);
   std::ostringstream os;
-  os << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2 << "\" y2=\""
-     << y2 << "\" stroke=\"" << color << "\" stroke-width=\"" << stroke_width
-     << "\"/>";
+  os << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+     << "\" y2=\"" << y2 << "\" stroke=\"" << color << "\" stroke-width=\""
+     << stroke_width << "\"/>";
   elements_.push_back(os.str());
 }
 

@@ -23,7 +23,8 @@ class SvgWriter {
 
   /// Adds every trajectory in `db` as a thin polyline.
   void AddDatabase(const TrajectoryDatabase& db,
-                   const std::string& color = "#2e8b57", double stroke_width = 0.6);
+                   const std::string& color = "#2e8b57",
+                   double stroke_width = 0.6);
 
   /// Adds one trajectory (e.g. a representative trajectory) as a polyline.
   void AddTrajectory(const Trajectory& tr, const std::string& color = "#cc0000",

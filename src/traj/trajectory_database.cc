@@ -28,8 +28,8 @@ DatabaseStats TrajectoryDatabase::Stats() const {
     st.max_length = std::max(st.max_length, tr.size());
     for (const auto& p : tr.points()) st.bounds.Extend(p);
   }
-  st.mean_length =
-      static_cast<double>(st.num_points) / static_cast<double>(st.num_trajectories);
+  st.mean_length = static_cast<double>(st.num_points) /
+                   static_cast<double>(st.num_trajectories);
   return st;
 }
 

@@ -242,7 +242,8 @@ TEST(RegressionMixtureTest, ResponsibilitiesAreNormalized) {
   EXPECT_NEAR(wsum, 1.0, 1e-9);
 }
 
-TEST(RegressionMixtureTest, WholeTrajectoryClusteringMissesCommonSubtrajectory) {
+TEST(RegressionMixtureTest,
+     WholeTrajectoryClusteringMissesCommonSubtrajectory) {
   // The Example 1 failure mode, directly on the baseline: five trajectories
   // share a prefix corridor then fan out. A 2-component whole-trajectory
   // mixture cannot represent "the shared part clusters, the rest doesn't" —

@@ -22,7 +22,8 @@ using distance::SegmentDistance;
 using geom::Point;
 using geom::Segment;
 
-// ---------- Reference DBSCAN (textbook recursion, no optimizations). ----------
+// ---------- Reference DBSCAN (textbook recursion, no optimizations).
+// ----------
 
 struct RefResult {
   std::vector<int> labels;  // >= 0 cluster, -1 noise.

@@ -25,8 +25,8 @@ std::vector<Segment> Bundle(double x0, double y0, int count,
                             double len = 10.0) {
   std::vector<Segment> out;
   for (int i = 0; i < count; ++i) {
-    out.emplace_back(Point(x0, y0 + i * spacing), Point(x0 + len, y0 + i * spacing),
-                     /*id=*/-1, tid0 + i);
+    out.emplace_back(Point(x0, y0 + i * spacing),
+                     Point(x0 + len, y0 + i * spacing), /*id=*/-1, tid0 + i);
   }
   return out;
 }
@@ -112,13 +112,15 @@ TEST(DbscanTest, CardinalityThresholdCanDifferFromMinLns) {
   // "a threshold other than MinLns can be used" (Fig. 12 line 14 comment).
   auto segs = Bundle(0, 0, 6, /*tid0=*/0);
   for (size_t i = 0; i < segs.size(); ++i) {
-    segs[i].set_trajectory_id(static_cast<geom::TrajectoryId>(i % 2));  // 2 tids.
+    // 2 tids.
+    segs[i].set_trajectory_id(static_cast<geom::TrajectoryId>(i % 2));
   }
   segs = WithIds(std::move(segs));
   const SegmentDistance dist;
   const BruteForceNeighborhood provider(segs, dist);
 
-  DbscanOptions strict = Options(2.0, 3);  // Default threshold = MinLns = 3 > 2.
+  // Default threshold = MinLns = 3 > 2.
+  DbscanOptions strict = Options(2.0, 3);
   EXPECT_TRUE(DbscanSegments(segs, provider, strict).clusters.empty());
 
   DbscanOptions relaxed = Options(2.0, 3);

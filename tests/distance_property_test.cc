@@ -16,7 +16,8 @@ namespace {
 using geom::Point;
 using geom::Segment;
 
-// ---------- Independent reference implementation (deliberately naive). ----------
+// ---------- Independent reference implementation (deliberately naive).
+// ----------
 
 // Projection of p onto the line through (s, e), computed coordinate-wise.
 Point RefProject(const Point& p, const Point& s, const Point& e) {
@@ -65,7 +66,8 @@ DistanceComponents RefComponents(const Segment& longer, const Segment& shorter,
   return c;
 }
 
-Segment RandomSegment(common::Rng* rng, double world = 50, double max_len = 15) {
+Segment RandomSegment(common::Rng* rng, double world = 50,
+                      double max_len = 15) {
   const Point s(rng->Uniform(-world, world), rng->Uniform(-world, world));
   const double ang = rng->Uniform(0, 2 * M_PI);
   const double len = rng->Uniform(0.01, max_len);

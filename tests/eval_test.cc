@@ -116,7 +116,8 @@ TEST(PrecisionTest, EdgeCases) {
   EXPECT_DOUBLE_EQ(CharacteristicPointPrecision({}, {0, 1}), 1.0);
   EXPECT_DOUBLE_EQ(CharacteristicPointRecall({0, 1}, {}), 1.0);
   // Endpoint-only selections have no interior.
-  EXPECT_DOUBLE_EQ(InteriorCharacteristicPointPrecision({0, 9}, {0, 4, 9}), 1.0);
+  EXPECT_DOUBLE_EQ(InteriorCharacteristicPointPrecision({0, 9}, {0, 4, 9}),
+                   1.0);
 }
 
 TEST(QMeasureTest, SampledEstimatorTracksExactValue) {
@@ -141,7 +142,8 @@ TEST(QMeasureTest, SampledEstimatorTracksExactValue) {
   const SegmentDistance dist;
   QMeasureOptions exact_opt;
   exact_opt.max_pairs_per_set = 0;  // Force the exact path.
-  const double exact = ComputeQMeasure(segs, clustering, dist, exact_opt).qmeasure;
+  const double exact =
+      ComputeQMeasure(segs, clustering, dist, exact_opt).qmeasure;
 
   QMeasureOptions sampled_opt;
   sampled_opt.max_pairs_per_set = 4000;  // 200 choose 2 = 19900 > 4000.
@@ -149,8 +151,8 @@ TEST(QMeasureTest, SampledEstimatorTracksExactValue) {
       ComputeQMeasure(segs, clustering, dist, sampled_opt).qmeasure;
   EXPECT_NEAR(sampled, exact, 0.06 * exact);
   // Deterministic for the same seed.
-  EXPECT_DOUBLE_EQ(sampled,
-                   ComputeQMeasure(segs, clustering, dist, sampled_opt).qmeasure);
+  EXPECT_DOUBLE_EQ(
+      sampled, ComputeQMeasure(segs, clustering, dist, sampled_opt).qmeasure);
 }
 
 TEST(ClusterStatsTest, SummaryHandComputed) {

@@ -169,12 +169,16 @@ TEST(SegmentDistanceTest, MatchesDenseSamplingLowerEnvelope) {
     double sampled = std::numeric_limits<double>::infinity();
     const int kSteps = 60;
     for (int i = 0; i <= kSteps; ++i) {
-      const Point pa = a.start() + a.Direction() * (static_cast<double>(i) / kSteps);
-      sampled = std::min(sampled, PointToSegmentDistance(pa, b.start(), b.end()));
+      const Point pa =
+          a.start() + a.Direction() * (static_cast<double>(i) / kSteps);
+      sampled =
+          std::min(sampled, PointToSegmentDistance(pa, b.start(), b.end()));
     }
     for (int j = 0; j <= kSteps; ++j) {
-      const Point pb = b.start() + b.Direction() * (static_cast<double>(j) / kSteps);
-      sampled = std::min(sampled, PointToSegmentDistance(pb, a.start(), a.end()));
+      const Point pb =
+          b.start() + b.Direction() * (static_cast<double>(j) / kSteps);
+      sampled =
+          std::min(sampled, PointToSegmentDistance(pb, a.start(), a.end()));
     }
     EXPECT_LE(analytic, sampled + 1e-9);
     EXPECT_GE(analytic, sampled - 0.25);  // Sampling is only approximate.

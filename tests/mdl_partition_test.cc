@@ -258,7 +258,8 @@ TEST(OptimalPartitionerTest, NeverWorseThanApproximate) {
       p = Point(p.x() + rng.Uniform(0, 4), p.y() + rng.Uniform(-3, 3));
       tr.Add(p);
     }
-    const double opt_cost = optimal.TotalCost(tr, optimal.CharacteristicPoints(tr));
+    const double opt_cost =
+        optimal.TotalCost(tr, optimal.CharacteristicPoints(tr));
     const double approx_cost =
         optimal.TotalCost(tr, approx.CharacteristicPoints(tr));
     EXPECT_LE(opt_cost, approx_cost + 1e-9);
@@ -323,7 +324,8 @@ TEST(MakePartitionSegmentsTest, ProvenanceAndSequentialIds) {
   auto tr = MakeTrajectory({Point(0, 0), Point(5, 0), Point(5, 5), Point(9, 5)},
                            /*id=*/42);
   tr.set_weight(2.5);
-  const auto segs = MakePartitionSegments(tr, {0, 2, 3}, /*first_segment_id=*/10);
+  const auto segs =
+      MakePartitionSegments(tr, {0, 2, 3}, /*first_segment_id=*/10);
   ASSERT_EQ(segs.size(), 2u);
   EXPECT_EQ(segs[0].id(), 10);
   EXPECT_EQ(segs[1].id(), 11);

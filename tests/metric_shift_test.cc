@@ -36,7 +36,9 @@ TEST(MetricShiftTest, EuclideanPointsNeedNoShift) {
   for (int i = 0; i < 20; ++i) {
     pts.emplace_back(rng.Uniform(0, 10), rng.Uniform(0, 10));
   }
-  auto dist = [&](size_t i, size_t j) { return geom::Distance(pts[i], pts[j]); };
+  auto dist = [&](size_t i, size_t j) {
+    return geom::Distance(pts[i], pts[j]);
+  };
   EXPECT_NEAR(MinimalMetricShift(pts.size(), dist), 0.0, 1e-9);
   EXPECT_NEAR(MaxTriangleViolation(pts.size(), dist), 0.0, 1e-9);
 }

@@ -92,7 +92,8 @@ struct IndexExactnessCase {
   bool directed;
 };
 
-class IndexExactnessTest : public ::testing::TestWithParam<IndexExactnessCase> {};
+class IndexExactnessTest
+    : public ::testing::TestWithParam<IndexExactnessCase> {};
 
 TEST_P(IndexExactnessTest, MatchesBruteForceExactly) {
   const IndexExactnessCase& c = GetParam();
@@ -117,13 +118,14 @@ INSTANTIATE_TEST_SUITE_P(
         IndexExactnessCase{1, 150, 100, 5, 3.0, 1, 1, 1, true},
         IndexExactnessCase{2, 150, 100, 5, 10.0, 1, 1, 1, true},
         IndexExactnessCase{3, 150, 100, 5, 40.0, 1, 1, 1, true},
-        IndexExactnessCase{4, 200, 50, 20, 5.0, 1, 1, 1, true},      // Long segs.
+        IndexExactnessCase{4, 200, 50, 20, 5.0, 1, 1, 1, true},  // Long segs.
         IndexExactnessCase{5, 100, 300, 2, 8.0, 1, 1, 1, true},      // Sparse.
         IndexExactnessCase{6, 150, 100, 5, 5.0, 2.0, 0.5, 1.5, true},// Weights.
         IndexExactnessCase{7, 150, 100, 5, 5.0, 0.3, 2.0, 0.0, true},
-        IndexExactnessCase{8, 150, 100, 5, 5.0, 1, 1, 1, false},     // Undirected.
+        IndexExactnessCase{8, 150, 100, 5, 5.0, 1, 1, 1, false},  // Undirected.
         IndexExactnessCase{9, 60, 10, 4, 2.0, 1, 1, 1, true},        // Dense.
-        IndexExactnessCase{10, 150, 100, 5, 0.05, 1, 1, 1, true}));  // Tiny eps.
+        // Tiny eps.
+        IndexExactnessCase{10, 150, 100, 5, 0.05, 1, 1, 1, true}));
 
 TEST(GridNeighborhoodIndexTest, ZeroWeightFallsBackToExactScan) {
   // w∥ = 0 kills the lower bound; the index must still be exact (via scan).

@@ -109,8 +109,10 @@ TEST(RepresentativeTest, GammaSmoothingThinsPoints) {
   for (int i = 0; i < 12; ++i) {
     segs.emplace_back(Point(0.1 * i, 0.1 * i), Point(10 + 0.1 * i, 0.1 * i));
   }
-  const auto dense = RepresentativeTrajectory(segs, AllOf(segs), Options(3, 0.0));
-  const auto sparse = RepresentativeTrajectory(segs, AllOf(segs), Options(3, 2.0));
+  const auto dense =
+      RepresentativeTrajectory(segs, AllOf(segs), Options(3, 0.0));
+  const auto sparse =
+      RepresentativeTrajectory(segs, AllOf(segs), Options(3, 2.0));
   EXPECT_GT(dense.size(), sparse.size());
   ASSERT_GE(sparse.size(), 2u);
   // Consecutive sweep gaps must respect γ.

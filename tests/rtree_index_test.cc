@@ -86,7 +86,8 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, RTreeExactnessTest,
     ::testing::Values(RTreeCase{1, 200, 100, 5, 3.0, 16, 1, 1},
                       RTreeCase{2, 200, 100, 5, 12.0, 4, 1, 1},
-                      RTreeCase{3, 150, 40, 25, 5.0, 8, 1, 1},   // Long segments.
+                      // Long segments.
+                      RTreeCase{3, 150, 40, 25, 5.0, 8, 1, 1},
                       RTreeCase{4, 300, 400, 3, 8.0, 16, 1, 1},  // Sparse.
                       RTreeCase{5, 200, 100, 5, 5.0, 16, 2.0, 0.4},  // Weights.
                       RTreeCase{6, 64, 20, 4, 1.0, 2, 1, 1},    // Tiny leaves.

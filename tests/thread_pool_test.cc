@@ -89,7 +89,8 @@ TEST(ParallelForTest, EmptyRangeInvokesNothing) {
     std::atomic<int> calls{0};
     pool.ParallelFor(0, 0, [&calls](size_t) { calls.fetch_add(1); });
     pool.ParallelFor(5, 5, [&calls](size_t) { calls.fetch_add(1); });
-    pool.ParallelFor(7, 3, [&calls](size_t) { calls.fetch_add(1); });  // Inverted.
+    // Inverted.
+    pool.ParallelFor(7, 3, [&calls](size_t) { calls.fetch_add(1); });
     EXPECT_EQ(calls.load(), 0);
   }
 }

@@ -27,7 +27,8 @@ TraclusConfig Fig1Config() {
 
 TEST(TraclusIntegrationTest, DiscoversCommonSubTrajectoryOfFig1) {
   const auto db =
-      datagen::GenerateCommonSubTrajectory(datagen::CommonSubTrajectoryConfig{});
+      datagen::GenerateCommonSubTrajectory(
+          datagen::CommonSubTrajectoryConfig{});
   const Traclus traclus(Fig1Config());
   const TraclusResult result = traclus.Run(db);
 
@@ -59,7 +60,8 @@ TEST(TraclusIntegrationTest, WholeTrajectoryBaselineCannotIsolateCorridor) {
   // divergent trajectories always share a component even though their full
   // paths are dissimilar — and no output object isolates the shared corridor.
   const auto db =
-      datagen::GenerateCommonSubTrajectory(datagen::CommonSubTrajectoryConfig{});
+      datagen::GenerateCommonSubTrajectory(
+          datagen::CommonSubTrajectoryConfig{});
   baseline::RegressionMixtureConfig cfg;
   cfg.num_components = 3;
   const auto fit = baseline::RegressionMixtureClusterer(cfg).Fit(db);
@@ -111,7 +113,8 @@ TEST(TraclusIntegrationTest, IndexAndBruteForceAgreeEndToEnd) {
 
 TEST(TraclusIntegrationTest, PartitionPhaseAccumulatesAllTrajectories) {
   const auto db =
-      datagen::GenerateCommonSubTrajectory(datagen::CommonSubTrajectoryConfig{});
+      datagen::GenerateCommonSubTrajectory(
+          datagen::CommonSubTrajectoryConfig{});
   const Traclus traclus(Fig1Config());
   std::vector<std::vector<size_t>> cps;
   const auto segments = traclus.PartitionPhase(db, &cps);
@@ -194,11 +197,13 @@ TEST(TraclusIntegrationTest, QMeasureIsComputableOnPipelineOutput) {
   cfg.min_lns = 5;
   const auto result = Traclus(cfg).Run(db);
   const distance::SegmentDistance dist(cfg.distance);
-  const auto q = eval::ComputeQMeasure(result.segments, result.clustering, dist);
+  const auto q =
+      eval::ComputeQMeasure(result.segments, result.clustering, dist);
   EXPECT_GE(q.total_sse, 0.0);
   EXPECT_GE(q.noise_penalty, 0.0);
   EXPECT_TRUE(std::isfinite(q.qmeasure));
-  const auto stats = eval::SummarizeClustering(result.segments, result.clustering);
+  const auto stats =
+      eval::SummarizeClustering(result.segments, result.clustering);
   EXPECT_EQ(stats.num_clusters, result.clustering.clusters.size());
 }
 

@@ -62,7 +62,8 @@ TEST(TrajectoryDatabaseTest, AutoAssignsSequentialIds) {
 TEST(TrajectoryDatabaseTest, StatsAggregateCorrectly) {
   TrajectoryDatabase db;
   db.Add(MakeTrajectory(0, {Point(0, 0), Point(10, 0)}));
-  db.Add(MakeTrajectory(1, {Point(0, 5), Point(1, 5), Point(2, 8), Point(3, 5)}));
+  db.Add(MakeTrajectory(
+      1, {Point(0, 5), Point(1, 5), Point(2, 8), Point(3, 5)}));
   const DatabaseStats st = db.Stats();
   EXPECT_EQ(st.num_trajectories, 2u);
   EXPECT_EQ(st.num_points, 6u);
@@ -158,8 +159,9 @@ TEST(SvgWriterTest, ProducesWellFormedDocument) {
   world.Extend(Point(0, 0));
   world.Extend(Point(100, 50));
   SvgWriter svg(world);
-  svg.AddTrajectory(MakeTrajectory(0, {Point(0, 0), Point(50, 25), Point(100, 0)}),
-                    "#00ff00", 1.0);
+  svg.AddTrajectory(
+      MakeTrajectory(0, {Point(0, 0), Point(50, 25), Point(100, 0)}),
+      "#00ff00", 1.0);
   svg.AddSegment(geom::Segment(Point(10, 10), Point(20, 20)), "#ff0000", 2.0);
   svg.AddLabel(Point(50, 40), "cluster 0");
   const std::string doc = svg.ToString();
@@ -195,7 +197,8 @@ TEST(SvgWriterTest, SavesToDisk) {
   world.Extend(Point(1, 1));
   SvgWriter svg(world);
   const std::string path =
-      (std::filesystem::temp_directory_path() / "traclus_svg_test.svg").string();
+      (std::filesystem::temp_directory_path() / "traclus_svg_test.svg")
+          .string();
   ASSERT_TRUE(svg.Save(path).ok());
   std::ifstream in(path);
   EXPECT_TRUE(in.good());

@@ -177,10 +177,11 @@ int CmdPartition(const Args& args) {
   cfg.partition.suppression_bits = args.GetDouble("suppression", 0.0);
   cfg.num_threads = static_cast<int>(args.GetDouble("threads", 0));
   const auto segments = core::Traclus(cfg).PartitionPhase(*loaded);
-  std::printf("%zu points -> %zu trajectory partitions (%.2f points/partition)\n",
-              loaded->TotalPoints(), segments.size(),
-              static_cast<double>(loaded->TotalPoints()) /
-                  std::max<size_t>(1, segments.size()));
+  std::printf(
+      "%zu points -> %zu trajectory partitions (%.2f points/partition)\n",
+      loaded->TotalPoints(), segments.size(),
+      static_cast<double>(loaded->TotalPoints()) /
+          std::max<size_t>(1, segments.size()));
 
   const std::string out = args.GetString("out");
   if (!out.empty()) {
@@ -220,7 +221,8 @@ int CmdEstimate(const Args& args) {
   for (size_t g = 0; g < est.grid_eps.size(); ++g) {
     std::printf("%.4f %.4f\n", est.grid_eps[g], est.grid_entropy[g]);
   }
-  std::printf("\nestimated eps    : %.4f (entropy %.4f)\n", est.eps, est.entropy);
+  std::printf("\nestimated eps    : %.4f (entropy %.4f)\n", est.eps,
+              est.entropy);
   std::printf("avg|N_eps(L)|    : %.2f\n", est.avg_neighborhood_size);
   std::printf("suggested MinLns : %.0f .. %.0f\n", est.min_lns_low,
               est.min_lns_high);
