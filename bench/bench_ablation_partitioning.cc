@@ -25,7 +25,7 @@ void Report(const char* label, const traj::TrajectoryDatabase& db,
   cfg.eps = 0.94;
   cfg.min_lns = 7;
   cfg.generate_representatives = false;
-  const auto clustering = core::Traclus(cfg).GroupPhase(segments);
+  const auto clustering = bench::GroupOnly(cfg, segments);
   const auto stats = eval::SummarizeClustering(segments, clustering);
   std::printf(
       "%-26s: %6zu partitions (%4.1f pts/partition) -> %2zu clusters, "
@@ -69,7 +69,7 @@ int main() {
       core::TraclusConfig cfg;
       cfg.partition.encoding = enc;
       cfg.partition.suppression_bits = sup;
-      const auto segments = core::Traclus(cfg).PartitionPhase(db);
+      const auto segments = bench::PartitionOnly(cfg, db);
       char label[64];
       std::snprintf(label, sizeof(label), "MDL %s sup=%.0f",
                     enc == partition::MdlEncoding::kLog2Clamped ? "clamped"

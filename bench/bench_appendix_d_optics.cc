@@ -79,7 +79,7 @@ int main() {
   gen.num_trajectories = 120;
   const auto db = datagen::GenerateHurricanes(gen);
   core::TraclusConfig cfg;
-  const auto hsegs = core::Traclus(cfg).PartitionPhase(db);
+  const auto hsegs = bench::PartitionOnly(cfg, db);
   const cluster::BruteForceNeighborhood provider(hsegs, dist);
   cluster::OpticsOptions oopt;
   oopt.eps = 1.5;

@@ -24,7 +24,7 @@ int main() {
   bench::PrintDatabaseStats("hurricane", db);
 
   core::TraclusConfig cfg;
-  const auto segments = core::Traclus(cfg).PartitionPhase(db);
+  const auto segments = bench::PartitionOnly(cfg, db);
   std::printf("partitioning phase: %zu trajectory partitions\n\n",
               segments.size());
 

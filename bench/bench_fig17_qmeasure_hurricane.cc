@@ -27,7 +27,7 @@ int main() {
   bench::PrintDatabaseStats("hurricane", db);
 
   core::TraclusConfig base;
-  const auto segments = core::Traclus(base).PartitionPhase(db);
+  const auto segments = bench::PartitionOnly(base, db);
 
   // Estimate eps* as in E1, then sweep ±3 grid steps like the paper's 27..33.
   const distance::SegmentDistance dist;
@@ -58,8 +58,7 @@ int main() {
       cfg.eps = eps;
       cfg.min_lns = min_lns;
       cfg.generate_representatives = false;
-      const core::Traclus traclus(cfg);
-      const auto clustering = traclus.GroupPhase(segments);
+      const auto clustering = bench::GroupOnly(cfg, segments);
       core::TraclusResult result;
       result.segments = segments;
       result.clustering = clustering;

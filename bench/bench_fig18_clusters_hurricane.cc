@@ -42,7 +42,7 @@ int main() {
   core::TraclusConfig cfg;
   cfg.eps = 0.94;
   cfg.min_lns = 7;
-  const auto result = core::Traclus(cfg).Run(db);
+  const auto result = bench::RunPipeline(cfg, db);
   bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, result);
 
   std::printf("\ncluster directions (paper: E->W, W->E and S->N groups):\n");

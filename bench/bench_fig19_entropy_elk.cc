@@ -21,7 +21,7 @@ int main() {
   bench::PrintDatabaseStats("Elk1993", db);
 
   core::TraclusConfig cfg;
-  const auto segments = core::Traclus(cfg).PartitionPhase(db);
+  const auto segments = bench::PartitionOnly(cfg, db);
   std::printf("partitioning phase: %zu trajectory partitions\n\n",
               segments.size());
 

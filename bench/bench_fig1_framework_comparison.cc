@@ -35,7 +35,7 @@ int main() {
   core::TraclusConfig cfg;
   cfg.eps = 10.0;
   cfg.min_lns = 3;
-  const auto result = core::Traclus(cfg).Run(db);
+  const auto result = bench::RunPipeline(cfg, db);
   std::printf("\n[TRACLUS] %zu cluster(s)\n",
               result.clustering.clusters.size());
   for (size_t i = 0; i < result.representatives.size(); ++i) {

@@ -24,7 +24,7 @@ int main() {
   bench::PrintDatabaseStats("Elk1993", db);
 
   core::TraclusConfig base;
-  const auto segments = core::Traclus(base).PartitionPhase(db);
+  const auto segments = bench::PartitionOnly(base, db);
 
   const distance::SegmentDistance dist;
   params::HeuristicOptions hopt;
@@ -50,7 +50,7 @@ int main() {
       cfg.eps = eps;
       cfg.min_lns = min_lns;
       cfg.generate_representatives = false;
-      const auto clustering = core::Traclus(cfg).GroupPhase(segments);
+      const auto clustering = bench::GroupOnly(cfg, segments);
       const auto q = eval::ComputeQMeasure(segments, clustering, dist);
       std::printf("%-8.3f %-8.0f %-14.1f %zu\n", eps, min_lns, q.qmeasure,
                   clustering.clusters.size());

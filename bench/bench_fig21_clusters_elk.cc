@@ -27,7 +27,7 @@ int main() {
   core::TraclusConfig cfg;
   cfg.eps = 2.94;
   cfg.min_lns = 10;
-  const auto result = core::Traclus(cfg).Run(db);
+  const auto result = bench::RunPipeline(cfg, db);
   bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, result);
 
   // The divergent region check (paper: "the result having no cluster in that

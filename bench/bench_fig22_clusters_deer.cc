@@ -22,7 +22,7 @@ int main() {
   core::TraclusConfig cfg;
   cfg.eps = 1.8;  // Visual-inspection optimum near the entropy estimate (1.6).
   cfg.min_lns = 8;
-  const auto result = core::Traclus(cfg).Run(db);
+  const auto result = bench::RunPipeline(cfg, db);
   bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, result);
 
   // The two planted corridors (ground truth of the synthetic substitution).

@@ -27,7 +27,7 @@ int main() {
     core::TraclusConfig cfg;
     cfg.eps = 3.0;
     cfg.min_lns = 8;
-    const auto result = core::Traclus(cfg).Run(db);
+    const auto result = bench::RunPipeline(cfg, db);
     std::printf("noise fraction %.0f%%: ", 100 * noise_fraction);
     bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, result);
     std::printf("    planted corridors: %d, recovered clusters: %zu %s\n",

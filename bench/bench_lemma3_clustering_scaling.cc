@@ -10,7 +10,7 @@
 #include "cluster/neighborhood.h"
 #include "cluster/neighborhood_index.h"
 #include "cluster/rtree_index.h"
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/hurricane_generator.h"
 
 namespace {
@@ -21,8 +21,10 @@ const std::vector<geom::Segment>& AllSegments() {
   static const std::vector<geom::Segment> segments = [] {
     datagen::HurricaneConfig gen;
     gen.num_trajectories = 1200;  // Enough partitions for the largest slice.
-    core::TraclusConfig cfg;
-    return core::Traclus(cfg).PartitionPhase(datagen::GenerateHurricanes(gen));
+    const auto engine =
+        core::TraclusEngine::FromConfig(core::TraclusConfig{});
+    return std::move(
+        engine->Partition(datagen::GenerateHurricanes(gen))->segments);
   }();
   return segments;
 }
@@ -151,22 +153,24 @@ void BM_PartitionPhaseThreads(benchmark::State& state) {
   const auto db = datagen::GenerateHurricanes(gen);
   core::TraclusConfig cfg;
   cfg.num_threads = static_cast<int>(state.range(0));
-  const core::Traclus traclus(cfg);
+  const core::TraclusEngine engine = *core::TraclusEngine::FromConfig(cfg);
 
   {
     core::TraclusConfig serial_cfg = cfg;
     serial_cfg.num_threads = 1;
-    std::vector<std::vector<size_t>> expect_cp, got_cp;
-    core::Traclus(serial_cfg).PartitionPhase(db, &expect_cp);
-    traclus.PartitionPhase(db, &got_cp);
-    if (expect_cp != got_cp) {
+    const core::TraclusEngine serial =
+        *core::TraclusEngine::FromConfig(serial_cfg);
+    const auto expect = serial.Partition(db);
+    const auto got = engine.Partition(db);
+    if (!expect.ok() || !got.ok() ||
+        expect->characteristic_points != got->characteristic_points) {
       state.SkipWithError("thread count changed the partitioning!");
       return;
     }
   }
 
   for (auto _ : state) {
-    benchmark::DoNotOptimize(traclus.PartitionPhase(db));
+    benchmark::DoNotOptimize(engine.Partition(db));
   }
   state.counters["threads"] = cfg.num_threads;
 }

@@ -28,7 +28,7 @@ int main() {
   bench::PrintDatabaseStats("hurricane", db);
   core::TraclusConfig base;
   base.generate_representatives = false;
-  const auto segments = core::Traclus(base).PartitionPhase(db);
+  const auto segments = bench::PartitionOnly(base, db);
 
   // Our visual optimum is (0.94, 7); sweep eps at fixed MinLns and vice versa.
   const double opt_eps = 0.94;
@@ -45,7 +45,7 @@ int main() {
     cfg.min_lns = opt_min_lns;
     core::TraclusResult r;
     r.segments = segments;
-    r.clustering = core::Traclus(cfg).GroupPhase(segments);
+    r.clustering = bench::GroupOnly(cfg, segments);
     bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, r);
     const auto st = eval::SummarizeClustering(segments, r.clustering);
     if (!first && st.num_clusters > 0 && prev_clusters > 0) {
@@ -67,7 +67,7 @@ int main() {
     cfg.min_lns = min_lns;
     core::TraclusResult r;
     r.segments = segments;
-    r.clustering = core::Traclus(cfg).GroupPhase(segments);
+    r.clustering = bench::GroupOnly(cfg, segments);
     bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, r);
     prev_clusters =
         eval::SummarizeClustering(segments, r.clustering).num_clusters;

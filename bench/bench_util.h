@@ -6,16 +6,69 @@
 // paper's figure is a map plot, writes an SVG into bench_out/.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/representative.h"
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "eval/cluster_stats.h"
 #include "traj/svg_writer.h"
 #include "traj/trajectory_database.h"
 
 namespace traclus::bench {
+
+/// Builds a TraclusEngine from a legacy-shaped config, dying loudly on
+/// misconfiguration — benches hardcode their configs, so a rejection is a
+/// bench bug, not a runtime condition to handle.
+inline core::TraclusEngine MakeEngine(const core::TraclusConfig& config) {
+  auto engine = core::TraclusEngine::FromConfig(config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "bench engine config rejected: %s\n",
+                 engine.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(engine).ValueOrDie();
+}
+
+/// Full pipeline run (Fig. 4) on the engine API.
+inline core::TraclusResult RunPipeline(const core::TraclusConfig& config,
+                                       const traj::TrajectoryDatabase& db) {
+  auto result = MakeEngine(config).Run(db);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench pipeline run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).ValueOrDie();
+}
+
+/// Partitioning stage only (Fig. 4 lines 01-03).
+inline std::vector<geom::Segment> PartitionOnly(
+    const core::TraclusConfig& config, const traj::TrajectoryDatabase& db) {
+  auto partitioned = MakeEngine(config).Partition(db);
+  if (!partitioned.ok()) {
+    std::fprintf(stderr, "bench partition stage failed: %s\n",
+                 partitioned.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(partitioned->segments);
+}
+
+/// Grouping stage only (Fig. 4 line 04) on a prebuilt segment set.
+inline cluster::ClusteringResult GroupOnly(
+    const core::TraclusConfig& config,
+    const std::vector<geom::Segment>& segments) {
+  auto grouped = MakeEngine(config).Group(segments);
+  if (!grouped.ok()) {
+    std::fprintf(stderr, "bench group stage failed: %s\n",
+                 grouped.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(grouped).ValueOrDie();
+}
 
 /// Directory for bench artifacts (SVG plots, CSV series). Created on demand;
 /// falls back to the current directory on failure.

@@ -15,7 +15,7 @@
 #include <cstdio>
 #include <limits>
 
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/animal_generator.h"
 #include "geom/vector_ops.h"
 #include "traj/svg_writer.h"
@@ -46,10 +46,25 @@ int main() {
   const std::vector<Point> high_traffic_road = {Point(0, 140), Point(400, 150)};
   const std::vector<Point> low_traffic_road = {Point(200, 0), Point(210, 300)};
 
-  traclus::core::TraclusConfig config;
-  config.eps = 1.8;
-  config.min_lns = 8;
-  const auto result = traclus::core::Traclus(config).Run(db);
+  traclus::core::DbscanGroupOptions group;
+  group.eps = 1.8;
+  group.min_lns = 8;
+  traclus::core::SweepRepresentativeOptions reps;
+  reps.min_lns = group.min_lns;
+  const auto engine = traclus::core::TraclusEngine::Builder()
+                          .UseDbscanGrouping(group)
+                          .UseSweepRepresentatives(reps)
+                          .Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  const auto run = engine->Run(db);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const traclus::core::TraclusResult& result = *run;
   std::printf("movement corridors discovered: %zu\n\n",
               result.clustering.clusters.size());
 

@@ -13,7 +13,7 @@
 #include <fstream>
 #include <string>
 
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/noisy_generator.h"
 #include "traj/csv_io.h"
 #include "traj/svg_writer.h"
@@ -46,10 +46,36 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu trajectories / %zu points from %s\n", db.size(),
               db.TotalPoints(), input.c_str());
 
-  traclus::core::TraclusConfig cfg;
-  cfg.eps = eps;
-  cfg.min_lns = min_lns;
-  const auto result = traclus::core::Traclus(cfg).Run(db);
+  // User-supplied eps/MinLns go through the builder, which validates them
+  // before the run; a bad value (e.g. eps = 0 from a typo'd argument) is a
+  // printable status here instead of a crash mid-pipeline.
+  traclus::core::DbscanGroupOptions group;
+  group.eps = eps;
+  group.min_lns = min_lns;
+  traclus::core::SweepRepresentativeOptions reps;
+  reps.min_lns = min_lns;
+  const auto engine = traclus::core::TraclusEngine::Builder()
+                          .UseDbscanGrouping(group)
+                          .UseSweepRepresentatives(reps)
+                          .Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Real deployments want to see the pipeline move: RunContext streams
+  // per-stage progress (always from this thread, never from workers).
+  traclus::core::RunContext ctx;
+  ctx.progress = [](const std::string& stage, double fraction) {
+    std::fprintf(stderr, "  [%-24s %5.1f%%]\n", stage.c_str(),
+                 100.0 * fraction);
+  };
+  const auto run = engine->Run(db, ctx);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const traclus::core::TraclusResult& result = *run;
   std::printf("eps = %.2f, MinLns = %.0f -> %zu clusters, %zu noise segments\n",
               eps, min_lns, result.clustering.clusters.size(),
               result.clustering.num_noise);

@@ -16,7 +16,7 @@
 
 #include <cstdio>
 
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/hurricane_generator.h"
 #include "traj/svg_writer.h"
 
@@ -34,12 +34,27 @@ int main() {
   const double coast_lo = 10.0;
   const double coast_hi = 30.0;
 
-  traclus::core::TraclusConfig config;
-  config.eps = 0.94;
-  config.min_lns = 7;
-  config.use_weights = true;  // Intensity-weighted density (§4.2).
-
-  const auto result = traclus::core::Traclus(config).Run(db);
+  traclus::core::DbscanGroupOptions group;
+  group.eps = 0.94;
+  group.min_lns = 7;
+  group.use_weights = true;  // Intensity-weighted density (§4.2).
+  traclus::core::SweepRepresentativeOptions reps;
+  reps.min_lns = group.min_lns;
+  reps.use_weights = true;
+  const auto engine = traclus::core::TraclusEngine::Builder()
+                          .UseDbscanGrouping(group)
+                          .UseSweepRepresentatives(reps)
+                          .Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  const auto run = engine->Run(db);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const traclus::core::TraclusResult& result = *run;
   std::printf("clusters: %zu (weighted by hurricane intensity)\n\n",
               result.clustering.clusters.size());
 

@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/noisy_generator.h"
 #include "params/parameter_heuristic.h"
 
@@ -21,9 +21,16 @@ int main() {
   gen.noise_fraction = 0.25;
   const auto db = traclus::datagen::GenerateNoisy(gen);
 
-  // Partition first: the heuristic operates on trajectory partitions.
-  traclus::core::TraclusConfig base;
-  const auto segments = traclus::core::Traclus(base).PartitionPhase(db);
+  // Partition first: the heuristic operates on trajectory partitions. A bare
+  // default engine is valid; Partition alone runs just stage 1.
+  const auto base =
+      traclus::core::TraclusEngine::FromConfig(traclus::core::TraclusConfig{});
+  const auto partitioned = base->Partition(db);
+  if (!partitioned.ok()) {
+    std::fprintf(stderr, "%s\n", partitioned.status().ToString().c_str());
+    return 1;
+  }
+  const auto& segments = partitioned->segments;
   std::printf("partitions: %zu\n", segments.size());
 
   const traclus::distance::SegmentDistance dist;
@@ -47,11 +54,20 @@ int main() {
     traclus::core::TraclusConfig cfg;
     cfg.eps = est.eps;
     cfg.min_lns = min_lns;
-    const auto result = traclus::core::Traclus(cfg).Run(db);
+    const auto engine = traclus::core::TraclusEngine::FromConfig(cfg);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    const auto result = engine->Run(db);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
     std::printf("eps = %.3f, MinLns = %2.0f  ->  %zu clusters, %zu noise "
                 "segments\n",
-                cfg.eps, min_lns, result.clustering.clusters.size(),
-                result.clustering.num_noise);
+                cfg.eps, min_lns, result->clustering.clusters.size(),
+                result->clustering.num_noise);
   }
   std::printf("\n(ground truth: the generator planted %d corridors)\n",
               gen.num_planted_corridors);

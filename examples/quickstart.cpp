@@ -1,15 +1,18 @@
 // Quickstart: the smallest complete TRACLUS program.
 //
-// Builds a tiny trajectory database in code, runs the full partition-and-group
-// pipeline (Fig. 4 of the paper), and prints the clusters and representative
-// trajectories. See hurricane_landfall.cpp / animal_roads.cpp for the paper's
-// two application scenarios and parameter_selection.cpp for the §4.4 heuristic.
+// Builds a tiny trajectory database in code, assembles the partition-and-group
+// pipeline (Fig. 4 of the paper) with TraclusEngine::Builder, runs it, and
+// prints the clusters and representative trajectories. Every engine call
+// returns common::Result<T>, so configuration mistakes and bad input surface
+// as typed statuses instead of crashes. See hurricane_landfall.cpp /
+// animal_roads.cpp for the paper's two application scenarios and
+// parameter_selection.cpp for the §4.4 heuristic.
 //
-// Build & run:   ./build/examples/quickstart
+// Build & run:   ./build/example_quickstart
 
 #include <cstdio>
 
-#include "core/traclus.h"
+#include "core/engine.h"
 
 int main() {
   using traclus::geom::Point;
@@ -31,16 +34,36 @@ int main() {
   for (int k = 0; k <= 10; ++k) loner.Add(Point(10.0 * k, 300.0 - 14.0 * k));
   db.Add(std::move(loner));
 
-  // 2. Configure TRACLUS. eps/MinLns are the two clustering knobs (§4);
-  //    everything else has paper defaults (MDL partitioning, unit weights,
-  //    grid-indexed neighborhoods).
-  traclus::core::TraclusConfig config;
-  config.eps = 12.0;
-  config.min_lns = 4;
+  // 2. Assemble the pipeline. eps/MinLns are the two clustering knobs (§4);
+  //    every other stage option has paper defaults (MDL partitioning, unit
+  //    weights, grid-indexed neighborhoods). Build() validates the whole
+  //    configuration up front and returns a status instead of an engine when
+  //    something is off (try eps = -1 to see it).
+  traclus::core::DbscanGroupOptions group;
+  group.eps = 12.0;
+  group.min_lns = 4;
+  traclus::core::SweepRepresentativeOptions reps;
+  reps.min_lns = 4;
+  const auto engine = traclus::core::TraclusEngine::Builder()
+                          .UseMdlPartitioning()
+                          .UseDbscanGrouping(group)
+                          .UseSweepRepresentatives(reps)
+                          .Build();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine configuration rejected: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
 
-  // 3. Run the pipeline.
-  const traclus::core::TraclusResult result =
-      traclus::core::Traclus(config).Run(db);
+  // 3. Run the pipeline. Run also returns Result<T>: an empty database, a
+  //    cancellation, or a stage failure would land here as a typed status.
+  const auto run = engine->Run(db);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const traclus::core::TraclusResult& result = *run;
 
   // 4. Inspect the output.
   std::printf("partitioned %zu trajectories into %zu line segments\n",

@@ -1,7 +1,10 @@
 #include "cluster/dbscan_segments.h"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -9,6 +12,8 @@
 namespace traclus::cluster {
 
 namespace {
+
+constexpr size_t kDefaultBatchBlock = 1024;
 
 // |Nε(L)| under the configured density: neighbor count, or the weighted count
 // of the §4.2 extension.
@@ -21,6 +26,88 @@ double NeighborhoodMass(const std::vector<geom::Segment>& segments,
   return mass;
 }
 
+// Serves ε-neighborhood lists to the sequential expansion loop while keeping
+// at most `block` lists resident.
+//
+// The expansion loop consumes each segment's list exactly once (a segment is
+// fetched either when it seeds a cluster or when it is popped from the BFS
+// queue — never both, because both transitions require it to have been
+// unclassified). The fetcher exploits that: on a cache miss it batches the
+// demanded query together with queries the loop is guaranteed to issue soon —
+// pending queue members, then upcoming unclassified seeds — computes the whole
+// block across the pool (one grid scratch per chunk, exact results), hands the
+// demanded list back, and parks the rest. Parked lists are erased as they are
+// consumed, so residency never exceeds `block` and peak memory is
+// O(block · max|Nε|) rather than the O(Σ|Nε|) of a full up-front batch.
+// Because every served list equals provider.Neighbors(i, eps) exactly, labels
+// and cluster IDs are byte-identical to the serial path for any block size.
+class BlockedNeighborFetcher {
+ public:
+  BlockedNeighborFetcher(const NeighborhoodProvider& provider, double eps,
+                         size_t block, common::ThreadPool& pool)
+      : provider_(provider),
+        eps_(eps),
+        block_(std::max<size_t>(1, block)),
+        pool_(pool),
+        fetched_(provider.size(), 0) {}
+
+  std::vector<size_t> Fetch(size_t index, const std::deque<size_t>& queue,
+                            const std::vector<int>& labels) {
+    const auto it = cache_.find(index);
+    if (it != cache_.end()) {
+      std::vector<size_t> list = std::move(it->second);
+      cache_.erase(it);
+      return list;
+    }
+
+    std::vector<size_t> batch;
+    batch.push_back(index);
+    fetched_[index] = 1;
+    // Never let parked lists exceed the block: the demanded list is returned,
+    // the other batch.size() - 1 are parked next to the cache_.size() already
+    // resident.
+    const size_t room = block_ > cache_.size() ? block_ - cache_.size() : 0;
+    const size_t max_batch = 1 + room;
+    // Queue members are consumed soonest; scan a bounded prefix so assembling
+    // a batch stays O(block) even when the queue is long.
+    size_t scanned = 0;
+    for (const size_t m : queue) {
+      if (batch.size() >= max_batch || scanned >= 2 * block_) break;
+      ++scanned;
+      if (!fetched_[m]) {
+        fetched_[m] = 1;
+        batch.push_back(m);
+      }
+    }
+    // Then upcoming seeds. The cursor only moves forward; an unclassified
+    // segment it passes over is guaranteed to be fetched through the queue
+    // later, so skipping it costs at worst a smaller batch, never correctness.
+    while (batch.size() < max_batch && seed_cursor_ < labels.size()) {
+      const size_t s = seed_cursor_++;
+      if (!fetched_[s] && labels[s] == kUnclassified) {
+        fetched_[s] = 1;
+        batch.push_back(s);
+      }
+    }
+
+    std::vector<std::vector<size_t>> lists =
+        provider_.NeighborsBatch(batch, eps_, pool_);
+    for (size_t k = 1; k < batch.size(); ++k) {
+      cache_.emplace(batch[k], std::move(lists[k]));
+    }
+    return std::move(lists[0]);
+  }
+
+ private:
+  const NeighborhoodProvider& provider_;
+  const double eps_;
+  const size_t block_;
+  common::ThreadPool& pool_;
+  std::unordered_map<size_t, std::vector<size_t>> cache_;
+  std::vector<char> fetched_;  // Listed in a past batch (parked or consumed).
+  size_t seed_cursor_ = 0;
+};
+
 }  // namespace
 
 ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
@@ -30,36 +117,39 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
   TRACLUS_CHECK_GT(options.eps, 0.0);
   TRACLUS_CHECK_GE(options.min_lns, 1.0);
 
-  // With >1 thread, batch every ε-neighborhood query up front across the pool
-  // and run the (inherently sequential) expansion below against the cache.
-  // Each cached list equals what `provider` would return inline, so labels and
-  // cluster IDs are byte-identical at any thread count.
-  const int num_threads = common::ResolveNumThreads(options.num_threads);
-  std::unique_ptr<NeighborhoodCache> cache;
-  if (num_threads > 1) {
-    cache = std::make_unique<NeighborhoodCache>(
-        provider, options.eps, common::SharedPool(num_threads));
-  }
-  // Cached lists are served by reference (no per-query copy); the serial path
-  // computes into `storage` exactly as the seed did.
-  auto neighbors_of = [&](size_t i, std::vector<size_t>& storage)
-      -> const std::vector<size_t>& {
-    if (cache) return cache->lists()[i];
-    storage = provider.Neighbors(i, options.eps);
-    return storage;
-  };
-
   const size_t n = segments.size();
   ClusteringResult result;
   result.labels.assign(n, kUnclassified);
   std::vector<Cluster> raw_clusters;
+  std::deque<size_t> queue;
+
+  // With >1 thread, ε-neighborhood queries are computed across the pool in
+  // bounded blocks and served to the (inherently sequential) expansion loop
+  // below. Every served list equals what `provider` would return inline, so
+  // labels and cluster IDs are byte-identical at any thread count and block
+  // size; the serial path computes each query inline, exactly as the seed did.
+  const int num_threads = common::ResolveNumThreads(options.num_threads);
+  std::unique_ptr<BlockedNeighborFetcher> fetcher;
+  if (num_threads > 1) {
+    const size_t block =
+        options.batch_block > 0 ? options.batch_block : kDefaultBatchBlock;
+    fetcher = std::make_unique<BlockedNeighborFetcher>(
+        provider, options.eps, block, common::SharedPool(num_threads));
+  }
+  const auto fetch = [&](size_t i) -> std::vector<size_t> {
+    if (fetcher) return fetcher->Fetch(i, queue, result.labels);
+    return provider.Neighbors(i, options.eps);
+  };
+  const size_t progress_stride = std::max<size_t>(1, n / 64);
 
   int cluster_id = 0;  // Fig. 12 line 01.
   for (size_t seed = 0; seed < n; ++seed) {  // Step 1 (lines 03-12).
+    common::ThrowIfCancelled(options.cancellation);
+    if (options.progress && seed % progress_stride == 0) {
+      options.progress(static_cast<double>(seed) / static_cast<double>(n));
+    }
     if (result.labels[seed] != kUnclassified) continue;
-    std::vector<size_t> seed_storage;
-    const std::vector<size_t>& seed_neighbors =
-        neighbors_of(seed, seed_storage);
+    const std::vector<size_t> seed_neighbors = fetch(seed);
     if (NeighborhoodMass(segments, seed_neighbors, options) < options.min_lns) {
       result.labels[seed] = kNoise;  // Line 12.
       continue;
@@ -68,7 +158,6 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
     // Lines 07-08: assign the whole neighborhood, enqueue Nε(L) − {L}.
     Cluster cluster;
     cluster.id = cluster_id;
-    std::deque<size_t> queue;
     for (const size_t i : seed_neighbors) {
       // Previously-noise segments become border members here.
       if (result.labels[i] == kUnclassified && i != seed) queue.push_back(i);
@@ -80,10 +169,10 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
 
     // Step 2 (ExpandCluster, lines 17-28).
     while (!queue.empty()) {
+      common::ThrowIfCancelled(options.cancellation);
       const size_t m = queue.front();
       queue.pop_front();
-      std::vector<size_t> m_storage;
-      const std::vector<size_t>& m_neighbors = neighbors_of(m, m_storage);
+      const std::vector<size_t> m_neighbors = fetch(m);
       if (NeighborhoodMass(segments, m_neighbors, options) < options.min_lns) {
         continue;  // Not a core line segment: expand no further through it.
       }
@@ -124,6 +213,7 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
     if (result.labels[i] == kNoise) ++result.num_noise;
     TRACLUS_DCHECK(result.labels[i] != kUnclassified);
   }
+  if (options.progress) options.progress(1.0);
   return result;
 }
 

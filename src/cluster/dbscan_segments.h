@@ -1,8 +1,12 @@
 #ifndef TRACLUS_CLUSTER_DBSCAN_SEGMENTS_H_
 #define TRACLUS_CLUSTER_DBSCAN_SEGMENTS_H_
 
+#include <cstddef>
+#include <functional>
+
 #include "cluster/cluster.h"
 #include "cluster/neighborhood.h"
+#include "common/cancellation.h"
 
 namespace traclus::cluster {
 
@@ -20,12 +24,28 @@ struct DbscanOptions {
   /// neighbors' weights rather than their count, so e.g. a stronger hurricane
   /// contributes more density.
   bool use_weights = false;
-  /// Worker threads for the ε-neighborhood batch (the Lemma 3 hot path): the
-  /// whole query set is computed across a pool, then the sequential expansion
-  /// loop consumes the cached lists. 0 = hardware concurrency; 1 = query
-  /// inline during expansion, exactly the original single-threaded behavior.
+  /// Worker threads for the ε-neighborhood queries (the Lemma 3 hot path):
+  /// queries are computed across a pool in bounded blocks and the sequential
+  /// expansion loop consumes them. 0 = hardware concurrency; 1 = query inline
+  /// during expansion, exactly the original single-threaded behavior.
   /// Cluster IDs and labels are identical for every value.
   int num_threads = 1;
+  /// Maximum number of ε-neighborhood lists resident at once in the batched
+  /// (num_threads > 1) path. Peak extra memory is O(batch_block · max|Nε|)
+  /// instead of the O(Σ|Nε|) a full up-front batch would hold; every list is
+  /// still computed exactly once, so labels are identical for every value.
+  /// 0 selects the default (1024).
+  size_t batch_block = 0;
+  /// Optional cooperative cancellation, polled between seeds of the expansion
+  /// loop (and hence between query blocks). When it fires, DbscanSegments
+  /// aborts by throwing common::OperationCancelled; the engine layer converts
+  /// that to StatusCode::kCancelled.
+  const common::CancellationToken* cancellation = nullptr;
+  /// Optional progress callback: completed fraction of the seed scan in
+  /// [0, 1], invoked on the calling thread only, at a bounded number of evenly
+  /// spaced points. The call sequence depends only on the input size, never on
+  /// thread count.
+  std::function<void(double)> progress;
 };
 
 /// Density-based clustering of line segments — the grouping phase of TRACLUS

@@ -22,6 +22,28 @@ std::vector<size_t> NeighborhoodProvider::AllNeighborhoodSizes(
   return sizes;
 }
 
+std::vector<std::vector<size_t>> NeighborhoodProvider::NeighborsBatch(
+    const std::vector<size_t>& queries, double eps,
+    common::ThreadPool& pool) const {
+  std::vector<std::vector<size_t>> lists(queries.size());
+  pool.ParallelFor(0, queries.size(), [this, eps, &queries, &lists](size_t k) {
+    lists[k] = Neighbors(queries[k], eps);
+  });
+  return lists;
+}
+
+std::vector<std::vector<size_t>> NeighborhoodCache::NeighborsBatch(
+    const std::vector<size_t>& queries, double eps,
+    common::ThreadPool& /*pool*/) const {
+  TRACLUS_CHECK_EQ(eps, eps_);
+  std::vector<std::vector<size_t>> lists(queries.size());
+  for (size_t k = 0; k < queries.size(); ++k) {
+    TRACLUS_DCHECK(queries[k] < lists_.size());
+    lists[k] = lists_[queries[k]];
+  }
+  return lists;
+}
+
 std::vector<size_t> NeighborhoodCache::Neighbors(size_t query_index,
                                                  double eps) const {
   TRACLUS_DCHECK(query_index < lists_.size());

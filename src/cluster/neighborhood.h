@@ -45,6 +45,17 @@ class NeighborhoodProvider {
   virtual std::vector<size_t> AllNeighborhoodSizes(
       double eps, common::ThreadPool& pool) const;
 
+  /// Subset batch: Nε(L) for an explicit list of query indices, computed
+  /// across `pool`; entry k is exactly `Neighbors(queries[k], eps)`. This is
+  /// the block-streamed grouping phase's primitive — it fans a bounded block
+  /// of queries out at once, so peak memory stays proportional to the block
+  /// rather than to the whole database. Same default thread-safety
+  /// requirement as `AllNeighbors`; providers with per-query scratch override
+  /// (see GridNeighborhoodIndex).
+  virtual std::vector<std::vector<size_t>> NeighborsBatch(
+      const std::vector<size_t>& queries, double eps,
+      common::ThreadPool& pool) const;
+
   /// Number of segments in the bound database.
   virtual size_t size() const = 0;
 };
@@ -72,6 +83,9 @@ class NeighborhoodCache : public NeighborhoodProvider {
       double eps, common::ThreadPool& pool) const override;
   std::vector<size_t> AllNeighborhoodSizes(
       double eps, common::ThreadPool& pool) const override;
+  std::vector<std::vector<size_t>> NeighborsBatch(
+      const std::vector<size_t>& queries, double eps,
+      common::ThreadPool& pool) const override;
   size_t size() const override { return lists_.size(); }
 
   const std::vector<std::vector<size_t>>& lists() const { return lists_; }

@@ -57,7 +57,6 @@ GridNeighborhoodIndex::GridNeighborhoodIndex(
       }
     }
   }
-  scratch_.visit_stamp.assign(segments_.size(), 0);
 }
 
 GridNeighborhoodIndex::CellCoord GridNeighborhoodIndex::CellOf(
@@ -73,7 +72,13 @@ uint64_t GridNeighborhoodIndex::CellKey(const CellCoord& c) {
 
 std::vector<size_t> GridNeighborhoodIndex::Neighbors(size_t query_index,
                                                      double eps) const {
-  return Neighbors(query_index, eps, &scratch_);
+  // One scratch per thread makes the index-interface overload safe for
+  // concurrent callers. Sharing the scratch across index instances on a
+  // thread is fine: stamps grow monotonically per scratch, so marks left by
+  // a different index (or an earlier query) are always stale, and the stamp
+  // wrap-around path clears everything.
+  thread_local QueryScratch per_thread_scratch;
+  return Neighbors(query_index, eps, &per_thread_scratch);
 }
 
 std::vector<std::vector<size_t>> GridNeighborhoodIndex::AllNeighbors(
@@ -103,6 +108,20 @@ std::vector<size_t> GridNeighborhoodIndex::AllNeighborhoodSizes(
         }
       });
   return sizes;
+}
+
+std::vector<std::vector<size_t>> GridNeighborhoodIndex::NeighborsBatch(
+    const std::vector<size_t>& queries, double eps,
+    common::ThreadPool& pool) const {
+  std::vector<std::vector<size_t>> lists(queries.size());
+  pool.ParallelForChunked(
+      0, queries.size(), [this, eps, &queries, &lists](size_t lo, size_t hi) {
+        QueryScratch scratch;
+        for (size_t k = lo; k < hi; ++k) {
+          lists[k] = Neighbors(queries[k], eps, &scratch);
+        }
+      });
+  return lists;
 }
 
 std::vector<size_t> GridNeighborhoodIndex::Neighbors(

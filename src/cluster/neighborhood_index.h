@@ -45,11 +45,15 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
     uint32_t stamp = 0;
   };
 
-  /// Single-caller query (uses the index's own scratch; NOT thread-safe).
+  /// Convenience query against a per-thread scratch: safe to call from any
+  /// number of threads concurrently (each thread owns its scratch), identical
+  /// results to the explicit-scratch overload. Batch entry points below are
+  /// still preferred on hot paths — they amortize one scratch per chunk of
+  /// work instead of keeping one per thread alive.
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
 
   /// Thread-safe query against caller-owned scratch. Results are identical to
-  /// the single-caller overload.
+  /// the per-thread-scratch overload.
   std::vector<size_t> Neighbors(size_t query_index, double eps,
                                 QueryScratch* scratch) const;
 
@@ -61,6 +65,11 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
   /// discarded as soon as they are counted.
   std::vector<size_t> AllNeighborhoodSizes(
       double eps, common::ThreadPool& pool) const override;
+
+  /// Subset batch with one scratch per chunk of queries.
+  std::vector<std::vector<size_t>> NeighborsBatch(
+      const std::vector<size_t>& queries, double eps,
+      common::ThreadPool& pool) const override;
 
   size_t size() const override { return segments_.size(); }
 
@@ -85,8 +94,6 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
   int dims_ = 2;
   std::vector<geom::BBox> boxes_;  // Per-segment MBR, parallel to segments_.
   std::unordered_map<uint64_t, std::vector<size_t>> cells_;
-  // Scratch for the single-caller Neighbors overload.
-  mutable QueryScratch scratch_;
 };
 
 }  // namespace traclus::cluster

@@ -35,6 +35,7 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
 
   std::vector<bool> processed(n, false);
   std::vector<double> reach(n, kUndefinedReachability);
+  const size_t progress_stride = std::max<size_t>(1, n / 64);
 
   auto core_distance_of = [&](size_t i,
                               const std::vector<size_t>& neighbors) -> double {
@@ -60,6 +61,7 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
     seeds.push(Seed{kUndefinedReachability, start});
 
     while (!seeds.empty()) {
+      common::ThrowIfCancelled(options.cancellation);
       const Seed s = seeds.top();
       seeds.pop();
       if (processed[s.index]) continue;
@@ -79,6 +81,11 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
       result.ordering.push_back(s.index);
       result.reachability.push_back(reach[s.index]);
       result.core_distance.push_back(core_d);
+      if (options.progress &&
+          result.ordering.size() % progress_stride == 0) {
+        options.progress(static_cast<double>(result.ordering.size()) /
+                         static_cast<double>(n));
+      }
 
       if (core_d == kUndefinedReachability) continue;  // Not a core segment.
       for (const size_t j : neighbors) {
@@ -92,6 +99,7 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
       }
     }
   }
+  if (options.progress) options.progress(1.0);
   return result;
 }
 

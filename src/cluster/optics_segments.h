@@ -1,11 +1,13 @@
 #ifndef TRACLUS_CLUSTER_OPTICS_SEGMENTS_H_
 #define TRACLUS_CLUSTER_OPTICS_SEGMENTS_H_
 
+#include <functional>
 #include <limits>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/neighborhood.h"
+#include "common/cancellation.h"
 
 namespace traclus::cluster {
 
@@ -17,6 +19,15 @@ inline constexpr double kUndefinedReachability =
 struct OpticsOptions {
   double eps = 1.0;      ///< Generating distance ε.
   double min_lns = 3.0;  ///< MinLns (MinPts analogue).
+  /// Optional cooperative cancellation, polled once per ordering step (the
+  /// walk is inherently sequential, so steps are the natural poll points).
+  /// When it fires, OpticsSegments aborts by throwing
+  /// common::OperationCancelled.
+  const common::CancellationToken* cancellation = nullptr;
+  /// Optional progress callback: fraction of segments ordered, in [0, 1],
+  /// invoked on the calling thread at a bounded number of evenly spaced
+  /// points. The call sequence depends only on the input size.
+  std::function<void(double)> progress;
 };
 
 /// OPTICS output: a cluster ordering with reachability/core distances.

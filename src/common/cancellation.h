@@ -1,0 +1,52 @@
+#ifndef TRACLUS_COMMON_CANCELLATION_H_
+#define TRACLUS_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <stdexcept>
+
+namespace traclus::common {
+
+/// Cooperative cancellation flag for long pipeline runs.
+///
+/// A caller keeps the token, hands a pointer to the run (e.g. through
+/// core::RunContext), and calls `Cancel()` from any thread — typically a
+/// signal handler, a UI thread, or a progress callback. The running pipeline
+/// polls the flag between units of parallel work (chunks, blocks, seeds) and
+/// abandons the run at the next check, surfacing StatusCode::kCancelled to the
+/// caller. Checks are a single relaxed atomic load, cheap enough for inner
+/// loops; no happens-before edge is needed because a cancellation is a pure
+/// "stop soon" request carrying no data.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once `Cancel()` has been called.
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by deep pipeline loops when their token fires; converted to
+/// Status::Cancelled at the stage boundary (never escapes the engine API).
+/// Propagates safely across ThreadPool::ParallelFor, which rethrows the first
+/// task exception on the calling thread.
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled() : std::runtime_error("operation cancelled") {}
+};
+
+/// Polls `token` (null = cancellation not requested) and throws
+/// OperationCancelled once it fires.
+inline void ThrowIfCancelled(const CancellationToken* token) {
+  if (token != nullptr && token->cancelled()) throw OperationCancelled();
+}
+
+}  // namespace traclus::common
+
+#endif  // TRACLUS_COMMON_CANCELLATION_H_

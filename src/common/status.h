@@ -16,6 +16,8 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kFailedPrecondition,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for a status code (e.g.
@@ -53,6 +55,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

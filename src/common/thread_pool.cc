@@ -224,15 +224,44 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   });
 }
 
+namespace {
+
+// Owner of the shared pools. A function-local singleton with a real
+// destructor: joining idle workers at static destruction is safe because
+// every task a pool can still hold is a ParallelFor straggler whose state is
+// kept alive by shared_ptr (see RunChunks) — no task touches other statics.
+class SharedPoolRegistry {
+ public:
+  static SharedPoolRegistry& Instance() {
+    static SharedPoolRegistry registry;
+    return registry;
+  }
+
+  ThreadPool& Get(int resolved_threads) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto& slot = pools_[resolved_threads];
+    if (!slot) slot = std::make_unique<ThreadPool>(resolved_threads);
+    return *slot;
+  }
+
+  void Clear() {
+    // Joining under the lock is fine: callers must not have a run in flight,
+    // and pool workers never call back into SharedPool while draining.
+    std::unique_lock<std::mutex> lock(mu_);
+    pools_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<int, std::unique_ptr<ThreadPool>> pools_;
+};
+
+}  // namespace
+
 ThreadPool& SharedPool(int num_threads) {
-  const int resolved = ResolveNumThreads(num_threads);
-  static std::mutex* mu = new std::mutex;
-  static std::map<int, std::unique_ptr<ThreadPool>>* pools =
-      new std::map<int, std::unique_ptr<ThreadPool>>;
-  std::unique_lock<std::mutex> lock(*mu);
-  auto& slot = (*pools)[resolved];
-  if (!slot) slot = std::make_unique<ThreadPool>(resolved);
-  return *slot;
+  return SharedPoolRegistry::Instance().Get(ResolveNumThreads(num_threads));
 }
+
+void ShutdownSharedPools() { SharedPoolRegistry::Instance().Clear(); }
 
 }  // namespace traclus::common

@@ -94,10 +94,21 @@ class ThreadPool {
 
 /// Shared process-wide pool keyed by thread count, so repeated pipeline runs
 /// (benchmarks, the CLI, tests) do not pay thread spawn cost per phase.
-/// Returns a pool with `ResolveNumThreads(num_threads)` threads. The pool is
-/// leaked at process exit (workers are joined in static destruction order
-/// hazards otherwise).
+/// Returns a pool with `ResolveNumThreads(num_threads)` threads.
+///
+/// Ownership: the pools live in a registry with a real destructor, so every
+/// worker thread is joined and every pool freed deterministically — at the
+/// latest during static destruction, or earlier via `ShutdownSharedPools()`.
+/// Do not call SharedPool from static destructors that run after the
+/// registry's (it would be use-after-destroy), and do not hold the returned
+/// reference across a `ShutdownSharedPools()` call.
 ThreadPool& SharedPool(int num_threads);
+
+/// Joins and destroys every pool the registry currently owns. Safe to call
+/// when no pipeline run is in flight; subsequent `SharedPool` calls lazily
+/// recreate pools. Intended for embedders that need worker threads gone at a
+/// deterministic point (library unload, leak-checked test teardown).
+void ShutdownSharedPools();
 
 }  // namespace traclus::common
 

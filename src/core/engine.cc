@@ -1,0 +1,499 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "cluster/dbscan_segments.h"
+#include "cluster/neighborhood.h"
+#include "cluster/neighborhood_index.h"
+#include "cluster/optics_segments.h"
+#include "common/thread_pool.h"
+#include "partition/approximate_partitioner.h"
+#include "partition/optimal_partitioner.h"
+#include "partition/partitioner.h"
+
+namespace traclus::core {
+
+namespace {
+
+common::Status CancelledIn(const char* stage) {
+  return common::Status::Cancelled(std::string("run cancelled in stage '") +
+                                   stage + "'");
+}
+
+void Report(const RunContext& ctx, const char* stage, double fraction) {
+  if (ctx.progress) ctx.progress(stage, fraction);
+}
+
+// Shared by the two grouping adapters: the ε-neighborhood source of Lemma 3.
+std::unique_ptr<cluster::NeighborhoodProvider> MakeProvider(
+    const std::vector<geom::Segment>& segments,
+    const distance::SegmentDistance& dist, bool use_index) {
+  if (use_index) {
+    return std::make_unique<cluster::GridNeighborhoodIndex>(segments, dist);
+  }
+  return std::make_unique<cluster::BruteForceNeighborhood>(segments, dist);
+}
+
+common::Status ValidateDistanceConfig(
+    const distance::SegmentDistanceConfig& config) {
+  if (!(config.w_perpendicular >= 0.0) || !(config.w_parallel >= 0.0) ||
+      !(config.w_angle >= 0.0) || !std::isfinite(config.w_perpendicular) ||
+      !std::isfinite(config.w_parallel) || !std::isfinite(config.w_angle)) {
+    return common::Status::InvalidArgument(
+        "distance weights (w_perpendicular, w_parallel, w_angle) must be "
+        "finite and non-negative");
+  }
+  return common::Status::OK();
+}
+
+common::Status ValidateEpsMinLns(double eps, double min_lns) {
+  if (!(eps > 0.0) || !std::isfinite(eps)) {
+    return common::Status::OutOfRange(
+        "eps must be finite and > 0 (Definition 4 neighborhood radius)");
+  }
+  if (!(min_lns >= 1.0) || !std::isfinite(min_lns)) {
+    return common::Status::OutOfRange(
+        "MinLns must be finite and >= 1 (Definition 5 density threshold)");
+  }
+  return common::Status::OK();
+}
+
+// Bounds-checks a clustering against the segment set it claims to describe.
+common::Status ValidateClusteringAgainst(
+    const cluster::ClusteringResult& clustering,
+    const std::vector<geom::Segment>& segments) {
+  for (const auto& cluster : clustering.clusters) {
+    for (const size_t member : cluster.member_indices) {
+      if (member >= segments.size()) {
+        return common::Status::FailedPrecondition(
+            "clustering refers to segment index " + std::to_string(member) +
+            " outside the provided segment database (size " +
+            std::to_string(segments.size()) + ")");
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MdlPartitionStage
+// ---------------------------------------------------------------------------
+
+const char* MdlPartitionStage::name() const {
+  return options_.variant == MdlVariant::kOptimal ? "partition/mdl-optimal"
+                                                  : "partition/mdl-approx";
+}
+
+common::Status MdlPartitionStage::Validate() const {
+  if (!(options_.mdl.suppression_bits >= 0.0) ||
+      !std::isfinite(options_.mdl.suppression_bits)) {
+    return common::Status::InvalidArgument(
+        "MDL suppression_bits must be finite and non-negative");
+  }
+  return common::Status::OK();
+}
+
+common::Result<PartitionOutput> MdlPartitionStage::Run(
+    const traj::TrajectoryDatabase& db, const RunContext& ctx) const {
+  std::unique_ptr<partition::TrajectoryPartitioner> partitioner;
+  switch (options_.variant) {
+    case MdlVariant::kApproximate:
+      partitioner =
+          std::make_unique<partition::ApproximatePartitioner>(options_.mdl);
+      break;
+    case MdlVariant::kOptimal:
+      partitioner =
+          std::make_unique<partition::OptimalPartitioner>(options_.mdl);
+      break;
+  }
+
+  Report(ctx, name(), 0.0);
+  // Fig. 4 lines 01-03, parallelized per trajectory: the MDL scans are
+  // independent (the partitioners are stateless), so each trajectory's
+  // characteristic points land in their own slot. Segment materialization
+  // stays sequential below because segment IDs must be consecutive in
+  // database order — that pass is linear and cheap next to the MDL scans.
+  const auto& trajectories = db.trajectories();
+  PartitionOutput out;
+  out.characteristic_points.resize(trajectories.size());
+  auto& cps = out.characteristic_points;
+  const common::CancellationToken* cancel = ctx.cancellation;
+  try {
+    common::SharedPool(ctx.num_threads)
+        .ParallelFor(0, trajectories.size(), [&, cancel](size_t i) {
+          common::ThrowIfCancelled(cancel);
+          cps[i] = partitioner->CharacteristicPoints(trajectories[i]);
+        });
+  } catch (const common::OperationCancelled&) {
+    return CancelledIn(name());
+  }
+
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    std::vector<geom::Segment> partitions = partition::MakePartitionSegments(
+        trajectories[i], cps[i],
+        static_cast<geom::SegmentId>(out.segments.size()));
+    out.segments.insert(out.segments.end(), partitions.begin(),
+                        partitions.end());
+  }
+  Report(ctx, name(), 1.0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DbscanGroupStage
+// ---------------------------------------------------------------------------
+
+const char* DbscanGroupStage::name() const { return "group/dbscan"; }
+
+common::Status DbscanGroupStage::Validate() const {
+  TRACLUS_RETURN_NOT_OK(ValidateEpsMinLns(options_.eps, options_.min_lns));
+  return ValidateDistanceConfig(options_.distance);
+}
+
+common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
+    const std::vector<geom::Segment>& segments, const RunContext& ctx) const {
+  const distance::SegmentDistance dist(options_.distance);
+  const auto provider = MakeProvider(segments, dist, options_.use_index);
+
+  cluster::DbscanOptions o;
+  o.eps = options_.eps;
+  o.min_lns = options_.min_lns;
+  o.min_trajectory_cardinality = options_.min_trajectory_cardinality;
+  o.use_weights = options_.use_weights;
+  o.num_threads = ctx.num_threads;
+  o.batch_block = options_.batch_block;
+  o.cancellation = ctx.cancellation;
+  if (ctx.progress) {
+    const ProgressFn& sink = ctx.progress;
+    const char* stage = name();
+    o.progress = [&sink, stage](double fraction) { sink(stage, fraction); };
+  }
+  try {
+    // Fig. 4 line 04.
+    return cluster::DbscanSegments(segments, *provider, o);
+  } catch (const common::OperationCancelled&) {
+    return CancelledIn(name());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OpticsGroupStage
+// ---------------------------------------------------------------------------
+
+const char* OpticsGroupStage::name() const { return "group/optics"; }
+
+common::Status OpticsGroupStage::Validate() const {
+  TRACLUS_RETURN_NOT_OK(ValidateEpsMinLns(options_.eps, options_.min_lns));
+  // ≤ 0 is the documented "use eps" sentinel; anything else must be a real
+  // cut — a NaN (e.g. from a buggy upstream estimator) must surface here, not
+  // silently fall back.
+  if (std::isnan(options_.eps_cut) || options_.eps_cut > options_.eps) {
+    return common::Status::OutOfRange(
+        "OPTICS extraction cut eps_cut must be <= the generating eps "
+        "(or <= 0 for 'use eps')");
+  }
+  return ValidateDistanceConfig(options_.distance);
+}
+
+common::Result<cluster::ClusteringResult> OpticsGroupStage::Run(
+    const std::vector<geom::Segment>& segments, const RunContext& ctx) const {
+  if (ctx.cancellation != nullptr && ctx.cancellation->cancelled()) {
+    return CancelledIn(name());
+  }
+  Report(ctx, name(), 0.0);
+  const distance::SegmentDistance dist(options_.distance);
+  const auto provider = MakeProvider(segments, dist, options_.use_index);
+  cluster::OpticsOptions o;
+  o.eps = options_.eps;
+  o.min_lns = options_.min_lns;
+  o.cancellation = ctx.cancellation;
+  if (ctx.progress) {
+    const ProgressFn& sink = ctx.progress;
+    const char* stage = name();
+    o.progress = [&sink, stage](double fraction) { sink(stage, fraction); };
+  }
+  try {
+    // The ordering walk is inherently sequential (ctx.num_threads does not
+    // apply); cancellation is polled once per ordering step inside.
+    const auto optics = cluster::OpticsSegments(segments, dist, *provider, o);
+    const double cut =
+        options_.eps_cut > 0.0 ? options_.eps_cut : options_.eps;
+    return cluster::ExtractDbscanClustering(
+        segments, optics, cut, options_.min_lns,
+        options_.min_trajectory_cardinality);
+  } catch (const common::OperationCancelled&) {
+    return CancelledIn(name());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SweepRepresentativeStage
+// ---------------------------------------------------------------------------
+
+const char* SweepRepresentativeStage::name() const {
+  return options_.method == cluster::RepresentativeMethod::kRotation2D
+             ? "represent/sweep-rotation2d"
+             : "represent/sweep-projection";
+}
+
+common::Status SweepRepresentativeStage::Validate() const {
+  if (!(options_.min_lns >= 0.0) || !std::isfinite(options_.min_lns)) {
+    return common::Status::OutOfRange(
+        "representative MinLns must be finite and non-negative");
+  }
+  if (!(options_.gamma >= 0.0) || !std::isfinite(options_.gamma)) {
+    return common::Status::InvalidArgument(
+        "smoothing parameter gamma must be finite and non-negative");
+  }
+  return common::Status::OK();
+}
+
+common::Result<std::vector<traj::Trajectory>> SweepRepresentativeStage::Run(
+    const std::vector<geom::Segment>& segments,
+    const cluster::ClusteringResult& clustering, const RunContext& ctx) const {
+  TRACLUS_RETURN_NOT_OK(ValidateClusteringAgainst(clustering, segments));
+
+  cluster::RepresentativeOptions o;
+  o.min_lns = options_.min_lns;
+  o.gamma = options_.gamma;
+  o.method = options_.method;
+  o.use_weights = options_.use_weights;
+
+  Report(ctx, name(), 0.0);
+  // Fig. 4 lines 05-06, one independent sweep per cluster.
+  std::vector<traj::Trajectory> reps(clustering.clusters.size());
+  const common::CancellationToken* cancel = ctx.cancellation;
+  try {
+    common::SharedPool(ctx.num_threads)
+        .ParallelFor(0, clustering.clusters.size(), [&, cancel](size_t i) {
+          common::ThrowIfCancelled(cancel);
+          reps[i] = cluster::RepresentativeTrajectory(
+              segments, clustering.clusters[i], o);
+        });
+  } catch (const common::OperationCancelled&) {
+    return CancelledIn(name());
+  }
+  Report(ctx, name(), 1.0);
+  return reps;
+}
+
+// ---------------------------------------------------------------------------
+// TraclusEngine::Builder
+// ---------------------------------------------------------------------------
+
+TraclusEngine::Builder::Builder() {
+  UseMdlPartitioning();
+  UseDbscanGrouping(DbscanGroupOptions{});
+  UseSweepRepresentatives();
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::SetPartitionStage(
+    std::shared_ptr<const PartitionStage> stage) {
+  partition_ = std::move(stage);
+  return *this;
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::SetGroupStage(
+    std::shared_ptr<const GroupStage> stage) {
+  group_ = std::move(stage);
+  return *this;
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::SetRepresentativeStage(
+    std::shared_ptr<const RepresentativeStage> stage) {
+  representative_ = std::move(stage);
+  return *this;
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::UseMdlPartitioning(
+    const MdlPartitionOptions& options) {
+  return SetPartitionStage(std::make_shared<MdlPartitionStage>(options));
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::UseDbscanGrouping(
+    const DbscanGroupOptions& options) {
+  return SetGroupStage(std::make_shared<DbscanGroupStage>(options));
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::UseOpticsGrouping(
+    const OpticsGroupOptions& options) {
+  return SetGroupStage(std::make_shared<OpticsGroupStage>(options));
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::UseSweepRepresentatives(
+    const SweepRepresentativeOptions& options) {
+  return SetRepresentativeStage(
+      std::make_shared<SweepRepresentativeStage>(options));
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::WithoutRepresentatives() {
+  representative_.reset();
+  return *this;
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::SetDefaultNumThreads(
+    int num_threads) {
+  default_num_threads_ = num_threads;
+  return *this;
+}
+
+common::Result<TraclusEngine> TraclusEngine::Builder::Build() const {
+  if (partition_ == nullptr) {
+    return common::Status::InvalidArgument(
+        "engine requires a partition stage (SetPartitionStage was given "
+        "nullptr)");
+  }
+  if (group_ == nullptr) {
+    return common::Status::InvalidArgument(
+        "engine requires a group stage (SetGroupStage was given nullptr)");
+  }
+  TRACLUS_RETURN_NOT_OK(partition_->Validate());
+  TRACLUS_RETURN_NOT_OK(group_->Validate());
+  if (representative_ != nullptr) {
+    TRACLUS_RETURN_NOT_OK(representative_->Validate());
+  }
+  return TraclusEngine(partition_, group_, representative_,
+                       default_num_threads_);
+}
+
+// ---------------------------------------------------------------------------
+// TraclusEngine
+// ---------------------------------------------------------------------------
+
+common::Result<TraclusEngine> TraclusEngine::FromConfig(
+    const TraclusConfig& config) {
+  Builder builder;
+
+  MdlPartitionOptions partition;
+  partition.mdl = config.partition;
+  partition.variant =
+      config.partitioning_algorithm == PartitioningAlgorithm::kOptimalMdl
+          ? MdlVariant::kOptimal
+          : MdlVariant::kApproximate;
+  builder.UseMdlPartitioning(partition);
+
+  DbscanGroupOptions group;
+  group.eps = config.eps;
+  group.min_lns = config.min_lns;
+  group.min_trajectory_cardinality = config.min_trajectory_cardinality;
+  group.use_weights = config.use_weights;
+  group.use_index = config.use_index;
+  group.distance = config.distance;
+  builder.UseDbscanGrouping(group);
+
+  if (config.generate_representatives) {
+    builder.UseSweepRepresentatives(RepresentativeOptionsFromConfig(config));
+  } else {
+    builder.WithoutRepresentatives();
+  }
+
+  builder.SetDefaultNumThreads(config.num_threads);
+  return builder.Build();
+}
+
+SweepRepresentativeOptions RepresentativeOptionsFromConfig(
+    const TraclusConfig& config) {
+  SweepRepresentativeOptions options;
+  options.min_lns = config.representative_min_lns < 0.0
+                        ? config.min_lns
+                        : config.representative_min_lns;
+  options.gamma = std::max(config.gamma, 0.0);
+  options.method = config.representative_method;
+  options.use_weights = config.use_weights;
+  return options;
+}
+
+RunContext TraclusEngine::ResolveContext(const RunContext& ctx) const {
+  RunContext resolved = ctx;
+  if (resolved.num_threads == 0) {
+    resolved.num_threads = default_num_threads_;
+  }
+  // < 0 = "hardware concurrency regardless of the engine default", which is
+  // what the pool layer's 0 means.
+  if (resolved.num_threads < 0) resolved.num_threads = 0;
+  return resolved;
+}
+
+common::Result<PartitionOutput> TraclusEngine::PartitionImpl(
+    const traj::TrajectoryDatabase& db, const RunContext& rctx) const {
+  if (rctx.cancellation != nullptr && rctx.cancellation->cancelled()) {
+    return common::Status::Cancelled("run cancelled before the partition "
+                                     "stage");
+  }
+  if (db.size() == 0) {
+    return common::Status::FailedPrecondition(
+        "trajectory database is empty (partitioning needs at least one "
+        "trajectory)");
+  }
+  return partition_->Run(db, rctx);
+}
+
+common::Result<cluster::ClusteringResult> TraclusEngine::GroupImpl(
+    const std::vector<geom::Segment>& segments, const RunContext& rctx) const {
+  if (rctx.cancellation != nullptr && rctx.cancellation->cancelled()) {
+    return common::Status::Cancelled("run cancelled before the group stage");
+  }
+  return group_->Run(segments, rctx);
+}
+
+common::Result<std::vector<traj::Trajectory>>
+TraclusEngine::RepresentativesImpl(const std::vector<geom::Segment>& segments,
+                                   const cluster::ClusteringResult& clustering,
+                                   const RunContext& rctx) const {
+  if (representative_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "engine was built without a representative stage "
+        "(WithoutRepresentatives)");
+  }
+  if (rctx.cancellation != nullptr && rctx.cancellation->cancelled()) {
+    return common::Status::Cancelled(
+        "run cancelled before the representative stage");
+  }
+  return representative_->Run(segments, clustering, rctx);
+}
+
+common::Result<PartitionOutput> TraclusEngine::Partition(
+    const traj::TrajectoryDatabase& db, const RunContext& ctx) const {
+  return PartitionImpl(db, ResolveContext(ctx));
+}
+
+common::Result<cluster::ClusteringResult> TraclusEngine::Group(
+    const std::vector<geom::Segment>& segments, const RunContext& ctx) const {
+  return GroupImpl(segments, ResolveContext(ctx));
+}
+
+common::Result<std::vector<traj::Trajectory>> TraclusEngine::Representatives(
+    const std::vector<geom::Segment>& segments,
+    const cluster::ClusteringResult& clustering, const RunContext& ctx) const {
+  return RepresentativesImpl(segments, clustering, ResolveContext(ctx));
+}
+
+common::Result<TraclusResult> TraclusEngine::Run(
+    const traj::TrajectoryDatabase& db, const RunContext& ctx) const {
+  const RunContext rctx = ResolveContext(ctx);
+  TraclusResult out;
+  {
+    auto partitioned = PartitionImpl(db, rctx);
+    if (!partitioned.ok()) return partitioned.status();
+    out.segments = std::move(partitioned->segments);
+    out.characteristic_points = std::move(partitioned->characteristic_points);
+  }
+  {
+    auto grouped = GroupImpl(out.segments, rctx);
+    if (!grouped.ok()) return grouped.status();
+    out.clustering = std::move(grouped).ValueOrDie();
+  }
+  if (representative_ != nullptr) {
+    auto reps = RepresentativesImpl(out.segments, out.clustering, rctx);
+    if (!reps.ok()) return reps.status();
+    out.representatives = std::move(reps).ValueOrDie();
+  }
+  return out;
+}
+
+}  // namespace traclus::core

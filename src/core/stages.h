@@ -1,0 +1,250 @@
+#ifndef TRACLUS_CORE_STAGES_H_
+#define TRACLUS_CORE_STAGES_H_
+
+// The three pluggable stages of the TRACLUS pipeline (Fig. 4): partition →
+// group → represent. TraclusEngine (core/engine.h) assembles one
+// implementation of each; the adapters here wrap every algorithm the library
+// ships (MDL approximate/optimal partitioning, DBSCAN and OPTICS grouping,
+// projection/rotation sweep representatives). Custom stages are first-class:
+// implement an interface and hand it to TraclusEngine::Builder — the engine
+// only ever talks to the interfaces below.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/representative.h"
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "distance/segment_distance.h"
+#include "geom/segment.h"
+#include "partition/mdl.h"
+#include "traj/trajectory.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::core {
+
+/// Progress callback: stage name plus completed fraction in [0, 1]. Invoked
+/// only from the thread that called the engine entry point (never from pool
+/// workers), at stage start (0.0), at stage end (1.0), and at a bounded number
+/// of evenly spaced points when a stage processes its input blockwise. The
+/// call sequence depends only on the input, never on thread scheduling.
+using ProgressFn =
+    std::function<void(const std::string& stage, double fraction)>;
+
+/// Per-run execution parameters, shared by every stage of one engine run.
+/// Separate from stage configuration on purpose: the same engine can serve
+/// many concurrent runs, each with its own threads, progress sink, and
+/// cancellation token.
+struct RunContext {
+  /// Worker threads for the parallel phases. > 0: exactly that many; 0: the
+  /// engine's configured default (which itself defaults to hardware
+  /// concurrency); < 0: hardware concurrency regardless of the engine
+  /// default. 1 runs everything inline on the calling thread, reproducing the
+  /// original single-threaded execution exactly. Results are identical for
+  /// every value.
+  int num_threads = 0;
+  /// Optional progress sink (see ProgressFn).
+  ProgressFn progress;
+  /// Optional cooperative cancellation. Polled between parallel chunks and
+  /// expansion steps; when it fires, the engine abandons the run and returns
+  /// StatusCode::kCancelled.
+  const common::CancellationToken* cancellation = nullptr;
+};
+
+/// Output of the partitioning stage: the segment database D accumulated from
+/// all trajectory partitions (Fig. 4 line 03) with provenance, plus the
+/// characteristic-point indices per input trajectory (parallel to database
+/// order).
+struct PartitionOutput {
+  std::vector<geom::Segment> segments;
+  std::vector<std::vector<size_t>> characteristic_points;
+};
+
+/// Stage 1: trajectory → trajectory partitions (§3). Implementations must
+/// assign consecutive segment IDs in database order and may parallelize per
+/// trajectory under that contract.
+class PartitionStage {
+ public:
+  virtual ~PartitionStage() = default;
+
+  /// Short stable identifier, used in progress reports and error messages
+  /// (e.g. "partition/mdl-approx").
+  virtual const char* name() const = 0;
+
+  /// Validates the stage's configuration. Called once by
+  /// TraclusEngine::Builder::Build so a bad configuration surfaces before any
+  /// data is touched.
+  virtual common::Status Validate() const { return common::Status::OK(); }
+
+  virtual common::Result<PartitionOutput> Run(
+      const traj::TrajectoryDatabase& db, const RunContext& ctx) const = 0;
+};
+
+/// Stage 2: segment database → clusters (§4).
+class GroupStage {
+ public:
+  virtual ~GroupStage() = default;
+  virtual const char* name() const = 0;
+  virtual common::Status Validate() const { return common::Status::OK(); }
+  virtual common::Result<cluster::ClusteringResult> Run(
+      const std::vector<geom::Segment>& segments,
+      const RunContext& ctx) const = 0;
+};
+
+/// Stage 3: clusters → one representative trajectory per cluster (§4.3).
+class RepresentativeStage {
+ public:
+  virtual ~RepresentativeStage() = default;
+  virtual const char* name() const = 0;
+  virtual common::Status Validate() const { return common::Status::OK(); }
+  virtual common::Result<std::vector<traj::Trajectory>> Run(
+      const std::vector<geom::Segment>& segments,
+      const cluster::ClusteringResult& clustering,
+      const RunContext& ctx) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Adapters over the library's algorithms.
+// ---------------------------------------------------------------------------
+
+/// Which MDL partitioner drives MdlPartitionStage.
+enum class MdlVariant {
+  kApproximate,  ///< Fig. 8, O(n) — the paper's algorithm and the default.
+  kOptimal,      ///< Exact DP optimum, O(n²) edges; experiments only.
+};
+
+struct MdlPartitionOptions {
+  partition::MdlOptions mdl;
+  MdlVariant variant = MdlVariant::kApproximate;
+};
+
+/// MDL partitioning (§3), parallel per trajectory, cancellation-aware.
+class MdlPartitionStage : public PartitionStage {
+ public:
+  explicit MdlPartitionStage(const MdlPartitionOptions& options = {})
+      : options_(options) {}
+
+  const char* name() const override;
+  common::Status Validate() const override;
+  common::Result<PartitionOutput> Run(const traj::TrajectoryDatabase& db,
+                                      const RunContext& ctx) const override;
+
+  const MdlPartitionOptions& options() const { return options_; }
+
+ private:
+  MdlPartitionOptions options_;
+};
+
+struct DbscanGroupOptions {
+  /// Neighborhood radius ε (Definition 4). Must be > 0.
+  double eps = 25.0;
+  /// Core-segment density threshold MinLns (Definition 5). Must be ≥ 1.
+  double min_lns = 5.0;
+  /// Trajectory-cardinality threshold (negative: use min_lns; 0: disabled).
+  double min_trajectory_cardinality = -1.0;
+  /// Weighted-trajectory extension (§4.2 / §7.1).
+  bool use_weights = false;
+  /// Grid spatial index for ε-neighborhood queries (Lemma 3); false = the
+  /// O(n²) brute-force configuration.
+  bool use_index = true;
+  /// Block size of the batched neighborhood path; see
+  /// cluster::DbscanOptions::batch_block. 0 = default.
+  size_t batch_block = 0;
+  /// Distance function configuration (§2.3). Weights must be ≥ 0.
+  distance::SegmentDistanceConfig distance;
+};
+
+/// Density-based grouping (Fig. 12) over the TRACLUS segment distance.
+class DbscanGroupStage : public GroupStage {
+ public:
+  explicit DbscanGroupStage(const DbscanGroupOptions& options = {})
+      : options_(options) {}
+
+  const char* name() const override;
+  common::Status Validate() const override;
+  common::Result<cluster::ClusteringResult> Run(
+      const std::vector<geom::Segment>& segments,
+      const RunContext& ctx) const override;
+
+  const DbscanGroupOptions& options() const { return options_; }
+
+ private:
+  DbscanGroupOptions options_;
+};
+
+struct OpticsGroupOptions {
+  /// Generating distance ε. Must be > 0.
+  double eps = 25.0;
+  /// Extraction cut ε' ≤ ε for the DBSCAN-equivalent clustering; ≤ 0 means
+  /// "use eps".
+  double eps_cut = -1.0;
+  /// MinLns (MinPts analogue). Must be ≥ 1.
+  double min_lns = 5.0;
+  /// Trajectory-cardinality threshold (negative: use min_lns; 0: disabled).
+  double min_trajectory_cardinality = -1.0;
+  /// Grid spatial index for the ε-neighborhood queries.
+  bool use_index = true;
+  /// Distance function configuration (§2.3). Weights must be ≥ 0.
+  distance::SegmentDistanceConfig distance;
+};
+
+/// OPTICS grouping (§7.1(2) extension): computes the cluster ordering and
+/// extracts the DBSCAN-equivalent clustering at `eps_cut`.
+class OpticsGroupStage : public GroupStage {
+ public:
+  explicit OpticsGroupStage(const OpticsGroupOptions& options = {})
+      : options_(options) {}
+
+  const char* name() const override;
+  common::Status Validate() const override;
+  common::Result<cluster::ClusteringResult> Run(
+      const std::vector<geom::Segment>& segments,
+      const RunContext& ctx) const override;
+
+  const OpticsGroupOptions& options() const { return options_; }
+
+ private:
+  OpticsGroupOptions options_;
+};
+
+struct SweepRepresentativeOptions {
+  /// Sweep hit threshold (Fig. 13). Must be ≥ 0; 0 emits at every position.
+  double min_lns = 5.0;
+  /// Smoothing parameter γ (Fig. 15 line 09). Must be ≥ 0; 0 disables.
+  double gamma = 0.0;
+  /// Sweep coordinate frame: dimension-generic projection (default) or the
+  /// paper's 2-D rotation matrix.
+  cluster::RepresentativeMethod method =
+      cluster::RepresentativeMethod::kProjection;
+  /// Weighted sweep hit counts (§4.2 consistency).
+  bool use_weights = false;
+};
+
+/// Representative trajectory generation (Fig. 15), parallel per cluster,
+/// cancellation-aware.
+class SweepRepresentativeStage : public RepresentativeStage {
+ public:
+  explicit SweepRepresentativeStage(const SweepRepresentativeOptions& options =
+                                        {})
+      : options_(options) {}
+
+  const char* name() const override;
+  common::Status Validate() const override;
+  common::Result<std::vector<traj::Trajectory>> Run(
+      const std::vector<geom::Segment>& segments,
+      const cluster::ClusteringResult& clustering,
+      const RunContext& ctx) const override;
+
+  const SweepRepresentativeOptions& options() const { return options_; }
+
+ private:
+  SweepRepresentativeOptions options_;
+};
+
+}  // namespace traclus::core
+
+#endif  // TRACLUS_CORE_STAGES_H_

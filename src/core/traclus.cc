@@ -1,108 +1,84 @@
+// Implementation of the deprecated façade — every phase delegates to a
+// TraclusEngine assembled by FromConfig, translating the engine's Result<T>
+// contract back into the legacy one (CHECK on impossible errors, empty result
+// for an empty database).
+
+// This file implements the deprecated class itself.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "core/traclus.h"
 
-#include "cluster/neighborhood.h"
-#include "cluster/neighborhood_index.h"
-#include "common/thread_pool.h"
-#include "partition/approximate_partitioner.h"
-#include "partition/optimal_partitioner.h"
-#include "partition/partitioner.h"
+#include "common/logging.h"
 
 namespace traclus::core {
 
 Traclus::Traclus(const TraclusConfig& config) : config_(config) {
+  // Legacy contract: misconfiguration is a programming error, not a status.
   TRACLUS_CHECK_GT(config.eps, 0.0);
   TRACLUS_CHECK_GE(config.min_lns, 1.0);
+  auto engine = TraclusEngine::FromConfig(config);
+  TRACLUS_CHECK(engine.ok()) << engine.status().ToString();
+  engine_ =
+      std::make_shared<const TraclusEngine>(std::move(engine).ValueOrDie());
+}
+
+RunContext Traclus::Context() const {
+  RunContext ctx;
+  ctx.num_threads = config_.num_threads;
+  return ctx;
 }
 
 std::vector<geom::Segment> Traclus::PartitionPhase(
     const traj::TrajectoryDatabase& db,
     std::vector<std::vector<size_t>>* characteristic_points) const {
-  std::unique_ptr<partition::TrajectoryPartitioner> partitioner;
-  switch (config_.partitioning_algorithm) {
-    case PartitioningAlgorithm::kApproximateMdl:
-      partitioner = std::make_unique<partition::ApproximatePartitioner>(
-          config_.partition);
-      break;
-    case PartitioningAlgorithm::kOptimalMdl:
-      partitioner =
-          std::make_unique<partition::OptimalPartitioner>(config_.partition);
-      break;
+  if (db.size() == 0) {
+    // The engine reports an empty database as kFailedPrecondition; the legacy
+    // contract is an empty segment set.
+    if (characteristic_points != nullptr) characteristic_points->clear();
+    return {};
   }
-
-  // Fig. 4 lines 01-03, parallelized per trajectory: the MDL scans are
-  // independent (the partitioners are stateless), so each trajectory's
-  // characteristic points land in their own slot. Segment materialization
-  // stays sequential below because segment IDs must be consecutive in
-  // database order — that pass is linear and cheap next to the MDL scans.
-  const auto& trajectories = db.trajectories();
-  std::vector<std::vector<size_t>> cps(trajectories.size());
-  common::SharedPool(config_.num_threads)
-      .ParallelFor(0, trajectories.size(), [&](size_t i) {
-        cps[i] = partitioner->CharacteristicPoints(trajectories[i]);
-      });
-
-  std::vector<geom::Segment> segments;
-  for (size_t i = 0; i < trajectories.size(); ++i) {
-    std::vector<geom::Segment> partitions = partition::MakePartitionSegments(
-        trajectories[i], cps[i], static_cast<geom::SegmentId>(segments.size()));
-    segments.insert(segments.end(), partitions.begin(), partitions.end());
-  }
+  auto partitioned = engine_->Partition(db, Context());
+  TRACLUS_CHECK(partitioned.ok()) << partitioned.status().ToString();
   if (characteristic_points != nullptr) {
-    *characteristic_points = std::move(cps);
+    *characteristic_points = std::move(partitioned->characteristic_points);
   }
-  return segments;
+  return std::move(partitioned->segments);
 }
 
 cluster::ClusteringResult Traclus::GroupPhase(
     const std::vector<geom::Segment>& segments) const {
-  const distance::SegmentDistance dist(config_.distance);
-  std::unique_ptr<cluster::NeighborhoodProvider> provider;
-  if (config_.use_index) {
-    provider = std::make_unique<cluster::GridNeighborhoodIndex>(segments, dist);
-  } else {
-    provider =
-        std::make_unique<cluster::BruteForceNeighborhood>(segments, dist);
-  }
-  cluster::DbscanOptions options;
-  options.eps = config_.eps;
-  options.min_lns = config_.min_lns;
-  options.min_trajectory_cardinality = config_.min_trajectory_cardinality;
-  options.use_weights = config_.use_weights;
-  options.num_threads = config_.num_threads;
-  // Fig. 4 line 04.
-  return cluster::DbscanSegments(segments, *provider, options);
+  auto grouped = engine_->Group(segments, Context());
+  TRACLUS_CHECK(grouped.ok()) << grouped.status().ToString();
+  return std::move(grouped).ValueOrDie();
 }
 
 std::vector<traj::Trajectory> Traclus::RepresentativePhase(
     const std::vector<geom::Segment>& segments,
     const cluster::ClusteringResult& clustering) const {
-  cluster::RepresentativeOptions options;
-  options.min_lns = config_.representative_min_lns < 0.0
-                        ? config_.min_lns
-                        : config_.representative_min_lns;
-  options.gamma = std::max(config_.gamma, 0.0);
-  options.method = config_.representative_method;
-  options.use_weights = config_.use_weights;
-
-  // Fig. 4 lines 05-06, one independent sweep per cluster.
-  std::vector<traj::Trajectory> reps(clustering.clusters.size());
-  common::SharedPool(config_.num_threads)
-      .ParallelFor(0, clustering.clusters.size(), [&](size_t i) {
-        reps[i] = cluster::RepresentativeTrajectory(
-            segments, clustering.clusters[i], options);
-      });
-  return reps;
+  // Built directly from the config (not through the engine) so the phase
+  // stays callable even when generate_representatives is false, as it always
+  // was.
+  const SweepRepresentativeStage stage(RepresentativeOptionsFromConfig(
+      config_));
+  auto reps = stage.Run(segments, clustering, Context());
+  TRACLUS_CHECK(reps.ok()) << reps.status().ToString();
+  return std::move(reps).ValueOrDie();
 }
 
 TraclusResult Traclus::Run(const traj::TrajectoryDatabase& db) const {
-  TraclusResult result;
-  result.segments = PartitionPhase(db, &result.characteristic_points);
-  result.clustering = GroupPhase(result.segments);
-  if (config_.generate_representatives) {
-    result.representatives = RepresentativePhase(result.segments,
-                                                 result.clustering);
+  auto result = engine_->Run(db, Context());
+  if (!result.ok()) {
+    // Only an empty database can fail here (the constructor validated the
+    // configuration); the legacy contract returns an empty result for it.
+    TRACLUS_CHECK(result.status().code() ==
+                  common::StatusCode::kFailedPrecondition)
+        << result.status().ToString();
+    return TraclusResult{};
   }
-  return result;
+  return std::move(result).ValueOrDie();
 }
 
 }  // namespace traclus::core
+
+#pragma GCC diagnostic pop

@@ -1,86 +1,37 @@
 #ifndef TRACLUS_CORE_TRACLUS_H_
 #define TRACLUS_CORE_TRACLUS_H_
 
+// DEPRECATED — the monolithic `Traclus` façade.
+//
+// The pipeline's public API is now core::TraclusEngine (core/engine.h):
+// pluggable stages, eager configuration validation, Result<T> error
+// reporting, and per-run threads/progress/cancellation. This header remains
+// for source compatibility: `Traclus` is a thin façade over an engine built
+// with TraclusEngine::FromConfig and produces byte-identical output (proven
+// by tests/engine_api_test.cc), but it keeps the legacy error contract —
+// invalid configuration crashes via TRACLUS_CHECK and an empty database
+// silently yields an empty result. See the README migration table for the
+// TraclusConfig-field → builder-call correspondence.
+
 #include <memory>
 #include <vector>
 
 #include "cluster/dbscan_segments.h"
 #include "cluster/representative.h"
+#include "core/engine.h"
 #include "distance/segment_distance.h"
 #include "partition/mdl.h"
 #include "traj/trajectory_database.h"
 
 namespace traclus::core {
 
-/// Which partitioning algorithm drives the partitioning phase.
-enum class PartitioningAlgorithm {
-  kApproximateMdl,  ///< Fig. 8, O(n) — the paper's algorithm and the default.
-  kOptimalMdl,      ///< Exact DP optimum, O(n²) edges; experiments only.
-};
-
-/// Full configuration of the TRACLUS pipeline (Fig. 4).
-struct TraclusConfig {
-  /// --- Partitioning phase (§3) ---
-  partition::MdlOptions partition;
-  PartitioningAlgorithm partitioning_algorithm =
-      PartitioningAlgorithm::kApproximateMdl;
-
-  /// --- Distance function (§2.3) ---
-  distance::SegmentDistanceConfig distance;
-
-  /// --- Grouping phase (§4) ---
-  double eps = 25.0;       ///< Neighborhood radius ε.
-  double min_lns = 5.0;    ///< MinLns.
-  /// Trajectory-cardinality threshold (negative: use min_lns; 0: disabled).
-  double min_trajectory_cardinality = -1.0;
-  /// Weighted-trajectory extension (§4.2 / §7.1).
-  bool use_weights = false;
-  /// Use the grid spatial index for ε-neighborhood queries (Lemma 3); when
-  /// false, brute-force scans are used (the O(n²) configuration).
-  bool use_index = true;
-
-  /// --- Representative trajectories (§4.3) ---
-  bool generate_representatives = true;
-  /// Sweep hit threshold; negative means "use min_lns" (the paper's choice).
-  double representative_min_lns = -1.0;
-  /// Smoothing parameter γ (Fig. 15): minimum sweep gap between emitted
-  /// representative points. 0 disables smoothing.
-  double gamma = 0.0;
-  cluster::RepresentativeMethod representative_method =
-      cluster::RepresentativeMethod::kProjection;
-
-  /// --- Execution (not part of the paper's algorithm) ---
-  /// Worker threads for the parallel phases: per-trajectory MDL partitioning,
-  /// the batched ε-neighborhood queries of the grouping phase, and per-cluster
-  /// representative generation. 0 = hardware concurrency; 1 = run everything
-  /// inline on the calling thread, reproducing the original single-threaded
-  /// execution exactly. Results are identical for every value — parallel work
-  /// is assembled in deterministic index order, never in completion order.
-  int num_threads = 0;
-};
-
-/// Everything TRACLUS produces, including intermediate artifacts that the
-/// paper's experiments measure.
-struct TraclusResult {
-  /// The segment database D accumulated by the partitioning phase (Fig. 4
-  /// line 03): all trajectory partitions with provenance.
-  std::vector<geom::Segment> segments;
-  /// Characteristic-point indices per input trajectory (parallel to the input
-  /// database order).
-  std::vector<std::vector<size_t>> characteristic_points;
-  /// The grouping-phase output O = {C_1, ..., C_numclus}.
-  cluster::ClusteringResult clustering;
-  /// One representative trajectory per cluster (empty when disabled).
-  std::vector<traj::Trajectory> representatives;
-};
-
-/// The TRACLUS algorithm (Fig. 4): partition every trajectory with the MDL
-/// partitioner, accumulate the segments into D, density-cluster D, filter by
-/// trajectory cardinality, and generate one representative trajectory per
-/// cluster.
+/// The TRACLUS algorithm (Fig. 4) behind the legacy one-shot interface.
 ///
 /// Thread-compatible: `Run` is const and carries no mutable state.
-class Traclus {
+class [[deprecated(
+    "use core::TraclusEngine (core/engine.h); Traclus keeps the legacy "
+    "crash-on-misconfiguration contract and will eventually be "
+    "removed")]] Traclus {
  public:
   Traclus() : Traclus(TraclusConfig{}) {}
   explicit Traclus(const TraclusConfig& config);
@@ -106,7 +57,12 @@ class Traclus {
       const cluster::ClusteringResult& clustering) const;
 
  private:
+  RunContext Context() const;
+
   TraclusConfig config_;
+  /// Shared (not unique) so the façade stays copyable, like the
+  /// config-only original.
+  std::shared_ptr<const TraclusEngine> engine_;
 };
 
 }  // namespace traclus::core

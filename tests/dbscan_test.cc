@@ -271,5 +271,75 @@ TEST(ParticipatingTrajectoriesTest, CountsDistinctTrajectories) {
   EXPECT_FALSE(ptr.count(1));
 }
 
+// A mixed scene for the batching tests: three dense bundles far apart plus a
+// sprinkle of random noise segments, enough mass that the expansion queue
+// stays busy and the blocked fetcher's prefetch paths all fire.
+std::vector<Segment> BatchingScene() {
+  std::vector<Segment> segs;
+  geom::TrajectoryId tid = 0;
+  for (const double y0 : {0.0, 40.0, 80.0}) {
+    for (int i = 0; i < 12; ++i) {
+      segs.emplace_back(Point(0.0, y0 + 0.25 * i),
+                        Point(10.0, y0 + 0.25 * i), /*id=*/-1, tid++);
+    }
+  }
+  common::Rng rng(1234);
+  for (int i = 0; i < 30; ++i) {
+    const Point s(rng.Uniform(0, 200), rng.Uniform(100, 300));
+    segs.emplace_back(
+        s, Point(s.x() + rng.Uniform(-8, 8), s.y() + rng.Uniform(-8, 8)),
+        /*id=*/-1, tid++);
+  }
+  for (size_t i = 0; i < segs.size(); ++i) {
+    segs[i].set_id(static_cast<geom::SegmentId>(i));
+  }
+  return segs;
+}
+
+TEST(DbscanSegmentsTest, BlockStreamedBatchingIsIdenticalForEveryBlockSize) {
+  // The bounded-memory batched path (peak O(block · max|Nε|)) must produce
+  // byte-identical clusters to the unbatched serial path, down to block = 1.
+  const auto segs = BatchingScene();
+  const SegmentDistance dist;
+  const GridNeighborhoodIndex index(segs, dist);
+
+  DbscanOptions serial;
+  serial.eps = 2.0;
+  serial.min_lns = 5;
+  serial.num_threads = 1;
+  const auto baseline = DbscanSegments(segs, index, serial);
+  ASSERT_GE(baseline.clusters.size(), 3u);
+
+  for (const size_t block : {size_t{1}, size_t{2}, size_t{7}, size_t{64},
+                             size_t{0} /* default */}) {
+    SCOPED_TRACE(block);
+    DbscanOptions batched = serial;
+    batched.num_threads = 4;
+    batched.batch_block = block;
+    const auto got = DbscanSegments(segs, index, batched);
+    EXPECT_EQ(got.labels, baseline.labels);
+    EXPECT_EQ(got.num_noise, baseline.num_noise);
+    ASSERT_EQ(got.clusters.size(), baseline.clusters.size());
+    for (size_t c = 0; c < got.clusters.size(); ++c) {
+      EXPECT_EQ(got.clusters[c].id, baseline.clusters[c].id);
+      EXPECT_EQ(got.clusters[c].member_indices,
+                baseline.clusters[c].member_indices);
+    }
+  }
+}
+
+TEST(DbscanSegmentsTest, CancellationThrowsOperationCancelled) {
+  const auto segs = BatchingScene();
+  const SegmentDistance dist;
+  const GridNeighborhoodIndex index(segs, dist);
+  common::CancellationToken token;
+  token.Cancel();
+  DbscanOptions opt;
+  opt.eps = 2.0;
+  opt.min_lns = 5;
+  opt.cancellation = &token;
+  EXPECT_THROW(DbscanSegments(segs, index, opt), common::OperationCancelled);
+}
+
 }  // namespace
 }  // namespace traclus::cluster

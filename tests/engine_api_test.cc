@@ -1,0 +1,437 @@
+// Tests for the TraclusEngine pipeline API: builder validation (typed Status
+// codes instead of asserts), empty-input and representative-stage
+// preconditions, cooperative cancellation before and mid-run, progress
+// reporting, stage pluggability, and the headline migration guarantee — the
+// deprecated core::Traclus façade produces byte-identical TraclusResults to
+// the engine on the hurricane and deer data sets.
+//
+// The equivalence tests intentionally construct the deprecated façade.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/traclus.h"
+#include "datagen/animal_generator.h"
+#include "datagen/hurricane_generator.h"
+
+namespace traclus::core {
+namespace {
+
+using common::StatusCode;
+
+// ---------------------------------------------------------------------------
+// Builder validation: misconfiguration is a typed status, surfaced eagerly.
+// ---------------------------------------------------------------------------
+
+TEST(EngineBuilderTest, DefaultAssemblyIsValid) {
+  const auto engine = TraclusEngine::Builder().Build();
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_NE(engine->representative_stage(), nullptr);
+}
+
+TEST(EngineBuilderTest, NonPositiveEpsIsOutOfRange) {
+  DbscanGroupOptions group;
+  group.eps = 0.0;
+  const auto engine =
+      TraclusEngine::Builder().UseDbscanGrouping(group).Build();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EngineBuilderTest, MinLnsBelowOneIsOutOfRange) {
+  DbscanGroupOptions group;
+  group.min_lns = 0.5;
+  const auto engine =
+      TraclusEngine::Builder().UseDbscanGrouping(group).Build();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EngineBuilderTest, NegativeDistanceWeightIsInvalidArgument) {
+  DbscanGroupOptions group;
+  group.distance.w_angle = -1.0;
+  const auto engine =
+      TraclusEngine::Builder().UseDbscanGrouping(group).Build();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, NegativeGammaIsInvalidArgument) {
+  SweepRepresentativeOptions reps;
+  reps.gamma = -0.25;
+  const auto engine =
+      TraclusEngine::Builder().UseSweepRepresentatives(reps).Build();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, NegativeSuppressionIsInvalidArgument) {
+  MdlPartitionOptions partition;
+  partition.mdl.suppression_bits = -2.0;
+  const auto engine =
+      TraclusEngine::Builder().UseMdlPartitioning(partition).Build();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, OpticsCutAboveGeneratingEpsIsOutOfRange) {
+  OpticsGroupOptions group;
+  group.eps = 1.0;
+  group.eps_cut = 2.0;
+  const auto engine =
+      TraclusEngine::Builder().UseOpticsGrouping(group).Build();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kOutOfRange);
+
+  // A NaN cut must surface as a status too, never silently mean "use eps".
+  group.eps_cut = std::nan("");
+  const auto nan_engine =
+      TraclusEngine::Builder().UseOpticsGrouping(group).Build();
+  ASSERT_FALSE(nan_engine.ok());
+  EXPECT_EQ(nan_engine.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EngineBuilderTest, NullMandatoryStageIsInvalidArgument) {
+  const auto no_partition =
+      TraclusEngine::Builder().SetPartitionStage(nullptr).Build();
+  ASSERT_FALSE(no_partition.ok());
+  EXPECT_EQ(no_partition.status().code(), StatusCode::kInvalidArgument);
+
+  const auto no_group = TraclusEngine::Builder().SetGroupStage(nullptr).Build();
+  ASSERT_FALSE(no_group.ok());
+  EXPECT_EQ(no_group.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineBuilderTest, FromConfigRejectsBadLegacyConfig) {
+  TraclusConfig config;
+  config.eps = -3.0;
+  const auto engine = TraclusEngine::FromConfig(config);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Run-time preconditions.
+// ---------------------------------------------------------------------------
+
+TEST(EngineRunTest, EmptyDatabaseIsFailedPrecondition) {
+  const auto engine = TraclusEngine::Builder().Build();
+  ASSERT_TRUE(engine.ok());
+  const traj::TrajectoryDatabase empty;
+
+  const auto run = engine->Run(empty);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+
+  const auto partitioned = engine->Partition(empty);
+  ASSERT_FALSE(partitioned.ok());
+  EXPECT_EQ(partitioned.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineRunTest, EmptySegmentSetIsValidGroupInput) {
+  const auto engine = TraclusEngine::Builder().Build();
+  ASSERT_TRUE(engine.ok());
+  const auto grouped = engine->Group({});
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  EXPECT_TRUE(grouped->clusters.empty());
+  EXPECT_TRUE(grouped->labels.empty());
+}
+
+TEST(EngineRunTest, RepresentativesWithoutStageIsFailedPrecondition) {
+  const auto engine =
+      TraclusEngine::Builder().WithoutRepresentatives().Build();
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->representative_stage(), nullptr);
+  const auto reps = engine->Representatives({}, cluster::ClusteringResult{});
+  ASSERT_FALSE(reps.ok());
+  EXPECT_EQ(reps.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineRunTest, MismatchedClusteringIsFailedPrecondition) {
+  const auto engine = TraclusEngine::Builder().Build();
+  ASSERT_TRUE(engine.ok());
+  cluster::ClusteringResult clustering;
+  cluster::Cluster bogus;
+  bogus.member_indices = {42};  // No segment 42 in an empty database.
+  clustering.clusters.push_back(bogus);
+  const auto reps = engine->Representatives({}, clustering);
+  ASSERT_FALSE(reps.ok());
+  EXPECT_EQ(reps.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(EngineCancellationTest, PreCancelledTokenStopsBeforeAnyStage) {
+  const auto engine = TraclusEngine::Builder().Build();
+  ASSERT_TRUE(engine.ok());
+  const auto db = datagen::GenerateHurricanes(datagen::HurricaneConfig{});
+
+  common::CancellationToken token;
+  token.Cancel();
+  RunContext ctx;
+  ctx.cancellation = &token;
+  bool progressed = false;
+  ctx.progress = [&](const std::string&, double) { progressed = true; };
+
+  const auto run = engine->Run(db, ctx);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(progressed) << "no stage may start under a cancelled token";
+}
+
+TEST(EngineCancellationTest, MidRunCancellationAbortsTheGroupStage) {
+  TraclusConfig config;
+  config.eps = 0.94;
+  config.min_lns = 5;
+  config.num_threads = 2;  // Exercise the blocked batched grouping path.
+  const auto engine = TraclusEngine::FromConfig(config);
+  ASSERT_TRUE(engine.ok());
+  const auto db = datagen::GenerateHurricanes(datagen::HurricaneConfig{});
+
+  // Cancel from the progress callback the moment the group stage reports:
+  // partitioning completes, grouping starts and must abort at its next poll.
+  common::CancellationToken token;
+  RunContext ctx;
+  ctx.cancellation = &token;
+  std::vector<std::string> stages;
+  ctx.progress = [&](const std::string& stage, double) {
+    if (stages.empty() || stages.back() != stage) stages.push_back(stage);
+    if (stage == "group/dbscan") token.Cancel();
+  };
+
+  const auto run = engine->Run(db, ctx);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+  ASSERT_EQ(stages.size(), 2u) << "partition ran, grouping started, nothing "
+                                  "after";
+  EXPECT_EQ(stages[0], "partition/mdl-approx");
+  EXPECT_EQ(stages[1], "group/dbscan");
+}
+
+TEST(EngineCancellationTest, MidRunCancellationAbortsTheOpticsStage) {
+  OpticsGroupOptions group;
+  group.eps = 0.94;
+  group.min_lns = 5;
+  const auto engine = TraclusEngine::Builder()
+                          .UseOpticsGrouping(group)
+                          .WithoutRepresentatives()
+                          .Build();
+  ASSERT_TRUE(engine.ok());
+  datagen::HurricaneConfig gen;
+  gen.num_trajectories = 120;
+  const auto db = datagen::GenerateHurricanes(gen);
+
+  common::CancellationToken token;
+  RunContext ctx;
+  ctx.cancellation = &token;
+  ctx.progress = [&](const std::string& stage, double) {
+    if (stage == "group/optics") token.Cancel();
+  };
+  const auto run = engine->Run(db, ctx);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Progress reporting.
+// ---------------------------------------------------------------------------
+
+TEST(EngineProgressTest, StagesReportInOrderFromZeroToOne) {
+  TraclusConfig config;
+  config.eps = 0.94;
+  config.min_lns = 5;
+  const auto engine = TraclusEngine::FromConfig(config);
+  ASSERT_TRUE(engine.ok());
+  datagen::HurricaneConfig gen;
+  gen.num_trajectories = 60;
+  const auto db = datagen::GenerateHurricanes(gen);
+
+  std::vector<std::pair<std::string, double>> events;
+  RunContext ctx;
+  ctx.progress = [&](const std::string& stage, double fraction) {
+    events.emplace_back(stage, fraction);
+  };
+  const auto run = engine->Run(db, ctx);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const std::vector<std::string> expected_order = {
+      "partition/mdl-approx", "group/dbscan", "represent/sweep-projection"};
+  size_t order_pos = 0;
+  std::string current;
+  double last_fraction = 0.0;
+  for (const auto& [stage, fraction] : events) {
+    if (stage != current) {
+      if (!current.empty()) {
+        EXPECT_EQ(last_fraction, 1.0) << current << " must end at 1.0";
+      }
+      ASSERT_LT(order_pos, expected_order.size());
+      EXPECT_EQ(stage, expected_order[order_pos++]);
+      EXPECT_EQ(fraction, 0.0) << stage << " must start at 0.0";
+      current = stage;
+    } else {
+      EXPECT_GE(fraction, last_fraction) << stage << " must be monotone";
+    }
+    last_fraction = fraction;
+  }
+  EXPECT_EQ(order_pos, expected_order.size());
+  EXPECT_EQ(last_fraction, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable stages.
+// ---------------------------------------------------------------------------
+
+class AllNoiseGroupStage : public GroupStage {
+ public:
+  const char* name() const override { return "group/all-noise"; }
+  common::Result<cluster::ClusteringResult> Run(
+      const std::vector<geom::Segment>& segments,
+      const RunContext& /*ctx*/) const override {
+    cluster::ClusteringResult result;
+    result.labels.assign(segments.size(), cluster::kNoise);
+    result.num_noise = segments.size();
+    return result;
+  }
+};
+
+TEST(EngineStagesTest, CustomGroupStagePlugsIn) {
+  const auto engine = TraclusEngine::Builder()
+                          .SetGroupStage(std::make_shared<AllNoiseGroupStage>())
+                          .WithoutRepresentatives()
+                          .Build();
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  datagen::HurricaneConfig gen;
+  gen.num_trajectories = 20;
+  const auto db = datagen::GenerateHurricanes(gen);
+  const auto run = engine->Run(db);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->segments.empty());
+  EXPECT_TRUE(run->clustering.clusters.empty());
+  EXPECT_EQ(run->clustering.num_noise, run->segments.size());
+  EXPECT_TRUE(run->representatives.empty());
+}
+
+TEST(EngineStagesTest, OpticsGroupingAssemblesAndClusters) {
+  OpticsGroupOptions group;
+  group.eps = 0.94;
+  group.min_lns = 5;
+  const auto engine = TraclusEngine::Builder()
+                          .UseOpticsGrouping(group)
+                          .WithoutRepresentatives()
+                          .Build();
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  datagen::HurricaneConfig gen;
+  gen.num_trajectories = 120;
+  const auto db = datagen::GenerateHurricanes(gen);
+  const auto run = engine->Run(db);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->clustering.labels.size(), run->segments.size());
+  EXPECT_FALSE(run->clustering.clusters.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The migration guarantee: façade ≡ engine, byte for byte.
+// ---------------------------------------------------------------------------
+
+void ExpectByteIdentical(const TraclusResult& a, const TraclusResult& b) {
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].id(), b.segments[i].id());
+    EXPECT_EQ(a.segments[i].trajectory_id(), b.segments[i].trajectory_id());
+    EXPECT_EQ(a.segments[i].start().x(), b.segments[i].start().x());
+    EXPECT_EQ(a.segments[i].start().y(), b.segments[i].start().y());
+    EXPECT_EQ(a.segments[i].end().x(), b.segments[i].end().x());
+    EXPECT_EQ(a.segments[i].end().y(), b.segments[i].end().y());
+  }
+  EXPECT_EQ(a.characteristic_points, b.characteristic_points);
+  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
+  EXPECT_EQ(a.clustering.num_noise, b.clustering.num_noise);
+  ASSERT_EQ(a.clustering.clusters.size(), b.clustering.clusters.size());
+  for (size_t c = 0; c < a.clustering.clusters.size(); ++c) {
+    EXPECT_EQ(a.clustering.clusters[c].id, b.clustering.clusters[c].id);
+    EXPECT_EQ(a.clustering.clusters[c].member_indices,
+              b.clustering.clusters[c].member_indices);
+  }
+  ASSERT_EQ(a.representatives.size(), b.representatives.size());
+  for (size_t r = 0; r < a.representatives.size(); ++r) {
+    const auto& ap = a.representatives[r].points();
+    const auto& bp = b.representatives[r].points();
+    ASSERT_EQ(ap.size(), bp.size()) << "representative " << r;
+    for (size_t p = 0; p < ap.size(); ++p) {
+      EXPECT_EQ(ap[p].x(), bp[p].x());  // Bitwise: same ops on both paths.
+      EXPECT_EQ(ap[p].y(), bp[p].y());
+    }
+  }
+}
+
+void ExpectFacadeMatchesEngine(const TraclusConfig& config,
+                               const traj::TrajectoryDatabase& db) {
+  const auto engine = TraclusEngine::FromConfig(config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto engine_run = engine->Run(db);
+  ASSERT_TRUE(engine_run.ok()) << engine_run.status().ToString();
+  const TraclusResult facade_run = Traclus(config).Run(db);
+  ExpectByteIdentical(facade_run, *engine_run);
+  ASSERT_FALSE(engine_run->clustering.clusters.empty())
+      << "equivalence must be proven on a non-trivial clustering";
+}
+
+TEST(FacadeEquivalenceTest, ByteIdenticalOnHurricaneDataset) {
+  const auto db = datagen::GenerateHurricanes(datagen::HurricaneConfig{});
+  TraclusConfig config;
+  config.eps = 0.94;
+  config.min_lns = 5;
+  ExpectFacadeMatchesEngine(config, db);
+}
+
+TEST(FacadeEquivalenceTest, ByteIdenticalOnDeerDataset) {
+  const auto db = datagen::GenerateAnimals(datagen::Deer1995Config());
+  TraclusConfig config;
+  config.eps = 1.8;
+  config.min_lns = 8;
+  ExpectFacadeMatchesEngine(config, db);
+}
+
+TEST(FacadeEquivalenceTest, ByteIdenticalAcrossThreadCountsAndWeights) {
+  // The weighted §4.2 extension and the parallel blocked grouping path, both
+  // through the façade and the engine.
+  datagen::HurricaneConfig gen;
+  gen.num_trajectories = 150;
+  gen.min_weight = 1.0;
+  gen.max_weight = 5.0;
+  const auto db = datagen::GenerateHurricanes(gen);
+  TraclusConfig config;
+  config.eps = 0.94;
+  config.min_lns = 6;
+  config.use_weights = true;
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    config.num_threads = threads;
+    ExpectFacadeMatchesEngine(config, db);
+  }
+}
+
+TEST(FacadeEquivalenceTest, FacadeStillReturnsEmptyResultOnEmptyDatabase) {
+  // The legacy contract the façade must keep even though the engine reports
+  // kFailedPrecondition.
+  const traj::TrajectoryDatabase empty;
+  TraclusConfig config;
+  const auto result = Traclus(config).Run(empty);
+  EXPECT_TRUE(result.segments.empty());
+  EXPECT_TRUE(result.clustering.clusters.empty());
+  EXPECT_TRUE(result.representatives.empty());
+}
+
+}  // namespace
+}  // namespace traclus::core

@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 
 #include "cluster/neighborhood.h"
 #include "cluster/neighborhood_index.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "distance/segment_distance.h"
 
 namespace traclus::cluster {
@@ -185,6 +187,52 @@ TEST(GridNeighborhoodIndexTest, RepeatedQueriesAreConsistent) {
   const auto first = index.Neighbors(5, 8.0);
   for (int rep = 0; rep < 50; ++rep) {
     EXPECT_EQ(index.Neighbors(5, 8.0), first);
+  }
+}
+
+TEST(GridNeighborhoodIndexTest, SingleArgNeighborsIsThreadSafe) {
+  // Regression (CHANGES.md known issue): the index-interface overload used to
+  // funnel every caller through one shared mutable scratch, racing the visit
+  // stamps under concurrent queries. It now routes through a per-thread
+  // scratch; hammering it from the pool must agree with the brute-force
+  // oracle on every query. (Write/write races on the old shared stamps
+  // produced duplicate or missing neighbors, so a mismatch here is the
+  // TSAN-visible corruption surfacing; under TSAN the race itself reports.)
+  const auto segs = RandomSegments(400, 60, 4, 97);
+  const SegmentDistance dist;
+  const GridNeighborhoodIndex index(segs, dist);
+  const BruteForceNeighborhood oracle(segs, dist);
+  const double eps = 5.0;
+
+  std::vector<std::vector<size_t>> expect(segs.size());
+  for (size_t i = 0; i < segs.size(); ++i) {
+    expect[i] = oracle.Neighbors(i, eps);
+  }
+
+  common::ThreadPool& pool = common::SharedPool(8);
+  const NeighborhoodProvider& provider = index;  // The interface overload.
+  std::atomic<size_t> mismatches{0};
+  for (int round = 0; round < 4; ++round) {
+    pool.ParallelFor(0, 4 * segs.size(), [&](size_t k) {
+      const size_t i = k % segs.size();
+      if (provider.Neighbors(i, eps) != expect[i]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(GridNeighborhoodIndexTest, NeighborsBatchMatchesPerQuery) {
+  const auto segs = RandomSegments(200, 50, 4, 11);
+  const SegmentDistance dist;
+  const GridNeighborhoodIndex index(segs, dist);
+  const double eps = 6.0;
+  std::vector<size_t> queries = {7, 3, 3, 199, 0, 42};  // Dups are fine.
+  const auto lists = index.NeighborsBatch(queries, eps, common::SharedPool(4));
+  ASSERT_EQ(lists.size(), queries.size());
+  for (size_t k = 0; k < queries.size(); ++k) {
+    EXPECT_EQ(lists[k], index.Neighbors(queries[k], eps)) << "query " << k;
   }
 }
 

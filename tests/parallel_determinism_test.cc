@@ -3,6 +3,10 @@
 // Clustering output (labels, cluster ids, members), partitions, representative
 // trajectories, pairwise matrices, and the parameter heuristic are all checked
 // at 1 vs N threads.
+//
+// Deliberately exercises the deprecated core::Traclus façade alongside the
+// component APIs — determinism must hold through the legacy surface too.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 

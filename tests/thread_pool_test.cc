@@ -220,5 +220,29 @@ TEST(SharedPoolTest, ZeroResolvesToHardwareConcurrency) {
   EXPECT_EQ(pool.num_threads(), ResolveNumThreads(0));
 }
 
+TEST(SharedPoolTest, ShutdownJoinsAndRecreatesDeterministically) {
+  // The registry owns its pools: ShutdownSharedPools joins every worker and
+  // frees every pool at a caller-chosen point (the ASAN CI job then verifies
+  // nothing leaks), and the registry repopulates lazily afterwards.
+  std::atomic<int> count{0};
+  SharedPool(3).ParallelFor(0, 100, [&](size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+
+  ShutdownSharedPools();
+
+  ThreadPool& recreated = SharedPool(3);
+  EXPECT_EQ(recreated.num_threads(), 3);
+  count.store(0);
+  recreated.ParallelFor(0, 100, [&](size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+
+  ShutdownSharedPools();  // Idempotent, including on an empty registry.
+  ShutdownSharedPools();
+}
+
 }  // namespace
 }  // namespace traclus::common

@@ -1,6 +1,11 @@
 // Integration tests: the full TRACLUS pipeline (Fig. 4) end to end, including
 // the headline Example 1 claim — discovery of a common sub-trajectory that
 // whole-trajectory clustering cannot see.
+//
+// This suite intentionally drives the deprecated core::Traclus façade: it is
+// the regression net proving the façade's legacy contract keeps working on
+// top of TraclusEngine (engine_api_test.cc proves the outputs byte-identical).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,45 @@
+// Compile-time deprecation hygiene check.
+//
+// This TU is compiled with -Werror=deprecated-declarations (see
+// traclus_deprecation_check in CMakeLists.txt). It exercises the supported
+// public surface — the TraclusEngine API — and includes the legacy
+// core/traclus.h header without instantiating the deprecated class. It must
+// always build clean; two regressions break it on purpose:
+//   1. New-API code (engine, stages, builder) starts referencing a deprecated
+//      symbol — the supported surface must never depend on the façade.
+//   2. Including the façade header alone starts warning — migrated consumers
+//      that still include core/traclus.h transitively must stay warning-free
+//      until they actually construct a Traclus.
+// The CLI and every example are additionally compiled with the same -Werror
+// flag, so a migrated consumer silently reaching back for core::Traclus fails
+// the build rather than reintroducing the old API.
+
+#include "core/engine.h"
+#include "core/stages.h"
+#include "core/traclus.h"  // Header inclusion alone must not warn.
+
+namespace {
+
+using traclus::core::TraclusEngine;
+
+[[maybe_unused]] traclus::common::Result<TraclusEngine> AssembleWithBuilder() {
+  traclus::core::DbscanGroupOptions group;
+  group.eps = 1.0;
+  group.min_lns = 2.0;
+  traclus::core::SweepRepresentativeOptions reps;
+  reps.min_lns = 2.0;
+  return TraclusEngine::Builder()
+      .UseMdlPartitioning()
+      .UseDbscanGrouping(group)
+      .UseSweepRepresentatives(reps)
+      .SetDefaultNumThreads(1)
+      .Build();
+}
+
+[[maybe_unused]] traclus::common::Result<TraclusEngine> AssembleFromConfig() {
+  // The legacy config STRUCT is not deprecated (it is the migration bridge);
+  // only the Traclus CLASS is.
+  return TraclusEngine::FromConfig(traclus::core::TraclusConfig{});
+}
+
+}  // namespace

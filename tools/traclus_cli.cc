@@ -12,11 +12,16 @@
 //       Run the §4.4 parameter heuristic; print the entropy curve and the
 //       suggested (eps, MinLns) values.
 //   cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]
-//           [--suppression BITS] [--no-index] [--labels out.csv]
-//           [--reps out.csv] [--svg out.svg]
+//           [--suppression BITS] [--no-index] [--progress]
+//           [--labels out.csv] [--reps out.csv] [--svg out.svg]
 //       Run the full pipeline and write the requested artifacts.
 //
-// Exit code 0 on success, 1 on usage errors, 2 on IO/parse errors.
+// Built on core::TraclusEngine: configuration errors come back as typed
+// statuses (printed, exit 1), IO/runtime failures as statuses too (exit 2),
+// and --progress streams per-stage progress from the engine's RunContext.
+//
+// Exit code 0 on success, 1 on usage/configuration errors, 2 on IO/parse
+// errors.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +31,7 @@
 #include <string>
 #include <vector>
 
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/animal_generator.h"
 #include "datagen/common_subtrajectory.h"
 #include "datagen/hurricane_generator.h"
@@ -91,17 +96,41 @@ int Usage() {
       "            [--threads N]\n"
       "  estimate <in.csv> [--eps-lo X] [--eps-hi X] [--grid N] [--threads N]\n"
       "  cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]\n"
-      "          [--suppression BITS] [--no-index] [--threads N]\n"
+      "          [--suppression BITS] [--no-index] [--threads N] [--progress]\n"
       "          [--labels out.csv] [--reps out.csv] [--svg out.svg]\n"
       "\n"
       "  --threads N: worker threads for the parallel phases; 0 = all\n"
       "               hardware threads, 1 = single-threaded. Output is\n"
-      "               identical for every value.\n");
+      "               identical for every value.\n"
+      "  --progress:  stream per-stage progress to stderr.\n");
   return 1;
 }
 
 common::Result<traj::TrajectoryDatabase> Load(const std::string& path) {
   return traj::ReadCsv(path);
+}
+
+// Maps an engine status onto the CLI's exit-code convention: configuration
+// mistakes are usage errors (1), everything else is a runtime error (2).
+int FailWith(const common::Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  switch (status.code()) {
+    case common::StatusCode::kInvalidArgument:
+    case common::StatusCode::kOutOfRange:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+core::RunContext MakeContext(const Args& args) {
+  core::RunContext ctx;
+  if (args.GetSwitch("progress")) {
+    ctx.progress = [](const std::string& stage, double fraction) {
+      std::fprintf(stderr, "[%5.1f%%] %s\n", 100.0 * fraction, stage.c_str());
+    };
+  }
+  return ctx;
 }
 
 int CmdGenerate(const Args& args) {
@@ -176,7 +205,11 @@ int CmdPartition(const Args& args) {
   core::TraclusConfig cfg;
   cfg.partition.suppression_bits = args.GetDouble("suppression", 0.0);
   cfg.num_threads = static_cast<int>(args.GetDouble("threads", 0));
-  const auto segments = core::Traclus(cfg).PartitionPhase(*loaded);
+  const auto engine = core::TraclusEngine::FromConfig(cfg);
+  if (!engine.ok()) return FailWith(engine.status());
+  const auto partitioned = engine->Partition(*loaded, MakeContext(args));
+  if (!partitioned.ok()) return FailWith(partitioned.status());
+  const auto& segments = partitioned->segments;
   std::printf(
       "%zu points -> %zu trajectory partitions (%.2f points/partition)\n",
       loaded->TotalPoints(), segments.size(),
@@ -209,7 +242,11 @@ int CmdEstimate(const Args& args) {
   }
   core::TraclusConfig base;
   base.num_threads = static_cast<int>(args.GetDouble("threads", 0));
-  const auto segments = core::Traclus(base).PartitionPhase(*loaded);
+  const auto engine = core::TraclusEngine::FromConfig(base);
+  if (!engine.ok()) return FailWith(engine.status());
+  const auto partitioned = engine->Partition(*loaded, MakeContext(args));
+  if (!partitioned.ok()) return FailWith(partitioned.status());
+  const auto& segments = partitioned->segments;
   const distance::SegmentDistance dist;
   params::HeuristicOptions opt;
   opt.eps_lo = args.GetDouble("eps-lo", 0.25);
@@ -243,16 +280,35 @@ int CmdCluster(const Args& args) {
   }
   const auto& db = *loaded;
 
-  core::TraclusConfig cfg;
-  cfg.eps = args.GetDouble("eps", 1.0);
-  cfg.min_lns = args.GetDouble("min-lns", 3.0);
-  cfg.partition.suppression_bits = args.GetDouble("suppression", 0.0);
-  cfg.distance.directed = !args.GetSwitch("undirected");
-  cfg.use_weights = args.GetSwitch("weighted");
-  cfg.use_index = !args.GetSwitch("no-index");
-  cfg.num_threads = static_cast<int>(args.GetDouble("threads", 0));
+  // The full three-stage assembly, spelled out builder-style. Every knob is
+  // validated by Build() before any data is touched.
+  core::MdlPartitionOptions partition;
+  partition.mdl.suppression_bits = args.GetDouble("suppression", 0.0);
 
-  const auto result = core::Traclus(cfg).Run(db);
+  core::DbscanGroupOptions group;
+  group.eps = args.GetDouble("eps", 1.0);
+  group.min_lns = args.GetDouble("min-lns", 3.0);
+  group.use_weights = args.GetSwitch("weighted");
+  group.use_index = !args.GetSwitch("no-index");
+  group.distance.directed = !args.GetSwitch("undirected");
+
+  core::SweepRepresentativeOptions reps_options;
+  reps_options.min_lns = group.min_lns;  // The paper's choice.
+  reps_options.use_weights = group.use_weights;
+
+  const auto engine =
+      core::TraclusEngine::Builder()
+          .UseMdlPartitioning(partition)
+          .UseDbscanGrouping(group)
+          .UseSweepRepresentatives(reps_options)
+          .SetDefaultNumThreads(
+              static_cast<int>(args.GetDouble("threads", 0)))
+          .Build();
+  if (!engine.ok()) return FailWith(engine.status());
+
+  const auto run = engine->Run(db, MakeContext(args));
+  if (!run.ok()) return FailWith(run.status());
+  const core::TraclusResult& result = *run;
   std::printf("%zu partitions -> %zu clusters, %zu noise segments\n",
               result.segments.size(), result.clustering.clusters.size(),
               result.clustering.num_noise);
