@@ -20,23 +20,23 @@ namespace {
 using namespace traclus;
 
 void Report(const char* label, const traj::TrajectoryDatabase& db,
-            const std::vector<geom::Segment>& segments) {
+            const traj::SegmentStore& store) {
   core::TraclusConfig cfg;
   cfg.eps = 0.94;
   cfg.min_lns = 7;
   cfg.generate_representatives = false;
-  const auto clustering = bench::GroupOnly(cfg, segments);
-  const auto stats = eval::SummarizeClustering(segments, clustering);
+  const auto clustering = bench::GroupOnly(cfg, store);
+  const auto stats = eval::SummarizeClustering(store.segments(), clustering);
   std::printf(
       "%-26s: %6zu partitions (%4.1f pts/partition) -> %2zu clusters, "
       "%5zu noise\n",
-      label, segments.size(),
+      label, store.size(),
       static_cast<double>(db.TotalPoints()) /
-          std::max<size_t>(1, segments.size()),
+          std::max<size_t>(1, store.size()),
       stats.num_clusters, stats.num_noise);
 }
 
-std::vector<geom::Segment> PartitionWith(
+traj::SegmentStore PartitionWith(
     const partition::TrajectoryPartitioner& partitioner,
     const traj::TrajectoryDatabase& db) {
   std::vector<geom::Segment> segments;
@@ -46,7 +46,7 @@ std::vector<geom::Segment> PartitionWith(
         tr, cp, static_cast<geom::SegmentId>(segments.size()));
     segments.insert(segments.end(), part.begin(), part.end());
   }
-  return segments;
+  return traj::SegmentStore(std::move(segments));
 }
 
 }  // namespace

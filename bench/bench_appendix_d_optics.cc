@@ -50,14 +50,15 @@ int main() {
   }
 
   const distance::SegmentDistance dist;
-  auto max_intra_neighborhood = [&](const std::vector<Segment>& objs) {
-    const cluster::BruteForceNeighborhood provider(objs, dist);
+  auto max_intra_neighborhood = [&](std::vector<Segment> objs) {
+    const traj::SegmentStore store(std::move(objs));
+    const cluster::BruteForceNeighborhood provider(store, dist);
     double worst = 0.0;
-    for (size_t i = 0; i < objs.size(); ++i) {
+    for (size_t i = 0; i < store.size(); ++i) {
       const auto n = provider.Neighbors(i, eps);
       for (size_t a = 0; a < n.size(); ++a) {
         for (size_t b = a + 1; b < n.size(); ++b) {
-          worst = std::max(worst, dist(objs[n[a]], objs[n[b]]));
+          worst = std::max(worst, dist(store, n[a], n[b]));
         }
       }
     }

@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "distance/endpoint_distance.h"
 #include "distance/segment_distance.h"
+#include "traj/segment_store.h"
 
 namespace {
 
@@ -37,6 +38,13 @@ const std::vector<geom::Segment>& Pool() {
   return segs;
 }
 
+const traj::SegmentStore& StorePool() {
+  static const traj::SegmentStore store(Pool());
+  return store;
+}
+
+// The recompute baseline: every pairwise call rederives segment lengths,
+// directions, and norms from the endpoints (the pre-SegmentStore hot path).
 void BM_FullDistance(benchmark::State& state) {
   const auto& segs = Pool();
   const distance::SegmentDistance dist;
@@ -48,6 +56,53 @@ void BM_FullDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullDistance);
+
+// The invariant-cached variant: identical results (bit-for-bit; the
+// equivalence is asserted in tests/segment_store_test.cc), but lengths,
+// squared lengths, and direction vectors come from the SegmentStore and the
+// endpoint projections are shared between d⊥ and d∥. The headline ratio
+// BM_FullDistance / BM_FullDistanceStoreCached is the per-pair speedup of
+// the grouping-phase inner loop; CI uploads this JSON per commit.
+void BM_FullDistanceStoreCached(benchmark::State& state) {
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist(store, i % store.size(), (i * 31 + 7) % store.size()));
+    ++i;
+  }
+}
+BENCHMARK(BM_FullDistanceStoreCached);
+
+void BM_DistanceComponentsStoreCached(benchmark::State& state) {
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist.Components(store, i % store.size(), (i * 31 + 7) % store.size()));
+    ++i;
+  }
+}
+BENCHMARK(BM_DistanceComponentsStoreCached);
+
+// One-time cost of freezing a segment vector into the invariant cache — the
+// price paid once per pipeline run for the per-pair savings above. The
+// pipeline moves the vector in (MdlPartitionStage), so the copy that refills
+// it each iteration is excluded from the timed region.
+void BM_SegmentStoreBuild(benchmark::State& state) {
+  const auto& segs = Pool();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<geom::Segment> input = segs;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(traj::SegmentStore(std::move(input)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(segs.size()));
+}
+BENCHMARK(BM_SegmentStoreBuild);
 
 void BM_DistanceComponents(benchmark::State& state) {
   const auto& segs = Pool();
@@ -121,6 +176,22 @@ void BM_PairwiseDistanceMatrix(benchmark::State& state) {
                           static_cast<int64_t>(segs.size() * segs.size() / 2));
 }
 BENCHMARK(BM_PairwiseDistanceMatrix)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Store-backed matrix: the same n² distances through the invariant cache.
+void BM_PairwiseDistanceMatrixStoreCached(benchmark::State& state) {
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  auto& pool = common::SharedPool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distance::PairwiseDistanceMatrix(store, dist, pool));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(store.size() * store.size() / 2));
+}
+BENCHMARK(BM_PairwiseDistanceMatrixStoreCached)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -27,7 +27,7 @@ int main() {
   bench::PrintDatabaseStats("hurricane", db);
 
   core::TraclusConfig base;
-  const auto segments = bench::PartitionOnly(base, db);
+  const auto store = bench::PartitionOnly(base, db);
 
   // Estimate eps* as in E1, then sweep ±3 grid steps like the paper's 27..33.
   const distance::SegmentDistance dist;
@@ -35,7 +35,7 @@ int main() {
   hopt.eps_lo = 0.1;
   hopt.eps_hi = 6.0;
   hopt.grid_points = 60;
-  const auto est = params::EstimateParameters(segments, dist, hopt);
+  const auto est = params::EstimateParameters(store, dist, hopt);
   std::printf("estimated eps* = %.3f (paper: 31)\n\n", est.eps);
 
   std::vector<double> eps_grid;
@@ -58,11 +58,9 @@ int main() {
       cfg.eps = eps;
       cfg.min_lns = min_lns;
       cfg.generate_representatives = false;
-      const auto clustering = bench::GroupOnly(cfg, segments);
-      core::TraclusResult result;
-      result.segments = segments;
-      result.clustering = clustering;
-      const auto q = eval::ComputeQMeasure(segments, clustering, dist);
+      const auto clustering = bench::GroupOnly(cfg, store);
+      const auto q =
+          eval::ComputeQMeasure(store.segments(), clustering, dist);
       std::printf("%-8.3f %-8.0f %-14.1f %-14.1f %-14.1f %zu\n", eps, min_lns,
                   q.qmeasure, q.total_sse, q.noise_penalty,
                   clustering.clusters.size());

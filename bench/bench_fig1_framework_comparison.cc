@@ -46,7 +46,7 @@ int main() {
         "sub-trajectory (|PTR| = %zu of 5 trajectories)\n",
         i, rep.points().front().x(), rep.points().front().y(),
         rep.points().back().x(), rep.points().back().y(),
-        cluster::TrajectoryCardinality(result.segments,
+        cluster::TrajectoryCardinality(result.store,
                                        result.clustering.clusters[i]));
   }
   const auto svg = bench::WriteClusterSvg("fig1_traclus.svg", db, result);

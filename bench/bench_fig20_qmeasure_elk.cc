@@ -24,14 +24,14 @@ int main() {
   bench::PrintDatabaseStats("Elk1993", db);
 
   core::TraclusConfig base;
-  const auto segments = bench::PartitionOnly(base, db);
+  const auto store = bench::PartitionOnly(base, db);
 
   const distance::SegmentDistance dist;
   params::HeuristicOptions hopt;
   hopt.eps_lo = 0.25;
   hopt.eps_hi = 15.0;
   hopt.grid_points = 60;
-  const auto est = params::EstimateParameters(segments, dist, hopt);
+  const auto est = params::EstimateParameters(store, dist, hopt);
   std::printf("estimated eps* = %.3f (paper: 25)\n\n", est.eps);
 
   std::vector<double> eps_grid;
@@ -50,8 +50,9 @@ int main() {
       cfg.eps = eps;
       cfg.min_lns = min_lns;
       cfg.generate_representatives = false;
-      const auto clustering = bench::GroupOnly(cfg, segments);
-      const auto q = eval::ComputeQMeasure(segments, clustering, dist);
+      const auto clustering = bench::GroupOnly(cfg, store);
+      const auto q =
+          eval::ComputeQMeasure(store.segments(), clustering, dist);
       std::printf("%-8.3f %-8.0f %-14.1f %zu\n", eps, min_lns, q.qmeasure,
                   clustering.clusters.size());
       csv << eps << "," << min_lns << "," << q.qmeasure << ","

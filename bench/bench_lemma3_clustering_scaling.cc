@@ -17,22 +17,22 @@ namespace {
 
 using namespace traclus;
 
-const std::vector<geom::Segment>& AllSegments() {
-  static const std::vector<geom::Segment> segments = [] {
+const traj::SegmentStore& AllSegments() {
+  static const traj::SegmentStore store = [] {
     datagen::HurricaneConfig gen;
     gen.num_trajectories = 1200;  // Enough partitions for the largest slice.
     const auto engine =
         core::TraclusEngine::FromConfig(core::TraclusConfig{});
-    return std::move(
-        engine->Partition(datagen::GenerateHurricanes(gen))->segments);
+    return std::move(engine->Partition(datagen::GenerateHurricanes(gen))
+                         ->store);
   }();
-  return segments;
+  return store;
 }
 
-std::vector<geom::Segment> Slice(size_t n) {
-  const auto& all = AllSegments();
-  return std::vector<geom::Segment>(all.begin(),
-                                    all.begin() + std::min(n, all.size()));
+traj::SegmentStore Slice(size_t n) {
+  const auto& all = AllSegments().segments();
+  return traj::SegmentStore(std::vector<geom::Segment>(
+      all.begin(), all.begin() + std::min(n, all.size())));
 }
 
 cluster::DbscanOptions Options() {

@@ -28,7 +28,7 @@ int main() {
   bench::PrintDatabaseStats("hurricane", db);
   core::TraclusConfig base;
   base.generate_representatives = false;
-  const auto segments = bench::PartitionOnly(base, db);
+  const auto store = bench::PartitionOnly(base, db);
 
   // Our visual optimum is (0.94, 7); sweep eps at fixed MinLns and vice versa.
   const double opt_eps = 0.94;
@@ -43,11 +43,10 @@ int main() {
     core::TraclusConfig cfg = base;
     cfg.eps = opt_eps * mult;
     cfg.min_lns = opt_min_lns;
-    core::TraclusResult r;
-    r.segments = segments;
-    r.clustering = bench::GroupOnly(cfg, segments);
-    bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, r);
-    const auto st = eval::SummarizeClustering(segments, r.clustering);
+    const auto clustering = bench::GroupOnly(cfg, store);
+    bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, store.segments(),
+                                  clustering);
+    const auto st = eval::SummarizeClustering(store.segments(), clustering);
     if (!first && st.num_clusters > 0 && prev_clusters > 0) {
       std::printf("    trend: clusters %zu -> %zu (%s as eps grows)\n",
                   prev_clusters, st.num_clusters,
@@ -65,12 +64,11 @@ int main() {
     core::TraclusConfig cfg = base;
     cfg.eps = opt_eps;
     cfg.min_lns = min_lns;
-    core::TraclusResult r;
-    r.segments = segments;
-    r.clustering = bench::GroupOnly(cfg, segments);
-    bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, r);
+    const auto clustering = bench::GroupOnly(cfg, store);
+    bench::PrintClusteringSummary(cfg.eps, cfg.min_lns, store.segments(),
+                                  clustering);
     prev_clusters =
-        eval::SummarizeClustering(segments, r.clustering).num_clusters;
+        eval::SummarizeClustering(store.segments(), clustering).num_clusters;
     (void)first;
     first = false;
   }

@@ -45,23 +45,23 @@ inline core::TraclusResult RunPipeline(const core::TraclusConfig& config,
   return std::move(result).ValueOrDie();
 }
 
-/// Partitioning stage only (Fig. 4 lines 01-03).
-inline std::vector<geom::Segment> PartitionOnly(
-    const core::TraclusConfig& config, const traj::TrajectoryDatabase& db) {
+/// Partitioning stage only (Fig. 4 lines 01-03): returns the frozen segment
+/// store, the currency the later stages consume.
+inline traj::SegmentStore PartitionOnly(const core::TraclusConfig& config,
+                                        const traj::TrajectoryDatabase& db) {
   auto partitioned = MakeEngine(config).Partition(db);
   if (!partitioned.ok()) {
     std::fprintf(stderr, "bench partition stage failed: %s\n",
                  partitioned.status().ToString().c_str());
     std::abort();
   }
-  return std::move(partitioned->segments);
+  return std::move(partitioned->store);
 }
 
-/// Grouping stage only (Fig. 4 line 04) on a prebuilt segment set.
-inline cluster::ClusteringResult GroupOnly(
-    const core::TraclusConfig& config,
-    const std::vector<geom::Segment>& segments) {
-  auto grouped = MakeEngine(config).Group(segments);
+/// Grouping stage only (Fig. 4 line 04) on a prebuilt segment store.
+inline cluster::ClusteringResult GroupOnly(const core::TraclusConfig& config,
+                                           const traj::SegmentStore& store) {
+  auto grouped = MakeEngine(config).Group(store);
   if (!grouped.ok()) {
     std::fprintf(stderr, "bench group stage failed: %s\n",
                  grouped.status().ToString().c_str());
@@ -117,15 +117,20 @@ inline std::string WriteClusterSvg(const std::string& filename,
 }
 
 /// Prints a one-line clustering summary (the quantities §5.2-§5.4 quote).
-inline void PrintClusteringSummary(double eps, double min_lns,
-                                   const core::TraclusResult& result) {
-  const auto stats =
-      eval::SummarizeClustering(result.segments, result.clustering);
+inline void PrintClusteringSummary(
+    double eps, double min_lns, const std::vector<geom::Segment>& segments,
+    const cluster::ClusteringResult& clustering) {
+  const auto stats = eval::SummarizeClustering(segments, clustering);
   std::printf(
       "eps=%-6.2f MinLns=%-3.0f -> %2zu clusters | avg %6.1f segs/cluster | "
       "%5zu noise segs | avg |PTR| %.1f\n",
       eps, min_lns, stats.num_clusters, stats.avg_segments_per_cluster,
       stats.num_noise, stats.avg_trajectory_cardinality);
+}
+
+inline void PrintClusteringSummary(double eps, double min_lns,
+                                   const core::TraclusResult& result) {
+  PrintClusteringSummary(eps, min_lns, result.segments(), result.clustering);
 }
 
 }  // namespace traclus::bench

@@ -84,8 +84,9 @@ int main(int argc, char** argv) {
   const std::string labels_path = "csv_pipeline_labels.csv";
   std::ofstream labels(labels_path);
   labels << "segment_id,trajectory_id,start_x,start_y,end_x,end_y,cluster\n";
-  for (size_t i = 0; i < result.segments.size(); ++i) {
-    const auto& s = result.segments[i];
+  const auto& segments = result.segments();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& s = segments[i];
     labels << s.id() << "," << s.trajectory_id() << "," << s.start().x() << ","
            << s.start().y() << "," << s.end().x() << "," << s.end().y() << ","
            << result.clustering.labels[i] << "\n";

@@ -30,7 +30,7 @@ int main() {
     std::fprintf(stderr, "%s\n", partitioned.status().ToString().c_str());
     return 1;
   }
-  const auto& segments = partitioned->segments;
+  const traclus::traj::SegmentStore& segments = partitioned->store;
   std::printf("partitions: %zu\n", segments.size());
 
   const traclus::distance::SegmentDistance dist;

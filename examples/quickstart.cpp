@@ -67,7 +67,7 @@ int main() {
 
   // 4. Inspect the output.
   std::printf("partitioned %zu trajectories into %zu line segments\n",
-              db.size(), result.segments.size());
+              db.size(), result.segments().size());
   std::printf("found %zu cluster(s); %zu segments classified as noise\n\n",
               result.clustering.clusters.size(), result.clustering.num_noise);
 
@@ -75,7 +75,7 @@ int main() {
     const auto& cluster = result.clustering.clusters[c];
     std::printf("cluster %zu: %zu segments from %zu distinct trajectories\n", c,
                 cluster.size(),
-                traclus::cluster::TrajectoryCardinality(result.segments,
+                traclus::cluster::TrajectoryCardinality(result.store,
                                                         cluster));
     const auto& rep = result.representatives[c];
     std::printf("  representative trajectory (%zu points): ", rep.size());

@@ -20,4 +20,21 @@ size_t TrajectoryCardinality(const std::vector<geom::Segment>& segments,
   return ParticipatingTrajectories(segments, cluster).size();
 }
 
+std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
+    const traj::SegmentStore& store, const Cluster& cluster) {
+  std::unordered_set<geom::TrajectoryId> out;
+  out.reserve(cluster.member_indices.size());
+  const auto& ids = store.trajectory_ids();
+  for (const size_t idx : cluster.member_indices) {
+    TRACLUS_DCHECK(idx < ids.size());
+    out.insert(ids[idx]);
+  }
+  return out;
+}
+
+size_t TrajectoryCardinality(const traj::SegmentStore& store,
+                             const Cluster& cluster) {
+  return ParticipatingTrajectories(store, cluster).size();
+}
+
 }  // namespace traclus::cluster

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "geom/segment.h"
+#include "traj/segment_store.h"
 
 namespace traclus::cluster {
 
@@ -40,8 +41,17 @@ struct ClusteringResult {
 std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
     const std::vector<geom::Segment>& segments, const Cluster& cluster);
 
+/// Store-backed overload: reads the contiguous trajectory-id column instead
+/// of dereferencing whole segments.
+std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
+    const traj::SegmentStore& store, const Cluster& cluster);
+
 /// |PTR(C)|, the trajectory cardinality used by the Fig. 12 step-3 filter.
 size_t TrajectoryCardinality(const std::vector<geom::Segment>& segments,
+                             const Cluster& cluster);
+
+/// Store-backed overload of TrajectoryCardinality.
+size_t TrajectoryCardinality(const traj::SegmentStore& store,
                              const Cluster& cluster);
 
 }  // namespace traclus::cluster

@@ -16,13 +16,14 @@ namespace {
 constexpr size_t kDefaultBatchBlock = 1024;
 
 // |Nε(L)| under the configured density: neighbor count, or the weighted count
-// of the §4.2 extension.
-double NeighborhoodMass(const std::vector<geom::Segment>& segments,
+// of the §4.2 extension (summed from the store's flat weight column).
+double NeighborhoodMass(const traj::SegmentStore& store,
                         const std::vector<size_t>& neighbors,
                         const DbscanOptions& options) {
   if (!options.use_weights) return static_cast<double>(neighbors.size());
   double mass = 0.0;
-  for (const size_t i : neighbors) mass += segments[i].weight();
+  const std::vector<double>& weights = store.weights();
+  for (const size_t i : neighbors) mass += weights[i];
   return mass;
 }
 
@@ -110,14 +111,14 @@ class BlockedNeighborFetcher {
 
 }  // namespace
 
-ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
+ClusteringResult DbscanSegments(const traj::SegmentStore& store,
                                 const NeighborhoodProvider& provider,
                                 const DbscanOptions& options) {
-  TRACLUS_CHECK_EQ(provider.size(), segments.size());
+  TRACLUS_CHECK_EQ(provider.size(), store.size());
   TRACLUS_CHECK_GT(options.eps, 0.0);
   TRACLUS_CHECK_GE(options.min_lns, 1.0);
 
-  const size_t n = segments.size();
+  const size_t n = store.size();
   ClusteringResult result;
   result.labels.assign(n, kUnclassified);
   std::vector<Cluster> raw_clusters;
@@ -150,7 +151,7 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
     }
     if (result.labels[seed] != kUnclassified) continue;
     const std::vector<size_t> seed_neighbors = fetch(seed);
-    if (NeighborhoodMass(segments, seed_neighbors, options) < options.min_lns) {
+    if (NeighborhoodMass(store, seed_neighbors, options) < options.min_lns) {
       result.labels[seed] = kNoise;  // Line 12.
       continue;
     }
@@ -173,7 +174,7 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
       const size_t m = queue.front();
       queue.pop_front();
       const std::vector<size_t> m_neighbors = fetch(m);
-      if (NeighborhoodMass(segments, m_neighbors, options) < options.min_lns) {
+      if (NeighborhoodMass(store, m_neighbors, options) < options.min_lns) {
         continue;  // Not a core line segment: expand no further through it.
       }
       for (const size_t x : m_neighbors) {
@@ -198,7 +199,7 @@ ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
   int dense_id = 0;
   for (auto& cluster : raw_clusters) {
     const double ptr =
-        static_cast<double>(TrajectoryCardinality(segments, cluster));
+        static_cast<double>(TrajectoryCardinality(store, cluster));
     // Removed; members become noise.
     if (ptr < cardinality_threshold) continue;
     remap[cluster.id] = dense_id;

@@ -54,10 +54,12 @@ struct DbscanOptions {
 /// drawn from too few distinct trajectories (Definition 10), since those do not
 /// "explain the behavior of a sufficient number of trajectories".
 ///
-/// `provider` supplies exact ε-neighborhoods and must be bound to `segments`.
-/// Deterministic: segments are seeded in index order, and the expansion queue
-/// is FIFO, so identical inputs yield identical labellings.
-ClusteringResult DbscanSegments(const std::vector<geom::Segment>& segments,
+/// `provider` supplies exact ε-neighborhoods and must be bound to `store`.
+/// Weighted density reads the store's contiguous weight column and the step-3
+/// filter its trajectory-id column. Deterministic: segments are seeded in
+/// index order, and the expansion queue is FIFO, so identical inputs yield
+/// identical labellings.
+ClusteringResult DbscanSegments(const traj::SegmentStore& store,
                                 const NeighborhoodProvider& provider,
                                 const DbscanOptions& options);
 

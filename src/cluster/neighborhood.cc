@@ -67,11 +67,10 @@ std::vector<size_t> NeighborhoodCache::AllNeighborhoodSizes(
 
 std::vector<size_t> BruteForceNeighborhood::Neighbors(size_t query_index,
                                                       double eps) const {
-  TRACLUS_DCHECK(query_index < segments_.size());
+  TRACLUS_DCHECK(query_index < store_.size());
   std::vector<size_t> out;
-  const geom::Segment& q = segments_[query_index];
-  for (size_t i = 0; i < segments_.size(); ++i) {
-    if (i == query_index || dist_(q, segments_[i]) <= eps) {
+  for (size_t i = 0; i < store_.size(); ++i) {
+    if (i == query_index || dist_(store_, query_index, i) <= eps) {
       out.push_back(i);
     }
   }

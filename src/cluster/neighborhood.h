@@ -7,13 +7,14 @@
 #include "common/thread_pool.h"
 #include "distance/segment_distance.h"
 #include "geom/segment.h"
+#include "traj/segment_store.h"
 
 namespace traclus::cluster {
 
 /// Source of ε-neighborhood queries Nε(L) (Definition 4) over a fixed segment
 /// database.
 ///
-/// Implementations are bound to a segment vector at construction and must
+/// Implementations are bound to a traj::SegmentStore at construction and must
 /// return the indices of ALL segments within distance ε of the query —
 /// including the query segment itself, which Definition 4 includes since
 /// dist(L, L) = 0. Exactness matters: DBSCAN's output (and the parameter
@@ -101,16 +102,17 @@ class NeighborhoodCache : public NeighborhoodProvider {
 /// that property tests compare the grid index against.
 class BruteForceNeighborhood : public NeighborhoodProvider {
  public:
-  /// Both referents must outlive the provider.
-  BruteForceNeighborhood(const std::vector<geom::Segment>& segments,
+  /// Both referents must outlive the provider. Every exact distance check
+  /// goes through the store's invariant-cached fast path.
+  BruteForceNeighborhood(const traj::SegmentStore& store,
                          const distance::SegmentDistance& dist)
-      : segments_(segments), dist_(dist) {}
+      : store_(store), dist_(dist) {}
 
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
-  size_t size() const override { return segments_.size(); }
+  size_t size() const override { return store_.size(); }
 
  private:
-  const std::vector<geom::Segment>& segments_;
+  const traj::SegmentStore& store_;
   const distance::SegmentDistance& dist_;
 };
 

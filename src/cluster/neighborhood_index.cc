@@ -23,30 +23,28 @@ uint64_t Mix(int64_t x, int64_t y, int64_t z) {
 }  // namespace
 
 GridNeighborhoodIndex::GridNeighborhoodIndex(
-    const std::vector<geom::Segment>& segments,
-    const distance::SegmentDistance& dist, double cell_size)
-    : segments_(segments), dist_(dist) {
-  boxes_.reserve(segments_.size());
+    const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+    double cell_size)
+    : store_(store), dist_(dist) {
+  // Per-segment MBRs are an invariant the store already caches; the index
+  // only derives its cell size from them.
   double extent_sum = 0.0;
-  for (const auto& s : segments_) {
-    geom::BBox b;
-    b.Extend(s);
+  for (const geom::BBox& b : store_.bboxes()) {
     for (int d = 0; d < b.dims(); ++d) extent_sum += b.Extent(d);
-    boxes_.push_back(b);
   }
-  dims_ = segments_.empty() ? 2 : segments_.front().dims();
+  dims_ = store_.dims();
 
   if (cell_size > 0.0) {
     cell_size_ = cell_size;
   } else {
     const double denom =
-        std::max<size_t>(1, segments_.size()) * std::max(1, dims_);
+        std::max<size_t>(1, store_.size()) * std::max(1, dims_);
     const double mean_extent = extent_sum / static_cast<double>(denom);
     cell_size_ = std::max(2.0 * mean_extent, 1e-9);
   }
 
-  for (size_t i = 0; i < segments_.size(); ++i) {
-    const geom::BBox& b = boxes_[i];
+  for (size_t i = 0; i < store_.size(); ++i) {
+    const geom::BBox& b = store_.bbox(i);
     const CellCoord lo = CellOf(b.lo(0), b.lo(1), dims_ == 3 ? b.lo(2) : 0.0);
     const CellCoord hi = CellOf(b.hi(0), b.hi(1), dims_ == 3 ? b.hi(2) : 0.0);
     for (int64_t cx = lo.x; cx <= hi.x; ++cx) {
@@ -83,12 +81,12 @@ std::vector<size_t> GridNeighborhoodIndex::Neighbors(size_t query_index,
 
 std::vector<std::vector<size_t>> GridNeighborhoodIndex::AllNeighbors(
     double eps, common::ThreadPool& pool) const {
-  std::vector<std::vector<size_t>> lists(segments_.size());
+  std::vector<std::vector<size_t>> lists(store_.size());
   // One scratch per contiguous chunk: threads never share dedup stamps, and
   // every list lands in its own index-addressed slot, so the batch is both
   // race-free and bit-identical across thread counts.
   pool.ParallelForChunked(
-      0, segments_.size(), [this, eps, &lists](size_t lo, size_t hi) {
+      0, store_.size(), [this, eps, &lists](size_t lo, size_t hi) {
         QueryScratch scratch;
         for (size_t i = lo; i < hi; ++i) {
           lists[i] = Neighbors(i, eps, &scratch);
@@ -99,9 +97,9 @@ std::vector<std::vector<size_t>> GridNeighborhoodIndex::AllNeighbors(
 
 std::vector<size_t> GridNeighborhoodIndex::AllNeighborhoodSizes(
     double eps, common::ThreadPool& pool) const {
-  std::vector<size_t> sizes(segments_.size());
+  std::vector<size_t> sizes(store_.size());
   pool.ParallelForChunked(
-      0, segments_.size(), [this, eps, &sizes](size_t lo, size_t hi) {
+      0, store_.size(), [this, eps, &sizes](size_t lo, size_t hi) {
         QueryScratch scratch;
         for (size_t i = lo; i < hi; ++i) {
           sizes[i] = Neighbors(i, eps, &scratch).size();
@@ -126,25 +124,25 @@ std::vector<std::vector<size_t>> GridNeighborhoodIndex::NeighborsBatch(
 
 std::vector<size_t> GridNeighborhoodIndex::Neighbors(
     size_t query_index, double eps, QueryScratch* scratch) const {
-  TRACLUS_DCHECK(query_index < segments_.size());
+  TRACLUS_DCHECK(query_index < store_.size());
   const double factor = dist_.LowerBoundFactor();
   std::vector<size_t> out;
 
   if (factor <= 0.0) {
     // No usable lower bound for this weight configuration: exact scan.
-    const geom::Segment& q = segments_[query_index];
-    for (size_t i = 0; i < segments_.size(); ++i) {
-      if (i == query_index || dist_(q, segments_[i]) <= eps) out.push_back(i);
+    for (size_t i = 0; i < store_.size(); ++i) {
+      if (i == query_index || dist_(store_, query_index, i) <= eps) {
+        out.push_back(i);
+      }
     }
     return out;
   }
 
   const double radius = eps / factor;
-  const geom::Segment& q = segments_[query_index];
-  const geom::BBox& qbox = boxes_[query_index];
+  const geom::BBox& qbox = store_.bbox(query_index);
 
   std::vector<uint32_t>& visit_stamp = scratch->visit_stamp;
-  visit_stamp.resize(segments_.size(), 0u);
+  visit_stamp.resize(store_.size(), 0u);
   ++scratch->stamp;
   if (scratch->stamp == 0) {  // Wrap-around: reset once every 2^32 queries.
     std::fill(visit_stamp.begin(), visit_stamp.end(), 0u);
@@ -168,8 +166,9 @@ std::vector<size_t> GridNeighborhoodIndex::Neighbors(
             out.push_back(i);
             continue;
           }
-          if (boxes_[i].MinDist(qbox) > radius) continue;  // Sound prune.
-          if (dist_(q, segments_[i]) <= eps) out.push_back(i);
+          // Sound prune on cached MBRs.
+          if (store_.bbox(i).MinDist(qbox) > radius) continue;
+          if (dist_(store_, query_index, i) <= eps) out.push_back(i);
         }
       }
     }

@@ -31,9 +31,11 @@ namespace traclus::cluster {
 /// invariants.
 class GridNeighborhoodIndex : public NeighborhoodProvider {
  public:
-  /// Builds the index; `segments` and `dist` must outlive it.
+  /// Builds the index; `store` and `dist` must outlive it. Per-segment MBRs
+  /// come straight from the store's invariant cache (no rebuild here), and
+  /// every exact verification uses the store's distance fast path.
   /// `cell_size` ≤ 0 selects the automatic heuristic.
-  GridNeighborhoodIndex(const std::vector<geom::Segment>& segments,
+  GridNeighborhoodIndex(const traj::SegmentStore& store,
                         const distance::SegmentDistance& dist,
                         double cell_size = 0.0);
 
@@ -71,7 +73,7 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
       const std::vector<size_t>& queries, double eps,
       common::ThreadPool& pool) const override;
 
-  size_t size() const override { return segments_.size(); }
+  size_t size() const override { return store_.size(); }
 
   double cell_size() const { return cell_size_; }
 
@@ -88,11 +90,10 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
   CellCoord CellOf(double x, double y, double z) const;
   static uint64_t CellKey(const CellCoord& c);
 
-  const std::vector<geom::Segment>& segments_;
+  const traj::SegmentStore& store_;
   const distance::SegmentDistance& dist_;
   double cell_size_ = 1.0;
   int dims_ = 2;
-  std::vector<geom::BBox> boxes_;  // Per-segment MBR, parallel to segments_.
   std::unordered_map<uint64_t, std::vector<size_t>> cells_;
 };
 

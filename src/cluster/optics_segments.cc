@@ -22,12 +22,12 @@ struct Seed {
 
 }  // namespace
 
-OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
+OpticsResult OpticsSegments(const traj::SegmentStore& store,
                             const distance::SegmentDistance& dist,
                             const NeighborhoodProvider& provider,
                             const OpticsOptions& options) {
-  TRACLUS_CHECK_EQ(provider.size(), segments.size());
-  const size_t n = segments.size();
+  TRACLUS_CHECK_EQ(provider.size(), store.size());
+  const size_t n = store.size();
   OpticsResult result;
   result.ordering.reserve(n);
   result.reachability.reserve(n);
@@ -47,7 +47,7 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
     std::vector<double> ds;
     ds.reserve(neighbors.size());
     for (const size_t j : neighbors) {
-      ds.push_back(i == j ? 0.0 : dist(segments[i], segments[j]));
+      ds.push_back(i == j ? 0.0 : dist(store, i, j));
     }
     const size_t k = static_cast<size_t>(options.min_lns) - 1;
     std::nth_element(ds.begin(), ds.begin() + k, ds.end());
@@ -90,7 +90,7 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
       if (core_d == kUndefinedReachability) continue;  // Not a core segment.
       for (const size_t j : neighbors) {
         if (processed[j]) continue;
-        const double d = dist(segments[s.index], segments[j]);
+        const double d = dist(store, s.index, j);
         const double new_reach = std::max(core_d, d);
         if (new_reach < reach[j]) {
           reach[j] = new_reach;
@@ -104,9 +104,9 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
 }
 
 ClusteringResult ExtractDbscanClustering(
-    const std::vector<geom::Segment>& segments, const OpticsResult& optics,
+    const traj::SegmentStore& store, const OpticsResult& optics,
     double eps_cut, double min_lns, double min_trajectory_cardinality) {
-  const size_t n = segments.size();
+  const size_t n = store.size();
   ClusteringResult result;
   result.labels.assign(n, kNoise);
   std::vector<Cluster> raw;
@@ -135,7 +135,7 @@ ClusteringResult ExtractDbscanClustering(
   std::vector<int> remap(raw.size(), kNoise);
   int dense_id = 0;
   for (auto& cluster : raw) {
-    if (static_cast<double>(TrajectoryCardinality(segments, cluster)) <
+    if (static_cast<double>(TrajectoryCardinality(store, cluster)) <
         threshold) {
       continue;
     }

@@ -48,8 +48,9 @@ struct OpticsResult {
 /// ε-neighborhood is bounded by 2ε, whereas for segments it is unbounded, so
 /// reachability-distances of cluster members stay close to ε and clusters are
 /// harder to tell from noise — the paper's argument for preferring DBSCAN.
-/// Deterministic for fixed inputs.
-OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
+/// Core- and reachability-distances are evaluated through the store's
+/// invariant-cached distance fast path. Deterministic for fixed inputs.
+OpticsResult OpticsSegments(const traj::SegmentStore& store,
                             const distance::SegmentDistance& dist,
                             const NeighborhoodProvider& provider,
                             const OpticsOptions& options);
@@ -59,7 +60,7 @@ OpticsResult OpticsSegments(const std::vector<geom::Segment>& segments,
 /// applies the TRACLUS trajectory-cardinality filter so results are comparable
 /// with DbscanSegments.
 ClusteringResult ExtractDbscanClustering(
-    const std::vector<geom::Segment>& segments, const OpticsResult& optics,
+    const traj::SegmentStore& store, const OpticsResult& optics,
     double eps_cut, double min_lns, double min_trajectory_cardinality = -1.0);
 
 }  // namespace traclus::cluster

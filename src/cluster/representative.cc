@@ -31,6 +31,28 @@ geom::Point AverageDirectionVector(const std::vector<geom::Segment>& segments,
   return avg;
 }
 
+geom::Point AverageDirectionVector(const traj::SegmentStore& store,
+                                   const Cluster& cluster) {
+  TRACLUS_CHECK(!cluster.member_indices.empty());
+  const int dims = store.dims();
+  geom::Point sum = dims == 3 ? geom::Point(0, 0, 0) : geom::Point(0, 0);
+  for (const size_t idx : cluster.member_indices) {
+    sum = sum + store.direction(idx);
+  }
+  geom::Point avg = sum / static_cast<double>(cluster.member_indices.size());
+
+  if (avg.Norm() < 1e-12) {
+    double best_len = -1.0;
+    for (const size_t idx : cluster.member_indices) {
+      if (store.length(idx) > best_len) {
+        best_len = store.length(idx);
+        avg = store.direction(idx);
+      }
+    }
+  }
+  return avg;
+}
+
 namespace {
 
 // A member segment expressed in the sweep frame: t = coordinate along the
@@ -58,11 +80,13 @@ void Decompose(const geom::Point& p, const geom::Point& unit_axis, double* t,
   *residual = p - unit_axis * (*t);
 }
 
-}  // namespace
-
-traj::Trajectory RepresentativeTrajectory(
-    const std::vector<geom::Segment>& segments, const Cluster& cluster,
-    const RepresentativeOptions& options) {
+// The Fig. 15 sweep over a precomputed (unnormalized) average direction
+// vector; both public overloads delegate here, so their outputs are
+// byte-identical by construction.
+traj::Trajectory SweepWithAxis(const std::vector<geom::Segment>& segments,
+                               const Cluster& cluster,
+                               const RepresentativeOptions& options,
+                               geom::Point axis) {
   traj::Trajectory rep(/*id=*/cluster.id, /*label=*/"representative");
   if (cluster.member_indices.empty()) return rep;
 
@@ -71,7 +95,6 @@ traj::Trajectory RepresentativeTrajectory(
                 dims == 2)
       << "kRotation2D requires 2-D segments";
 
-  geom::Point axis = AverageDirectionVector(segments, cluster);
   axis = axis / axis.Norm();
 
   double cos_phi = 1.0;
@@ -165,6 +188,30 @@ traj::Trajectory RepresentativeTrajectory(
     prev_t = t;
   }
   return rep;
+}
+
+}  // namespace
+
+traj::Trajectory RepresentativeTrajectory(
+    const std::vector<geom::Segment>& segments, const Cluster& cluster,
+    const RepresentativeOptions& options) {
+  if (cluster.member_indices.empty()) {
+    return traj::Trajectory(cluster.id, "representative");
+  }
+  return SweepWithAxis(segments, cluster, options,
+                       AverageDirectionVector(segments, cluster));
+}
+
+traj::Trajectory RepresentativeTrajectory(
+    const traj::SegmentStore& store, const Cluster& cluster,
+    const RepresentativeOptions& options) {
+  if (cluster.member_indices.empty()) {
+    return traj::Trajectory(cluster.id, "representative");
+  }
+  // The axis sums the store's cached direction vectors; the sweep itself
+  // reads endpoints, which only the AoS view carries.
+  return SweepWithAxis(store.segments(), cluster, options,
+                       AverageDirectionVector(store, cluster));
 }
 
 }  // namespace traclus::cluster

@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.h"
 #include "geom/point.h"
+#include "traj/segment_store.h"
 #include "traj/trajectory.h"
 
 namespace traclus::cluster {
@@ -43,6 +44,12 @@ struct RepresentativeOptions {
 geom::Point AverageDirectionVector(const std::vector<geom::Segment>& segments,
                                    const Cluster& cluster);
 
+/// Store-backed overload: sums the cached direction vectors (and reads the
+/// cached lengths in the cancellation fallback) instead of recomputing them
+/// per member.
+geom::Point AverageDirectionVector(const traj::SegmentStore& store,
+                                   const Cluster& cluster);
+
 /// Generates the representative trajectory RTR_i of a cluster (§4.3, Fig. 15):
 /// sweeps a line orthogonal to the average direction vector across the member
 /// segments, and wherever at least MinLns segments are hit (and the gap since
@@ -53,6 +60,12 @@ geom::Point AverageDirectionVector(const std::vector<geom::Segment>& segments,
 traj::Trajectory RepresentativeTrajectory(
     const std::vector<geom::Segment>& segments, const Cluster& cluster,
     const RepresentativeOptions& options);
+
+/// Store-backed overload: identical output; the sweep frame is built from the
+/// store's cached direction sums and its AoS view.
+traj::Trajectory RepresentativeTrajectory(const traj::SegmentStore& store,
+                                          const Cluster& cluster,
+                                          const RepresentativeOptions& options);
 
 }  // namespace traclus::cluster
 

@@ -12,16 +12,16 @@ double Center(const geom::BBox& b, int d) { return 0.5 * (b.lo(d) + b.hi(d)); }
 
 }  // namespace
 
-StrRTreeIndex::StrRTreeIndex(const std::vector<geom::Segment>& segments,
+StrRTreeIndex::StrRTreeIndex(const traj::SegmentStore& store,
                              const distance::SegmentDistance& dist,
                              int leaf_capacity)
-    : segments_(segments), dist_(dist) {
+    : store_(store), dist_(dist) {
   TRACLUS_CHECK_GE(leaf_capacity, 2);
-  if (segments_.empty()) return;
+  if (store_.empty()) return;
 
   // Level 0: one leaf entry per segment. The STR pass groups segment indices
   // into leaves; subsequent passes group node indices into internal nodes.
-  std::vector<size_t> entries(segments_.size());
+  std::vector<size_t> entries(store_.size());
   for (size_t i = 0; i < entries.size(); ++i) entries[i] = i;
   std::vector<size_t> level = PackLevel(entries, /*leaf_level=*/true,
                                         leaf_capacity);
@@ -37,11 +37,7 @@ std::vector<size_t> StrRTreeIndex::PackLevel(const std::vector<size_t>& level,
                                              bool leaf_level, int capacity) {
   // Boxes of the entries being packed.
   auto box_of = [&](size_t entry) -> geom::BBox {
-    if (leaf_level) {
-      geom::BBox b;
-      b.Extend(segments_[entry]);
-      return b;
-    }
+    if (leaf_level) return store_.bbox(entry);
     return nodes_[entry].box;
   };
 
@@ -87,20 +83,20 @@ std::vector<size_t> StrRTreeIndex::PackLevel(const std::vector<size_t>& level,
 
 std::vector<size_t> StrRTreeIndex::Neighbors(size_t query_index,
                                              double eps) const {
-  TRACLUS_DCHECK(query_index < segments_.size());
+  TRACLUS_DCHECK(query_index < store_.size());
   std::vector<size_t> out;
-  const geom::Segment& q = segments_[query_index];
 
   const double factor = dist_.LowerBoundFactor();
   if (factor <= 0.0) {  // No usable bound: exact scan.
-    for (size_t i = 0; i < segments_.size(); ++i) {
-      if (i == query_index || dist_(q, segments_[i]) <= eps) out.push_back(i);
+    for (size_t i = 0; i < store_.size(); ++i) {
+      if (i == query_index || dist_(store_, query_index, i) <= eps) {
+        out.push_back(i);
+      }
     }
     return out;
   }
   const double radius = eps / factor;
-  geom::BBox qbox;
-  qbox.Extend(q);
+  const geom::BBox& qbox = store_.bbox(query_index);
 
   // Depth-first descent with MBR mindist pruning.
   std::vector<size_t> stack = {root_};
@@ -117,10 +113,8 @@ std::vector<size_t> StrRTreeIndex::Neighbors(size_t query_index,
         out.push_back(i);
         continue;
       }
-      geom::BBox b;
-      b.Extend(segments_[i]);
-      if (b.MinDist(qbox) > radius) continue;
-      if (dist_(q, segments_[i]) <= eps) out.push_back(i);
+      if (store_.bbox(i).MinDist(qbox) > radius) continue;
+      if (dist_(store_, query_index, i) <= eps) out.push_back(i);
     }
   }
   std::sort(out.begin(), out.end());

@@ -25,12 +25,14 @@ namespace traclus::cluster {
 /// segment set between phases, so an update path would be dead code.
 class StrRTreeIndex : public NeighborhoodProvider {
  public:
-  /// Builds the tree; `segments` and `dist` must outlive the index.
-  StrRTreeIndex(const std::vector<geom::Segment>& segments,
+  /// Builds the tree; `store` and `dist` must outlive the index. Leaf MBRs
+  /// come from the store's invariant cache; exact verification uses the
+  /// store's distance fast path.
+  StrRTreeIndex(const traj::SegmentStore& store,
                 const distance::SegmentDistance& dist, int leaf_capacity = 16);
 
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
-  size_t size() const override { return segments_.size(); }
+  size_t size() const override { return store_.size(); }
 
   /// Tree height (1 = a single leaf level); diagnostics/tests.
   int Height() const { return height_; }
@@ -49,7 +51,7 @@ class StrRTreeIndex : public NeighborhoodProvider {
   std::vector<size_t> PackLevel(const std::vector<size_t>& level,
                                 bool leaf_level, int capacity);
 
-  const std::vector<geom::Segment>& segments_;
+  const traj::SegmentStore& store_;
   const distance::SegmentDistance& dist_;
   std::vector<Node> nodes_;
   size_t root_ = 0;

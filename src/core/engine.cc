@@ -27,14 +27,15 @@ void Report(const RunContext& ctx, const char* stage, double fraction) {
   if (ctx.progress) ctx.progress(stage, fraction);
 }
 
-// Shared by the two grouping adapters: the ε-neighborhood source of Lemma 3.
+// Shared by the two grouping adapters: the ε-neighborhood source of Lemma 3,
+// bound to the run's segment store.
 std::unique_ptr<cluster::NeighborhoodProvider> MakeProvider(
-    const std::vector<geom::Segment>& segments,
-    const distance::SegmentDistance& dist, bool use_index) {
+    const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+    bool use_index) {
   if (use_index) {
-    return std::make_unique<cluster::GridNeighborhoodIndex>(segments, dist);
+    return std::make_unique<cluster::GridNeighborhoodIndex>(store, dist);
   }
-  return std::make_unique<cluster::BruteForceNeighborhood>(segments, dist);
+  return std::make_unique<cluster::BruteForceNeighborhood>(store, dist);
 }
 
 common::Status ValidateDistanceConfig(
@@ -61,17 +62,17 @@ common::Status ValidateEpsMinLns(double eps, double min_lns) {
   return common::Status::OK();
 }
 
-// Bounds-checks a clustering against the segment set it claims to describe.
+// Bounds-checks a clustering against the segment store it claims to describe.
 common::Status ValidateClusteringAgainst(
     const cluster::ClusteringResult& clustering,
-    const std::vector<geom::Segment>& segments) {
+    const traj::SegmentStore& store) {
   for (const auto& cluster : clustering.clusters) {
     for (const size_t member : cluster.member_indices) {
-      if (member >= segments.size()) {
+      if (member >= store.size()) {
         return common::Status::FailedPrecondition(
             "clustering refers to segment index " + std::to_string(member) +
             " outside the provided segment database (size " +
-            std::to_string(segments.size()) + ")");
+            std::to_string(store.size()) + ")");
       }
     }
   }
@@ -133,13 +134,16 @@ common::Result<PartitionOutput> MdlPartitionStage::Run(
     return CancelledIn(name());
   }
 
+  std::vector<geom::Segment> segments;
   for (size_t i = 0; i < trajectories.size(); ++i) {
     std::vector<geom::Segment> partitions = partition::MakePartitionSegments(
         trajectories[i], cps[i],
-        static_cast<geom::SegmentId>(out.segments.size()));
-    out.segments.insert(out.segments.end(), partitions.begin(),
-                        partitions.end());
+        static_cast<geom::SegmentId>(segments.size()));
+    segments.insert(segments.end(), partitions.begin(), partitions.end());
   }
+  // Freeze the database: one O(n) pass computes every per-segment invariant
+  // the downstream stages would otherwise recompute per distance call.
+  out.store = traj::SegmentStore(std::move(segments));
   Report(ctx, name(), 1.0);
   return out;
 }
@@ -156,9 +160,9 @@ common::Status DbscanGroupStage::Validate() const {
 }
 
 common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
-    const std::vector<geom::Segment>& segments, const RunContext& ctx) const {
+    const traj::SegmentStore& store, const RunContext& ctx) const {
   const distance::SegmentDistance dist(options_.distance);
-  const auto provider = MakeProvider(segments, dist, options_.use_index);
+  const auto provider = MakeProvider(store, dist, options_.use_index);
 
   cluster::DbscanOptions o;
   o.eps = options_.eps;
@@ -175,7 +179,7 @@ common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
   }
   try {
     // Fig. 4 line 04.
-    return cluster::DbscanSegments(segments, *provider, o);
+    return cluster::DbscanSegments(store, *provider, o);
   } catch (const common::OperationCancelled&) {
     return CancelledIn(name());
   }
@@ -201,13 +205,13 @@ common::Status OpticsGroupStage::Validate() const {
 }
 
 common::Result<cluster::ClusteringResult> OpticsGroupStage::Run(
-    const std::vector<geom::Segment>& segments, const RunContext& ctx) const {
+    const traj::SegmentStore& store, const RunContext& ctx) const {
   if (ctx.cancellation != nullptr && ctx.cancellation->cancelled()) {
     return CancelledIn(name());
   }
   Report(ctx, name(), 0.0);
   const distance::SegmentDistance dist(options_.distance);
-  const auto provider = MakeProvider(segments, dist, options_.use_index);
+  const auto provider = MakeProvider(store, dist, options_.use_index);
   cluster::OpticsOptions o;
   o.eps = options_.eps;
   o.min_lns = options_.min_lns;
@@ -220,11 +224,11 @@ common::Result<cluster::ClusteringResult> OpticsGroupStage::Run(
   try {
     // The ordering walk is inherently sequential (ctx.num_threads does not
     // apply); cancellation is polled once per ordering step inside.
-    const auto optics = cluster::OpticsSegments(segments, dist, *provider, o);
+    const auto optics = cluster::OpticsSegments(store, dist, *provider, o);
     const double cut =
         options_.eps_cut > 0.0 ? options_.eps_cut : options_.eps;
     return cluster::ExtractDbscanClustering(
-        segments, optics, cut, options_.min_lns,
+        store, optics, cut, options_.min_lns,
         options_.min_trajectory_cardinality);
   } catch (const common::OperationCancelled&) {
     return CancelledIn(name());
@@ -254,9 +258,9 @@ common::Status SweepRepresentativeStage::Validate() const {
 }
 
 common::Result<std::vector<traj::Trajectory>> SweepRepresentativeStage::Run(
-    const std::vector<geom::Segment>& segments,
+    const traj::SegmentStore& store,
     const cluster::ClusteringResult& clustering, const RunContext& ctx) const {
-  TRACLUS_RETURN_NOT_OK(ValidateClusteringAgainst(clustering, segments));
+  TRACLUS_RETURN_NOT_OK(ValidateClusteringAgainst(clustering, store));
 
   cluster::RepresentativeOptions o;
   o.min_lns = options_.min_lns;
@@ -273,7 +277,7 @@ common::Result<std::vector<traj::Trajectory>> SweepRepresentativeStage::Run(
         .ParallelFor(0, clustering.clusters.size(), [&, cancel](size_t i) {
           common::ThrowIfCancelled(cancel);
           reps[i] = cluster::RepresentativeTrajectory(
-              segments, clustering.clusters[i], o);
+              store, clustering.clusters[i], o);
         });
   } catch (const common::OperationCancelled&) {
     return CancelledIn(name());
@@ -434,15 +438,15 @@ common::Result<PartitionOutput> TraclusEngine::PartitionImpl(
 }
 
 common::Result<cluster::ClusteringResult> TraclusEngine::GroupImpl(
-    const std::vector<geom::Segment>& segments, const RunContext& rctx) const {
+    const traj::SegmentStore& store, const RunContext& rctx) const {
   if (rctx.cancellation != nullptr && rctx.cancellation->cancelled()) {
     return common::Status::Cancelled("run cancelled before the group stage");
   }
-  return group_->Run(segments, rctx);
+  return group_->Run(store, rctx);
 }
 
 common::Result<std::vector<traj::Trajectory>>
-TraclusEngine::RepresentativesImpl(const std::vector<geom::Segment>& segments,
+TraclusEngine::RepresentativesImpl(const traj::SegmentStore& store,
                                    const cluster::ClusteringResult& clustering,
                                    const RunContext& rctx) const {
   if (representative_ == nullptr) {
@@ -454,7 +458,7 @@ TraclusEngine::RepresentativesImpl(const std::vector<geom::Segment>& segments,
     return common::Status::Cancelled(
         "run cancelled before the representative stage");
   }
-  return representative_->Run(segments, clustering, rctx);
+  return representative_->Run(store, clustering, rctx);
 }
 
 common::Result<PartitionOutput> TraclusEngine::Partition(
@@ -463,14 +467,20 @@ common::Result<PartitionOutput> TraclusEngine::Partition(
 }
 
 common::Result<cluster::ClusteringResult> TraclusEngine::Group(
-    const std::vector<geom::Segment>& segments, const RunContext& ctx) const {
-  return GroupImpl(segments, ResolveContext(ctx));
+    const traj::SegmentStore& store, const RunContext& ctx) const {
+  return GroupImpl(store, ResolveContext(ctx));
+}
+
+common::Result<cluster::ClusteringResult> TraclusEngine::Group(
+    std::vector<geom::Segment> segments, const RunContext& ctx) const {
+  return GroupImpl(traj::SegmentStore(std::move(segments)),
+                   ResolveContext(ctx));
 }
 
 common::Result<std::vector<traj::Trajectory>> TraclusEngine::Representatives(
-    const std::vector<geom::Segment>& segments,
+    const traj::SegmentStore& store,
     const cluster::ClusteringResult& clustering, const RunContext& ctx) const {
-  return RepresentativesImpl(segments, clustering, ResolveContext(ctx));
+  return RepresentativesImpl(store, clustering, ResolveContext(ctx));
 }
 
 common::Result<TraclusResult> TraclusEngine::Run(
@@ -480,16 +490,16 @@ common::Result<TraclusResult> TraclusEngine::Run(
   {
     auto partitioned = PartitionImpl(db, rctx);
     if (!partitioned.ok()) return partitioned.status();
-    out.segments = std::move(partitioned->segments);
+    out.store = std::move(partitioned->store);
     out.characteristic_points = std::move(partitioned->characteristic_points);
   }
   {
-    auto grouped = GroupImpl(out.segments, rctx);
+    auto grouped = GroupImpl(out.store, rctx);
     if (!grouped.ok()) return grouped.status();
     out.clustering = std::move(grouped).ValueOrDie();
   }
   if (representative_ != nullptr) {
-    auto reps = RepresentativesImpl(out.segments, out.clustering, rctx);
+    auto reps = RepresentativesImpl(out.store, out.clustering, rctx);
     if (!reps.ok()) return reps.status();
     out.representatives = std::move(reps).ValueOrDie();
   }

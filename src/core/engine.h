@@ -22,8 +22,9 @@
 //   if (!engine.ok()) { /* engine.status() says what is wrong */ }
 //   auto result = engine->Run(db);
 //
-// The legacy monolithic `core::Traclus` class (core/traclus.h) is now a
-// deprecated façade over this engine with byte-identical output.
+// The legacy monolithic `core::Traclus` façade has been removed; the golden
+// pipeline tests (tests/engine_api_test.cc + tests/golden/) pin the engine's
+// output bit-for-bit across refactors instead.
 
 #include <memory>
 #include <utility>
@@ -35,6 +36,7 @@
 #include "core/stages.h"
 #include "distance/segment_distance.h"
 #include "partition/mdl.h"
+#include "traj/segment_store.h"
 #include "traj/trajectory.h"
 #include "traj/trajectory_database.h"
 
@@ -48,9 +50,9 @@ enum class PartitioningAlgorithm {
 };
 
 /// Full configuration of the TRACLUS pipeline (Fig. 4) as one flat struct —
-/// the legacy shape, still accepted by TraclusEngine::FromConfig and used by
-/// the deprecated `Traclus` façade. New code should prefer the builder, which
-/// validates eagerly and admits custom stages.
+/// the legacy shape, still accepted by TraclusEngine::FromConfig. New code
+/// should prefer the builder, which validates eagerly and admits custom
+/// stages.
 struct TraclusConfig {
   /// --- Partitioning phase (§3) ---
   partition::MdlOptions partition;
@@ -95,8 +97,9 @@ struct TraclusConfig {
 /// paper's experiments measure.
 struct TraclusResult {
   /// The segment database D accumulated by the partitioning phase (Fig. 4
-  /// line 03): all trajectory partitions with provenance.
-  std::vector<geom::Segment> segments;
+  /// line 03): all trajectory partitions with provenance plus their cached
+  /// invariants, as a traj::SegmentStore.
+  traj::SegmentStore store;
   /// Characteristic-point indices per input trajectory (parallel to the input
   /// database order).
   std::vector<std::vector<size_t>> characteristic_points;
@@ -104,6 +107,11 @@ struct TraclusResult {
   cluster::ClusteringResult clustering;
   /// One representative trajectory per cluster (empty when disabled).
   std::vector<traj::Trajectory> representatives;
+
+  /// Array-of-structs view of the segment database (borrowed from the store).
+  const std::vector<geom::Segment>& segments() const {
+    return store.segments();
+  }
 };
 
 /// An immutable assembly of the three pipeline stages. Thread-compatible:
@@ -177,17 +185,21 @@ class TraclusEngine {
   common::Result<PartitionOutput> Partition(const traj::TrajectoryDatabase& db,
                                             const RunContext& ctx = {}) const;
 
-  /// Runs only the grouping stage (Fig. 4 line 04) on a prebuilt segment set.
-  /// An empty segment set is valid input (an empty clustering results).
+  /// Runs only the grouping stage (Fig. 4 line 04) on a prebuilt segment
+  /// store. An empty store is valid input (an empty clustering results).
   common::Result<cluster::ClusteringResult> Group(
-      const std::vector<geom::Segment>& segments,
-      const RunContext& ctx = {}) const;
+      const traj::SegmentStore& store, const RunContext& ctx = {}) const;
+
+  /// Convenience overload for callers holding a raw segment vector: freezes
+  /// it into a store (one O(n) invariant pass), then groups.
+  common::Result<cluster::ClusteringResult> Group(
+      std::vector<geom::Segment> segments, const RunContext& ctx = {}) const;
 
   /// Runs only the representative stage (Fig. 4 lines 05-06). Returns
   /// kFailedPrecondition when the engine was built WithoutRepresentatives or
-  /// when `clustering` refers to segments outside `segments`.
+  /// when `clustering` refers to segments outside the store.
   common::Result<std::vector<traj::Trajectory>> Representatives(
-      const std::vector<geom::Segment>& segments,
+      const traj::SegmentStore& store,
       const cluster::ClusteringResult& clustering,
       const RunContext& ctx = {}) const;
 
@@ -218,10 +230,9 @@ class TraclusEngine {
   common::Result<PartitionOutput> PartitionImpl(
       const traj::TrajectoryDatabase& db, const RunContext& rctx) const;
   common::Result<cluster::ClusteringResult> GroupImpl(
-      const std::vector<geom::Segment>& segments,
-      const RunContext& rctx) const;
+      const traj::SegmentStore& store, const RunContext& rctx) const;
   common::Result<std::vector<traj::Trajectory>> RepresentativesImpl(
-      const std::vector<geom::Segment>& segments,
+      const traj::SegmentStore& store,
       const cluster::ClusteringResult& clustering,
       const RunContext& rctx) const;
 
@@ -233,8 +244,7 @@ class TraclusEngine {
 
 /// The sweep-representative options a legacy TraclusConfig implies: the
 /// config's representative_min_lns < 0 falls back to its clustering MinLns
-/// (the paper's choice) and γ is clamped at 0. Shared by FromConfig and the
-/// deprecated façade.
+/// (the paper's choice) and γ is clamped at 0.
 SweepRepresentativeOptions RepresentativeOptionsFromConfig(
     const TraclusConfig& config);
 

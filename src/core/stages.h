@@ -22,6 +22,7 @@
 #include "distance/segment_distance.h"
 #include "geom/segment.h"
 #include "partition/mdl.h"
+#include "traj/segment_store.h"
 #include "traj/trajectory.h"
 #include "traj/trajectory_database.h"
 
@@ -56,12 +57,19 @@ struct RunContext {
 };
 
 /// Output of the partitioning stage: the segment database D accumulated from
-/// all trajectory partitions (Fig. 4 line 03) with provenance, plus the
+/// all trajectory partitions (Fig. 4 line 03), frozen into a
+/// traj::SegmentStore — the invariant-caching structure-of-arrays database
+/// that is the pipeline's inter-stage currency — plus the
 /// characteristic-point indices per input trajectory (parallel to database
 /// order).
 struct PartitionOutput {
-  std::vector<geom::Segment> segments;
+  traj::SegmentStore store;
   std::vector<std::vector<size_t>> characteristic_points;
+
+  /// Array-of-structs view of the segment database (borrowed from the store).
+  const std::vector<geom::Segment>& segments() const {
+    return store.segments();
+  }
 };
 
 /// Stage 1: trajectory → trajectory partitions (§3). Implementations must
@@ -84,15 +92,16 @@ class PartitionStage {
       const traj::TrajectoryDatabase& db, const RunContext& ctx) const = 0;
 };
 
-/// Stage 2: segment database → clusters (§4).
+/// Stage 2: segment database → clusters (§4). The store hands
+/// implementations both the invariant cache (for the distance fast path) and
+/// the AoS segment view.
 class GroupStage {
  public:
   virtual ~GroupStage() = default;
   virtual const char* name() const = 0;
   virtual common::Status Validate() const { return common::Status::OK(); }
   virtual common::Result<cluster::ClusteringResult> Run(
-      const std::vector<geom::Segment>& segments,
-      const RunContext& ctx) const = 0;
+      const traj::SegmentStore& store, const RunContext& ctx) const = 0;
 };
 
 /// Stage 3: clusters → one representative trajectory per cluster (§4.3).
@@ -102,7 +111,7 @@ class RepresentativeStage {
   virtual const char* name() const = 0;
   virtual common::Status Validate() const { return common::Status::OK(); }
   virtual common::Result<std::vector<traj::Trajectory>> Run(
-      const std::vector<geom::Segment>& segments,
+      const traj::SegmentStore& store,
       const cluster::ClusteringResult& clustering,
       const RunContext& ctx) const = 0;
 };
@@ -167,8 +176,7 @@ class DbscanGroupStage : public GroupStage {
   const char* name() const override;
   common::Status Validate() const override;
   common::Result<cluster::ClusteringResult> Run(
-      const std::vector<geom::Segment>& segments,
-      const RunContext& ctx) const override;
+      const traj::SegmentStore& store, const RunContext& ctx) const override;
 
   const DbscanGroupOptions& options() const { return options_; }
 
@@ -202,8 +210,7 @@ class OpticsGroupStage : public GroupStage {
   const char* name() const override;
   common::Status Validate() const override;
   common::Result<cluster::ClusteringResult> Run(
-      const std::vector<geom::Segment>& segments,
-      const RunContext& ctx) const override;
+      const traj::SegmentStore& store, const RunContext& ctx) const override;
 
   const OpticsGroupOptions& options() const { return options_; }
 
@@ -235,7 +242,7 @@ class SweepRepresentativeStage : public RepresentativeStage {
   const char* name() const override;
   common::Status Validate() const override;
   common::Result<std::vector<traj::Trajectory>> Run(
-      const std::vector<geom::Segment>& segments,
+      const traj::SegmentStore& store,
       const cluster::ClusteringResult& clustering,
       const RunContext& ctx) const override;
 

@@ -6,6 +6,7 @@
 #include "common/matrix.h"
 #include "common/thread_pool.h"
 #include "geom/segment.h"
+#include "traj/segment_store.h"
 
 namespace traclus::distance {
 
@@ -61,9 +62,26 @@ class SegmentDistance {
   /// Full weighted distance dist(Li, Lj).
   double operator()(const geom::Segment& a, const geom::Segment& b) const;
 
+  /// Invariant-aware fast path: dist(L_a, L_b) for two segments of one
+  /// SegmentStore, bit-identical to the Segment overload. Canonicalization
+  /// compares cached lengths (no per-pair sqrt), the Lemma 2 tie-break reads
+  /// the stored ids, the angle component reuses the cached direction vectors
+  /// and lengths (no per-pair normalization), and the endpoint projections
+  /// are computed once and shared between d⊥ and d∥ instead of once per
+  /// component. Every reused value is cached from the identical expression
+  /// the slow path evaluates, so results match ULP-for-ULP
+  /// (tests/segment_store_test.cc asserts bitwise equality on randomized
+  /// segments).
+  double operator()(const traj::SegmentStore& store, size_t a,
+                    size_t b) const;
+
   /// All three components, computed with the canonical longer/shorter roles.
   DistanceComponents Components(const geom::Segment& a,
                                 const geom::Segment& b) const;
+
+  /// Fast-path components over a SegmentStore (see operator() above).
+  DistanceComponents Components(const traj::SegmentStore& store, size_t a,
+                                size_t b) const;
 
   /// Perpendicular distance d⊥ (Definition 1): Lehmer mean of order 2 of the
   /// two projection distances l⊥1, l⊥2.
@@ -114,6 +132,13 @@ class SegmentDistance {
 common::Matrix PairwiseDistanceMatrix(
     const std::vector<geom::Segment>& segments, const SegmentDistance& dist,
     common::ThreadPool& pool);
+
+/// Store-backed overload: same matrix, evaluated through the invariant-cached
+/// fast path (bit-identical entries, no per-pair recomputation of segment
+/// lengths and directions).
+common::Matrix PairwiseDistanceMatrix(const traj::SegmentStore& store,
+                                      const SegmentDistance& dist,
+                                      common::ThreadPool& pool);
 
 }  // namespace traclus::distance
 

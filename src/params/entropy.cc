@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <mutex>
 
 #include "common/thread_pool.h"
@@ -9,6 +11,8 @@
 namespace traclus::params {
 
 namespace {
+
+constexpr size_t kDefaultStagingBlock = size_t{64} * 1024;
 
 template <typename T>
 double EntropyOfMasses(const std::vector<T>& masses) {
@@ -23,6 +27,39 @@ double EntropyOfMasses(const std::vector<T>& masses) {
   }
   return h;
 }
+
+// Streams (grid position, segment) count increments into the shared delta
+// table in bounded blocks: a worker never holds more than `cap` pending
+// increments, and a full (or final) block is scatter-added under the mutex.
+// Addition commutes, so the merged counts are independent of flush order and
+// interleaving — bit-identical for every thread count and block size.
+class BlockedIncrementSink {
+ public:
+  BlockedIncrementSink(std::vector<std::vector<size_t>>& delta,
+                       std::mutex& mu, size_t cap)
+      : delta_(delta), mu_(mu), cap_(std::max<size_t>(1, cap)) {
+    buffer_.reserve(cap_);
+  }
+  ~BlockedIncrementSink() { Flush(); }
+
+  void Add(uint32_t grid_pos, uint32_t segment) {
+    buffer_.emplace_back(grid_pos, segment);
+    if (buffer_.size() >= cap_) Flush();
+  }
+
+  void Flush() {
+    if (buffer_.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [g, i] : buffer_) ++delta_[g][i];
+    buffer_.clear();
+  }
+
+ private:
+  std::vector<std::vector<size_t>>& delta_;
+  std::mutex& mu_;
+  const size_t cap_;
+  std::vector<std::pair<uint32_t, uint32_t>> buffer_;
+};
 
 }  // namespace
 
@@ -50,13 +87,12 @@ std::vector<size_t> NeighborhoodSizes(
 }
 
 NeighborhoodProfile::NeighborhoodProfile(
-    const std::vector<geom::Segment>& segments,
-    const distance::SegmentDistance& dist, std::vector<double> eps_grid,
-    int num_threads)
+    const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+    std::vector<double> eps_grid, int num_threads, size_t staging_block)
     : eps_grid_(std::move(eps_grid)) {
   TRACLUS_CHECK(!eps_grid_.empty());
   TRACLUS_CHECK(std::is_sorted(eps_grid_.begin(), eps_grid_.end()));
-  const size_t n = segments.size();
+  const size_t n = store.size();
   const size_t g = eps_grid_.size();
 
   // delta[gi][i] counts pairs whose distance first fits at grid position gi.
@@ -66,7 +102,7 @@ NeighborhoodProfile::NeighborhoodProfile(
     // Serial: bucket straight into delta, no staging buffer.
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
-        const double d = dist(segments[i], segments[j]);
+        const double d = dist(store, i, j);
         const auto it = std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
         if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
         const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
@@ -75,12 +111,15 @@ NeighborhoodProfile::NeighborhoodProfile(
       }
     }
   } else {
-    // One contiguous leading-index band per worker (not the pool's default 4x
-    // oversubscription: each band carries a g x n staging buffer and an
-    // O(g*n) locked merge, so fewer, balanced bands beat many small ones).
-    // Row i owns n-1-i pairs — cumulative work up to row x is ~nx - x²/2 —
-    // so equal-work boundaries follow x_k = n(1 - sqrt(1 - k/K)). Integer
-    // addition commutes, making the merged counts scheduling-independent.
+    // One contiguous leading-index band per worker. Row i owns n-1-i pairs —
+    // cumulative work up to row x is ~nx - x²/2 — so equal-work boundaries
+    // follow x_k = n(1 - sqrt(1 - k/K)). Each band streams its increments
+    // through a bounded BlockedIncrementSink rather than staging a g × n
+    // count buffer, so peak extra memory is O(threads · block), and the
+    // commuting scatter-adds keep the merged counts scheduling-independent.
+    TRACLUS_CHECK(n <= std::numeric_limits<uint32_t>::max());
+    const size_t block =
+        staging_block > 0 ? staging_block : kDefaultStagingBlock;
     const size_t bands = std::min<size_t>(static_cast<size_t>(threads), n);
     std::vector<size_t> bound(bands + 1, n);
     bound[0] = 0;
@@ -95,21 +134,17 @@ NeighborhoodProfile::NeighborhoodProfile(
       const size_t lo = bound[band];
       const size_t hi = bound[band + 1];
       if (lo >= hi) return;
-      std::vector<std::vector<size_t>> local(g, std::vector<size_t>(n, 0));
+      BlockedIncrementSink sink(delta, merge_mu, block);
       for (size_t i = lo; i < hi; ++i) {
         for (size_t j = i + 1; j < n; ++j) {
-          const double d = dist(segments[i], segments[j]);
+          const double d = dist(store, i, j);
           const auto it =
               std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
           if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
-          const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
-          ++local[gi][i];
-          ++local[gi][j];
+          const auto gi = static_cast<uint32_t>(it - eps_grid_.begin());
+          sink.Add(gi, static_cast<uint32_t>(i));
+          sink.Add(gi, static_cast<uint32_t>(j));
         }
-      }
-      std::lock_guard<std::mutex> lock(merge_mu);
-      for (size_t gi = 0; gi < g; ++gi) {
-        for (size_t i = 0; i < n; ++i) delta[gi][i] += local[gi][i];
       }
     });
   }

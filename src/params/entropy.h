@@ -6,7 +6,7 @@
 
 #include "cluster/neighborhood.h"
 #include "distance/segment_distance.h"
-#include "geom/segment.h"
+#include "traj/segment_store.h"
 
 namespace traclus::params {
 
@@ -36,16 +36,24 @@ std::vector<size_t> NeighborhoodSizes(
 /// profile instead makes a single O(n²) pass over segment pairs, bucketing each
 /// pairwise distance into the first grid cell that admits it and
 /// suffix-summing, which answers the whole sweep at once. Exact, and typically
-/// ~grid-size times faster than repeated queries for sweep workloads.
+/// ~grid-size times faster than repeated queries for sweep workloads. The
+/// pairwise pass reads the store's invariant-cached distance fast path.
 class NeighborhoodProfile {
  public:
   /// `eps_grid` must be strictly increasing. O(n²) construction; the pairwise
   /// distance pass is spread over `num_threads` workers (0 = hardware
-  /// concurrency) with per-worker count buffers merged in index order, so the
-  /// profile is identical for every thread count.
-  NeighborhoodProfile(const std::vector<geom::Segment>& segments,
+  /// concurrency). Parallel workers do not stage whole grid × n count
+  /// buffers: each streams its (grid position, segment) increments through a
+  /// bounded block (`staging_block` entries, 0 = default 64 Ki) that is
+  /// scatter-added into the shared counts under a lock when full — the same
+  /// bounded-residency treatment the blocked DBSCAN batch path uses. Peak
+  /// extra memory is O(workers · staging_block) instead of the former
+  /// O(workers · grid · n). Integer addition commutes, so the profile is
+  /// identical for every thread count and block size.
+  NeighborhoodProfile(const traj::SegmentStore& store,
                       const distance::SegmentDistance& dist,
-                      std::vector<double> eps_grid, int num_threads = 1);
+                      std::vector<double> eps_grid, int num_threads = 1,
+                      size_t staging_block = 0);
 
   size_t grid_size() const { return eps_grid_.size(); }
   const std::vector<double>& eps_grid() const { return eps_grid_; }

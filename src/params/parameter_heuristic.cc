@@ -5,7 +5,7 @@
 
 namespace traclus::params {
 
-ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
+ParameterEstimate EstimateParameters(const traj::SegmentStore& store,
                                      const distance::SegmentDistance& dist,
                                      const HeuristicOptions& options) {
   TRACLUS_CHECK_LT(options.eps_lo, options.eps_hi);
@@ -18,7 +18,8 @@ ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
     grid[i] = options.eps_lo + step * i;
   }
 
-  NeighborhoodProfile profile(segments, dist, grid, options.num_threads);
+  NeighborhoodProfile profile(store, dist, grid, options.num_threads,
+                              options.staging_block);
   ParameterEstimate est;
   est.grid_eps = grid;
   est.grid_entropy.reserve(grid.size());
@@ -34,7 +35,7 @@ ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
   if (options.refine_with_annealing) {
     // Refine around the grid minimum with SA over a single-ε entropy objective
     // evaluated through the exact grid index.
-    cluster::GridNeighborhoodIndex index(segments, dist);
+    cluster::GridNeighborhoodIndex index(store, dist);
     auto objective = [&](double eps) {
       return NeighborhoodEntropy(
           NeighborhoodSizes(index, eps, options.num_threads));

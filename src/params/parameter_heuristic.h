@@ -7,6 +7,7 @@
 #include "geom/segment.h"
 #include "params/entropy.h"
 #include "params/simulated_annealing.h"
+#include "traj/segment_store.h"
 
 namespace traclus::params {
 
@@ -38,13 +39,18 @@ struct HeuristicOptions {
   /// batches (0 = hardware concurrency, 1 = serial). Estimates are identical
   /// for every value.
   int num_threads = 1;
+  /// Bounded staging block (increment entries) of the parallel profile pass;
+  /// see NeighborhoodProfile. 0 = default. Estimates are identical for every
+  /// value.
+  size_t staging_block = 0;
 };
 
 /// Runs the §4.4 heuristic: finds the ε minimizing the neighborhood-size
 /// entropy, records avg|Nε(L)| there, and derives the MinLns range
 /// (avg + 1 .. avg + 3). Uses a NeighborhoodProfile for the grid sweep (one
-/// O(n²) distance pass for the entire curve).
-ParameterEstimate EstimateParameters(const std::vector<geom::Segment>& segments,
+/// O(n²) distance pass for the entire curve, through the store's
+/// invariant-cached distance fast path).
+ParameterEstimate EstimateParameters(const traj::SegmentStore& store,
                                      const distance::SegmentDistance& dist,
                                      const HeuristicOptions& options);
 

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 namespace traclus::traj {
@@ -72,9 +73,18 @@ common::Result<TrajectoryDatabase> ParseCsv(const std::string& content) {
   Trajectory current;
   bool have_current = false;
   size_t line_no = 0;
+  // Malformed structure must surface as a typed status with the offending
+  // line, never as a silently-corrupted database (duplicate trajectory ids
+  // poison the Definition 10 cardinality filter) or a downstream assert
+  // (mixed dimensionality trips point-arithmetic DCHECKs mid-pipeline).
+  int dims = 0;  // 0 = not yet determined (first data row decides).
+  std::unordered_set<int64_t> finished_ids;
 
   auto flush = [&]() {
-    if (have_current && !current.empty()) db.Add(std::move(current));
+    if (have_current && !current.empty()) {
+      finished_ids.insert(current.id());
+      db.Add(std::move(current));
+    }
     current = Trajectory();
     have_current = false;
   };
@@ -122,7 +132,24 @@ common::Result<TrajectoryDatabase> ParseCsv(const std::string& content) {
       has_z = true;
     }
 
+    const int row_dims = has_z ? 3 : 2;
+    if (dims == 0) {
+      dims = row_dims;
+    } else if (row_dims != dims) {
+      return common::Status::InvalidArgument(
+          "CSV line " + std::to_string(line_no) + ": " +
+          std::to_string(row_dims) + "-D row in a " + std::to_string(dims) +
+          "-D file (all rows must have the same dimensionality)");
+    }
+
     if (!have_current || current.id() != id) {
+      if (finished_ids.count(id) != 0) {
+        return common::Status::InvalidArgument(
+            "CSV line " + std::to_string(line_no) + ": trajectory id " +
+            std::to_string(id) +
+            " reappears after other trajectories (rows of one trajectory "
+            "must be contiguous)");
+      }
       flush();
       current = Trajectory(id, /*label=*/"", weight);
       have_current = true;
@@ -144,15 +171,30 @@ common::Result<TrajectoryDatabase> ReadCsv(const std::string& path) {
 }
 
 common::Status WriteCsv(const TrajectoryDatabase& db, const std::string& path) {
+  const int dims = db.empty() ? 2 : db[0].dims();
+  // Same contract as ParseCsv: mixed dimensionality is a typed error, never
+  // silent corruption (a 2-D schema would drop z; a 3-D schema would read a
+  // z that 2-D points do not have).
+  for (size_t t = 0; t < db.size(); ++t) {
+    if (db[t].dims() != dims) {
+      return common::Status::InvalidArgument(
+          "cannot write mixed-dimensionality database: trajectory " +
+          std::to_string(db[t].id()) + " is " + std::to_string(db[t].dims()) +
+          "-D in a " + std::to_string(dims) + "-D database");
+    }
+  }
   std::ofstream out(path);
   if (!out) {
     return common::Status::IOError("cannot open '" + path + "' for writing");
   }
-  bool any_weight = false;
+  // 3-D rows must always carry the weight column: a 4-field row is read back
+  // as 2-D + weight (the schema's documented meaning), so an unweighted 3-D
+  // file written as `id,x,y,z` would silently round-trip into a 2-D database
+  // with z misread as the trajectory weight.
+  bool any_weight = dims == 3;
   for (const auto& tr : db.trajectories()) {
     if (tr.weight() != 1.0) any_weight = true;
   }
-  const int dims = db.empty() ? 2 : db[0].dims();
   out << "# trajectory_id,x,y";
   if (dims == 3) out << ",z";
   if (any_weight) out << ",weight";

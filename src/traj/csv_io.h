@@ -17,6 +17,12 @@ namespace traclus::traj {
 /// file format mirrors how both Best Track and Starkey telemetry exports are
 /// typically flattened). Lines starting with '#' are comments. The trajectory
 /// weight is taken from its first row; later weight cells are ignored.
+///
+/// Malformed input returns a typed InvalidArgument status naming the
+/// offending line: short rows, unparsable ids/coordinates, a trajectory id
+/// reappearing after other trajectories (non-contiguous rows would silently
+/// corrupt the Definition 10 cardinality filter), and mixed 2-D/3-D rows
+/// (which would otherwise assert deep inside the pipeline).
 common::Result<TrajectoryDatabase> ReadCsv(const std::string& path);
 
 /// Parses the same schema from an in-memory string (used by tests).

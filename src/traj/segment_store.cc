@@ -1,0 +1,40 @@
+#include "traj/segment_store.h"
+
+#include <cmath>
+
+namespace traclus::traj {
+
+SegmentStore::SegmentStore(std::vector<geom::Segment> segments)
+    : segments_(std::move(segments)) {
+  const size_t n = segments_.size();
+  length_.resize(n);
+  squared_length_.resize(n);
+  inv_length_.resize(n);
+  direction_.resize(n);
+  unit_direction_.resize(n);
+  midpoint_.resize(n);
+  bbox_.resize(n);
+  id_.resize(n);
+  trajectory_id_.resize(n);
+  weight_.resize(n);
+  dims_ = n == 0 ? 2 : segments_.front().dims();
+
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Segment& s = segments_[i];
+    TRACLUS_DCHECK_EQ(s.dims(), dims_);
+    // Bit-identical to the accessors: Direction() = end - start,
+    // Length() = Direction().Norm() = sqrt(Direction().SquaredNorm()).
+    direction_[i] = s.Direction();
+    squared_length_[i] = direction_[i].SquaredNorm();
+    length_[i] = std::sqrt(squared_length_[i]);
+    inv_length_[i] = length_[i] > 0.0 ? 1.0 / length_[i] : 0.0;
+    unit_direction_[i] = direction_[i] * inv_length_[i];
+    midpoint_[i] = s.Midpoint();
+    bbox_[i].Extend(s);
+    id_[i] = s.id();
+    trajectory_id_[i] = s.trajectory_id();
+    weight_[i] = s.weight();
+  }
+}
+
+}  // namespace traclus::traj

@@ -14,6 +14,7 @@
 #include "cluster/neighborhood.h"
 #include "common/rng.h"
 #include "distance/segment_distance.h"
+#include "traj/segment_store.h"
 
 namespace traclus::cluster {
 namespace {
@@ -131,12 +132,13 @@ TEST_P(DbscanReferenceTest, PartitionMatchesTextbookDbscan) {
 
   const RefResult want = ReferenceDbscan(segs, dist, c.eps, c.min_lns);
 
-  const BruteForceNeighborhood provider(segs, dist);
+  const traj::SegmentStore store(segs);
+  const BruteForceNeighborhood provider(store, dist);
   DbscanOptions opt;
   opt.eps = c.eps;
   opt.min_lns = static_cast<double>(c.min_lns);
   opt.min_trajectory_cardinality = 0;  // Compare pure DBSCAN semantics.
-  const auto got = DbscanSegments(segs, provider, opt);
+  const auto got = DbscanSegments(store, provider, opt);
 
   // Core segments must agree exactly; border segments may legally be claimed
   // by either adjacent cluster depending on visit order, so compare partitions

@@ -8,6 +8,7 @@
 #include "cluster/dbscan_segments.h"
 #include "cluster/neighborhood.h"
 #include "cluster/neighborhood_index.h"
+#include "traj/segment_store.h"
 #include "common/rng.h"
 #include "distance/segment_distance.h"
 
@@ -46,7 +47,7 @@ DbscanOptions Options(double eps, double min_lns) {
 }
 
 TEST(DbscanTest, SingleDenseBundleFormsOneCluster) {
-  const auto segs = WithIds(Bundle(0, 0, 6, 0));
+  const traj::SegmentStore segs(WithIds(Bundle(0, 0, 6, 0)));
   const SegmentDistance dist;
   const BruteForceNeighborhood provider(segs, dist);
   const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
@@ -60,10 +61,10 @@ TEST(DbscanTest, TwoSeparatedBundlesFormTwoClusters) {
   auto segs = Bundle(0, 0, 5, 0);
   const auto far = Bundle(0, 100, 5, 10);
   segs.insert(segs.end(), far.begin(), far.end());
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto result = DbscanSegments(store, provider, Options(2.0, 3));
   ASSERT_EQ(result.clusters.size(), 2u);
   EXPECT_EQ(result.clusters[0].size(), 5u);
   EXPECT_EQ(result.clusters[1].size(), 5u);
@@ -76,17 +77,17 @@ TEST(DbscanTest, TwoSeparatedBundlesFormTwoClusters) {
 TEST(DbscanTest, IsolatedSegmentIsNoise) {
   auto segs = Bundle(0, 0, 5, 0);
   segs.emplace_back(Point(500, 500), Point(510, 500), -1, 99);
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto result = DbscanSegments(store, provider, Options(2.0, 3));
   EXPECT_EQ(result.clusters.size(), 1u);
   EXPECT_EQ(result.num_noise, 1u);
   EXPECT_EQ(result.labels.back(), kNoise);
 }
 
 TEST(DbscanTest, MinLnsAboveBundleSizeYieldsAllNoise) {
-  const auto segs = WithIds(Bundle(0, 0, 4, 0));
+  const traj::SegmentStore segs(WithIds(Bundle(0, 0, 4, 0)));
   const SegmentDistance dist;
   const BruteForceNeighborhood provider(segs, dist);
   const auto result = DbscanSegments(segs, provider, Options(2.0, 10));
@@ -99,12 +100,12 @@ TEST(DbscanTest, TrajectoryCardinalityFilterRemovesSingleTrajectoryCluster) {
   // filtered out — it does not explain the behaviour of enough trajectories.
   auto segs = Bundle(0, 0, 6, /*tid0=*/0);
   for (auto& s : segs) s.set_trajectory_id(7);  // All from trajectory 7.
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto result = DbscanSegments(store, provider, Options(2.0, 3));
   EXPECT_TRUE(result.clusters.empty());
-  EXPECT_EQ(result.num_noise, segs.size());
+  EXPECT_EQ(result.num_noise, store.size());
   for (const int label : result.labels) EXPECT_EQ(label, kNoise);
 }
 
@@ -115,21 +116,21 @@ TEST(DbscanTest, CardinalityThresholdCanDifferFromMinLns) {
     // 2 tids.
     segs[i].set_trajectory_id(static_cast<geom::TrajectoryId>(i % 2));
   }
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
+  const BruteForceNeighborhood provider(store, dist);
 
   // Default threshold = MinLns = 3 > 2.
   DbscanOptions strict = Options(2.0, 3);
-  EXPECT_TRUE(DbscanSegments(segs, provider, strict).clusters.empty());
+  EXPECT_TRUE(DbscanSegments(store, provider, strict).clusters.empty());
 
   DbscanOptions relaxed = Options(2.0, 3);
   relaxed.min_trajectory_cardinality = 2;
-  EXPECT_EQ(DbscanSegments(segs, provider, relaxed).clusters.size(), 1u);
+  EXPECT_EQ(DbscanSegments(store, provider, relaxed).clusters.size(), 1u);
 
   DbscanOptions disabled = Options(2.0, 3);
   disabled.min_trajectory_cardinality = 0;
-  EXPECT_EQ(DbscanSegments(segs, provider, disabled).clusters.size(), 1u);
+  EXPECT_EQ(DbscanSegments(store, provider, disabled).clusters.size(), 1u);
 }
 
 TEST(DbscanTest, WeightedCountsReachDensityWithFewSegments) {
@@ -137,17 +138,17 @@ TEST(DbscanTest, WeightedCountsReachDensityWithFewSegments) {
   auto segs = Bundle(0, 0, 2, /*tid0=*/0);
   segs[0].set_weight(3.0);
   segs[1].set_weight(2.0);
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
+  const BruteForceNeighborhood provider(store, dist);
 
   DbscanOptions unweighted = Options(2.0, 4);
   unweighted.min_trajectory_cardinality = 2;
-  EXPECT_TRUE(DbscanSegments(segs, provider, unweighted).clusters.empty());
+  EXPECT_TRUE(DbscanSegments(store, provider, unweighted).clusters.empty());
 
   DbscanOptions weighted = unweighted;
   weighted.use_weights = true;  // Mass = 5 ≥ 4.
-  EXPECT_EQ(DbscanSegments(segs, provider, weighted).clusters.size(), 1u);
+  EXPECT_EQ(DbscanSegments(store, provider, weighted).clusters.size(), 1u);
 }
 
 TEST(DbscanTest, BorderSegmentJoinsClusterButDoesNotExpand) {
@@ -159,12 +160,12 @@ TEST(DbscanTest, BorderSegmentJoinsClusterButDoesNotExpand) {
   // through the border.
   segs.emplace_back(Point(0, 2.0), Point(10, 2.0), -1, 20);
   segs.emplace_back(Point(0, 3.2), Point(10, 3.2), -1, 21);
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
+  const BruteForceNeighborhood provider(store, dist);
   DbscanOptions opt = Options(1.6, 5);
   opt.min_trajectory_cardinality = 0;
-  const auto result = DbscanSegments(segs, provider, opt);
+  const auto result = DbscanSegments(store, provider, opt);
   ASSERT_EQ(result.clusters.size(), 1u);
   EXPECT_EQ(result.labels[5], 0) << "border segment should join";
   EXPECT_EQ(result.labels[6], kNoise) << "border must not expand the cluster";
@@ -183,14 +184,14 @@ TEST(DbscanTest, IndexAndBruteForceProduceIdenticalClusterings) {
     segs.emplace_back(s, Point(s.x() + rng.Uniform(-5, 5), s.y() + 300), -1,
                       100 + i);
   }
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood brute(segs, dist);
-  const GridNeighborhoodIndex index(segs, dist);
+  const BruteForceNeighborhood brute(store, dist);
+  const GridNeighborhoodIndex index(store, dist);
   DbscanOptions opt = Options(3.0, 4);
   opt.min_trajectory_cardinality = 3;
-  const auto a = DbscanSegments(segs, brute, opt);
-  const auto b = DbscanSegments(segs, index, opt);
+  const auto a = DbscanSegments(store, brute, opt);
+  const auto b = DbscanSegments(store, index, opt);
   EXPECT_EQ(a.labels, b.labels);
   EXPECT_EQ(a.clusters.size(), b.clusters.size());
   EXPECT_EQ(a.num_noise, b.num_noise);
@@ -206,9 +207,10 @@ TEST(DbscanTest, DeterministicAcrossRuns) {
                       i, i % 9);
   }
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto r1 = DbscanSegments(segs, provider, Options(4.0, 4));
-  const auto r2 = DbscanSegments(segs, provider, Options(4.0, 4));
+  const traj::SegmentStore store(std::move(segs));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto r1 = DbscanSegments(store, provider, Options(4.0, 4));
+  const auto r2 = DbscanSegments(store, provider, Options(4.0, 4));
   EXPECT_EQ(r1.labels, r2.labels);
 }
 
@@ -222,8 +224,9 @@ TEST(DbscanTest, AllLabelsAreResolvedAfterCompletion) {
                       i, i % 11);
   }
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto result = DbscanSegments(segs, provider, Options(5.0, 4));
+  const traj::SegmentStore store(std::move(segs));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto result = DbscanSegments(store, provider, Options(5.0, 4));
   size_t clustered = 0;
   for (const int label : result.labels) {
     EXPECT_NE(label, kUnclassified);
@@ -232,7 +235,7 @@ TEST(DbscanTest, AllLabelsAreResolvedAfterCompletion) {
       ++clustered;
     }
   }
-  EXPECT_EQ(clustered + result.num_noise, segs.size());
+  EXPECT_EQ(clustered + result.num_noise, store.size());
   // Cluster member lists and labels must agree.
   for (const auto& c : result.clusters) {
     for (const size_t idx : c.member_indices) {
@@ -250,10 +253,10 @@ TEST(DbscanTest, ClusterIdsAreDenseAfterFiltering) {
   auto third = Bundle(200, 0, 5, 60);
   segs.insert(segs.end(), single.begin(), single.end());
   segs.insert(segs.end(), third.begin(), third.end());
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto result = DbscanSegments(segs, provider, Options(2.0, 3));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto result = DbscanSegments(store, provider, Options(2.0, 3));
   ASSERT_EQ(result.clusters.size(), 2u);
   EXPECT_EQ(result.clusters[0].id, 0);
   EXPECT_EQ(result.clusters[1].id, 1);
@@ -269,12 +272,16 @@ TEST(ParticipatingTrajectoriesTest, CountsDistinctTrajectories) {
   const auto ptr = ParticipatingTrajectories(segs, c);
   EXPECT_TRUE(ptr.count(0));
   EXPECT_FALSE(ptr.count(1));
+  // The store-backed overloads read the flat trajectory-id column.
+  const traj::SegmentStore store(segs);
+  EXPECT_EQ(TrajectoryCardinality(store, c), 5u);
+  EXPECT_EQ(ParticipatingTrajectories(store, c), ptr);
 }
 
 // A mixed scene for the batching tests: three dense bundles far apart plus a
 // sprinkle of random noise segments, enough mass that the expansion queue
 // stays busy and the blocked fetcher's prefetch paths all fire.
-std::vector<Segment> BatchingScene() {
+traj::SegmentStore BatchingScene() {
   std::vector<Segment> segs;
   geom::TrajectoryId tid = 0;
   for (const double y0 : {0.0, 40.0, 80.0}) {
@@ -293,7 +300,7 @@ std::vector<Segment> BatchingScene() {
   for (size_t i = 0; i < segs.size(); ++i) {
     segs[i].set_id(static_cast<geom::SegmentId>(i));
   }
-  return segs;
+  return traj::SegmentStore(std::move(segs));
 }
 
 TEST(DbscanSegmentsTest, BlockStreamedBatchingIsIdenticalForEveryBlockSize) {

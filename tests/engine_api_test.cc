@@ -1,17 +1,19 @@
 // Tests for the TraclusEngine pipeline API: builder validation (typed Status
 // codes instead of asserts), empty-input and representative-stage
 // preconditions, cooperative cancellation before and mid-run, progress
-// reporting, stage pluggability, and the headline migration guarantee — the
-// deprecated core::Traclus façade produces byte-identical TraclusResults to
-// the engine on the hurricane and deer data sets.
-//
-// The equivalence tests intentionally construct the deprecated façade.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// reporting, stage pluggability, and the headline regression guarantee — the
+// engine reproduces the committed golden pipeline outputs (tests/golden/,
+// frozen before the SegmentStore refactor) byte for byte on the hurricane
+// and deer data sets, at 1 and N threads.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,7 +21,6 @@
 #include "common/cancellation.h"
 #include "common/status.h"
 #include "core/engine.h"
-#include "core/traclus.h"
 #include "datagen/animal_generator.h"
 #include "datagen/hurricane_generator.h"
 
@@ -140,7 +141,7 @@ TEST(EngineRunTest, EmptyDatabaseIsFailedPrecondition) {
 TEST(EngineRunTest, EmptySegmentSetIsValidGroupInput) {
   const auto engine = TraclusEngine::Builder().Build();
   ASSERT_TRUE(engine.ok());
-  const auto grouped = engine->Group({});
+  const auto grouped = engine->Group(traj::SegmentStore{});
   ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
   EXPECT_TRUE(grouped->clusters.empty());
   EXPECT_TRUE(grouped->labels.empty());
@@ -296,11 +297,11 @@ class AllNoiseGroupStage : public GroupStage {
  public:
   const char* name() const override { return "group/all-noise"; }
   common::Result<cluster::ClusteringResult> Run(
-      const std::vector<geom::Segment>& segments,
+      const traj::SegmentStore& store,
       const RunContext& /*ctx*/) const override {
     cluster::ClusteringResult result;
-    result.labels.assign(segments.size(), cluster::kNoise);
-    result.num_noise = segments.size();
+    result.labels.assign(store.size(), cluster::kNoise);
+    result.num_noise = store.size();
     return result;
   }
 };
@@ -316,9 +317,9 @@ TEST(EngineStagesTest, CustomGroupStagePlugsIn) {
   const auto db = datagen::GenerateHurricanes(gen);
   const auto run = engine->Run(db);
   ASSERT_TRUE(run.ok());
-  EXPECT_FALSE(run->segments.empty());
+  EXPECT_FALSE(run->segments().empty());
   EXPECT_TRUE(run->clustering.clusters.empty());
-  EXPECT_EQ(run->clustering.num_noise, run->segments.size());
+  EXPECT_EQ(run->clustering.num_noise, run->segments().size());
   EXPECT_TRUE(run->representatives.empty());
 }
 
@@ -336,76 +337,175 @@ TEST(EngineStagesTest, OpticsGroupingAssemblesAndClusters) {
   const auto db = datagen::GenerateHurricanes(gen);
   const auto run = engine->Run(db);
   ASSERT_TRUE(run.ok()) << run.status().ToString();
-  EXPECT_EQ(run->clustering.labels.size(), run->segments.size());
+  EXPECT_EQ(run->clustering.labels.size(), run->segments().size());
   EXPECT_FALSE(run->clustering.clusters.empty());
 }
 
 // ---------------------------------------------------------------------------
-// The migration guarantee: façade ≡ engine, byte for byte.
+// The regression guarantee: engine output ≡ the committed golden files
+// (tests/golden/*.golden, written by tools/golden_gen.cc from the
+// pre-SegmentStore pipeline). Byte-for-byte: labels, cluster membership, and
+// every representative coordinate (%.17g round-trips doubles exactly), at 1
+// and N threads.
 // ---------------------------------------------------------------------------
 
-void ExpectByteIdentical(const TraclusResult& a, const TraclusResult& b) {
-  ASSERT_EQ(a.segments.size(), b.segments.size());
-  for (size_t i = 0; i < a.segments.size(); ++i) {
-    EXPECT_EQ(a.segments[i].id(), b.segments[i].id());
-    EXPECT_EQ(a.segments[i].trajectory_id(), b.segments[i].trajectory_id());
-    EXPECT_EQ(a.segments[i].start().x(), b.segments[i].start().x());
-    EXPECT_EQ(a.segments[i].start().y(), b.segments[i].start().y());
-    EXPECT_EQ(a.segments[i].end().x(), b.segments[i].end().x());
-    EXPECT_EQ(a.segments[i].end().y(), b.segments[i].end().y());
+struct GoldenSegment {
+  geom::SegmentId id = -1;
+  geom::TrajectoryId trajectory_id = -1;
+  geom::Point start;
+  geom::Point end;
+};
+
+struct GoldenRun {
+  size_t num_segments = 0;
+  std::vector<GoldenSegment> segments;
+  std::vector<std::vector<size_t>> characteristic_points;
+  std::vector<int> labels;
+  size_t num_clusters = 0;
+  size_t num_noise = 0;
+  std::vector<std::vector<size_t>> cluster_members;
+  std::vector<std::vector<geom::Point>> representatives;
+};
+
+GoldenRun LoadGolden(const std::string& name) {
+  const std::string path = std::string(TRACLUS_TEST_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open golden file " << path
+                         << " (regenerate with tools/golden_gen.cc)";
+  GoldenRun g;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream row(line);
+    std::string key;
+    row >> key;
+    if (key == "segments") {
+      row >> g.num_segments;
+    } else if (key == "seg") {
+      GoldenSegment seg;
+      long long id = 0;
+      long long tid = 0;
+      double sx = 0.0;
+      double sy = 0.0;
+      double ex = 0.0;
+      double ey = 0.0;
+      row >> id >> tid >> sx >> sy >> ex >> ey;
+      seg.id = static_cast<geom::SegmentId>(id);
+      seg.trajectory_id = static_cast<geom::TrajectoryId>(tid);
+      seg.start = geom::Point(sx, sy);
+      seg.end = geom::Point(ex, ey);
+      g.segments.push_back(seg);
+    } else if (key == "cps") {
+      size_t t = 0;
+      row >> t;
+      std::vector<size_t> cps;
+      size_t cp = 0;
+      while (row >> cp) cps.push_back(cp);
+      EXPECT_EQ(t, g.characteristic_points.size());
+      g.characteristic_points.push_back(std::move(cps));
+    } else if (key == "labels") {
+      int label = 0;
+      while (row >> label) g.labels.push_back(label);
+    } else if (key == "clusters") {
+      row >> g.num_clusters;
+    } else if (key == "noise") {
+      row >> g.num_noise;
+    } else if (key == "cluster") {
+      int id = 0;
+      row >> id;
+      std::vector<size_t> members;
+      size_t m = 0;
+      while (row >> m) members.push_back(m);
+      EXPECT_EQ(static_cast<size_t>(id), g.cluster_members.size());
+      g.cluster_members.push_back(std::move(members));
+    } else if (key == "rep") {
+      size_t idx = 0;
+      row >> idx;
+      std::vector<geom::Point> points;
+      double x = 0.0;
+      double y = 0.0;
+      while (row >> x >> y) points.emplace_back(x, y);
+      EXPECT_EQ(idx, g.representatives.size());
+      g.representatives.push_back(std::move(points));
+    }
   }
-  EXPECT_EQ(a.characteristic_points, b.characteristic_points);
-  EXPECT_EQ(a.clustering.labels, b.clustering.labels);
-  EXPECT_EQ(a.clustering.num_noise, b.clustering.num_noise);
-  ASSERT_EQ(a.clustering.clusters.size(), b.clustering.clusters.size());
-  for (size_t c = 0; c < a.clustering.clusters.size(); ++c) {
-    EXPECT_EQ(a.clustering.clusters[c].id, b.clustering.clusters[c].id);
-    EXPECT_EQ(a.clustering.clusters[c].member_indices,
-              b.clustering.clusters[c].member_indices);
-  }
-  ASSERT_EQ(a.representatives.size(), b.representatives.size());
-  for (size_t r = 0; r < a.representatives.size(); ++r) {
-    const auto& ap = a.representatives[r].points();
-    const auto& bp = b.representatives[r].points();
-    ASSERT_EQ(ap.size(), bp.size()) << "representative " << r;
-    for (size_t p = 0; p < ap.size(); ++p) {
-      EXPECT_EQ(ap[p].x(), bp[p].x());  // Bitwise: same ops on both paths.
-      EXPECT_EQ(ap[p].y(), bp[p].y());
+  return g;
+}
+
+void ExpectMatchesGolden(const TraclusConfig& base,
+                         const traj::TrajectoryDatabase& db,
+                         const std::string& golden_name) {
+  const GoldenRun golden = LoadGolden(golden_name);
+  ASSERT_GT(golden.num_segments, 0u) << "empty golden " << golden_name;
+  ASSERT_GT(golden.num_clusters, 0u)
+      << "equivalence must be proven on a non-trivial clustering";
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(testing::Message() << golden_name << " @ " << threads
+                                    << " threads");
+    TraclusConfig config = base;
+    config.num_threads = threads;
+    const auto engine = TraclusEngine::FromConfig(config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const auto run = engine->Run(db);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+    EXPECT_EQ(run->segments().size(), golden.num_segments);
+    // Partition-stage output, bit for bit: ids, provenance, endpoints, and
+    // characteristic points — a partitioning perturbation must fail even if
+    // the clustering happens to survive it.
+    ASSERT_EQ(run->segments().size(), golden.segments.size());
+    for (size_t i = 0; i < golden.segments.size(); ++i) {
+      const geom::Segment& got = run->segments()[i];
+      const GoldenSegment& want = golden.segments[i];
+      ASSERT_EQ(got.id(), want.id) << "segment " << i;
+      ASSERT_EQ(got.trajectory_id(), want.trajectory_id) << "segment " << i;
+      ASSERT_EQ(got.start().x(), want.start.x()) << "segment " << i;
+      ASSERT_EQ(got.start().y(), want.start.y()) << "segment " << i;
+      ASSERT_EQ(got.end().x(), want.end.x()) << "segment " << i;
+      ASSERT_EQ(got.end().y(), want.end.y()) << "segment " << i;
+    }
+    EXPECT_EQ(run->characteristic_points, golden.characteristic_points);
+    EXPECT_EQ(run->clustering.labels, golden.labels);
+    EXPECT_EQ(run->clustering.num_noise, golden.num_noise);
+    ASSERT_EQ(run->clustering.clusters.size(), golden.num_clusters);
+    ASSERT_EQ(run->clustering.clusters.size(), golden.cluster_members.size());
+    for (size_t c = 0; c < golden.cluster_members.size(); ++c) {
+      EXPECT_EQ(run->clustering.clusters[c].id, static_cast<int>(c));
+      EXPECT_EQ(run->clustering.clusters[c].member_indices,
+                golden.cluster_members[c]);
+    }
+    ASSERT_EQ(run->representatives.size(), golden.representatives.size());
+    for (size_t r = 0; r < golden.representatives.size(); ++r) {
+      const auto& got = run->representatives[r].points();
+      const auto& want = golden.representatives[r];
+      ASSERT_EQ(got.size(), want.size()) << "representative " << r;
+      for (size_t p = 0; p < want.size(); ++p) {
+        EXPECT_EQ(got[p].x(), want[p].x());  // Bitwise (golden is %.17g).
+        EXPECT_EQ(got[p].y(), want[p].y());
+      }
     }
   }
 }
 
-void ExpectFacadeMatchesEngine(const TraclusConfig& config,
-                               const traj::TrajectoryDatabase& db) {
-  const auto engine = TraclusEngine::FromConfig(config);
-  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-  auto engine_run = engine->Run(db);
-  ASSERT_TRUE(engine_run.ok()) << engine_run.status().ToString();
-  const TraclusResult facade_run = Traclus(config).Run(db);
-  ExpectByteIdentical(facade_run, *engine_run);
-  ASSERT_FALSE(engine_run->clustering.clusters.empty())
-      << "equivalence must be proven on a non-trivial clustering";
-}
-
-TEST(FacadeEquivalenceTest, ByteIdenticalOnHurricaneDataset) {
+TEST(GoldenEquivalenceTest, HurricaneMatchesPreRefactorPipeline) {
   const auto db = datagen::GenerateHurricanes(datagen::HurricaneConfig{});
   TraclusConfig config;
   config.eps = 0.94;
   config.min_lns = 5;
-  ExpectFacadeMatchesEngine(config, db);
+  ExpectMatchesGolden(config, db, "hurricane_default.golden");
 }
 
-TEST(FacadeEquivalenceTest, ByteIdenticalOnDeerDataset) {
+TEST(GoldenEquivalenceTest, DeerMatchesPreRefactorPipeline) {
   const auto db = datagen::GenerateAnimals(datagen::Deer1995Config());
   TraclusConfig config;
   config.eps = 1.8;
   config.min_lns = 8;
-  ExpectFacadeMatchesEngine(config, db);
+  ExpectMatchesGolden(config, db, "deer_default.golden");
 }
 
-TEST(FacadeEquivalenceTest, ByteIdenticalAcrossThreadCountsAndWeights) {
-  // The weighted §4.2 extension and the parallel blocked grouping path, both
-  // through the façade and the engine.
+TEST(GoldenEquivalenceTest, WeightedThreadedRunsAreThreadCountInvariant) {
+  // The weighted §4.2 extension through the parallel blocked grouping path:
+  // not golden-pinned (weights vary by generator), but 1-vs-N byte identity
+  // must hold here too.
   datagen::HurricaneConfig gen;
   gen.num_trajectories = 150;
   gen.min_weight = 1.0;
@@ -415,22 +515,32 @@ TEST(FacadeEquivalenceTest, ByteIdenticalAcrossThreadCountsAndWeights) {
   config.eps = 0.94;
   config.min_lns = 6;
   config.use_weights = true;
-  for (const int threads : {1, 4}) {
-    SCOPED_TRACE(threads);
-    config.num_threads = threads;
-    ExpectFacadeMatchesEngine(config, db);
-  }
-}
 
-TEST(FacadeEquivalenceTest, FacadeStillReturnsEmptyResultOnEmptyDatabase) {
-  // The legacy contract the façade must keep even though the engine reports
-  // kFailedPrecondition.
-  const traj::TrajectoryDatabase empty;
-  TraclusConfig config;
-  const auto result = Traclus(config).Run(empty);
-  EXPECT_TRUE(result.segments.empty());
-  EXPECT_TRUE(result.clustering.clusters.empty());
-  EXPECT_TRUE(result.representatives.empty());
+  config.num_threads = 1;
+  const auto serial_engine = TraclusEngine::FromConfig(config);
+  ASSERT_TRUE(serial_engine.ok());
+  const auto serial = serial_engine->Run(db);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_FALSE(serial->clustering.clusters.empty());
+
+  config.num_threads = 4;
+  const auto parallel_engine = TraclusEngine::FromConfig(config);
+  ASSERT_TRUE(parallel_engine.ok());
+  const auto parallel = parallel_engine->Run(db);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_EQ(serial->clustering.labels, parallel->clustering.labels);
+  EXPECT_EQ(serial->clustering.num_noise, parallel->clustering.num_noise);
+  ASSERT_EQ(serial->representatives.size(), parallel->representatives.size());
+  for (size_t r = 0; r < serial->representatives.size(); ++r) {
+    const auto& sp = serial->representatives[r].points();
+    const auto& pp = parallel->representatives[r].points();
+    ASSERT_EQ(sp.size(), pp.size());
+    for (size_t p = 0; p < sp.size(); ++p) {
+      EXPECT_EQ(sp[p].x(), pp[p].x());
+      EXPECT_EQ(sp[p].y(), pp[p].y());
+    }
+  }
 }
 
 }  // namespace

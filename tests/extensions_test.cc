@@ -1,10 +1,6 @@
 // Tests for the paper's discussion-section extensions (§7.1) and secondary
 // claims: 3-D support (§4.3 footnote 3), partition suppression magnitude
 // (§4.1.3: 20-30% longer partitions), weighted density, and generator mixes.
-//
-// Deliberately exercises the deprecated core::Traclus façade (the extensions
-// must stay reachable through the legacy surface while it exists).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 
@@ -12,7 +8,7 @@
 
 #include "cluster/representative.h"
 #include "common/rng.h"
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/hurricane_generator.h"
 #include "params/entropy.h"
 #include "partition/approximate_partitioner.h"
@@ -22,6 +18,17 @@ namespace {
 
 using geom::Point;
 using geom::Segment;
+
+// Runs the legacy-shaped config through the engine, dying loudly on errors —
+// these tests hardcode valid configs and non-empty inputs.
+core::TraclusResult RunConfig(const core::TraclusConfig& cfg,
+                              const traj::TrajectoryDatabase& db) {
+  auto engine = core::TraclusEngine::FromConfig(cfg);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  auto result = engine->Run(db);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
 
 TEST(ThreeDimensionalTest, RepresentativeOfA3DBundleIsItsCenterline) {
   // §4.3 footnote 3: "The same approach can be applied also to three
@@ -62,7 +69,7 @@ TEST(ThreeDimensionalTest, FullPipelineOn3DTrajectories) {
   core::TraclusConfig cfg;
   cfg.eps = 15.0;
   cfg.min_lns = 3;
-  const auto result = core::Traclus(cfg).Run(db);
+  const auto result = RunConfig(cfg, db);
   // Same spatial corridor, but the epochs are 500 apart in t: two clusters.
   EXPECT_EQ(result.clustering.clusters.size(), 2u);
 }
@@ -119,7 +126,7 @@ TEST(GeneratorMixTest, AllWestwardHurricanesYieldOneCorridorSystem) {
   core::TraclusConfig cfg;
   cfg.eps = 0.94;
   cfg.min_lns = 7;
-  const auto result = core::Traclus(cfg).Run(db);
+  const auto result = RunConfig(cfg, db);
   ASSERT_GE(result.clustering.clusters.size(), 1u);
   // Every representative must head west (negative net x) in the lower band.
   for (const auto& rep : result.representatives) {
@@ -143,10 +150,10 @@ TEST(GeneratorMixTest, AllErraticHurricanesYieldNoClusters) {
   core::TraclusConfig cfg;
   cfg.eps = 0.94;
   cfg.min_lns = 7;
-  const auto result = core::Traclus(cfg).Run(db);
+  const auto result = RunConfig(cfg, db);
   EXPECT_LE(result.clustering.clusters.size(), 2u)
       << "random walks should produce (almost) no corridor clusters";
-  EXPECT_GT(result.clustering.num_noise, result.segments.size() / 2);
+  EXPECT_GT(result.clustering.num_noise, result.segments().size() / 2);
 }
 
 TEST(RepresentativeMinLnsOverrideTest, LowerSweepThresholdExtendsCoverage) {
@@ -163,9 +170,9 @@ TEST(RepresentativeMinLnsOverrideTest, LowerSweepThresholdExtendsCoverage) {
   core::TraclusConfig cfg;
   cfg.eps = 25.0;  // Spans are staggered by 10, so d∥ between neighbors is 10.
   cfg.min_lns = 4;
-  const auto strict = core::Traclus(cfg).Run(db);
+  const auto strict = RunConfig(cfg, db);
   cfg.representative_min_lns = 2;
-  const auto relaxed = core::Traclus(cfg).Run(db);
+  const auto relaxed = RunConfig(cfg, db);
   ASSERT_EQ(strict.representatives.size(), relaxed.representatives.size());
   ASSERT_GE(strict.representatives.size(), 1u);
   auto span = [](const traj::Trajectory& t) {
@@ -177,15 +184,15 @@ TEST(RepresentativeMinLnsOverrideTest, LowerSweepThresholdExtendsCoverage) {
 
 TEST(DeterminismTest, FullPipelineIsBitStableAcrossRuns) {
   // Stronger than label equality: representatives must match exactly too,
-  // across independently constructed Traclus instances.
+  // across independently constructed engines.
   datagen::HurricaneConfig gen;
   gen.num_trajectories = 80;
   const auto db = datagen::GenerateHurricanes(gen);
   core::TraclusConfig cfg;
   cfg.eps = 0.94;
   cfg.min_lns = 6;
-  const auto a = core::Traclus(cfg).Run(db);
-  const auto b = core::Traclus(cfg).Run(db);
+  const auto a = RunConfig(cfg, db);
+  const auto b = RunConfig(cfg, db);
   ASSERT_EQ(a.representatives.size(), b.representatives.size());
   for (size_t i = 0; i < a.representatives.size(); ++i) {
     ASSERT_EQ(a.representatives[i].size(), b.representatives[i].size());

@@ -8,6 +8,7 @@
 
 #include "cluster/neighborhood.h"
 #include "cluster/neighborhood_index.h"
+#include "traj/segment_store.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "distance/segment_distance.h"
@@ -20,8 +21,8 @@ using distance::SegmentDistanceConfig;
 using geom::Point;
 using geom::Segment;
 
-std::vector<Segment> RandomSegments(size_t n, double world, double max_len,
-                                    uint64_t seed) {
+traj::SegmentStore RandomSegments(size_t n, double world, double max_len,
+                                  uint64_t seed) {
   common::Rng rng(seed);
   std::vector<Segment> segs;
   segs.reserve(n);
@@ -33,7 +34,7 @@ std::vector<Segment> RandomSegments(size_t n, double world, double max_len,
     segs.emplace_back(s, e, static_cast<geom::SegmentId>(i),
                       static_cast<geom::TrajectoryId>(i % 7));
   }
-  return segs;
+  return traj::SegmentStore(std::move(segs));
 }
 
 TEST(BruteForceNeighborhoodTest, IncludesSelf) {
@@ -153,10 +154,11 @@ TEST(GridNeighborhoodIndexTest, CollinearChainsAreFound) {
                       /*id=*/i, /*trajectory_id=*/i);
   }
   const SegmentDistance dist;
-  const BruteForceNeighborhood brute(segs, dist);
-  const GridNeighborhoodIndex index(segs, dist);
+  const traj::SegmentStore store(std::move(segs));
+  const BruteForceNeighborhood brute(store, dist);
+  const GridNeighborhoodIndex index(store, dist);
   for (double eps : {1.0, 2.0, 5.0, 12.0, 30.0}) {
-    for (size_t i = 0; i < segs.size(); ++i) {
+    for (size_t i = 0; i < store.size(); ++i) {
       EXPECT_EQ(index.Neighbors(i, eps), brute.Neighbors(i, eps));
     }
   }
@@ -172,9 +174,10 @@ TEST(GridNeighborhoodIndexTest, ThreeDimensionalSegments) {
     segs.emplace_back(s, e, i, i % 5);
   }
   const SegmentDistance dist;
-  const BruteForceNeighborhood brute(segs, dist);
-  const GridNeighborhoodIndex index(segs, dist);
-  for (size_t i = 0; i < segs.size(); ++i) {
+  const traj::SegmentStore store(std::move(segs));
+  const BruteForceNeighborhood brute(store, dist);
+  const GridNeighborhoodIndex index(store, dist);
+  for (size_t i = 0; i < store.size(); ++i) {
     EXPECT_EQ(index.Neighbors(i, 6.0), brute.Neighbors(i, 6.0));
   }
 }

@@ -8,6 +8,7 @@
 #include "cluster/dbscan_segments.h"
 #include "cluster/neighborhood.h"
 #include "cluster/optics_segments.h"
+#include "traj/segment_store.h"
 #include "common/rng.h"
 #include "distance/segment_distance.h"
 
@@ -52,18 +53,19 @@ TEST(OpticsTest, OrderingIsAPermutation) {
                       i, i % 6);
   }
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto result = OpticsSegments(segs, dist, provider, Options(5.0, 3));
-  ASSERT_EQ(result.ordering.size(), segs.size());
+  const traj::SegmentStore store(std::move(segs));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto result = OpticsSegments(store, dist, provider, Options(5.0, 3));
+  ASSERT_EQ(result.ordering.size(), store.size());
   std::vector<size_t> sorted = result.ordering;
   std::sort(sorted.begin(), sorted.end());
   for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
-  EXPECT_EQ(result.reachability.size(), segs.size());
-  EXPECT_EQ(result.core_distance.size(), segs.size());
+  EXPECT_EQ(result.reachability.size(), store.size());
+  EXPECT_EQ(result.core_distance.size(), store.size());
 }
 
 TEST(OpticsTest, DenseBundleHasLowReachability) {
-  auto segs = WithIds(Bundle(0, 0, 8, 0));
+  traj::SegmentStore segs(WithIds(Bundle(0, 0, 8, 0)));
   const SegmentDistance dist;
   const BruteForceNeighborhood provider(segs, dist);
   const auto result = OpticsSegments(segs, dist, provider, Options(5.0, 3));
@@ -81,7 +83,7 @@ TEST(OpticsTest, DenseBundleHasLowReachability) {
 TEST(OpticsTest, CoreDistanceIsMinLnsThNeighborDistance) {
   // Evenly spaced parallel segments: core distance of an edge segment at
   // MinLns = 3 is the distance to its 2nd-nearest other segment.
-  auto segs = WithIds(Bundle(0, 0, 5, 0, /*spacing=*/1.0));
+  traj::SegmentStore segs(WithIds(Bundle(0, 0, 5, 0, /*spacing=*/1.0)));
   const SegmentDistance dist;
   const BruteForceNeighborhood provider(segs, dist);
   const auto result = OpticsSegments(segs, dist, provider, Options(10.0, 3));
@@ -94,10 +96,10 @@ TEST(OpticsTest, CoreDistanceIsMinLnsThNeighborDistance) {
 }
 
 TEST(OpticsTest, SparseSegmentsHaveUndefinedCoreDistance) {
-  std::vector<Segment> segs = WithIds({
+  const traj::SegmentStore segs(WithIds({
       Segment(Point(0, 0), Point(10, 0), -1, 0),
       Segment(Point(0, 100), Point(10, 100), -1, 1),
-  });
+  }));
   const SegmentDistance dist;
   const BruteForceNeighborhood provider(segs, dist);
   const auto result = OpticsSegments(segs, dist, provider, Options(5.0, 3));
@@ -113,17 +115,17 @@ TEST(OpticsTest, ExtractionMatchesDbscanClusterCount) {
   auto segs = Bundle(0, 0, 6, 0);
   auto far = Bundle(0, 100, 6, 10);
   segs.insert(segs.end(), far.begin(), far.end());
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
+  const BruteForceNeighborhood provider(store, dist);
 
-  const auto optics = OpticsSegments(segs, dist, provider, Options(3.0, 3));
-  const auto extracted = ExtractDbscanClustering(segs, optics, 3.0, 3);
+  const auto optics = OpticsSegments(store, dist, provider, Options(3.0, 3));
+  const auto extracted = ExtractDbscanClustering(store, optics, 3.0, 3);
 
   DbscanOptions dopt;
   dopt.eps = 3.0;
   dopt.min_lns = 3;
-  const auto dbscan = DbscanSegments(segs, provider, dopt);
+  const auto dbscan = DbscanSegments(store, provider, dopt);
 
   EXPECT_EQ(extracted.clusters.size(), dbscan.clusters.size());
   EXPECT_EQ(extracted.num_noise, dbscan.num_noise);
@@ -132,13 +134,13 @@ TEST(OpticsTest, ExtractionMatchesDbscanClusterCount) {
 TEST(OpticsTest, ExtractionAppliesCardinalityFilter) {
   auto segs = Bundle(0, 0, 6, 0);
   for (auto& s : segs) s.set_trajectory_id(3);  // Single trajectory.
-  segs = WithIds(std::move(segs));
+  const traj::SegmentStore store(WithIds(std::move(segs)));
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto optics = OpticsSegments(segs, dist, provider, Options(3.0, 3));
-  const auto extracted = ExtractDbscanClustering(segs, optics, 3.0, 3);
+  const BruteForceNeighborhood provider(store, dist);
+  const auto optics = OpticsSegments(store, dist, provider, Options(3.0, 3));
+  const auto extracted = ExtractDbscanClustering(store, optics, 3.0, 3);
   EXPECT_TRUE(extracted.clusters.empty());
-  EXPECT_EQ(extracted.num_noise, segs.size());
+  EXPECT_EQ(extracted.num_noise, store.size());
 }
 
 TEST(OpticsTest, AppendixDPairwiseDistanceUnboundedForSegments) {
@@ -173,9 +175,10 @@ TEST(OpticsTest, DeterministicAcrossRuns) {
                       i, i % 8);
   }
   const SegmentDistance dist;
-  const BruteForceNeighborhood provider(segs, dist);
-  const auto a = OpticsSegments(segs, dist, provider, Options(5.0, 4));
-  const auto b = OpticsSegments(segs, dist, provider, Options(5.0, 4));
+  const traj::SegmentStore store(std::move(segs));
+  const BruteForceNeighborhood provider(store, dist);
+  const auto a = OpticsSegments(store, dist, provider, Options(5.0, 4));
+  const auto b = OpticsSegments(store, dist, provider, Options(5.0, 4));
   EXPECT_EQ(a.ordering, b.ordering);
   EXPECT_EQ(a.reachability, b.reachability);
 }

@@ -2,11 +2,7 @@
 // byte-identical to the single-threaded seed behavior, for any thread count.
 // Clustering output (labels, cluster ids, members), partitions, representative
 // trajectories, pairwise matrices, and the parameter heuristic are all checked
-// at 1 vs N threads.
-//
-// Deliberately exercises the deprecated core::Traclus façade alongside the
-// component APIs — determinism must hold through the legacy surface too.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// at 1 vs N threads, through the engine API and the component layers.
 
 #include <gtest/gtest.h>
 
@@ -17,7 +13,7 @@
 #include "cluster/neighborhood_index.h"
 #include "cluster/rtree_index.h"
 #include "common/thread_pool.h"
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/hurricane_generator.h"
 #include "distance/segment_distance.h"
 #include "params/entropy.h"
@@ -35,13 +31,32 @@ const traj::TrajectoryDatabase& TestDatabase() {
   return db;
 }
 
-const std::vector<geom::Segment>& TestSegments() {
-  static const std::vector<geom::Segment> segments = [] {
+// Engine run helper: these tests hardcode valid configs / non-empty inputs.
+core::TraclusResult RunConfig(const core::TraclusConfig& cfg,
+                              const traj::TrajectoryDatabase& db) {
+  auto engine = core::TraclusEngine::FromConfig(cfg);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  auto result = engine->Run(db);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+core::PartitionOutput PartitionConfig(const core::TraclusConfig& cfg,
+                                      const traj::TrajectoryDatabase& db) {
+  auto engine = core::TraclusEngine::FromConfig(cfg);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  auto out = engine->Partition(db);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return std::move(out).ValueOrDie();
+}
+
+const traj::SegmentStore& TestSegments() {
+  static const traj::SegmentStore store = [] {
     core::TraclusConfig cfg;
     cfg.num_threads = 1;
-    return core::Traclus(cfg).PartitionPhase(TestDatabase());
+    return std::move(PartitionConfig(cfg, TestDatabase()).store);
   }();
-  return segments;
+  return store;
 }
 
 void ExpectSegmentsEqual(const std::vector<geom::Segment>& a,
@@ -71,19 +86,16 @@ void ExpectClusteringEqual(const cluster::ClusteringResult& a,
 TEST(ParallelDeterminismTest, PartitionPhaseMatchesSerial) {
   core::TraclusConfig serial;
   serial.num_threads = 1;
-  std::vector<std::vector<size_t>> serial_cp;
-  const auto serial_segments =
-      core::Traclus(serial).PartitionPhase(TestDatabase(), &serial_cp);
+  const auto serial_out = PartitionConfig(serial, TestDatabase());
 
   for (const int threads : {2, 4}) {
     SCOPED_TRACE(threads);
     core::TraclusConfig parallel;
     parallel.num_threads = threads;
-    std::vector<std::vector<size_t>> parallel_cp;
-    const auto parallel_segments =
-        core::Traclus(parallel).PartitionPhase(TestDatabase(), &parallel_cp);
-    ExpectSegmentsEqual(serial_segments, parallel_segments);
-    EXPECT_EQ(serial_cp, parallel_cp);
+    const auto parallel_out = PartitionConfig(parallel, TestDatabase());
+    ExpectSegmentsEqual(serial_out.segments(), parallel_out.segments());
+    EXPECT_EQ(serial_out.characteristic_points,
+              parallel_out.characteristic_points);
   }
 }
 
@@ -140,12 +152,12 @@ TEST(ParallelDeterminismTest, FullPipelineIdenticalAtOneVsNThreads) {
   cfg.eps = 0.94;
   cfg.min_lns = 5;
   cfg.num_threads = 1;
-  const auto serial = core::Traclus(cfg).Run(TestDatabase());
+  const auto serial = RunConfig(cfg, TestDatabase());
 
   cfg.num_threads = 4;
-  const auto parallel = core::Traclus(cfg).Run(TestDatabase());
+  const auto parallel = RunConfig(cfg, TestDatabase());
 
-  ExpectSegmentsEqual(serial.segments, parallel.segments);
+  ExpectSegmentsEqual(serial.segments(), parallel.segments());
   EXPECT_EQ(serial.characteristic_points, parallel.characteristic_points);
   ExpectClusteringEqual(serial.clustering, parallel.clustering);
   ASSERT_EQ(serial.representatives.size(), parallel.representatives.size());
@@ -185,8 +197,8 @@ TEST(ParallelDeterminismTest, PairwiseMatrixMatchesSerialEvaluation) {
 
 TEST(ParallelDeterminismTest, NeighborhoodProfileIdenticalAcrossThreads) {
   const auto& all = TestSegments();
-  const std::vector<geom::Segment> segments(
-      all.begin(), all.begin() + std::min<size_t>(all.size(), 400));
+  const traj::SegmentStore segments(std::vector<geom::Segment>(
+      all.begin(), all.begin() + std::min<size_t>(all.size(), 400)));
   const distance::SegmentDistance dist;
   const std::vector<double> grid = {0.25, 0.5, 1.0, 2.0, 4.0};
   const params::NeighborhoodProfile serial(segments, dist, grid, 1);
@@ -200,8 +212,8 @@ TEST(ParallelDeterminismTest, NeighborhoodProfileIdenticalAcrossThreads) {
 
 TEST(ParallelDeterminismTest, ParameterEstimateIdenticalAcrossThreads) {
   const auto& all = TestSegments();
-  const std::vector<geom::Segment> segments(
-      all.begin(), all.begin() + std::min<size_t>(all.size(), 400));
+  const traj::SegmentStore segments(std::vector<geom::Segment>(
+      all.begin(), all.begin() + std::min<size_t>(all.size(), 400)));
   const distance::SegmentDistance dist;
   params::HeuristicOptions opt;
   opt.eps_lo = 0.25;

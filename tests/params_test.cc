@@ -10,6 +10,7 @@
 #include "params/entropy.h"
 #include "params/parameter_heuristic.h"
 #include "params/simulated_annealing.h"
+#include "traj/segment_store.h"
 
 namespace traclus::params {
 namespace {
@@ -41,7 +42,7 @@ TEST(EntropyTest, WeightedOverloadMatchesUnweightedOnIntegers) {
   EXPECT_DOUBLE_EQ(NeighborhoodEntropy(counts), NeighborhoodEntropy(masses));
 }
 
-std::vector<Segment> TwoBundlesAndNoise(uint64_t seed) {
+traj::SegmentStore TwoBundlesAndNoise(uint64_t seed) {
   common::Rng rng(seed);
   std::vector<Segment> segs;
   auto bundle = [&](double x, double y, int count, int tid0) {
@@ -58,7 +59,7 @@ std::vector<Segment> TwoBundlesAndNoise(uint64_t seed) {
                                s.y() + rng.Uniform(-8, 8)),
                       static_cast<geom::SegmentId>(segs.size()), 40 + i);
   }
-  return segs;
+  return traj::SegmentStore(std::move(segs));
 }
 
 TEST(NeighborhoodProfileTest, MatchesDirectQueriesAtEveryGridPoint) {
@@ -121,6 +122,28 @@ TEST(NeighborhoodProfileTest, AvgNeighborhoodSizeMatchesCounts) {
   double sum = 0.0;
   for (const size_t s : sizes) sum += static_cast<double>(s);
   EXPECT_DOUBLE_EQ(profile.AvgNeighborhoodSizeAt(0), sum / sizes.size());
+}
+
+TEST(NeighborhoodProfileTest, BlockStreamedParallelPassIsIdentical) {
+  // The parallel profile pass streams its count increments through bounded
+  // blocks instead of staging threads × grid × n buffers; counts must be
+  // identical to the serial pass for every thread count and block size,
+  // down to block = 1.
+  const auto segs = TwoBundlesAndNoise(8);
+  const SegmentDistance dist;
+  std::vector<double> grid;
+  for (int i = 1; i <= 24; ++i) grid.push_back(0.75 * i);
+  const NeighborhoodProfile serial(segs, dist, grid, /*num_threads=*/1);
+  for (const int threads : {2, 4}) {
+    for (const size_t block : {size_t{1}, size_t{3}, size_t{256}, size_t{0}}) {
+      SCOPED_TRACE(testing::Message() << threads << " threads, block "
+                                      << block);
+      const NeighborhoodProfile parallel(segs, dist, grid, threads, block);
+      for (size_t g = 0; g < grid.size(); ++g) {
+        ASSERT_EQ(parallel.SizesAt(g), serial.SizesAt(g)) << "grid " << g;
+      }
+    }
+  }
 }
 
 TEST(SimulatedAnnealingTest, FindsMinimumOfConvexFunction) {

@@ -7,6 +7,7 @@
 
 #include "cluster/neighborhood.h"
 #include "cluster/rtree_index.h"
+#include "traj/segment_store.h"
 #include "common/rng.h"
 #include "distance/segment_distance.h"
 
@@ -18,8 +19,8 @@ using distance::SegmentDistanceConfig;
 using geom::Point;
 using geom::Segment;
 
-std::vector<Segment> RandomSegments(size_t n, double world, double max_len,
-                                    uint64_t seed) {
+traj::SegmentStore RandomSegments(size_t n, double world, double max_len,
+                                  uint64_t seed) {
   common::Rng rng(seed);
   std::vector<Segment> segs;
   segs.reserve(n);
@@ -32,7 +33,7 @@ std::vector<Segment> RandomSegments(size_t n, double world, double max_len,
                       static_cast<geom::SegmentId>(i),
                       static_cast<geom::TrajectoryId>(i % 7));
   }
-  return segs;
+  return traj::SegmentStore(std::move(segs));
 }
 
 TEST(StrRTreeIndexTest, StructureIsPacked) {

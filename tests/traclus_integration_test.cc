@@ -1,18 +1,13 @@
 // Integration tests: the full TRACLUS pipeline (Fig. 4) end to end, including
 // the headline Example 1 claim — discovery of a common sub-trajectory that
 // whole-trajectory clustering cannot see.
-//
-// This suite intentionally drives the deprecated core::Traclus façade: it is
-// the regression net proving the façade's legacy contract keeps working on
-// top of TraclusEngine (engine_api_test.cc proves the outputs byte-identical).
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "baseline/regression_mixture.h"
-#include "core/traclus.h"
+#include "core/engine.h"
 #include "datagen/common_subtrajectory.h"
 #include "datagen/noisy_generator.h"
 #include "eval/cluster_stats.h"
@@ -30,12 +25,21 @@ TraclusConfig Fig1Config() {
   return cfg;
 }
 
+// Engine run helper: these tests hardcode valid configs / non-empty inputs.
+TraclusResult RunConfig(const TraclusConfig& cfg,
+                        const traj::TrajectoryDatabase& db) {
+  auto engine = TraclusEngine::FromConfig(cfg);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  auto result = engine->Run(db);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
 TEST(TraclusIntegrationTest, DiscoversCommonSubTrajectoryOfFig1) {
   const auto db =
       datagen::GenerateCommonSubTrajectory(
           datagen::CommonSubTrajectoryConfig{});
-  const Traclus traclus(Fig1Config());
-  const TraclusResult result = traclus.Run(db);
+  const TraclusResult result = RunConfig(Fig1Config(), db);
 
   // Exactly one cluster: the shared corridor. The divergent branches are noise.
   ASSERT_EQ(result.clustering.clusters.size(), 1u);
@@ -54,7 +58,7 @@ TEST(TraclusIntegrationTest, DiscoversCommonSubTrajectoryOfFig1) {
   EXPECT_GT(span, 120.0) << "representative must cover most of the corridor";
 
   // All five trajectories participate in the cluster.
-  EXPECT_EQ(cluster::TrajectoryCardinality(result.segments,
+  EXPECT_EQ(cluster::TrajectoryCardinality(result.store,
                                            result.clustering.clusters[0]),
             5u);
 }
@@ -87,7 +91,7 @@ TEST(TraclusIntegrationTest, RobustToNoiseTrajectories) {
   TraclusConfig tcfg;
   tcfg.eps = 3.0;  // Corridors are ~20 apart; larger ε lets noise bridge them.
   tcfg.min_lns = 8;
-  const TraclusResult result = Traclus(tcfg).Run(db);
+  const TraclusResult result = RunConfig(tcfg, db);
   EXPECT_EQ(result.clustering.clusters.size(), 4u)
       << "all four planted corridors should be recovered";
   EXPECT_GT(result.clustering.num_noise, 0u);
@@ -104,8 +108,8 @@ TEST(TraclusIntegrationTest, IndexAndBruteForceAgreeEndToEnd) {
   TraclusConfig without_index = with_index;
   without_index.use_index = false;
 
-  const auto a = Traclus(with_index).Run(db);
-  const auto b = Traclus(without_index).Run(db);
+  const auto a = RunConfig(with_index, db);
+  const auto b = RunConfig(without_index, db);
   EXPECT_EQ(a.clustering.labels, b.clustering.labels);
   ASSERT_EQ(a.representatives.size(), b.representatives.size());
   for (size_t i = 0; i < a.representatives.size(); ++i) {
@@ -120,9 +124,12 @@ TEST(TraclusIntegrationTest, PartitionPhaseAccumulatesAllTrajectories) {
   const auto db =
       datagen::GenerateCommonSubTrajectory(
           datagen::CommonSubTrajectoryConfig{});
-  const Traclus traclus(Fig1Config());
-  std::vector<std::vector<size_t>> cps;
-  const auto segments = traclus.PartitionPhase(db, &cps);
+  auto engine = TraclusEngine::FromConfig(Fig1Config());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto partitioned = engine->Partition(db);
+  ASSERT_TRUE(partitioned.ok()) << partitioned.status().ToString();
+  const auto& segments = partitioned->segments();
+  const auto& cps = partitioned->characteristic_points;
   ASSERT_EQ(cps.size(), db.size());
   // Segment ids are dense and sequential across the whole database (Fig. 4
   // line 03 accumulation).
@@ -143,8 +150,8 @@ TEST(TraclusIntegrationTest, OptimalPartitioningConfigRuns) {
   const auto db = datagen::GenerateCommonSubTrajectory(gen);
   TraclusConfig cfg = Fig1Config();
   cfg.partitioning_algorithm = PartitioningAlgorithm::kOptimalMdl;
-  const auto result = Traclus(cfg).Run(db);
-  EXPECT_FALSE(result.segments.empty());
+  const auto result = RunConfig(cfg, db);
+  EXPECT_FALSE(result.segments().empty());
 }
 
 TEST(TraclusIntegrationTest, WeightedTrajectoriesChangeDensity) {
@@ -160,11 +167,11 @@ TEST(TraclusIntegrationTest, WeightedTrajectoriesChangeDensity) {
   cfg.eps = 2.0;
   cfg.min_lns = 5;
   cfg.min_trajectory_cardinality = 2;
-  const auto unweighted = Traclus(cfg).Run(db);
+  const auto unweighted = RunConfig(cfg, db);
   EXPECT_TRUE(unweighted.clustering.clusters.empty());
 
   cfg.use_weights = true;
-  const auto weighted = Traclus(cfg).Run(db);
+  const auto weighted = RunConfig(cfg, db);
   EXPECT_EQ(weighted.clustering.clusters.size(), 1u);
 }
 
@@ -185,11 +192,11 @@ TEST(TraclusIntegrationTest, UndirectedDistanceMergesOpposingFlows) {
   TraclusConfig cfg;
   cfg.eps = 2.0;
   cfg.min_lns = 3;
-  const auto directed = Traclus(cfg).Run(db);
+  const auto directed = RunConfig(cfg, db);
   EXPECT_EQ(directed.clustering.clusters.size(), 2u);
 
   cfg.distance.directed = false;
-  const auto undirected = Traclus(cfg).Run(db);
+  const auto undirected = RunConfig(cfg, db);
   EXPECT_EQ(undirected.clustering.clusters.size(), 1u);
 }
 
@@ -200,15 +207,15 @@ TEST(TraclusIntegrationTest, QMeasureIsComputableOnPipelineOutput) {
   TraclusConfig cfg;
   cfg.eps = 4.0;
   cfg.min_lns = 5;
-  const auto result = Traclus(cfg).Run(db);
+  const auto result = RunConfig(cfg, db);
   const distance::SegmentDistance dist(cfg.distance);
   const auto q =
-      eval::ComputeQMeasure(result.segments, result.clustering, dist);
+      eval::ComputeQMeasure(result.segments(), result.clustering, dist);
   EXPECT_GE(q.total_sse, 0.0);
   EXPECT_GE(q.noise_penalty, 0.0);
   EXPECT_TRUE(std::isfinite(q.qmeasure));
   const auto stats =
-      eval::SummarizeClustering(result.segments, result.clustering);
+      eval::SummarizeClustering(result.segments(), result.clustering);
   EXPECT_EQ(stats.num_clusters, result.clustering.clusters.size());
 }
 
@@ -219,18 +226,23 @@ TEST(TraclusIntegrationTest, DeterministicEndToEnd) {
   TraclusConfig cfg;
   cfg.eps = 4.0;
   cfg.min_lns = 5;
-  const auto a = Traclus(cfg).Run(db);
-  const auto b = Traclus(cfg).Run(db);
+  const auto a = RunConfig(cfg, db);
+  const auto b = RunConfig(cfg, db);
   EXPECT_EQ(a.clustering.labels, b.clustering.labels);
 }
 
 TEST(TraclusIntegrationTest, EmptyAndDegenerateInputs) {
-  const Traclus traclus(Fig1Config());
-  traj::TrajectoryDatabase empty;
-  const auto r0 = traclus.Run(empty);
-  EXPECT_TRUE(r0.segments.empty());
-  EXPECT_TRUE(r0.clustering.clusters.empty());
+  auto engine = TraclusEngine::FromConfig(Fig1Config());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
+  // An empty database is a typed precondition failure, not a crash.
+  traj::TrajectoryDatabase empty;
+  const auto r0 = engine->Run(empty);
+  ASSERT_FALSE(r0.ok());
+  EXPECT_EQ(r0.status().code(), common::StatusCode::kFailedPrecondition);
+
+  // Degenerate trajectories (too short / all-coincident points) partition to
+  // an empty segment database and an empty clustering.
   traj::TrajectoryDatabase degenerate;
   traj::Trajectory single(0);
   single.Add(Point(1, 1));
@@ -238,9 +250,10 @@ TEST(TraclusIntegrationTest, EmptyAndDegenerateInputs) {
   traj::Trajectory repeated(1);
   for (int i = 0; i < 5; ++i) repeated.Add(Point(2, 2));
   degenerate.Add(std::move(repeated));
-  const auto r1 = traclus.Run(degenerate);
-  EXPECT_TRUE(r1.segments.empty());
-  EXPECT_TRUE(r1.clustering.clusters.empty());
+  const auto r1 = engine->Run(degenerate);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r1->segments().empty());
+  EXPECT_TRUE(r1->clustering.clusters.empty());
 }
 
 }  // namespace

@@ -117,6 +117,72 @@ TEST(CsvTest, RejectsMalformedRows) {
   EXPECT_FALSE(ParseCsv("0,1,2,zz\n").ok());       // Bad weight.
 }
 
+TEST(CsvTest, ErrorsNameTheOffendingLine) {
+  const auto bad = ParseCsv("0,1,2\n0,3,4\n1,oops,6\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos)
+      << bad.status().ToString();
+}
+
+TEST(CsvTest, RejectsNonContiguousTrajectoryRows) {
+  // Id 0 reappears after id 1 started: silently accepting it would create
+  // two trajectories with the same id and corrupt |PTR(C)| downstream.
+  const auto result = ParseCsv("0,1,2\n0,3,4\n1,5,6\n1,7,8\n0,9,9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 5"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("contiguous"), std::string::npos);
+}
+
+TEST(CsvTest, UnweightedThreeDRoundTripsThroughFile) {
+  // WriteCsv must emit the weight column for 3-D data even when every weight
+  // is 1.0 — a 4-field `id,x,y,z` row reads back as 2-D with z as weight.
+  TrajectoryDatabase db;
+  Trajectory tr(0);
+  tr.Add(geom::Point(1.0, 2.0, 3.0));
+  tr.Add(geom::Point(4.0, 5.0, 6.0));
+  db.Add(std::move(tr));
+  const std::string path = "/tmp/traclus_3d_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(db, path).ok());
+  const auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].dims(), 3);
+  EXPECT_DOUBLE_EQ((*loaded)[0].weight(), 1.0);
+  EXPECT_NEAR((*loaded)[0].points()[0].z(), 3.0, 1e-9);
+}
+
+TEST(CsvTest, WriteRejectsMixedDimensionalityDatabase) {
+  // WriteCsv mirrors ParseCsv's contract: a mixed 2-D/3-D database is a typed
+  // error, not a file with silently dropped (or garbage) z values.
+  TrajectoryDatabase db;
+  Trajectory flat(0);
+  flat.Add(geom::Point(0.0, 1.0));
+  flat.Add(geom::Point(2.0, 3.0));
+  db.Add(std::move(flat));
+  Trajectory solid(1);
+  solid.Add(geom::Point(0.0, 1.0, 2.0));
+  solid.Add(geom::Point(3.0, 4.0, 5.0));
+  db.Add(std::move(solid));
+  const auto st = WriteCsv(db, "/tmp/traclus_mixed_dims.csv");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsMixedDimensionality) {
+  // A 3-D row (z + weight) in a file that started 2-D used to assert deep in
+  // Trajectory::Add; now it is a typed error naming the line.
+  const auto result = ParseCsv("0,1,2\n0,3,4\n1,5,6,7,1.0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("dimensionality"),
+            std::string::npos);
+}
+
 TEST(CsvTest, EmptyInputYieldsEmptyDatabase) {
   const auto result = ParseCsv("");
   ASSERT_TRUE(result.ok());

@@ -209,7 +209,7 @@ int CmdPartition(const Args& args) {
   if (!engine.ok()) return FailWith(engine.status());
   const auto partitioned = engine->Partition(*loaded, MakeContext(args));
   if (!partitioned.ok()) return FailWith(partitioned.status());
-  const auto& segments = partitioned->segments;
+  const auto& segments = partitioned->segments();
   std::printf(
       "%zu points -> %zu trajectory partitions (%.2f points/partition)\n",
       loaded->TotalPoints(), segments.size(),
@@ -246,14 +246,14 @@ int CmdEstimate(const Args& args) {
   if (!engine.ok()) return FailWith(engine.status());
   const auto partitioned = engine->Partition(*loaded, MakeContext(args));
   if (!partitioned.ok()) return FailWith(partitioned.status());
-  const auto& segments = partitioned->segments;
+  const traj::SegmentStore& store = partitioned->store;
   const distance::SegmentDistance dist;
   params::HeuristicOptions opt;
   opt.eps_lo = args.GetDouble("eps-lo", 0.25);
   opt.eps_hi = args.GetDouble("eps-hi", 40.0);
   opt.grid_points = static_cast<int>(args.GetDouble("grid", 60));
   opt.num_threads = base.num_threads;
-  const auto est = params::EstimateParameters(segments, dist, opt);
+  const auto est = params::EstimateParameters(store, dist, opt);
   std::printf("# eps entropy\n");
   for (size_t g = 0; g < est.grid_eps.size(); ++g) {
     std::printf("%.4f %.4f\n", est.grid_eps[g], est.grid_entropy[g]);
@@ -310,12 +310,12 @@ int CmdCluster(const Args& args) {
   if (!run.ok()) return FailWith(run.status());
   const core::TraclusResult& result = *run;
   std::printf("%zu partitions -> %zu clusters, %zu noise segments\n",
-              result.segments.size(), result.clustering.clusters.size(),
+              result.segments().size(), result.clustering.clusters.size(),
               result.clustering.num_noise);
   for (size_t c = 0; c < result.clustering.clusters.size(); ++c) {
     std::printf("  cluster %zu: %zu segments, %zu trajectories\n", c,
                 result.clustering.clusters[c].size(),
-                cluster::TrajectoryCardinality(result.segments,
+                cluster::TrajectoryCardinality(result.store,
                                                result.clustering.clusters[c]));
   }
 
@@ -327,9 +327,10 @@ int CmdCluster(const Args& args) {
       return 2;
     }
     f << "segment_id,trajectory_id,cluster\n";
-    for (size_t i = 0; i < result.segments.size(); ++i) {
-      f << result.segments[i].id() << "," << result.segments[i].trajectory_id()
-        << "," << result.clustering.labels[i] << "\n";
+    const auto& segments = result.segments();
+    for (size_t i = 0; i < segments.size(); ++i) {
+      f << segments[i].id() << "," << segments[i].trajectory_id() << ","
+        << result.clustering.labels[i] << "\n";
     }
     std::printf("wrote %s\n", labels.c_str());
   }
