@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/span.h"
 #include "common/thread_pool.h"
+#include "distance/batch_kernels.h"
 #include "distance/endpoint_distance.h"
 #include "distance/segment_distance.h"
 #include "traj/segment_store.h"
@@ -161,6 +163,118 @@ void BM_EuclideanSegmentDistanceLowerBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EuclideanSegmentDistanceLowerBound);
+
+// --- Batched one-vs-many kernels (distance/batch_kernels.h). -------------
+// The grouping workload underneath all of these: one query segment against
+// the full 1024-segment pool at a typical grouping ε (world 100×100,
+// lengths 0.5–10, ε = 5 keeps roughly the densities the §5 experiments
+// cluster at). BM_EpsilonRefinePairLoop is the pre-batch per-pair provider
+// loop; the headline ratio BM_EpsilonRefinePairLoop / BM_EpsilonRefineBatch
+// is the candidate-refine speedup (prune + batching), tracked per commit in
+// the CI JSON artifact alongside the cached-vs-recompute pair ratio.
+
+constexpr double kRefineEps = 5.0;
+
+// One full one-vs-all row through the scalar batch kernel.
+void BM_DistanceBatchScalar(benchmark::State& state) {
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  std::vector<double> out(store.size());
+  size_t q = 0;
+  for (auto _ : state) {
+    distance::DistanceBatchRange(
+        store, dist, q % store.size(), 0, store.size(),
+        common::Span<double>(out.data(), out.size()),
+        distance::BatchKernel::kScalar);
+    benchmark::DoNotOptimize(out.data());
+    ++q;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(store.size()));
+}
+BENCHMARK(BM_DistanceBatchScalar);
+
+// Same row through the AVX2 lanes (bit-identical results; only throughput
+// differs). Skipped — loudly — in binaries built without -mavx2 so the CI
+// history distinguishes "not compiled" from "slow".
+void BM_DistanceBatchSimd(benchmark::State& state) {
+  if (!distance::SimdCompiled()) {
+    state.SkipWithError("AVX2 kernels not compiled (build with TRACLUS_AVX2)");
+    return;
+  }
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  std::vector<double> out(store.size());
+  size_t q = 0;
+  for (auto _ : state) {
+    distance::DistanceBatchRange(
+        store, dist, q % store.size(), 0, store.size(),
+        common::Span<double>(out.data(), out.size()),
+        distance::BatchKernel::kSimd);
+    benchmark::DoNotOptimize(out.data());
+    ++q;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(store.size()));
+}
+BENCHMARK(BM_DistanceBatchSimd);
+
+// The per-pair cached path every ε-query consumer ran before the batch
+// layer: full distance for every candidate, then the ≤ ε test.
+void BM_EpsilonRefinePairLoop(benchmark::State& state) {
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  std::vector<size_t> out;
+  size_t q = 0;
+  for (auto _ : state) {
+    const size_t query = q % store.size();
+    out.clear();
+    for (size_t j = 0; j < store.size(); ++j) {
+      if (j == query || dist(store, query, j) <= kRefineEps) out.push_back(j);
+    }
+    benchmark::DoNotOptimize(out.data());
+    ++q;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(store.size()));
+}
+BENCHMARK(BM_EpsilonRefinePairLoop);
+
+// The batched ε-refine (identical output): midpoint/half-length prune, then
+// blocked batch evaluation of the survivors. Arg 0 = scalar, 1 = SIMD.
+// Reports the prune rate so the CI history tracks bound quality, not just
+// wall time.
+void BM_EpsilonRefineBatch(benchmark::State& state) {
+  const bool simd = state.range(0) != 0;
+  if (simd && !distance::SimdCompiled()) {
+    state.SkipWithError("AVX2 kernels not compiled (build with TRACLUS_AVX2)");
+    return;
+  }
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  distance::BatchOptions options;
+  options.kernel =
+      simd ? distance::BatchKernel::kSimd : distance::BatchKernel::kScalar;
+  std::vector<size_t> out;
+  distance::RefineStats stats;
+  size_t q = 0;
+  for (auto _ : state) {
+    out.clear();
+    distance::EpsilonRefineRange(store, dist, q % store.size(), 0,
+                                 store.size(), kRefineEps, out, options,
+                                 &stats);
+    benchmark::DoNotOptimize(out.data());
+    ++q;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(store.size()));
+  state.counters["prune_rate"] = benchmark::Counter(
+      stats.candidates == 0
+          ? 0.0
+          : static_cast<double>(stats.pruned) /
+                static_cast<double>(stats.candidates));
+}
+BENCHMARK(BM_EpsilonRefineBatch)->Arg(0)->Arg(1);
 
 // The batch primitive behind the baselines: all n² distances across a pool.
 // Arg = worker threads (1 = serial reference).

@@ -5,12 +5,25 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/span.h"
 #include "common/thread_pool.h"
 
 namespace traclus::baseline {
 
 KMedoidsResult KMedoids(size_t n,
                         const std::function<double(size_t, size_t)>& dist,
+                        const KMedoidsConfig& config) {
+  // Adapt the per-pair callback onto the row-batched fill so both overloads
+  // share one implementation (and produce identical matrices).
+  return KMedoids(
+      n,
+      [&dist](size_t i, size_t j_begin, size_t j_end, double* out) {
+        for (size_t j = j_begin; j < j_end; ++j) out[j - j_begin] = dist(i, j);
+      },
+      config);
+}
+
+KMedoidsResult KMedoids(size_t n, const KMedoidsRowFill& row_fill,
                         const KMedoidsConfig& config) {
   TRACLUS_CHECK_GE(config.k, 1);
   TRACLUS_CHECK_GE(n, static_cast<size_t>(config.k));
@@ -19,12 +32,18 @@ KMedoidsResult KMedoids(size_t n,
 
   // Cache the (symmetric) distance matrix; n is small for whole-trajectory
   // use, but the entries (e.g. DTW warps) can be individually expensive, so
-  // the fill is spread across the pool (one writer per element; see
-  // ParallelForPairs).
+  // the fill is spread across the pool. The chunk owning row i fills the
+  // whole upper stripe d[i][i+1..n) in one row_fill call and writes the
+  // mirrored column — one writer per element, so the matrix is identical for
+  // every thread count.
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
   common::SharedPool(config.num_threads)
-      .ParallelForPairs(n, [&](size_t i, size_t j) {
-        d[i][j] = d[j][i] = dist(i, j);
+      .ParallelForChunked(0, n, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          if (i + 1 >= n) continue;
+          row_fill(i, i + 1, n, d[i].data() + (i + 1));
+          for (size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
+        }
       });
 
   KMedoidsResult out;
@@ -109,6 +128,21 @@ KMedoidsResult KMedoids(size_t n,
   }
   out.total_cost = assign();
   return out;
+}
+
+KMedoidsResult KMedoidsOverSegments(const traj::SegmentStore& store,
+                                    const distance::SegmentDistance& dist,
+                                    const KMedoidsConfig& config,
+                                    distance::BatchKernel kernel) {
+  return KMedoids(
+      store.size(),
+      [&store, &dist, kernel](size_t i, size_t j_begin, size_t j_end,
+                              double* out) {
+        distance::DistanceBatchRange(
+            store, dist, i, j_begin, j_end,
+            common::Span<double>(out, j_end - j_begin), kernel);
+      },
+      config);
 }
 
 }  // namespace traclus::baseline

@@ -5,6 +5,10 @@
 #include <functional>
 #include <vector>
 
+#include "distance/batch_kernels.h"
+#include "distance/segment_distance.h"
+#include "traj/segment_store.h"
+
 namespace traclus::baseline {
 
 /// Configuration of the k-medoids clusterer.
@@ -28,6 +32,14 @@ struct KMedoidsResult {
   int iterations = 0;
 };
 
+/// Batched matrix-fill callback: writes dist(i, j) for every j in
+/// [j_begin, j_end) into out[0 .. j_end − j_begin). Lets distance sources
+/// that can evaluate one-vs-many batches (the segment-store kernels, a
+/// vectorized DTW, a remote service) fill a whole row stripe per call
+/// instead of being driven pair by pair.
+using KMedoidsRowFill =
+    std::function<void(size_t i, size_t j_begin, size_t j_end, double* out)>;
+
 /// PAM-style k-medoids over an arbitrary object set given by a pairwise
 /// distance callback (objects are identified by index, 0..n−1).
 ///
@@ -39,6 +51,24 @@ struct KMedoidsResult {
 KMedoidsResult KMedoids(size_t n,
                         const std::function<double(size_t, size_t)>& dist,
                         const KMedoidsConfig& config);
+
+/// Row-batched overload: the upfront symmetric distance matrix is filled one
+/// row stripe at a time through `row_fill` (upper triangle only; the mirror
+/// is written by the filler loop). The per-pair overload above delegates
+/// here, so both share one fill/iterate implementation and produce identical
+/// results for identical distances.
+KMedoidsResult KMedoids(size_t n, const KMedoidsRowFill& row_fill,
+                        const KMedoidsConfig& config);
+
+/// k-medoids over the segments of a SegmentStore with the §2.3 TRACLUS
+/// distance: the matrix fill streams each row through the batched distance
+/// kernels (distance::DistanceBatchRange) instead of the pair-at-a-time
+/// path. `kernel` selects scalar/SIMD; assignments are identical for every
+/// choice (the kernels are bit-identical).
+KMedoidsResult KMedoidsOverSegments(
+    const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+    const KMedoidsConfig& config,
+    distance::BatchKernel kernel = distance::BatchKernel::kAuto);
 
 }  // namespace traclus::baseline
 

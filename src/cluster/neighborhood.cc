@@ -1,8 +1,19 @@
 #include "cluster/neighborhood.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace traclus::cluster {
+
+namespace {
+
+/// Queries materialized per slice while filling the eager cache: bounds the
+/// transient batch vector without changing what ends up resident.
+constexpr size_t kEagerFillSlice = 1024;
+
+}  // namespace
 
 std::vector<std::vector<size_t>> NeighborhoodProvider::AllNeighbors(
     double eps, common::ThreadPool& pool) const {
@@ -32,48 +43,129 @@ std::vector<std::vector<size_t>> NeighborhoodProvider::NeighborsBatch(
   return lists;
 }
 
+NeighborhoodCache::NeighborhoodCache(const NeighborhoodProvider& base,
+                                     double eps, common::ThreadPool& pool,
+                                     size_t block)
+    : base_(&base),
+      pool_(&pool),
+      eps_(eps),
+      block_(block),
+      size_(base.size()) {
+  if (block_ == 0) {
+    // Eager: every list materialized, filled through bounded NeighborsBatch
+    // slices (each slice's scratch vector is the only transient overhead).
+    lists_.resize(size_);
+    std::vector<size_t> queries;
+    for (size_t lo = 0; lo < size_; lo += kEagerFillSlice) {
+      const size_t hi = std::min(size_, lo + kEagerFillSlice);
+      queries.resize(hi - lo);
+      for (size_t i = lo; i < hi; ++i) queries[i - lo] = i;
+      std::vector<std::vector<size_t>> slice =
+          base.NeighborsBatch(queries, eps_, pool);
+      for (size_t i = lo; i < hi; ++i) lists_[i] = std::move(slice[i - lo]);
+    }
+    peak_resident_ = size_;
+  } else {
+    served_.assign(size_, 0);
+  }
+}
+
+size_t NeighborhoodCache::resident_lists() const {
+  return block_ == 0 ? lists_.size() : parked_.size();
+}
+
+std::vector<size_t> NeighborhoodCache::Neighbors(size_t query_index,
+                                                 double eps) const {
+  TRACLUS_DCHECK(query_index < size_);
+  TRACLUS_CHECK_EQ(eps, eps_);  // The cache is bound to one ε.
+  if (block_ == 0) return lists_[query_index];
+
+  // Bounded mode: serve-and-evict. A parked list is consumed at most once.
+  const auto it = parked_.find(query_index);
+  if (it != parked_.end()) {
+    std::vector<size_t> list = std::move(it->second);
+    parked_.erase(it);
+    return list;
+  }
+  if (served_[query_index]) {
+    // Already served and evicted: recompute through the base so repeat
+    // access stays exact without growing residency.
+    return base_->Neighbors(query_index, eps_);
+  }
+
+  // Miss: batch the demanded index together with the following not-yet-served
+  // indices (the natural consumption order of a streaming pass), compute the
+  // block across the pool, serve the first and park the rest. The batch is
+  // sized against the lists already parked so total residency — parked plus
+  // the one in flight — never exceeds the block.
+  const size_t max_batch =
+      block_ > parked_.size() ? block_ - parked_.size() : 1;
+  std::vector<size_t> batch;
+  batch.reserve(max_batch);
+  batch.push_back(query_index);
+  served_[query_index] = 1;
+  for (size_t i = query_index + 1; i < size_ && batch.size() < max_batch;
+       ++i) {
+    if (!served_[i]) {
+      served_[i] = 1;
+      batch.push_back(i);
+    }
+  }
+  std::vector<std::vector<size_t>> lists =
+      base_->NeighborsBatch(batch, eps_, *pool_);
+  for (size_t k = 1; k < batch.size(); ++k) {
+    parked_.emplace(batch[k], std::move(lists[k]));
+  }
+  // Residency peaks right now: the parked lists plus the one being served.
+  peak_resident_ = std::max(peak_resident_, parked_.size() + 1);
+  return std::move(lists[0]);
+}
+
+std::vector<std::vector<size_t>> NeighborhoodCache::AllNeighbors(
+    double eps, common::ThreadPool& pool) const {
+  TRACLUS_CHECK_EQ(eps, eps_);
+  if (block_ == 0) return lists_;
+  // Bounded mode holds no full copy; delegate the (inherently all-resident)
+  // batch to the base provider.
+  return base_->AllNeighbors(eps_, pool);
+}
+
+std::vector<size_t> NeighborhoodCache::AllNeighborhoodSizes(
+    double eps, common::ThreadPool& pool) const {
+  TRACLUS_CHECK_EQ(eps, eps_);
+  if (block_ == 0) {
+    std::vector<size_t> sizes(lists_.size());
+    for (size_t i = 0; i < lists_.size(); ++i) sizes[i] = lists_[i].size();
+    return sizes;
+  }
+  return base_->AllNeighborhoodSizes(eps_, pool);
+}
+
 std::vector<std::vector<size_t>> NeighborhoodCache::NeighborsBatch(
     const std::vector<size_t>& queries, double eps,
     common::ThreadPool& /*pool*/) const {
   TRACLUS_CHECK_EQ(eps, eps_);
   std::vector<std::vector<size_t>> lists(queries.size());
   for (size_t k = 0; k < queries.size(); ++k) {
-    TRACLUS_DCHECK(queries[k] < lists_.size());
-    lists[k] = lists_[queries[k]];
+    TRACLUS_DCHECK(queries[k] < size_);
+    // Eager: copy out of the resident store. Bounded: serve-and-evict per
+    // query, which also consumes any parked list.
+    lists[k] = Neighbors(queries[k], eps);
   }
   return lists;
-}
-
-std::vector<size_t> NeighborhoodCache::Neighbors(size_t query_index,
-                                                 double eps) const {
-  TRACLUS_DCHECK(query_index < lists_.size());
-  TRACLUS_CHECK_EQ(eps, eps_);  // The cache is bound to one ε.
-  return lists_[query_index];
-}
-
-std::vector<std::vector<size_t>> NeighborhoodCache::AllNeighbors(
-    double eps, common::ThreadPool& /*pool*/) const {
-  TRACLUS_CHECK_EQ(eps, eps_);
-  return lists_;
-}
-
-std::vector<size_t> NeighborhoodCache::AllNeighborhoodSizes(
-    double eps, common::ThreadPool& /*pool*/) const {
-  TRACLUS_CHECK_EQ(eps, eps_);
-  std::vector<size_t> sizes(lists_.size());
-  for (size_t i = 0; i < lists_.size(); ++i) sizes[i] = lists_[i].size();
-  return sizes;
 }
 
 std::vector<size_t> BruteForceNeighborhood::Neighbors(size_t query_index,
                                                       double eps) const {
   TRACLUS_DCHECK(query_index < store_.size());
+  // Candidates are the whole database, in index order; the batched kernel
+  // prunes with the midpoint/half-length bound and refines the rest —
+  // exactly the per-pair scan's output, in the same ascending order.
   std::vector<size_t> out;
-  for (size_t i = 0; i < store_.size(); ++i) {
-    if (i == query_index || dist_(store_, query_index, i) <= eps) {
-      out.push_back(i);
-    }
-  }
+  distance::BatchOptions options;
+  options.kernel = kernel_;
+  distance::EpsilonRefineRange(store_, dist_, query_index, 0, store_.size(),
+                               eps, out, options);
   return out;
 }
 

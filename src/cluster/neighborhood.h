@@ -2,9 +2,11 @@
 #define TRACLUS_CLUSTER_NEIGHBORHOOD_H_
 
 #include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "distance/batch_kernels.h"
 #include "distance/segment_distance.h"
 #include "geom/segment.h"
 #include "traj/segment_store.h"
@@ -19,6 +21,14 @@ namespace traclus::cluster {
 /// including the query segment itself, which Definition 4 includes since
 /// dist(L, L) = 0. Exactness matters: DBSCAN's output (and the parameter
 /// heuristic's entropy) are defined in terms of exact ε-neighborhoods.
+///
+/// Every provider follows the candidate-generate / refine split: the provider
+/// emits index candidates (everything for brute force; a geometrically
+/// pruned superset for the grid and R-tree indexes) and delegates the exact
+/// membership decision to the batched distance kernels
+/// (distance::EpsilonRefine), which lower-bound-prune and evaluate the §2.3
+/// distance bit-identically to the per-pair cached path. The kernel choice
+/// (scalar / AVX2 SIMD) is a construction-time knob on each provider.
 class NeighborhoodProvider {
  public:
   virtual ~NeighborhoodProvider() = default;
@@ -61,23 +71,29 @@ class NeighborhoodProvider {
   virtual size_t size() const = 0;
 };
 
-/// A provider that materializes another provider's ε-neighborhoods up front
-/// (in parallel) and serves them from memory.
+/// A provider that serves another provider's ε-neighborhoods from memory.
 ///
-/// This is how the grouping phase batches its Lemma 3 neighborhood queries:
-/// DBSCAN's expansion loop is inherently sequential, but every query it will
-/// ever issue is known in advance (some subset of {Nε(L) : L ∈ D}), so the
-/// whole batch is computed across the pool and the sequential loop then runs
-/// at memory speed. Cluster IDs stay byte-identical to the direct path because
-/// each cached list is exactly what the wrapped provider would have returned.
+/// Two modes:
+///   * Eager (`block` = 0, the historical behavior): every list is
+///     materialized up front — in bounded NeighborsBatch slices across the
+///     pool — and kept resident, so repeated queries run at memory speed.
+///   * Bounded (`block` > 0): lists are materialized lazily in blocks of up
+///     to `block` consecutive not-yet-served query indices via
+///     base.NeighborsBatch, and each list is evicted when served — at most
+///     `block` lists are ever resident. Built for consumers that stream each
+///     list once (a blocked grouping or counting pass); a re-queried index
+///     recomputes through the base provider, so results stay exact for any
+///     access pattern. Bounded mode mutates interior state on query and is
+///     therefore NOT safe for concurrent queries; `base` and `pool` must
+///     outlive the cache.
 ///
-/// Bound to one ε at construction; querying a different ε is a programming
-/// error (checked).
+/// Every served list equals base.Neighbors(i, eps) exactly, so cluster IDs
+/// are byte-identical to the direct path in both modes. Bound to one ε at
+/// construction; querying a different ε is a programming error (checked).
 class NeighborhoodCache : public NeighborhoodProvider {
  public:
   NeighborhoodCache(const NeighborhoodProvider& base, double eps,
-                    common::ThreadPool& pool)
-      : eps_(eps), lists_(base.AllNeighbors(eps, pool)) {}
+                    common::ThreadPool& pool, size_t block = 0);
 
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
   std::vector<std::vector<size_t>> AllNeighbors(
@@ -87,26 +103,45 @@ class NeighborhoodCache : public NeighborhoodProvider {
   std::vector<std::vector<size_t>> NeighborsBatch(
       const std::vector<size_t>& queries, double eps,
       common::ThreadPool& pool) const override;
-  size_t size() const override { return lists_.size(); }
+  size_t size() const override { return size_; }
 
+  /// Eager mode only: the materialized lists.
   const std::vector<std::vector<size_t>>& lists() const { return lists_; }
 
+  /// Lists currently held in memory.
+  size_t resident_lists() const;
+  /// High-water mark of resident lists over the cache's lifetime — the
+  /// quantity bounded mode promises stays ≤ block
+  /// (tests/neighborhood_test.cc asserts it).
+  size_t peak_resident_lists() const { return peak_resident_; }
+
  private:
+  const NeighborhoodProvider* base_;
+  common::ThreadPool* pool_;
   double eps_;
+  size_t block_;
+  size_t size_;
+  /// Eager mode storage.
   std::vector<std::vector<size_t>> lists_;
+  /// Bounded mode: parked not-yet-served lists, served markers, high-water.
+  mutable std::unordered_map<size_t, std::vector<size_t>> parked_;
+  mutable std::vector<char> served_;
+  mutable size_t peak_resident_ = 0;
 };
 
-/// O(n)-per-query reference provider: scans every segment.
+/// O(n)-per-query reference provider: every segment is a candidate, refined
+/// through the batched kernels (with their lower-bound prune).
 ///
 /// The "no index" configuration of Lemma 3 (O(n²) clustering) and the oracle
 /// that property tests compare the grid index against.
 class BruteForceNeighborhood : public NeighborhoodProvider {
  public:
-  /// Both referents must outlive the provider. Every exact distance check
-  /// goes through the store's invariant-cached fast path.
-  BruteForceNeighborhood(const traj::SegmentStore& store,
-                         const distance::SegmentDistance& dist)
-      : store_(store), dist_(dist) {}
+  /// Both referents must outlive the provider. `kernel` selects the batch
+  /// refinement kernel (results identical for every choice).
+  BruteForceNeighborhood(
+      const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+      distance::BatchKernel kernel = distance::BatchKernel::kAuto)
+      : store_(store), dist_(dist), kernel_(kernel) {}
 
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
   size_t size() const override { return store_.size(); }
@@ -114,6 +149,7 @@ class BruteForceNeighborhood : public NeighborhoodProvider {
  private:
   const traj::SegmentStore& store_;
   const distance::SegmentDistance& dist_;
+  distance::BatchKernel kernel_;
 };
 
 }  // namespace traclus::cluster

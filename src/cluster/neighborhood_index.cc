@@ -24,8 +24,8 @@ uint64_t Mix(int64_t x, int64_t y, int64_t z) {
 
 GridNeighborhoodIndex::GridNeighborhoodIndex(
     const traj::SegmentStore& store, const distance::SegmentDistance& dist,
-    double cell_size)
-    : store_(store), dist_(dist) {
+    double cell_size, distance::BatchKernel kernel)
+    : store_(store), dist_(dist), kernel_(kernel) {
   // Per-segment MBRs are an invariant the store already caches; the index
   // only derives its cell size from them.
   double extent_sum = 0.0;
@@ -127,14 +127,15 @@ std::vector<size_t> GridNeighborhoodIndex::Neighbors(
   TRACLUS_DCHECK(query_index < store_.size());
   const double factor = dist_.LowerBoundFactor();
   std::vector<size_t> out;
+  distance::BatchOptions refine_options;
+  refine_options.kernel = kernel_;
 
   if (factor <= 0.0) {
-    // No usable lower bound for this weight configuration: exact scan.
-    for (size_t i = 0; i < store_.size(); ++i) {
-      if (i == query_index || dist_(store_, query_index, i) <= eps) {
-        out.push_back(i);
-      }
-    }
+    // No usable lower bound for this weight configuration: every segment is
+    // a candidate; the kernel refines all of them (its prune uses the same
+    // factor and disables itself).
+    distance::EpsilonRefineRange(store_, dist_, query_index, 0, store_.size(),
+                                 eps, out, refine_options);
     return out;
   }
 
@@ -150,6 +151,10 @@ std::vector<size_t> GridNeighborhoodIndex::Neighbors(
   }
   const uint32_t stamp = scratch->stamp;
 
+  // Candidate generation: deduped cell members whose MBR can be within
+  // reach. Exact membership is decided by the batched refine below.
+  std::vector<size_t>& candidates = scratch->candidates;
+  candidates.clear();
   const CellCoord lo = CellOf(qbox.lo(0) - radius, qbox.lo(1) - radius,
                               dims_ == 3 ? qbox.lo(2) - radius : 0.0);
   const CellCoord hi = CellOf(qbox.hi(0) + radius, qbox.hi(1) + radius,
@@ -163,16 +168,20 @@ std::vector<size_t> GridNeighborhoodIndex::Neighbors(
           if (visit_stamp[i] == stamp) continue;
           visit_stamp[i] = stamp;
           if (i == query_index) {
-            out.push_back(i);
+            candidates.push_back(i);
             continue;
           }
           // Sound prune on cached MBRs.
           if (store_.bbox(i).MinDist(qbox) > radius) continue;
-          if (dist_(store_, query_index, i) <= eps) out.push_back(i);
+          candidates.push_back(i);
         }
       }
     }
   }
+  distance::EpsilonRefine(
+      store_, dist_, query_index,
+      common::Span<const size_t>(candidates.data(), candidates.size()), eps,
+      out, refine_options);
   std::sort(out.begin(), out.end());
   return out;
 }

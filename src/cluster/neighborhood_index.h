@@ -29,22 +29,31 @@ namespace traclus::cluster {
 /// the R-tree suggested in Lemma 3; a uniform grid has the same asymptotics for
 /// the (densely populated, laptop-scale) evaluation data sets and far simpler
 /// invariants.
+///
+/// Queries follow the candidate/refine split: the grid walk gathers deduped,
+/// MBR-pruned candidates into the scratch, and distance::EpsilonRefine prunes
+/// the rest with the midpoint/half-length bound before the blocked exact
+/// evaluation.
 class GridNeighborhoodIndex : public NeighborhoodProvider {
  public:
   /// Builds the index; `store` and `dist` must outlive it. Per-segment MBRs
   /// come straight from the store's invariant cache (no rebuild here), and
-  /// every exact verification uses the store's distance fast path.
-  /// `cell_size` ≤ 0 selects the automatic heuristic.
-  GridNeighborhoodIndex(const traj::SegmentStore& store,
-                        const distance::SegmentDistance& dist,
-                        double cell_size = 0.0);
+  /// every exact verification uses the batched kernels over the store.
+  /// `cell_size` ≤ 0 selects the automatic heuristic; `kernel` selects the
+  /// refinement kernel (results identical for every choice).
+  GridNeighborhoodIndex(
+      const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+      double cell_size = 0.0,
+      distance::BatchKernel kernel = distance::BatchKernel::kAuto);
 
-  /// Reusable per-caller query state: candidate-dedup stamps. One scratch must
+  /// Reusable per-caller query state: candidate-dedup stamps plus the
+  /// candidate staging buffer handed to the refine kernel. One scratch must
   /// never be used by two threads at once; distinct scratches make `Neighbors`
   /// safe to call concurrently.
   struct QueryScratch {
     std::vector<uint32_t> visit_stamp;
     uint32_t stamp = 0;
+    std::vector<size_t> candidates;
   };
 
   /// Convenience query against a per-thread scratch: safe to call from any
@@ -92,6 +101,7 @@ class GridNeighborhoodIndex : public NeighborhoodProvider {
 
   const traj::SegmentStore& store_;
   const distance::SegmentDistance& dist_;
+  distance::BatchKernel kernel_;
   double cell_size_ = 1.0;
   int dims_ = 2;
   std::unordered_map<uint64_t, std::vector<size_t>> cells_;

@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/span.h"
+#include "distance/batch_kernels.h"
 
 namespace traclus::cluster {
 
@@ -37,21 +39,27 @@ OpticsResult OpticsSegments(const traj::SegmentStore& store,
   std::vector<double> reach(n, kUndefinedReachability);
   const size_t progress_stride = std::max<size_t>(1, n / 64);
 
-  auto core_distance_of = [&](size_t i,
-                              const std::vector<size_t>& neighbors) -> double {
+  // Per-step distance staging, reused across ordering steps. Each step
+  // evaluates dist(current, j) for every neighbor j exactly once through the
+  // batch kernel; the core-distance selection and the reachability updates
+  // both read from this one batch (the pair-at-a-time path evaluated the
+  // same distances twice — once per consumer).
+  std::vector<double> neighbor_dist;
+  std::vector<double> nth_scratch;
+
+  auto core_distance_of =
+      [&](const std::vector<size_t>& neighbors) -> double {
     if (neighbors.size() < static_cast<size_t>(options.min_lns)) {
       return kUndefinedReachability;
     }
-    // MinLns-th smallest distance to a neighbor (the query itself contributes
-    // distance 0, exactly as in point OPTICS).
-    std::vector<double> ds;
-    ds.reserve(neighbors.size());
-    for (const size_t j : neighbors) {
-      ds.push_back(i == j ? 0.0 : dist(store, i, j));
-    }
+    // MinLns-th smallest distance to a neighbor (the query itself
+    // contributes distance 0, exactly as in point OPTICS; the batch kernel
+    // yields exactly 0.0 for the self pair).
+    nth_scratch = neighbor_dist;
     const size_t k = static_cast<size_t>(options.min_lns) - 1;
-    std::nth_element(ds.begin(), ds.begin() + k, ds.end());
-    return ds[k];
+    std::nth_element(nth_scratch.begin(), nth_scratch.begin() + k,
+                     nth_scratch.end());
+    return nth_scratch[k];
   };
 
   for (size_t start = 0; start < n; ++start) {
@@ -76,7 +84,19 @@ OpticsResult OpticsSegments(const traj::SegmentStore& store,
 
       const std::vector<size_t> neighbors =
           provider.Neighbors(s.index, options.eps);
-      const double core_d = core_distance_of(s.index, neighbors);
+      // One batched evaluation serves both consumers below. The explicit
+      // self-pair zero mirrors the historical "i == j ? 0.0" short-circuit
+      // (the kernel yields exactly +0.0 there as well).
+      neighbor_dist.resize(neighbors.size());
+      distance::DistanceBatch(
+          store, dist, s.index,
+          common::Span<const size_t>(neighbors.data(), neighbors.size()),
+          common::Span<double>(neighbor_dist.data(), neighbor_dist.size()),
+          options.kernel);
+      for (size_t k = 0; k < neighbors.size(); ++k) {
+        if (neighbors[k] == s.index) neighbor_dist[k] = 0.0;
+      }
+      const double core_d = core_distance_of(neighbors);
 
       result.ordering.push_back(s.index);
       result.reachability.push_back(reach[s.index]);
@@ -88,9 +108,10 @@ OpticsResult OpticsSegments(const traj::SegmentStore& store,
       }
 
       if (core_d == kUndefinedReachability) continue;  // Not a core segment.
-      for (const size_t j : neighbors) {
+      for (size_t k = 0; k < neighbors.size(); ++k) {
+        const size_t j = neighbors[k];
         if (processed[j]) continue;
-        const double d = dist(store, s.index, j);
+        const double d = neighbor_dist[k];
         const double new_reach = std::max(core_d, d);
         if (new_reach < reach[j]) {
           reach[j] = new_reach;

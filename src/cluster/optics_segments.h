@@ -19,6 +19,10 @@ inline constexpr double kUndefinedReachability =
 struct OpticsOptions {
   double eps = 1.0;      ///< Generating distance ε.
   double min_lns = 3.0;  ///< MinLns (MinPts analogue).
+  /// Batch kernel evaluating the per-step neighbor distances (core and
+  /// reachability distances share one batch). Results are identical for
+  /// every choice.
+  distance::BatchKernel kernel = distance::BatchKernel::kAuto;
   /// Optional cooperative cancellation, polled once per ordering step (the
   /// walk is inherently sequential, so steps are the natural poll points).
   /// When it fires, OpticsSegments aborts by throwing

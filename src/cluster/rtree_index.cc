@@ -14,8 +14,9 @@ double Center(const geom::BBox& b, int d) { return 0.5 * (b.lo(d) + b.hi(d)); }
 
 StrRTreeIndex::StrRTreeIndex(const traj::SegmentStore& store,
                              const distance::SegmentDistance& dist,
-                             int leaf_capacity)
-    : store_(store), dist_(dist) {
+                             int leaf_capacity,
+                             distance::BatchKernel kernel)
+    : store_(store), dist_(dist), kernel_(kernel) {
   TRACLUS_CHECK_GE(leaf_capacity, 2);
   if (store_.empty()) return;
 
@@ -85,20 +86,23 @@ std::vector<size_t> StrRTreeIndex::Neighbors(size_t query_index,
                                              double eps) const {
   TRACLUS_DCHECK(query_index < store_.size());
   std::vector<size_t> out;
+  distance::BatchOptions refine_options;
+  refine_options.kernel = kernel_;
 
   const double factor = dist_.LowerBoundFactor();
-  if (factor <= 0.0) {  // No usable bound: exact scan.
-    for (size_t i = 0; i < store_.size(); ++i) {
-      if (i == query_index || dist_(store_, query_index, i) <= eps) {
-        out.push_back(i);
-      }
-    }
+  if (factor <= 0.0) {
+    // No usable bound: every segment is a candidate; the kernel refines them
+    // all (its prune uses the same factor and disables itself).
+    distance::EpsilonRefineRange(store_, dist_, query_index, 0, store_.size(),
+                                 eps, out, refine_options);
     return out;
   }
   const double radius = eps / factor;
   const geom::BBox& qbox = store_.bbox(query_index);
 
-  // Depth-first descent with MBR mindist pruning.
+  // Candidate generation: depth-first descent with MBR mindist pruning.
+  // Exact membership is decided by the batched refine afterwards.
+  std::vector<size_t> candidates;
   std::vector<size_t> stack = {root_};
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
@@ -110,13 +114,17 @@ std::vector<size_t> StrRTreeIndex::Neighbors(size_t query_index,
     }
     for (const size_t i : node.children) {
       if (i == query_index) {
-        out.push_back(i);
+        candidates.push_back(i);
         continue;
       }
       if (store_.bbox(i).MinDist(qbox) > radius) continue;
-      if (dist_(store_, query_index, i) <= eps) out.push_back(i);
+      candidates.push_back(i);
     }
   }
+  distance::EpsilonRefine(
+      store_, dist_, query_index,
+      common::Span<const size_t>(candidates.data(), candidates.size()), eps,
+      out, refine_options);
   std::sort(out.begin(), out.end());
   return out;
 }

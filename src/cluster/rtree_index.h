@@ -26,10 +26,12 @@ namespace traclus::cluster {
 class StrRTreeIndex : public NeighborhoodProvider {
  public:
   /// Builds the tree; `store` and `dist` must outlive the index. Leaf MBRs
-  /// come from the store's invariant cache; exact verification uses the
-  /// store's distance fast path.
+  /// come from the store's invariant cache; the tree walk gathers candidates
+  /// and exact verification is delegated to the batched kernels (`kernel`
+  /// selects scalar/SIMD; results identical for every choice).
   StrRTreeIndex(const traj::SegmentStore& store,
-                const distance::SegmentDistance& dist, int leaf_capacity = 16);
+                const distance::SegmentDistance& dist, int leaf_capacity = 16,
+                distance::BatchKernel kernel = distance::BatchKernel::kAuto);
 
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
   size_t size() const override { return store_.size(); }
@@ -53,6 +55,7 @@ class StrRTreeIndex : public NeighborhoodProvider {
 
   const traj::SegmentStore& store_;
   const distance::SegmentDistance& dist_;
+  distance::BatchKernel kernel_;
   std::vector<Node> nodes_;
   size_t root_ = 0;
   int height_ = 0;

@@ -1,0 +1,63 @@
+#ifndef TRACLUS_COMMON_SPAN_H_
+#define TRACLUS_COMMON_SPAN_H_
+
+// A minimal non-owning view over a contiguous array — the parameter currency
+// of the batched distance kernels (distance/batch_kernels.h). The library
+// targets C++17, which predates std::span; this covers the read/write subset
+// the kernels need with the same shape, so a later migration to std::span is
+// a type-alias change.
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace traclus::common {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() : data_(nullptr), size_(0) {}
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  /// Views over vectors (and, via the const conversion below, vector<T> as
+  /// Span<const T>).
+  template <typename Alloc>
+  Span(std::vector<T, Alloc>& v) : data_(v.data()), size_(v.size()) {}
+  template <typename U, typename Alloc,
+            typename = std::enable_if_t<std::is_same_v<const U, T>>>
+  Span(const std::vector<U, Alloc>& v) : data_(v.data()), size_(v.size()) {}
+
+  /// Span<T> → Span<const T>.
+  template <typename U,
+            typename = std::enable_if_t<std::is_same_v<const U, T>>>
+  constexpr Span(Span<U> o) : data_(o.data()), size_(o.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) const {
+    TRACLUS_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  /// Subview [offset, offset + count); count is clamped to the remainder.
+  Span<T> subspan(size_t offset, size_t count) const {
+    TRACLUS_DCHECK(offset <= size_);
+    const size_t n = size_ - offset < count ? size_ - offset : count;
+    return Span<T>(data_ + offset, n);
+  }
+
+ private:
+  T* data_;
+  size_t size_;
+};
+
+}  // namespace traclus::common
+
+#endif  // TRACLUS_COMMON_SPAN_H_

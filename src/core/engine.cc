@@ -28,14 +28,16 @@ void Report(const RunContext& ctx, const char* stage, double fraction) {
 }
 
 // Shared by the two grouping adapters: the ε-neighborhood source of Lemma 3,
-// bound to the run's segment store.
+// bound to the run's segment store and the run's batch-kernel selection.
 std::unique_ptr<cluster::NeighborhoodProvider> MakeProvider(
     const traj::SegmentStore& store, const distance::SegmentDistance& dist,
-    bool use_index) {
+    bool use_index, distance::BatchKernel kernel) {
   if (use_index) {
-    return std::make_unique<cluster::GridNeighborhoodIndex>(store, dist);
+    return std::make_unique<cluster::GridNeighborhoodIndex>(
+        store, dist, /*cell_size=*/0.0, kernel);
   }
-  return std::make_unique<cluster::BruteForceNeighborhood>(store, dist);
+  return std::make_unique<cluster::BruteForceNeighborhood>(store, dist,
+                                                           kernel);
 }
 
 common::Status ValidateDistanceConfig(
@@ -162,7 +164,8 @@ common::Status DbscanGroupStage::Validate() const {
 common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
     const traj::SegmentStore& store, const RunContext& ctx) const {
   const distance::SegmentDistance dist(options_.distance);
-  const auto provider = MakeProvider(store, dist, options_.use_index);
+  const auto provider =
+      MakeProvider(store, dist, options_.use_index, ctx.distance_kernel);
 
   cluster::DbscanOptions o;
   o.eps = options_.eps;
@@ -211,10 +214,12 @@ common::Result<cluster::ClusteringResult> OpticsGroupStage::Run(
   }
   Report(ctx, name(), 0.0);
   const distance::SegmentDistance dist(options_.distance);
-  const auto provider = MakeProvider(store, dist, options_.use_index);
+  const auto provider =
+      MakeProvider(store, dist, options_.use_index, ctx.distance_kernel);
   cluster::OpticsOptions o;
   o.eps = options_.eps;
   o.min_lns = options_.min_lns;
+  o.kernel = ctx.distance_kernel;
   o.cancellation = ctx.cancellation;
   if (ctx.progress) {
     const ProgressFn& sink = ctx.progress;

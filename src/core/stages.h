@@ -19,6 +19,7 @@
 #include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "distance/batch_kernels.h"
 #include "distance/segment_distance.h"
 #include "geom/segment.h"
 #include "partition/mdl.h"
@@ -54,6 +55,12 @@ struct RunContext {
   /// expansion steps; when it fires, the engine abandons the run and returns
   /// StatusCode::kCancelled.
   const common::CancellationToken* cancellation = nullptr;
+  /// Batch distance kernel for every ε-query and distance batch of the run
+  /// (distance/batch_kernels.h): kAuto picks the best compiled kernel, or
+  /// force kScalar / kSimd explicitly (kSimd degrades to scalar in binaries
+  /// built without AVX2). The kernels are bit-identical, so results never
+  /// depend on this knob — only throughput does.
+  distance::BatchKernel distance_kernel = distance::BatchKernel::kAuto;
 };
 
 /// Output of the partitioning stage: the segment database D accumulated from

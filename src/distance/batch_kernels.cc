@@ -1,0 +1,484 @@
+#include "distance/batch_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/logging.h"
+#include "distance/store_kernel_detail.h"
+#include "geom/point.h"
+
+namespace traclus::distance {
+
+namespace {
+
+constexpr size_t kDefaultRefineBlock = 256;
+
+// Relative margin of the prune comparison. The bound arithmetic (a squared
+// midpoint distance, two additions, one multiply) accumulates at most a few
+// ulps (~1e-15 relative) of rounding; pruning only when the bound exceeds ε
+// by this much larger margin keeps the prune admissible for every input the
+// arithmetic can represent. The admissibility test in
+// tests/segment_distance_test.cc attacks this claim on randomized data.
+constexpr double kPruneSlack = 1e-9;
+
+// Query-side state of the midpoint/half-length lower-bound prune, hoisted
+// out of the per-candidate loop.
+struct PruneContext {
+  bool usable = false;
+  double reach = 0.0;  // ε / c: the Euclidean radius that could matter.
+  double half_q = 0.0;
+  double mid_q[geom::kMaxDims] = {0.0, 0.0, 0.0};
+  int dims = 2;
+};
+
+PruneContext MakePruneContext(const traj::SegmentStore& store,
+                              const SegmentDistance& dist, size_t query,
+                              double eps, bool enabled) {
+  PruneContext p;
+  p.dims = store.dims();
+  const double c = dist.LowerBoundFactor();
+  // A zero factor (degenerate weights) or a non-finite/negative ε leaves no
+  // provable prune; refine everything.
+  if (!enabled || !(c > 0.0) || !std::isfinite(eps) || eps < 0.0) return p;
+  p.usable = true;
+  p.reach = eps / c;
+  p.half_q = store.half_length(query);
+  for (int d = 0; d < p.dims; ++d) {
+    p.mid_q[d] = store.midpoint_coords(d)[query];
+  }
+  return p;
+}
+
+// True when candidate j is provably farther than ε from the query:
+//   dist ≥ c·mindist ≥ c·(‖mid_q − mid_j‖ − h_q − h_j) > ε
+// evaluated in squared form (no per-candidate sqrt) with the kPruneSlack
+// margin absorbing the bound's own rounding.
+inline bool PrunedFar(const PruneContext& p, const traj::SegmentStore& store,
+                      size_t j) {
+  if (!p.usable) return false;
+  double dmid_sq = 0.0;
+  for (int d = 0; d < p.dims; ++d) {
+    const double diff = store.midpoint_coords(d)[j] - p.mid_q[d];
+    dmid_sq += diff * diff;
+  }
+  const double threshold = p.reach + p.half_q + store.half_length(j);
+  // threshold may round to +inf for extreme ε/c; the comparison then never
+  // prunes, which is the safe direction.
+  return dmid_sq > threshold * threshold * (1.0 + kPruneSlack);
+}
+
+// Exact pair distance through the shared canonical kernel — bit-identical to
+// SegmentDistance::operator()(store, q, j) by construction (same
+// canonicalization, same component expressions, same weighted fold).
+inline double PairDistanceScalar(const traj::SegmentStore& store,
+                                 const SegmentDistanceConfig& cfg,
+                                 size_t query, size_t j) {
+  size_t li = query;
+  size_t lj = j;
+  internal::CanonicalizeInStore(store, li, lj);
+  return internal::StoreWeightedCanonical(store, li, lj, cfg.directed,
+                                          cfg.w_perpendicular, cfg.w_parallel,
+                                          cfg.w_angle);
+}
+
+// Blocked scalar batch kernel. `index(k)` maps batch position to segment
+// index (an array lookup for DistanceBatch, `first + k` for the Range
+// variants). Branch-light: the only data-dependent branches are the ones the
+// canonical kernel itself requires for bit-identity (degenerate-length and
+// angle-regime selection).
+template <typename IndexFn>
+void BatchScalar(const traj::SegmentStore& store,
+                 const SegmentDistanceConfig& cfg, size_t query, size_t n,
+                 const IndexFn& index, double* out) {
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = PairDistanceScalar(store, cfg, query, index(k));
+  }
+}
+
+#if defined(__AVX2__)
+
+// std::min(a, b) ≡ (b < a) ? b : a, lane-wise with identical NaN/zero
+// semantics (blendv takes `b` exactly where the ordered compare holds).
+inline __m256d MinStd(__m256d a, __m256d b) {
+  return _mm256_blendv_pd(a, b, _mm256_cmp_pd(b, a, _CMP_LT_OQ));
+}
+
+// Four-lane AVX2 batch kernel over the store's SoA coordinate columns.
+//
+// Each lane executes the exact operation sequence of the scalar canonical
+// kernel (store_kernel_detail.h): the per-pair (longer, shorter) roles are
+// resolved scalar-side during the lane gather, after which every lane runs
+// the same straight-line arithmetic with branches replaced by blends whose
+// selected value matches the scalar ternary in every case (including NaN
+// propagation and signed zeros). Every vector op is an IEEE-754 double op
+// per lane and the build forbids FMA contraction, so lane results are
+// bit-identical to the scalar kernel — asserted exhaustively in
+// tests/segment_distance_test.cc.
+template <typename IndexFn>
+void BatchSimd(const traj::SegmentStore& store,
+               const SegmentDistanceConfig& cfg, size_t query, size_t n,
+               const IndexFn& index, double* out) {
+  const int dims = store.dims();
+  const double* len_col = store.lengths().data();
+  const double* sqlen_col = store.squared_lengths().data();
+  const double* start_col[geom::kMaxDims];
+  const double* end_col[geom::kMaxDims];
+  const double* dir_col[geom::kMaxDims];
+  for (int d = 0; d < dims; ++d) {
+    start_col[d] = store.start_coords(d).data();
+    end_col[d] = store.end_coords(d).data();
+    dir_col[d] = store.direction_coords(d).data();
+  }
+
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_one = _mm256_set1_pd(-1.0);
+  const __m256d w_perp = _mm256_set1_pd(cfg.w_perpendicular);
+  const __m256d w_par = _mm256_set1_pd(cfg.w_parallel);
+  const __m256d w_ang = _mm256_set1_pd(cfg.w_angle);
+
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    // Lane gather: canonicalize each pair scalar-side (Lemma 2 ordering,
+    // including the id / lexicographic tie-breaks, which do not vectorize),
+    // then transpose the canonical (Li, Lj) scalars into lane-major form.
+    alignas(32) double s_l[geom::kMaxDims][4];   // Li start.
+    alignas(32) double e_l[geom::kMaxDims][4];   // Li end.
+    alignas(32) double se_l[geom::kMaxDims][4];  // Li direction (e − s).
+    alignas(32) double js_l[geom::kMaxDims][4];  // Lj start.
+    alignas(32) double je_l[geom::kMaxDims][4];  // Lj end.
+    alignas(32) double dj_l[geom::kMaxDims][4];  // Lj direction.
+    alignas(32) double den_l[4];                 // ‖Li direction‖².
+    alignas(32) double len_i_l[4];
+    alignas(32) double len_j_l[4];
+    for (int lane = 0; lane < 4; ++lane) {
+      size_t li = query;
+      size_t lj = index(k + static_cast<size_t>(lane));
+      internal::CanonicalizeInStore(store, li, lj);
+      den_l[lane] = sqlen_col[li];
+      len_i_l[lane] = len_col[li];
+      len_j_l[lane] = len_col[lj];
+      for (int d = 0; d < dims; ++d) {
+        s_l[d][lane] = start_col[d][li];
+        e_l[d][lane] = end_col[d][li];
+        se_l[d][lane] = dir_col[d][li];
+        js_l[d][lane] = start_col[d][lj];
+        je_l[d][lane] = end_col[d][lj];
+        dj_l[d][lane] = dir_col[d][lj];
+      }
+    }
+
+    __m256d s_v[geom::kMaxDims], e_v[geom::kMaxDims], se_v[geom::kMaxDims];
+    __m256d js_v[geom::kMaxDims], je_v[geom::kMaxDims], dj_v[geom::kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      s_v[d] = _mm256_load_pd(s_l[d]);
+      e_v[d] = _mm256_load_pd(e_l[d]);
+      se_v[d] = _mm256_load_pd(se_l[d]);
+      js_v[d] = _mm256_load_pd(js_l[d]);
+      je_v[d] = _mm256_load_pd(je_l[d]);
+      dj_v[d] = _mm256_load_pd(dj_l[d]);
+    }
+    const __m256d den = _mm256_load_pd(den_l);
+    const __m256d len_i = _mm256_load_pd(len_i_l);
+    const __m256d len_j = _mm256_load_pd(len_j_l);
+    const __m256d den_zero = _mm256_cmp_pd(den, zero, _CMP_EQ_OQ);
+
+    // ProjectOntoLine of both Lj endpoints: u = Dot(p − s, se) / ‖se‖²
+    // (0 for a degenerate Li), accumulated dimension-by-dimension exactly
+    // like geom::Dot.
+    __m256d dot1 = zero;
+    __m256d dot2 = zero;
+    for (int d = 0; d < dims; ++d) {
+      dot1 = _mm256_add_pd(
+          dot1, _mm256_mul_pd(_mm256_sub_pd(js_v[d], s_v[d]), se_v[d]));
+      dot2 = _mm256_add_pd(
+          dot2, _mm256_mul_pd(_mm256_sub_pd(je_v[d], s_v[d]), se_v[d]));
+    }
+    const __m256d u1 =
+        _mm256_blendv_pd(_mm256_div_pd(dot1, den), zero, den_zero);
+    const __m256d u2 =
+        _mm256_blendv_pd(_mm256_div_pd(dot2, den), zero, den_zero);
+
+    // proj = s + se·u; accumulate the four projection-relative squared
+    // norms (to Lj's endpoints for d⊥, to Li's endpoints for d∥) in
+    // dimension order, exactly like Point::SquaredNorm.
+    __m256d sq_perp1 = zero, sq_perp2 = zero;
+    __m256d sq_ps_s = zero, sq_ps_e = zero, sq_pe_s = zero, sq_pe_e = zero;
+    for (int d = 0; d < dims; ++d) {
+      const __m256d ps = _mm256_add_pd(s_v[d], _mm256_mul_pd(se_v[d], u1));
+      const __m256d pe = _mm256_add_pd(s_v[d], _mm256_mul_pd(se_v[d], u2));
+      const __m256d d1 = _mm256_sub_pd(js_v[d], ps);
+      sq_perp1 = _mm256_add_pd(sq_perp1, _mm256_mul_pd(d1, d1));
+      const __m256d d2 = _mm256_sub_pd(je_v[d], pe);
+      sq_perp2 = _mm256_add_pd(sq_perp2, _mm256_mul_pd(d2, d2));
+      const __m256d d3 = _mm256_sub_pd(ps, s_v[d]);
+      sq_ps_s = _mm256_add_pd(sq_ps_s, _mm256_mul_pd(d3, d3));
+      const __m256d d4 = _mm256_sub_pd(ps, e_v[d]);
+      sq_ps_e = _mm256_add_pd(sq_ps_e, _mm256_mul_pd(d4, d4));
+      const __m256d d5 = _mm256_sub_pd(pe, s_v[d]);
+      sq_pe_s = _mm256_add_pd(sq_pe_s, _mm256_mul_pd(d5, d5));
+      const __m256d d6 = _mm256_sub_pd(pe, e_v[d]);
+      sq_pe_e = _mm256_add_pd(sq_pe_e, _mm256_mul_pd(d6, d6));
+    }
+
+    // Perpendicular (Definition 1): Lehmer mean of order 2, zero when both
+    // endpoints sit on the line.
+    const __m256d l1 = _mm256_sqrt_pd(sq_perp1);
+    const __m256d l2 = _mm256_sqrt_pd(sq_perp2);
+    const __m256d perp_den = _mm256_add_pd(l1, l2);
+    const __m256d perp_raw = _mm256_div_pd(
+        _mm256_add_pd(_mm256_mul_pd(l1, l1), _mm256_mul_pd(l2, l2)),
+        perp_den);
+    const __m256d perp = _mm256_blendv_pd(
+        perp_raw, zero, _mm256_cmp_pd(perp_den, zero, _CMP_EQ_OQ));
+
+    // Parallel (Definition 2): MIN over projections of the distance to the
+    // nearer Li endpoint.
+    const __m256d lpar1 =
+        MinStd(_mm256_sqrt_pd(sq_ps_s), _mm256_sqrt_pd(sq_ps_e));
+    const __m256d lpar2 =
+        MinStd(_mm256_sqrt_pd(sq_pe_s), _mm256_sqrt_pd(sq_pe_e));
+    const __m256d par = MinStd(lpar1, lpar2);
+
+    // Angle (Definition 3). cos θ = Dot(dir_i, dir_j) / (‖i‖·‖j‖), clamped
+    // to [−1, 1] with std::clamp's exact selection order, forced to 1 for a
+    // degenerate Li; a degenerate Lj zeroes the whole component.
+    __m256d dot_ij = zero;
+    for (int d = 0; d < dims; ++d) {
+      dot_ij = _mm256_add_pd(dot_ij, _mm256_mul_pd(se_v[d], dj_v[d]));
+    }
+    const __m256d len_i_zero = _mm256_cmp_pd(len_i, zero, _CMP_EQ_OQ);
+    const __m256d len_j_zero = _mm256_cmp_pd(len_j, zero, _CMP_EQ_OQ);
+    const __m256d cos_raw =
+        _mm256_div_pd(dot_ij, _mm256_mul_pd(len_i, len_j));
+    // std::clamp(v, −1, 1): (v < lo) ? lo : (hi < v) ? hi : v.
+    __m256d cos_t = _mm256_blendv_pd(
+        cos_raw, neg_one, _mm256_cmp_pd(cos_raw, neg_one, _CMP_LT_OQ));
+    cos_t =
+        _mm256_blendv_pd(cos_t, one, _mm256_cmp_pd(one, cos_t, _CMP_LT_OQ));
+    cos_t = _mm256_blendv_pd(cos_t, one, len_i_zero);
+    // sin θ = sqrt(std::max(0, 1 − cos²)); std::max(0, x) ≡ (0 < x) ? x : 0.
+    const __m256d one_minus_sq =
+        _mm256_sub_pd(one, _mm256_mul_pd(cos_t, cos_t));
+    const __m256d sin_arg = _mm256_blendv_pd(
+        zero, one_minus_sq, _mm256_cmp_pd(zero, one_minus_sq, _CMP_LT_OQ));
+    __m256d ang = _mm256_mul_pd(len_j, _mm256_sqrt_pd(sin_arg));
+    if (cfg.directed) {
+      // θ ∈ [90°, 180°] contributes ‖Lj‖ outright.
+      ang = _mm256_blendv_pd(ang, len_j,
+                             _mm256_cmp_pd(cos_t, zero, _CMP_LE_OQ));
+    }
+    ang = _mm256_blendv_pd(ang, zero, len_j_zero);
+
+    // Weighted fold, grouped (w⊥·d⊥ + w∥·d∥) + wθ·dθ like the scalar path.
+    const __m256d total = _mm256_add_pd(
+        _mm256_add_pd(_mm256_mul_pd(w_perp, perp), _mm256_mul_pd(w_par, par)),
+        _mm256_mul_pd(w_ang, ang));
+    _mm256_storeu_pd(out + k, total);
+  }
+
+  // Tail lanes (< 4 remaining) run the scalar kernel — same bits.
+  for (; k < n; ++k) {
+    out[k] = PairDistanceScalar(store, cfg, query, index(k));
+  }
+}
+
+#endif  // __AVX2__
+
+// Dispatches an already-resolved kernel choice.
+template <typename IndexFn>
+void BatchDispatch(BatchKernel kernel, const traj::SegmentStore& store,
+                   const SegmentDistanceConfig& cfg, size_t query, size_t n,
+                   const IndexFn& index, double* out) {
+#if defined(__AVX2__)
+  if (kernel == BatchKernel::kSimd) {
+    BatchSimd(store, cfg, query, n, index, out);
+    return;
+  }
+#else
+  (void)kernel;
+#endif
+  BatchScalar(store, cfg, query, n, index, out);
+}
+
+// Shared ε-refine pipeline: blocked prune → batch distance → threshold.
+template <typename IndexFn>
+size_t EpsilonRefineImpl(const traj::SegmentStore& store,
+                         const SegmentDistance& dist, size_t query, size_t n,
+                         const IndexFn& index, double eps,
+                         std::vector<size_t>& out_indices,
+                         const BatchOptions& options, RefineStats* stats) {
+  const BatchKernel kernel = ResolveBatchKernel(options.kernel);
+  const size_t block =
+      options.block > 0 ? options.block : kDefaultRefineBlock;
+  const PruneContext prune =
+      MakePruneContext(store, dist, query, eps, options.prune);
+  const SegmentDistanceConfig& cfg = dist.config();
+
+  // Per-thread staging keeps the hot path allocation-free across calls;
+  // residency is bounded by the block size.
+  thread_local std::vector<size_t> survivors;
+  thread_local std::vector<double> distances;
+
+  size_t appended = 0;
+  size_t pruned = 0;
+  size_t refined = 0;
+  for (size_t base = 0; base < n; base += block) {
+    const size_t hi = std::min(n, base + block);
+    survivors.clear();
+    for (size_t k = base; k < hi; ++k) {
+      const size_t j = index(k);
+      // The query itself always survives (Definition 4 self-inclusion).
+      if (j != query && PrunedFar(prune, store, j)) {
+        ++pruned;
+        continue;
+      }
+      survivors.push_back(j);
+    }
+    distances.resize(survivors.size());
+    BatchDispatch(
+        kernel, store, cfg, query, survivors.size(),
+        [&](size_t m) { return survivors[m]; }, distances.data());
+    refined += survivors.size();
+    for (size_t m = 0; m < survivors.size(); ++m) {
+      const size_t j = survivors[m];
+      if (j == query || distances[m] <= eps) {
+        out_indices.push_back(j);
+        ++appended;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->candidates += n;
+    stats->pruned += pruned;
+    stats->refined += refined;
+    stats->accepted += appended;
+  }
+  return appended;
+}
+
+}  // namespace
+
+BatchKernel ResolveBatchKernel(BatchKernel kernel) {
+  switch (kernel) {
+    case BatchKernel::kAuto:
+      return SimdCompiled() ? BatchKernel::kSimd : BatchKernel::kScalar;
+    case BatchKernel::kSimd:
+      return SimdCompiled() ? BatchKernel::kSimd : BatchKernel::kScalar;
+    case BatchKernel::kScalar:
+      return BatchKernel::kScalar;
+  }
+  return BatchKernel::kScalar;
+}
+
+const char* BatchKernelName(BatchKernel kernel) {
+  switch (kernel) {
+    case BatchKernel::kAuto:
+      return "auto";
+    case BatchKernel::kScalar:
+      return "scalar";
+    case BatchKernel::kSimd:
+      return "simd";
+  }
+  return "auto";
+}
+
+bool ParseBatchKernel(const std::string& name, BatchKernel* out) {
+  TRACLUS_DCHECK(out != nullptr);
+  if (name == "auto") {
+    *out = BatchKernel::kAuto;
+  } else if (name == "scalar") {
+    *out = BatchKernel::kScalar;
+  } else if (name == "simd") {
+    *out = BatchKernel::kSimd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void DistanceBatch(const traj::SegmentStore& store,
+                   const SegmentDistance& dist, size_t query,
+                   common::Span<const size_t> candidates,
+                   common::Span<double> out, BatchKernel kernel) {
+  TRACLUS_DCHECK(query < store.size());
+  TRACLUS_DCHECK_EQ(candidates.size(), out.size());
+  const size_t* cand = candidates.data();
+  BatchDispatch(
+      ResolveBatchKernel(kernel), store, dist.config(), query,
+      candidates.size(), [cand](size_t k) { return cand[k]; }, out.data());
+}
+
+void DistanceBatchRange(const traj::SegmentStore& store,
+                        const SegmentDistance& dist, size_t query,
+                        size_t first, size_t last, common::Span<double> out,
+                        BatchKernel kernel) {
+  TRACLUS_DCHECK(query < store.size());
+  TRACLUS_DCHECK(first <= last && last <= store.size());
+  TRACLUS_DCHECK_EQ(last - first, out.size());
+  BatchDispatch(
+      ResolveBatchKernel(kernel), store, dist.config(), query, last - first,
+      [first](size_t k) { return first + k; }, out.data());
+}
+
+size_t EpsilonRefine(const traj::SegmentStore& store,
+                     const SegmentDistance& dist, size_t query,
+                     common::Span<const size_t> candidates, double eps,
+                     std::vector<size_t>& out_indices,
+                     const BatchOptions& options, RefineStats* stats) {
+  TRACLUS_DCHECK(query < store.size());
+  const size_t* cand = candidates.data();
+  return EpsilonRefineImpl(
+      store, dist, query, candidates.size(),
+      [cand](size_t k) { return cand[k]; }, eps, out_indices, options, stats);
+}
+
+size_t EpsilonRefineRange(const traj::SegmentStore& store,
+                          const SegmentDistance& dist, size_t query,
+                          size_t first, size_t last, double eps,
+                          std::vector<size_t>& out_indices,
+                          const BatchOptions& options, RefineStats* stats) {
+  TRACLUS_DCHECK(query < store.size());
+  TRACLUS_DCHECK(first <= last && last <= store.size());
+  return EpsilonRefineImpl(
+      store, dist, query, last - first,
+      [first](size_t k) { return first + k; }, eps, out_indices, options,
+      stats);
+}
+
+common::Matrix PairwiseDistanceMatrix(const traj::SegmentStore& store,
+                                      const SegmentDistance& dist,
+                                      common::ThreadPool& pool,
+                                      BatchKernel kernel) {
+  const size_t n = store.size();
+  common::Matrix m(n, n, 0.0);
+  const BatchKernel resolved = ResolveBatchKernel(kernel);
+  // The chunk owning row i streams dist(i, ·) over [i+1, n) as one batch
+  // into the (row-major contiguous) row storage, then writes the mirrored
+  // column entries — one writer per element, so the fill is race-free and
+  // identical for every thread count. The diagonal stays 0 (dist(L, L) = 0).
+  pool.ParallelForChunked(0, n, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (i + 1 >= n) continue;
+      double* row = &m(i, i + 1);
+      DistanceBatchRange(store, dist, i, i + 1, n,
+                         common::Span<double>(row, n - i - 1), resolved);
+      for (size_t j = i + 1; j < n; ++j) m(j, i) = m(i, j);
+    }
+  });
+  return m;
+}
+
+bool PruneProvablyFar(const traj::SegmentStore& store,
+                      const SegmentDistance& dist, size_t a, size_t b,
+                      double eps) {
+  const PruneContext p = MakePruneContext(store, dist, a, eps, true);
+  return a != b && PrunedFar(p, store, b);
+}
+
+}  // namespace traclus::distance

@@ -1,0 +1,163 @@
+#ifndef TRACLUS_DISTANCE_BATCH_KERNELS_H_
+#define TRACLUS_DISTANCE_BATCH_KERNELS_H_
+
+// Batched one-query-vs-many-candidates distance kernels over the
+// SegmentStore's flat arrays — the ε-query hot path of the grouping phase
+// (Lemma 3) and the parameter heuristic (§4.2/§4.4).
+//
+// Every ε-query in the pipeline decomposes into candidate generation (an
+// index emits segment indices) followed by refinement (the exact §2.3
+// three-component distance decides membership). This layer owns the
+// refinement half:
+//
+//   candidates ──▶ lower-bound prune ──▶ blocked batch distance ──▶ ≤ ε?
+//
+//   * The prune is a midpoint/half-length triangle inequality: every point
+//     of segment L lies within half_length(L) of midpoint(L), so
+//       mindist(Li, Lj) ≥ ‖mid_i − mid_j‖ − h_i − h_j,
+//     and with the provable factor c = min(w⊥/2, w∥) from
+//     SegmentDistance::LowerBoundFactor,
+//       dist(Li, Lj) ≥ c · (‖mid_i − mid_j‖ − h_i − h_j).
+//     A candidate whose bound (with a conservative rounding margin) exceeds
+//     ε is provably outside the neighborhood and skips the full evaluation.
+//   * The batch kernels evaluate the surviving pairs with EXACTLY the
+//     floating-point expressions of the cached pair path
+//     SegmentDistance::operator()(store, i, j) — results are bit-identical,
+//     so every consumer (DBSCAN goldens included) can switch freely. The
+//     scalar kernel is a branch-light blocked loop over the shared canonical
+//     kernel; the SIMD kernel (AVX2, compile-time dispatch) runs four
+//     candidate lanes of the same operation sequence over the store's SoA
+//     coordinate columns. IEEE-754 vector lanes round identically to scalar
+//     ops, and the build forbids FP contraction (-ffp-contract=off), so the
+//     lanes are bit-identical too (tests/segment_distance_test.cc pins all
+//     of this on randomized, degenerate, tied, and 3-D segments).
+//
+// Consumers: the neighborhood providers (BruteForce/Grid/StrRTree) generate
+// candidates and delegate refinement here; PairwiseDistanceMatrix, the
+// entropy NeighborhoodProfile, OPTICS, and the k-medoids baseline stream
+// blocked DistanceBatch calls. Kernel selection is a per-run knob
+// (core::RunContext::distance_kernel, CLI --kernel auto|scalar|simd).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "distance/segment_distance.h"
+#include "traj/segment_store.h"
+
+namespace traclus::distance {
+
+/// Which refinement kernel evaluates a batch.
+enum class BatchKernel {
+  kAuto = 0,    ///< kSimd when compiled in, else kScalar.
+  kScalar = 1,  ///< Blocked scalar loop over the shared canonical kernel.
+  kSimd = 2,    ///< AVX2 four-lane kernel over the SoA coordinate columns.
+};
+
+/// True when the SIMD kernel is compiled into this binary (AVX2 target).
+constexpr bool SimdCompiled() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Resolves kAuto to the best compiled kernel; kSimd degrades to kScalar
+/// when the binary was built without AVX2 (results are identical either way,
+/// only throughput differs).
+BatchKernel ResolveBatchKernel(BatchKernel kernel);
+
+/// "auto" / "scalar" / "simd".
+const char* BatchKernelName(BatchKernel kernel);
+
+/// Parses a kernel name (as spelled by BatchKernelName); returns false and
+/// leaves `out` untouched on anything else.
+bool ParseBatchKernel(const std::string& name, BatchKernel* out);
+
+/// Per-call counters of the ε-refine pipeline (for benchmarks and tuning:
+/// pruned / candidates is the prune rate).
+struct RefineStats {
+  size_t candidates = 0;  ///< Candidates examined.
+  size_t pruned = 0;      ///< Skipped by the lower bound (provably > ε).
+  size_t refined = 0;     ///< Full three-component evaluations.
+  size_t accepted = 0;    ///< Emitted into the neighborhood.
+};
+
+/// Tuning knobs of EpsilonRefine. Every setting yields identical output —
+/// the knobs trade only speed and scratch residency.
+struct BatchOptions {
+  BatchKernel kernel = BatchKernel::kAuto;
+  /// Candidates staged per prune/refine block; bounds scratch memory at
+  /// O(block). 0 = default (256).
+  size_t block = 0;
+  /// Disables the lower-bound prune (diagnostics; the full distance is then
+  /// evaluated for every candidate).
+  bool prune = true;
+};
+
+/// dist(query, candidates[k]) → out[k] for every candidate, bit-identical to
+/// SegmentDistance::operator()(store, query, candidates[k]).
+/// `out.size()` must equal `candidates.size()`.
+void DistanceBatch(const traj::SegmentStore& store,
+                   const SegmentDistance& dist, size_t query,
+                   common::Span<const size_t> candidates,
+                   common::Span<double> out,
+                   BatchKernel kernel = BatchKernel::kAuto);
+
+/// Contiguous-candidate variant: dist(query, first + k) → out[k] for the
+/// index range [first, last). `out.size()` must equal `last - first`.
+void DistanceBatchRange(const traj::SegmentStore& store,
+                        const SegmentDistance& dist, size_t query,
+                        size_t first, size_t last, common::Span<double> out,
+                        BatchKernel kernel = BatchKernel::kAuto);
+
+/// The batched ε-refine: appends to `out_indices` every candidate within
+/// distance `eps` of `query` (the query itself always passes when listed,
+/// mirroring Definition 4's self-inclusion), preserving candidate order.
+/// Exactly equivalent to the per-pair loop
+///   for j in candidates: if (j == query || dist(store, query, j) <= eps)
+/// but with lower-bound pruning and blocked batch evaluation. Returns the
+/// number of indices appended; `stats` (optional) accumulates counters.
+size_t EpsilonRefine(const traj::SegmentStore& store,
+                     const SegmentDistance& dist, size_t query,
+                     common::Span<const size_t> candidates, double eps,
+                     std::vector<size_t>& out_indices,
+                     const BatchOptions& options = {},
+                     RefineStats* stats = nullptr);
+
+/// Contiguous-candidate ε-refine over the index range [first, last) — the
+/// whole-database scan of the brute-force provider and the no-bound
+/// fallback, without materializing an index list.
+size_t EpsilonRefineRange(const traj::SegmentStore& store,
+                          const SegmentDistance& dist, size_t query,
+                          size_t first, size_t last, double eps,
+                          std::vector<size_t>& out_indices,
+                          const BatchOptions& options = {},
+                          RefineStats* stats = nullptr);
+
+/// Kernel-selecting overload of PairwiseDistanceMatrix (segment_distance.h):
+/// the same symmetric n×n matrix, with each row's upper-triangle entries
+/// streamed as one contiguous DistanceBatchRange into the row storage (the
+/// chunk owning row i also writes the mirrored column, so every element has
+/// exactly one writer and the matrix is identical for every thread count).
+common::Matrix PairwiseDistanceMatrix(const traj::SegmentStore& store,
+                                      const SegmentDistance& dist,
+                                      common::ThreadPool& pool,
+                                      BatchKernel kernel);
+
+/// The exact prune predicate EpsilonRefine applies: true when the
+/// midpoint/half-length bound (including its conservative rounding margin)
+/// proves dist(store, a, b) > eps. Admissibility — this never returns true
+/// for a true ε-neighbor — is what makes the refine exact; exposed so tests
+/// can attack the claim directly.
+bool PruneProvablyFar(const traj::SegmentStore& store,
+                      const SegmentDistance& dist, size_t a, size_t b,
+                      double eps);
+
+}  // namespace traclus::distance
+
+#endif  // TRACLUS_DISTANCE_BATCH_KERNELS_H_

@@ -3,22 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "distance/batch_kernels.h"
+#include "distance/store_kernel_detail.h"
 #include "geom/vector_ops.h"
 
 namespace traclus::distance {
 
 namespace {
 
-// Lexicographic endpoint comparison; final deterministic tie-break.
-bool LexLess(const geom::Segment& a, const geom::Segment& b) {
-  for (int i = 0; i < a.dims(); ++i) {
-    if (a.start()[i] != b.start()[i]) return a.start()[i] < b.start()[i];
-  }
-  for (int i = 0; i < a.dims(); ++i) {
-    if (a.end()[i] != b.end()[i]) return a.end()[i] < b.end()[i];
-  }
-  return false;
-}
+using internal::LexLess;
 
 // Perpendicular component between a canonicalized (longer Li, shorter Lj) pair:
 // Lehmer mean of order 2 of the projection distances (Definition 1).
@@ -67,101 +60,6 @@ double AngleCanonical(const geom::Segment& li, const geom::Segment& lj,
   return len_j * sin_theta;
 }
 
-// Store-backed canonical kernel shared by the fast-path entry points. The
-// caller has already ordered (li, lj) as (longer, shorter); this computes the
-// three components with exactly the floating-point operations of the
-// Segment-based path, but
-//   * the line direction e − s and its squared norm come from the store
-//     (cached from the identical expressions) instead of per-call
-//     recomputation,
-//   * the two endpoint projections onto Li's line are computed once and
-//     shared between d⊥ (Definition 1) and d∥ (Definition 2) — the Segment
-//     path derives them independently in PerpendicularCanonical and
-//     ParallelCanonical,
-//   * the angle cosine divides the cached dot product by the product of the
-//     cached lengths, which is bit-identical to CosAngleBetween's
-//     Dot / (Norm() * Norm()) because length(i) ≡ Direction().Norm().
-DistanceComponents StoreComponentsCanonical(const traj::SegmentStore& store,
-                                            size_t li, size_t lj,
-                                            bool directed) {
-  const geom::Segment& i_seg = store.segment(li);
-  const geom::Segment& j_seg = store.segment(lj);
-  const geom::Point& s = i_seg.start();
-  const geom::Point& e = i_seg.end();
-  const geom::Point& se = store.direction(li);
-  const double denom = store.squared_length(li);
-
-  // ProjectOntoLine(p, s, e), with se and ||se||² read from the cache.
-  const auto project = [&](const geom::Point& p) {
-    const double u = denom == 0.0 ? 0.0 : geom::Dot(p - s, se) / denom;
-    return s + se * u;
-  };
-  const geom::Point proj_start = project(j_seg.start());
-  const geom::Point proj_end = project(j_seg.end());
-
-  DistanceComponents c;
-
-  // Perpendicular (Definition 1): Lehmer mean of order 2.
-  const double l1 = geom::Distance(j_seg.start(), proj_start);
-  const double l2 = geom::Distance(j_seg.end(), proj_end);
-  const double perp_denom = l1 + l2;
-  c.perpendicular =
-      perp_denom == 0.0 ? 0.0 : (l1 * l1 + l2 * l2) / perp_denom;
-
-  // Parallel (Definition 2): distance from each projection to the nearer
-  // endpoint of Li, MIN over the two projections.
-  const double lpar1 = std::min(geom::Distance(proj_start, s),
-                                geom::Distance(proj_start, e));
-  const double lpar2 =
-      std::min(geom::Distance(proj_end, s), geom::Distance(proj_end, e));
-  c.parallel = std::min(lpar1, lpar2);
-
-  // Angle (Definition 3), directed or undirected.
-  const double len_j = store.length(lj);
-  if (len_j == 0.0) {
-    c.angle = 0.0;  // Point-like Lj has no directional strength.
-    return c;
-  }
-  const double len_i = store.length(li);
-  // CosAngleBetween with the norms read from the cache.
-  const double cos_theta =
-      len_i == 0.0
-          ? 1.0
-          : std::clamp(
-                geom::Dot(store.direction(li), store.direction(lj)) /
-                    (len_i * len_j),
-                -1.0, 1.0);
-  if (directed && cos_theta <= 0.0) {
-    c.angle = len_j;  // θ in [90°, 180°].
-    return c;
-  }
-  const double sin_theta =
-      std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
-  c.angle = len_j * sin_theta;
-  return c;
-}
-
-// Store-backed Canonicalize: the same ordering decision as the Segment
-// overload, but the lengths and Lemma 2 tie-break ids come from the cache.
-void CanonicalizeInStore(const traj::SegmentStore& store, size_t& longer,
-                         size_t& shorter) {
-  const double la = store.length(longer);
-  const double lb = store.length(shorter);
-  bool swap = false;
-  if (la < lb) {
-    swap = true;
-  } else if (la == lb) {
-    const geom::SegmentId ia = store.id(longer);
-    const geom::SegmentId ib = store.id(shorter);
-    if (ia >= 0 && ib >= 0 && ia != ib) {
-      swap = ia > ib;
-    } else {
-      swap = LexLess(store.segment(shorter), store.segment(longer));
-    }
-  }
-  if (swap) std::swap(longer, shorter);
-}
-
 }  // namespace
 
 void SegmentDistance::Canonicalize(const geom::Segment*& longer,
@@ -208,8 +106,16 @@ DistanceComponents SegmentDistance::Components(const traj::SegmentStore& store,
   TRACLUS_DCHECK(a < store.size() && b < store.size());
   size_t li = a;
   size_t lj = b;
-  CanonicalizeInStore(store, li, lj);
-  return StoreComponentsCanonical(store, li, lj, config_.directed);
+  internal::CanonicalizeInStore(store, li, lj);
+  DistanceComponents c;
+  internal::StoreComponentsCanonicalInto(
+      store, li, lj, config_.directed,
+      [&](double perpendicular, double parallel, double angle) {
+        c.perpendicular = perpendicular;
+        c.parallel = parallel;
+        c.angle = angle;
+      });
+  return c;
 }
 
 double SegmentDistance::operator()(const traj::SegmentStore& store, size_t a,
@@ -262,14 +168,9 @@ common::Matrix PairwiseDistanceMatrix(
 common::Matrix PairwiseDistanceMatrix(const traj::SegmentStore& store,
                                       const SegmentDistance& dist,
                                       common::ThreadPool& pool) {
-  const size_t n = store.size();
-  common::Matrix m(n, n, 0.0);
-  pool.ParallelForPairs(n, [&](size_t i, size_t j) {
-    const double d = dist(store, i, j);
-    m(i, j) = d;
-    m(j, i) = d;
-  });
-  return m;
+  // Rows stream through the batched kernels (bit-identical entries); see the
+  // kernel-selecting overload in distance/batch_kernels.h.
+  return PairwiseDistanceMatrix(store, dist, pool, BatchKernel::kAuto);
 }
 
 }  // namespace traclus::distance

@@ -133,9 +133,10 @@ common::Matrix PairwiseDistanceMatrix(
     const std::vector<geom::Segment>& segments, const SegmentDistance& dist,
     common::ThreadPool& pool);
 
-/// Store-backed overload: same matrix, evaluated through the invariant-cached
-/// fast path (bit-identical entries, no per-pair recomputation of segment
-/// lengths and directions).
+/// Store-backed overload: same matrix, each row streamed as one contiguous
+/// blocked batch through the one-vs-many kernels of distance/batch_kernels.h
+/// (bit-identical entries; kAuto kernel). A kernel-selecting overload lives
+/// in batch_kernels.h.
 common::Matrix PairwiseDistanceMatrix(const traj::SegmentStore& store,
                                       const SegmentDistance& dist,
                                       common::ThreadPool& pool);

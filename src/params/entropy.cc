@@ -6,7 +6,9 @@
 #include <limits>
 #include <mutex>
 
+#include "common/span.h"
 #include "common/thread_pool.h"
+#include "distance/batch_kernels.h"
 
 namespace traclus::params {
 
@@ -88,26 +90,40 @@ std::vector<size_t> NeighborhoodSizes(
 
 NeighborhoodProfile::NeighborhoodProfile(
     const traj::SegmentStore& store, const distance::SegmentDistance& dist,
-    std::vector<double> eps_grid, int num_threads, size_t staging_block)
+    std::vector<double> eps_grid, int num_threads, size_t staging_block,
+    distance::BatchKernel kernel)
     : eps_grid_(std::move(eps_grid)) {
   TRACLUS_CHECK(!eps_grid_.empty());
   TRACLUS_CHECK(std::is_sorted(eps_grid_.begin(), eps_grid_.end()));
   const size_t n = store.size();
   const size_t g = eps_grid_.size();
 
+  // Upper-triangle distances of row i stream through the batch kernel in
+  // bounded slices of this many entries; values are bit-identical to the
+  // per-pair path, so the bucketed profile is unchanged.
+  constexpr size_t kRowSlice = 1024;
+
   // delta[gi][i] counts pairs whose distance first fits at grid position gi.
   std::vector<std::vector<size_t>> delta(g, std::vector<size_t>(n, 0));
   const int threads = common::ResolveNumThreads(num_threads);
   if (threads == 1) {
-    // Serial: bucket straight into delta, no staging buffer.
+    // Serial: batch each row slice, bucket straight into delta.
+    std::vector<double> row(kRowSlice);
     for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        const double d = dist(store, i, j);
-        const auto it = std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
-        if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
-        const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
-        ++delta[gi][i];
-        ++delta[gi][j];
+      for (size_t jb = i + 1; jb < n; jb += kRowSlice) {
+        const size_t je = std::min(n, jb + kRowSlice);
+        distance::DistanceBatchRange(
+            store, dist, i, jb, je,
+            common::Span<double>(row.data(), je - jb), kernel);
+        for (size_t j = jb; j < je; ++j) {
+          const double d = row[j - jb];
+          const auto it =
+              std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
+          if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
+          const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
+          ++delta[gi][i];
+          ++delta[gi][j];
+        }
       }
     }
   } else {
@@ -135,15 +151,22 @@ NeighborhoodProfile::NeighborhoodProfile(
       const size_t hi = bound[band + 1];
       if (lo >= hi) return;
       BlockedIncrementSink sink(delta, merge_mu, block);
+      std::vector<double> row(kRowSlice);
       for (size_t i = lo; i < hi; ++i) {
-        for (size_t j = i + 1; j < n; ++j) {
-          const double d = dist(store, i, j);
-          const auto it =
-              std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
-          if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
-          const auto gi = static_cast<uint32_t>(it - eps_grid_.begin());
-          sink.Add(gi, static_cast<uint32_t>(i));
-          sink.Add(gi, static_cast<uint32_t>(j));
+        for (size_t jb = i + 1; jb < n; jb += kRowSlice) {
+          const size_t je = std::min(n, jb + kRowSlice);
+          distance::DistanceBatchRange(
+              store, dist, i, jb, je,
+              common::Span<double>(row.data(), je - jb), kernel);
+          for (size_t j = jb; j < je; ++j) {
+            const double d = row[j - jb];
+            const auto it =
+                std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
+            if (it == eps_grid_.end()) continue;  // Beyond the largest ε.
+            const auto gi = static_cast<uint32_t>(it - eps_grid_.begin());
+            sink.Add(gi, static_cast<uint32_t>(i));
+            sink.Add(gi, static_cast<uint32_t>(j));
+          }
         }
       }
     });

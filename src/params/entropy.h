@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/neighborhood.h"
+#include "distance/batch_kernels.h"
 #include "distance/segment_distance.h"
 #include "traj/segment_store.h"
 
@@ -42,18 +43,23 @@ class NeighborhoodProfile {
  public:
   /// `eps_grid` must be strictly increasing. O(n²) construction; the pairwise
   /// distance pass is spread over `num_threads` workers (0 = hardware
-  /// concurrency). Parallel workers do not stage whole grid × n count
-  /// buffers: each streams its (grid position, segment) increments through a
-  /// bounded block (`staging_block` entries, 0 = default 64 Ki) that is
-  /// scatter-added into the shared counts under a lock when full — the same
-  /// bounded-residency treatment the blocked DBSCAN batch path uses. Peak
-  /// extra memory is O(workers · staging_block) instead of the former
-  /// O(workers · grid · n). Integer addition commutes, so the profile is
-  /// identical for every thread count and block size.
-  NeighborhoodProfile(const traj::SegmentStore& store,
-                      const distance::SegmentDistance& dist,
-                      std::vector<double> eps_grid, int num_threads = 1,
-                      size_t staging_block = 0);
+  /// concurrency). Each row's distances stream through the batched kernels
+  /// (distance::DistanceBatchRange) in bounded blocks rather than one
+  /// pair-at-a-time call per bucket insert; `kernel` selects scalar/SIMD
+  /// (bit-identical values either way). Parallel workers do not stage whole
+  /// grid × n count buffers: each streams its (grid position, segment)
+  /// increments through a bounded block (`staging_block` entries, 0 =
+  /// default 64 Ki) that is scatter-added into the shared counts under a
+  /// lock when full — the same bounded-residency treatment the blocked
+  /// DBSCAN batch path uses. Peak extra memory is
+  /// O(workers · staging_block) instead of the former O(workers · grid · n).
+  /// Integer addition commutes, so the profile is identical for every thread
+  /// count, block size, and kernel.
+  NeighborhoodProfile(
+      const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+      std::vector<double> eps_grid, int num_threads = 1,
+      size_t staging_block = 0,
+      distance::BatchKernel kernel = distance::BatchKernel::kAuto);
 
   size_t grid_size() const { return eps_grid_.size(); }
   const std::vector<double>& eps_grid() const { return eps_grid_; }

@@ -19,7 +19,7 @@ ParameterEstimate EstimateParameters(const traj::SegmentStore& store,
   }
 
   NeighborhoodProfile profile(store, dist, grid, options.num_threads,
-                              options.staging_block);
+                              options.staging_block, options.kernel);
   ParameterEstimate est;
   est.grid_eps = grid;
   est.grid_entropy.reserve(grid.size());
@@ -34,8 +34,9 @@ ParameterEstimate EstimateParameters(const traj::SegmentStore& store,
 
   if (options.refine_with_annealing) {
     // Refine around the grid minimum with SA over a single-ε entropy objective
-    // evaluated through the exact grid index.
-    cluster::GridNeighborhoodIndex index(store, dist);
+    // evaluated through the exact grid index (batched refine kernels inside).
+    cluster::GridNeighborhoodIndex index(store, dist, /*cell_size=*/0.0,
+                                         options.kernel);
     auto objective = [&](double eps) {
       return NeighborhoodEntropy(
           NeighborhoodSizes(index, eps, options.num_threads));

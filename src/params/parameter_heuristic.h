@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "distance/batch_kernels.h"
 #include "distance/segment_distance.h"
 #include "geom/segment.h"
 #include "params/entropy.h"
@@ -43,6 +44,10 @@ struct HeuristicOptions {
   /// see NeighborhoodProfile. 0 = default. Estimates are identical for every
   /// value.
   size_t staging_block = 0;
+  /// Batch distance kernel of the O(n²) profile pass and the per-ε refine
+  /// queries (scalar / AVX2 SIMD / auto). Estimates are identical for every
+  /// choice.
+  distance::BatchKernel kernel = distance::BatchKernel::kAuto;
 };
 
 /// Runs the §4.4 heuristic: finds the ε minimizing the neighborhood-size

@@ -25,6 +25,7 @@
 // SVG output, CSV dumps) genuinely want whole Segment values; the store is a
 // superset of the old currency, never a lossy replacement.
 
+#include <array>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -86,6 +87,10 @@ class SegmentStore {
 
   double length(size_t i) const { return length_[i]; }
   double squared_length(size_t i) const { return squared_length_[i]; }
+  /// length * 0.5 (exact halving) — the radius of the segment's midpoint
+  /// enclosing ball, consumed by the batch kernels' triangle-inequality
+  /// candidate prune (distance/batch_kernels.h).
+  double half_length(size_t i) const { return half_length_[i]; }
   /// 1 / length, or 0 for a degenerate (point-like) segment. For fast-path
   /// code that may multiply instead of divide; NOT bit-equivalent to
   /// dividing by length, so exactness-critical paths must divide.
@@ -108,16 +113,47 @@ class SegmentStore {
   const std::vector<double>& squared_lengths() const {
     return squared_length_;
   }
+  const std::vector<double>& half_lengths() const { return half_length_; }
   const std::vector<double>& weights() const { return weight_; }
   const std::vector<geom::TrajectoryId>& trajectory_ids() const {
     return trajectory_id_;
   }
   const std::vector<geom::BBox>& bboxes() const { return bbox_; }
 
+  // --- Flat SoA coordinate columns --------------------------------------
+  // One contiguous double array per (quantity, dimension): the substrate of
+  // the SIMD batch distance kernels (distance/batch_kernels.h), which stream
+  // plain double loads instead of chasing Point objects. Each entry is a
+  // bit-exact copy of the corresponding Point component:
+  //   start_coords(d)[i]     == segment(i).start()[d]
+  //   end_coords(d)[i]       == segment(i).end()[d]
+  //   direction_coords(d)[i] == direction(i)[d]
+  //   midpoint_coords(d)[i]  == midpoint(i)[d]
+  // Columns for d ≥ dims() exist and are zero-filled so kernels may bind all
+  // kMaxDims pointers unconditionally; exactness-critical loops must still
+  // iterate only d < dims(), mirroring the Point operations.
+  const std::vector<double>& start_coords(int d) const {
+    TRACLUS_DCHECK(d >= 0 && d < geom::kMaxDims);
+    return start_c_[d];
+  }
+  const std::vector<double>& end_coords(int d) const {
+    TRACLUS_DCHECK(d >= 0 && d < geom::kMaxDims);
+    return end_c_[d];
+  }
+  const std::vector<double>& direction_coords(int d) const {
+    TRACLUS_DCHECK(d >= 0 && d < geom::kMaxDims);
+    return direction_c_[d];
+  }
+  const std::vector<double>& midpoint_coords(int d) const {
+    TRACLUS_DCHECK(d >= 0 && d < geom::kMaxDims);
+    return midpoint_c_[d];
+  }
+
  private:
   std::vector<geom::Segment> segments_;
   std::vector<double> length_;
   std::vector<double> squared_length_;
+  std::vector<double> half_length_;
   std::vector<double> inv_length_;
   std::vector<geom::Point> direction_;
   std::vector<geom::Point> unit_direction_;
@@ -126,6 +162,10 @@ class SegmentStore {
   std::vector<geom::SegmentId> id_;
   std::vector<geom::TrajectoryId> trajectory_id_;
   std::vector<double> weight_;
+  std::array<std::vector<double>, geom::kMaxDims> start_c_;
+  std::array<std::vector<double>, geom::kMaxDims> end_c_;
+  std::array<std::vector<double>, geom::kMaxDims> direction_c_;
+  std::array<std::vector<double>, geom::kMaxDims> midpoint_c_;
   int dims_ = 2;
 };
 

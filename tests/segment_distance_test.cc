@@ -4,10 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "common/rng.h"
+#include "common/span.h"
+#include "common/thread_pool.h"
+#include "distance/batch_kernels.h"
 #include "distance/endpoint_distance.h"
 #include "distance/segment_distance.h"
+#include "traj/segment_store.h"
 
 namespace traclus::distance {
 namespace {
@@ -287,6 +292,235 @@ TEST(EndpointDistanceTest, IdenticalSegmentsAreZeroUnderAllMeasures) {
   const Segment s(Point(1, 2), Point(3, 4));
   EXPECT_DOUBLE_EQ(EndpointSumDistance(s, s), 0.0);
   EXPECT_DOUBLE_EQ(NearestEndpointSumDistance(s, s), 0.0);
+}
+
+// --- Batched kernels (distance/batch_kernels.h): bitwise equality with the
+// --- cached pair path, refine equivalence at every block size, and prune
+// --- admissibility.
+
+// Adversarial segment corpus: general-position, degenerate (point-like),
+// exactly tied lengths (translates, with and without usable ids), shared
+// endpoints, and collinear chains — every branch of the canonical kernel.
+traj::SegmentStore AdversarialStore(uint64_t seed, bool three_d) {
+  common::Rng rng(seed);
+  std::vector<Segment> segs;
+  auto random_point = [&](double lo, double hi) {
+    return three_d ? Point(rng.Uniform(lo, hi), rng.Uniform(lo, hi),
+                           rng.Uniform(lo, hi))
+                   : Point(rng.Uniform(lo, hi), rng.Uniform(lo, hi));
+  };
+  const auto id_of = [&](size_t k) {
+    // A sprinkle of -1 ids forces the lexicographic tie-break path.
+    return k % 7 == 3 ? geom::SegmentId{-1}
+                      : static_cast<geom::SegmentId>(k);
+  };
+  // General position.
+  for (int i = 0; i < 40; ++i) {
+    segs.emplace_back(random_point(-50, 50), random_point(-50, 50),
+                      id_of(segs.size()),
+                      static_cast<geom::TrajectoryId>(i % 5));
+  }
+  // Point-like (zero-length) segments.
+  for (int i = 0; i < 6; ++i) {
+    const Point p = random_point(-50, 50);
+    segs.emplace_back(p, p, id_of(segs.size()), 0);
+  }
+  // Exact translates: identical FP lengths, so the Lemma 2 tie-breaks fire.
+  for (int i = 0; i < 6; ++i) {
+    const Point s = random_point(-40, 40);
+    const Point d = random_point(-5, 5);
+    const Point shift = random_point(-20, 20);
+    segs.emplace_back(s, s + d, id_of(segs.size()), 1);
+    segs.emplace_back(s + shift, s + shift + d, id_of(segs.size()), 2);
+  }
+  // Shared endpoints / collinear chain (zero parallel / zero perpendicular
+  // regimes).
+  const Point base = random_point(-10, 10);
+  const Point step = three_d ? Point(7, 0, 0) : Point(7, 0);
+  for (int i = 0; i < 5; ++i) {
+    segs.emplace_back(base + step * static_cast<double>(i),
+                      base + step * static_cast<double>(i + 1),
+                      id_of(segs.size()), 3);
+  }
+  return traj::SegmentStore(std::move(segs));
+}
+
+std::vector<SegmentDistanceConfig> KernelTestConfigs() {
+  SegmentDistanceConfig defaults;
+  SegmentDistanceConfig undirected;
+  undirected.directed = false;
+  SegmentDistanceConfig weighted;
+  weighted.w_perpendicular = 2.5;
+  weighted.w_parallel = 0.25;
+  weighted.w_angle = 1.75;
+  SegmentDistanceConfig no_bound;  // LowerBoundFactor == 0: prune disabled.
+  no_bound.w_parallel = 0.0;
+  return {defaults, undirected, weighted, no_bound};
+}
+
+std::vector<BatchKernel> CompiledKernels() {
+  std::vector<BatchKernel> kernels = {BatchKernel::kScalar};
+  if (SimdCompiled()) kernels.push_back(BatchKernel::kSimd);
+  return kernels;
+}
+
+// Bit-level equality matters: EXPECT_EQ on doubles would treat -0.0 == +0.0
+// and NaN != NaN; the kernels promise the same bit pattern.
+void ExpectBitEqual(double a, double b, const char* what, size_t q, size_t j) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  EXPECT_EQ(ab, bb) << what << " mismatch at pair (" << q << ", " << j
+                    << "): " << a << " vs " << b;
+}
+
+TEST(BatchKernelTest, DistanceBatchBitIdenticalToCachedPairPath) {
+  for (const bool three_d : {false, true}) {
+    const traj::SegmentStore store = AdversarialStore(19, three_d);
+    const size_t n = store.size();
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (const SegmentDistanceConfig& cfg : KernelTestConfigs()) {
+      const SegmentDistance dist(cfg);
+      for (const BatchKernel kernel : CompiledKernels()) {
+        std::vector<double> out(n);
+        for (size_t q = 0; q < n; ++q) {
+          DistanceBatch(store, dist, q,
+                        common::Span<const size_t>(all.data(), n),
+                        common::Span<double>(out.data(), n), kernel);
+          for (size_t j = 0; j < n; ++j) {
+            ExpectBitEqual(out[j], dist(store, q, j),
+                           BatchKernelName(kernel), q, j);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, DistanceBatchRangeMatchesIndexedBatch) {
+  const traj::SegmentStore store = AdversarialStore(23, false);
+  const SegmentDistance dist;
+  const size_t n = store.size();
+  for (const BatchKernel kernel : CompiledKernels()) {
+    std::vector<double> out(n - 5);
+    DistanceBatchRange(store, dist, 2, 5, n,
+                       common::Span<double>(out.data(), out.size()), kernel);
+    for (size_t j = 5; j < n; ++j) {
+      ExpectBitEqual(out[j - 5], dist(store, 2, j), "range", 2, j);
+    }
+  }
+}
+
+TEST(BatchKernelTest, EpsilonRefineMatchesPerPairLoopAtEveryBlockSize) {
+  for (const bool three_d : {false, true}) {
+    const traj::SegmentStore store = AdversarialStore(29, three_d);
+    const size_t n = store.size();
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (const SegmentDistanceConfig& cfg : KernelTestConfigs()) {
+      const SegmentDistance dist(cfg);
+      for (const double eps : {0.01, 2.0, 9.0, 40.0}) {
+        for (size_t q = 0; q < n; q += 3) {
+          // The reference: the per-pair cached path, candidate order kept.
+          std::vector<size_t> expect;
+          for (const size_t j : all) {
+            if (j == q || dist(store, q, j) <= eps) expect.push_back(j);
+          }
+          for (const BatchKernel kernel : CompiledKernels()) {
+            for (const size_t block : {size_t{1}, size_t{2}, size_t{3},
+                                       size_t{7}, size_t{256}}) {
+              BatchOptions options;
+              options.kernel = kernel;
+              options.block = block;
+              std::vector<size_t> got;
+              RefineStats stats;
+              EpsilonRefine(store, dist, q,
+                            common::Span<const size_t>(all.data(), n), eps,
+                            got, options, &stats);
+              EXPECT_EQ(got, expect)
+                  << BatchKernelName(kernel) << " block " << block << " eps "
+                  << eps << " query " << q;
+              EXPECT_EQ(stats.candidates, n);
+              EXPECT_EQ(stats.pruned + stats.refined, n);
+              EXPECT_EQ(stats.accepted, got.size());
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, PruneIsAdmissible) {
+  // The lower bound must NEVER prune a true ε-neighbor: whenever the
+  // predicate fires, the exact distance must exceed ε. Swept over the
+  // adversarial corpus, random weight configurations, and an ε ladder.
+  common::Rng rng(41);
+  for (const bool three_d : {false, true}) {
+    const traj::SegmentStore store = AdversarialStore(37, three_d);
+    const size_t n = store.size();
+    for (int trial = 0; trial < 8; ++trial) {
+      SegmentDistanceConfig cfg;
+      cfg.w_perpendicular = rng.Uniform(0.05, 3.0);
+      cfg.w_parallel = rng.Uniform(0.05, 3.0);
+      cfg.w_angle = rng.Uniform(0.0, 3.0);
+      cfg.directed = rng.Bernoulli(0.5);
+      const SegmentDistance dist(cfg);
+      for (const double eps : {0.01, 1.0, 5.0, 25.0, 120.0}) {
+        size_t pruned = 0;
+        for (size_t q = 0; q < n; ++q) {
+          for (size_t j = 0; j < n; ++j) {
+            if (!PruneProvablyFar(store, dist, q, j, eps)) continue;
+            ++pruned;
+            EXPECT_GT(dist(store, q, j), eps)
+                << "inadmissible prune at (" << q << ", " << j << ") eps "
+                << eps;
+          }
+        }
+        // The sweep must actually exercise the prune somewhere.
+        if (eps <= 1.0) EXPECT_GT(pruned, 0u);
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, PairwiseMatrixBatchedMatchesPerPair) {
+  const traj::SegmentStore store = AdversarialStore(43, false);
+  const SegmentDistance dist;
+  for (const BatchKernel kernel : CompiledKernels()) {
+    for (const int threads : {1, 4}) {
+      const common::Matrix m = PairwiseDistanceMatrix(
+          store, dist, common::SharedPool(threads), kernel);
+      for (size_t i = 0; i < store.size(); ++i) {
+        for (size_t j = 0; j < store.size(); ++j) {
+          ExpectBitEqual(m(i, j), i == j ? 0.0 : dist(store, i, j), "matrix",
+                         i, j);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, KernelSelectionHelpers) {
+  EXPECT_STREQ(BatchKernelName(BatchKernel::kAuto), "auto");
+  EXPECT_STREQ(BatchKernelName(BatchKernel::kScalar), "scalar");
+  EXPECT_STREQ(BatchKernelName(BatchKernel::kSimd), "simd");
+  BatchKernel k = BatchKernel::kAuto;
+  EXPECT_TRUE(ParseBatchKernel("scalar", &k));
+  EXPECT_EQ(k, BatchKernel::kScalar);
+  EXPECT_TRUE(ParseBatchKernel("simd", &k));
+  EXPECT_EQ(k, BatchKernel::kSimd);
+  EXPECT_TRUE(ParseBatchKernel("auto", &k));
+  EXPECT_EQ(k, BatchKernel::kAuto);
+  EXPECT_FALSE(ParseBatchKernel("avx512", &k));
+  // Resolution never yields kAuto, and kSimd only when compiled in.
+  EXPECT_NE(ResolveBatchKernel(BatchKernel::kAuto), BatchKernel::kAuto);
+  if (!SimdCompiled()) {
+    EXPECT_EQ(ResolveBatchKernel(BatchKernel::kSimd), BatchKernel::kScalar);
+  } else {
+    EXPECT_EQ(ResolveBatchKernel(BatchKernel::kSimd), BatchKernel::kSimd);
+  }
 }
 
 }  // namespace

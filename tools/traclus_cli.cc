@@ -95,13 +95,18 @@ int Usage() {
       "  partition <in.csv> [--suppression BITS] [--out segments.csv]\n"
       "            [--threads N]\n"
       "  estimate <in.csv> [--eps-lo X] [--eps-hi X] [--grid N] [--threads N]\n"
+      "           [--kernel auto|scalar|simd]\n"
       "  cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]\n"
       "          [--suppression BITS] [--no-index] [--threads N] [--progress]\n"
+      "          [--kernel auto|scalar|simd]\n"
       "          [--labels out.csv] [--reps out.csv] [--svg out.svg]\n"
       "\n"
       "  --threads N: worker threads for the parallel phases; 0 = all\n"
       "               hardware threads, 1 = single-threaded. Output is\n"
       "               identical for every value.\n"
+      "  --kernel K:  batch distance kernel (auto, scalar, simd). The\n"
+      "               kernels are bit-identical; simd needs an AVX2 build\n"
+      "               and degrades to scalar otherwise.\n"
       "  --progress:  stream per-stage progress to stderr.\n");
   return 1;
 }
@@ -123,6 +128,26 @@ int FailWith(const common::Status& status) {
   }
 }
 
+// Validates --kernel up front (commands call this before touching data);
+// returns 0 or the usage exit code.
+int CheckKernelFlag(const Args& args) {
+  const std::string name = args.GetString("kernel", "auto");
+  distance::BatchKernel kernel;
+  if (!distance::ParseBatchKernel(name, &kernel)) {
+    std::fprintf(stderr,
+                 "unknown --kernel '%s' (valid: auto, scalar, simd)\n",
+                 name.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+distance::BatchKernel KernelFlag(const Args& args) {
+  distance::BatchKernel kernel = distance::BatchKernel::kAuto;
+  distance::ParseBatchKernel(args.GetString("kernel", "auto"), &kernel);
+  return kernel;
+}
+
 core::RunContext MakeContext(const Args& args) {
   core::RunContext ctx;
   if (args.GetSwitch("progress")) {
@@ -130,6 +155,7 @@ core::RunContext MakeContext(const Args& args) {
       std::fprintf(stderr, "[%5.1f%%] %s\n", 100.0 * fraction, stage.c_str());
     };
   }
+  ctx.distance_kernel = KernelFlag(args);
   return ctx;
 }
 
@@ -197,6 +223,7 @@ int CmdStats(const Args& args) {
 
 int CmdPartition(const Args& args) {
   if (args.positional.empty()) return Usage();
+  if (const int rc = CheckKernelFlag(args)) return rc;
   const auto loaded = Load(args.positional[0]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -235,6 +262,7 @@ int CmdPartition(const Args& args) {
 
 int CmdEstimate(const Args& args) {
   if (args.positional.empty()) return Usage();
+  if (const int rc = CheckKernelFlag(args)) return rc;
   const auto loaded = Load(args.positional[0]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -253,6 +281,7 @@ int CmdEstimate(const Args& args) {
   opt.eps_hi = args.GetDouble("eps-hi", 40.0);
   opt.grid_points = static_cast<int>(args.GetDouble("grid", 60));
   opt.num_threads = base.num_threads;
+  opt.kernel = KernelFlag(args);
   const auto est = params::EstimateParameters(store, dist, opt);
   std::printf("# eps entropy\n");
   for (size_t g = 0; g < est.grid_eps.size(); ++g) {
@@ -268,6 +297,7 @@ int CmdEstimate(const Args& args) {
 
 int CmdCluster(const Args& args) {
   if (args.positional.empty()) return Usage();
+  if (const int rc = CheckKernelFlag(args)) return rc;
   if (args.options.find("eps") == args.options.end() ||
       args.options.find("min-lns") == args.options.end()) {
     std::fprintf(stderr, "cluster requires --eps and --min-lns\n");
@@ -338,7 +368,22 @@ int CmdCluster(const Args& args) {
   const std::string reps = args.GetString("reps");
   if (!reps.empty()) {
     traj::TrajectoryDatabase rep_db;
-    for (const auto& rep : result.representatives) rep_db.Add(rep);
+    size_t skipped = 0;
+    for (const auto& rep : result.representatives) {
+      // A sparse cluster can yield an empty representative (fewer than two
+      // sweep positions cleared MinLns); an empty trajectory has no
+      // dimensionality and would poison the CSV write.
+      if (rep.size() == 0) {
+        ++skipped;
+        continue;
+      }
+      rep_db.Add(rep);
+    }
+    if (skipped > 0) {
+      std::fprintf(stderr,
+                   "note: %zu empty representative(s) omitted from %s\n",
+                   skipped, reps.c_str());
+    }
     const auto st = traj::WriteCsv(rep_db, reps);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -370,8 +415,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const std::vector<std::string> value_flags = {
-      "seed", "suppression", "out",    "eps-lo", "eps-hi", "grid",
-      "eps",  "min-lns",     "labels", "reps",   "svg",    "threads"};
+      "seed", "suppression", "out",    "eps-lo", "eps-hi",  "grid",
+      "eps",  "min-lns",     "labels", "reps",   "svg",     "threads",
+      "kernel"};
   const Args args = Parse(argc - 2, argv + 2, value_flags);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
