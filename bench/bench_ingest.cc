@@ -1,0 +1,238 @@
+// Ingest-path benchmarks for the streaming data-source API (traj/source.h)
+// and the chunked out-of-core segment store (traj/chunked_store.h).
+//
+// The corpus is synthetic: 10,000 random-walk trajectories of 101 points
+// each — 1,010,000 CSV rows yielding 1,000,000 raw segments. Two layers are
+// measured, each eager-vs-streaming:
+//
+//   * Parse layer (rows/s): the historical eager shape (drain the whole CSV
+//     into a TrajectoryDatabase, what ReadCsv does) against the pull-based
+//     source loop that never materializes the database, and against the
+//     streaming pipeline ingest shape (pull + append segments straight into
+//     a ChunkedSegmentStore, unbounded and residency-capped).
+//   * Freeze layer (segments/s): the monolithic SegmentStore constructor
+//     against ChunkedSegmentStore append+finalize, unbounded and spilling.
+//
+// Bounded-mode variants report the peak_resident_chunks counter so the CI
+// JSON history pins the residency guarantee (≤ the cap) alongside the
+// throughput cost of spilling. Uploaded per commit next to
+// bench_distance_micro.json (see .github/workflows/ci.yml).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/segment.h"
+#include "traj/chunked_store.h"
+#include "traj/segment_store.h"
+#include "traj/source.h"
+#include "traj/trajectory.h"
+#include "traj/trajectory_database.h"
+
+namespace {
+
+using namespace traclus;
+
+constexpr size_t kTrajectories = 10000;
+constexpr size_t kPointsPerTrajectory = 101;  // 100 segments each.
+constexpr size_t kRows = kTrajectories * kPointsPerTrajectory;
+constexpr size_t kSegments = kTrajectories * (kPointsPerTrajectory - 1);
+
+// Random-walk corpus, built once. Steps are drawn from the length range the
+// distance microbenches use, so chunk payloads look like real partitions.
+struct Corpus {
+  std::string csv;                     // kRows data rows.
+  std::vector<geom::Segment> segments; // The kSegments raw segments.
+};
+
+const Corpus& SharedCorpus() {
+  static const Corpus corpus = [] {
+    Corpus c;
+    c.csv.reserve(kRows * 32);
+    c.segments.reserve(kSegments);
+    common::Rng rng(20070612);  // SIGMOD'07 vintage.
+    char row[64];
+    geom::SegmentId next_segment = 0;
+    for (size_t t = 0; t < kTrajectories; ++t) {
+      double x = rng.Uniform(0, 1000);
+      double y = rng.Uniform(0, 1000);
+      geom::Point prev(x, y);
+      for (size_t p = 0; p < kPointsPerTrajectory; ++p) {
+        std::snprintf(row, sizeof(row), "%zu,%.6f,%.6f\n", t, x, y);
+        c.csv += row;
+        const geom::Point cur(x, y);
+        if (p > 0) {
+          c.segments.emplace_back(prev, cur, next_segment++,
+                                  static_cast<geom::TrajectoryId>(t));
+        }
+        prev = cur;
+        x += rng.Uniform(-5, 5);
+        y += rng.Uniform(-5, 5);
+      }
+    }
+    return c;
+  }();
+  return corpus;
+}
+
+void Die(const common::Status& status) {
+  std::fprintf(stderr, "bench_ingest: %s\n", status.ToString().c_str());
+  std::abort();
+}
+
+// --- Parse layer: CSV rows/s. --------------------------------------------
+
+// The historical eager ingest: the whole corpus becomes a resident
+// TrajectoryDatabase before the pipeline can start (the ReadCsv shape —
+// ReadCsv itself is now DrainToDatabase over a CsvFileSource).
+void BM_IngestEagerDatabase(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  for (auto _ : state) {
+    traj::CsvStringSource source(corpus.csv);
+    auto db = traj::DrainToDatabase(source);
+    if (!db.ok()) Die(db.status());
+    benchmark::DoNotOptimize(db->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+}
+BENCHMARK(BM_IngestEagerDatabase)->Unit(benchmark::kMillisecond);
+
+// The parser ceiling: pull every trajectory and drop it. Whatever separates
+// this from BM_IngestEagerDatabase is pure materialization cost.
+void BM_IngestStreamingParse(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  for (auto _ : state) {
+    traj::CsvStringSource source(corpus.csv);
+    traj::Trajectory tr;
+    size_t n = 0;
+    while (true) {
+      const auto more = source.Next(&tr);
+      if (!more.ok()) Die(more.status());
+      if (!*more) break;
+      n += tr.size();
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+}
+BENCHMARK(BM_IngestStreamingParse)->Unit(benchmark::kMillisecond);
+
+// The streaming pipeline's ingest shape: pull one trajectory, turn it into
+// raw segments, append them into the chunked store, let the trajectory go.
+// Arg 0 = chunk capacity, arg 1 = max resident chunks (0 = unbounded; > 0
+// spills sealed chunks and reports the residency high-water mark).
+void BM_IngestStreamingChunked(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  traj::ChunkedStoreOptions options;
+  options.chunk_capacity = static_cast<size_t>(state.range(0));
+  options.max_resident_chunks = static_cast<size_t>(state.range(1));
+  size_t peak = 0;
+  for (auto _ : state) {
+    traj::CsvStringSource source(corpus.csv);
+    traj::ChunkedSegmentStore store(options);
+    traj::Trajectory tr;
+    while (true) {
+      const auto more = source.Next(&tr);
+      if (!more.ok()) Die(more.status());
+      if (!*more) break;
+      const auto status = store.AppendAll(tr.RawSegments());
+      if (!status.ok()) Die(status);
+    }
+    const auto status = store.Finalize();
+    if (!status.ok()) Die(status);
+    benchmark::DoNotOptimize(store.size());
+    peak = store.peak_resident_chunks();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+  state.counters["peak_resident_chunks"] =
+      benchmark::Counter(static_cast<double>(peak));
+}
+BENCHMARK(BM_IngestStreamingChunked)
+    ->Args({65536, 0})
+    ->Args({65536, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// --- Freeze layer: segments/s into a queryable store. ---------------------
+
+// Eager baseline: one monolithic SegmentStore freeze of the whole corpus.
+// The refill copy is excluded, as in BM_SegmentStoreBuild.
+void BM_FreezeEagerStore(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<geom::Segment> input = corpus.segments;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(traj::SegmentStore(std::move(input)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSegments));
+}
+BENCHMARK(BM_FreezeEagerStore)->Unit(benchmark::kMillisecond);
+
+// Chunked freeze: append + finalize. Same args as BM_IngestStreamingChunked;
+// the bounded variant pays the spill write for every sealed chunk.
+void BM_FreezeChunkedStore(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  traj::ChunkedStoreOptions options;
+  options.chunk_capacity = static_cast<size_t>(state.range(0));
+  options.max_resident_chunks = static_cast<size_t>(state.range(1));
+  size_t peak = 0;
+  for (auto _ : state) {
+    traj::ChunkedSegmentStore store(options);
+    auto status = store.AppendAll(corpus.segments);
+    if (!status.ok()) Die(status);
+    status = store.Finalize();
+    if (!status.ok()) Die(status);
+    benchmark::DoNotOptimize(store.size());
+    peak = store.peak_resident_chunks();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSegments));
+  state.counters["peak_resident_chunks"] =
+      benchmark::Counter(static_cast<double>(peak));
+}
+BENCHMARK(BM_FreezeChunkedStore)
+    ->Args({65536, 0})
+    ->Args({65536, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Cold-read cost of the residency cap: fault every chunk of a spilled store
+// back in, in order, twice — all misses under a cap of 1, so this prices one
+// full rebuild-from-spill sweep per pass. peak_resident_chunks pins the
+// guarantee in the JSON history.
+void BM_ChunkedColdScan(benchmark::State& state) {
+  const auto& corpus = SharedCorpus();
+  traj::ChunkedStoreOptions options;
+  options.chunk_capacity = 65536;
+  options.max_resident_chunks = 1;
+  traj::ChunkedSegmentStore store(options);
+  auto status = store.AppendAll(corpus.segments);
+  if (!status.ok()) Die(status);
+  status = store.Finalize();
+  if (!status.ok()) Die(status);
+  for (auto _ : state) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t c = 0; c < store.num_chunks(); ++c) {
+        const auto chunk = store.Chunk(c);
+        if (!chunk.ok()) Die(chunk.status());
+        benchmark::DoNotOptimize((*chunk)->size());
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(kSegments));
+  state.counters["peak_resident_chunks"] =
+      benchmark::Counter(static_cast<double>(store.peak_resident_chunks()));
+}
+BENCHMARK(BM_ChunkedColdScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

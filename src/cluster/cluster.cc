@@ -22,9 +22,19 @@ size_t TrajectoryCardinality(const std::vector<geom::Segment>& segments,
 
 std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
     const traj::SegmentStore& store, const Cluster& cluster) {
+  return ParticipatingTrajectories(SegmentSetView::Of(store), cluster);
+}
+
+size_t TrajectoryCardinality(const traj::SegmentStore& store,
+                             const Cluster& cluster) {
+  return ParticipatingTrajectories(store, cluster).size();
+}
+
+std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
+    const SegmentSetView& view, const Cluster& cluster) {
   std::unordered_set<geom::TrajectoryId> out;
   out.reserve(cluster.member_indices.size());
-  const auto& ids = store.trajectory_ids();
+  const auto& ids = view.trajectory_ids;
   for (const size_t idx : cluster.member_indices) {
     TRACLUS_DCHECK(idx < ids.size());
     out.insert(ids[idx]);
@@ -32,9 +42,9 @@ std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
   return out;
 }
 
-size_t TrajectoryCardinality(const traj::SegmentStore& store,
+size_t TrajectoryCardinality(const SegmentSetView& view,
                              const Cluster& cluster) {
-  return ParticipatingTrajectories(store, cluster).size();
+  return ParticipatingTrajectories(view, cluster).size();
 }
 
 }  // namespace traclus::cluster

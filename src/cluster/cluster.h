@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/span.h"
 #include "geom/segment.h"
 #include "traj/segment_store.h"
 
@@ -36,6 +37,29 @@ struct ClusteringResult {
   size_t num_noise = 0;
 };
 
+/// Non-owning view of the per-segment catalog columns the grouping
+/// algorithms read — count, weight, and trajectory provenance — without
+/// touching segment payloads (endpoints, directions). Both the monolithic
+/// SegmentStore and the chunked store's always-resident catalog
+/// (traj/chunked_store.h) produce one, which is what lets DBSCAN's density
+/// accounting and the Definition 10 cardinality filter run without faulting
+/// a single payload chunk.
+struct SegmentSetView {
+  size_t count = 0;
+  common::Span<const double> weights;
+  common::Span<const geom::TrajectoryId> trajectory_ids;
+
+  size_t size() const { return count; }
+
+  static SegmentSetView Of(const traj::SegmentStore& store) {
+    SegmentSetView view;
+    view.count = store.size();
+    view.weights = store.weights();
+    view.trajectory_ids = store.trajectory_ids();
+    return view;
+  }
+};
+
 /// The set of participating trajectories PTR(C) of a cluster (Definition 10):
 /// the distinct trajectories its member segments were extracted from.
 std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
@@ -52,6 +76,14 @@ size_t TrajectoryCardinality(const std::vector<geom::Segment>& segments,
 
 /// Store-backed overload of TrajectoryCardinality.
 size_t TrajectoryCardinality(const traj::SegmentStore& store,
+                             const Cluster& cluster);
+
+/// View-backed overloads: read the trajectory-id column through a
+/// SegmentSetView (identical results to the store overloads, which delegate
+/// to these through SegmentSetView::Of).
+std::unordered_set<geom::TrajectoryId> ParticipatingTrajectories(
+    const SegmentSetView& view, const Cluster& cluster);
+size_t TrajectoryCardinality(const SegmentSetView& view,
                              const Cluster& cluster);
 
 }  // namespace traclus::cluster

@@ -17,12 +17,12 @@ constexpr size_t kDefaultBatchBlock = 1024;
 
 // |Nε(L)| under the configured density: neighbor count, or the weighted count
 // of the §4.2 extension (summed from the store's flat weight column).
-double NeighborhoodMass(const traj::SegmentStore& store,
+double NeighborhoodMass(const SegmentSetView& view,
                         const std::vector<size_t>& neighbors,
                         const DbscanOptions& options) {
   if (!options.use_weights) return static_cast<double>(neighbors.size());
   double mass = 0.0;
-  const std::vector<double>& weights = store.weights();
+  const common::Span<const double>& weights = view.weights;
   for (const size_t i : neighbors) mass += weights[i];
   return mass;
 }
@@ -114,11 +114,17 @@ class BlockedNeighborFetcher {
 ClusteringResult DbscanSegments(const traj::SegmentStore& store,
                                 const NeighborhoodProvider& provider,
                                 const DbscanOptions& options) {
-  TRACLUS_CHECK_EQ(provider.size(), store.size());
+  return DbscanSegments(SegmentSetView::Of(store), provider, options);
+}
+
+ClusteringResult DbscanSegments(const SegmentSetView& view,
+                                const NeighborhoodProvider& provider,
+                                const DbscanOptions& options) {
+  TRACLUS_CHECK_EQ(provider.size(), view.size());
   TRACLUS_CHECK_GT(options.eps, 0.0);
   TRACLUS_CHECK_GE(options.min_lns, 1.0);
 
-  const size_t n = store.size();
+  const size_t n = view.size();
   ClusteringResult result;
   result.labels.assign(n, kUnclassified);
   std::vector<Cluster> raw_clusters;
@@ -151,7 +157,7 @@ ClusteringResult DbscanSegments(const traj::SegmentStore& store,
     }
     if (result.labels[seed] != kUnclassified) continue;
     const std::vector<size_t> seed_neighbors = fetch(seed);
-    if (NeighborhoodMass(store, seed_neighbors, options) < options.min_lns) {
+    if (NeighborhoodMass(view, seed_neighbors, options) < options.min_lns) {
       result.labels[seed] = kNoise;  // Line 12.
       continue;
     }
@@ -174,7 +180,7 @@ ClusteringResult DbscanSegments(const traj::SegmentStore& store,
       const size_t m = queue.front();
       queue.pop_front();
       const std::vector<size_t> m_neighbors = fetch(m);
-      if (NeighborhoodMass(store, m_neighbors, options) < options.min_lns) {
+      if (NeighborhoodMass(view, m_neighbors, options) < options.min_lns) {
         continue;  // Not a core line segment: expand no further through it.
       }
       for (const size_t x : m_neighbors) {
@@ -199,7 +205,7 @@ ClusteringResult DbscanSegments(const traj::SegmentStore& store,
   int dense_id = 0;
   for (auto& cluster : raw_clusters) {
     const double ptr =
-        static_cast<double>(TrajectoryCardinality(store, cluster));
+        static_cast<double>(TrajectoryCardinality(view, cluster));
     // Removed; members become noise.
     if (ptr < cardinality_threshold) continue;
     remap[cluster.id] = dense_id;

@@ -63,6 +63,18 @@ ClusteringResult DbscanSegments(const traj::SegmentStore& store,
                                 const NeighborhoodProvider& provider,
                                 const DbscanOptions& options);
 
+/// View-backed overload: the algorithm reads the segment database only
+/// through the catalog columns of a SegmentSetView (count, weights,
+/// trajectory ids) — segment payloads are touched solely by `provider`'s own
+/// ε-queries. This is the entry point of the chunked out-of-core grouping
+/// path, where the view comes from a ChunkedSegmentStore's always-resident
+/// catalog and the provider faults payload chunks on demand. The store
+/// overload above delegates here via SegmentSetView::Of; labellings are
+/// identical.
+ClusteringResult DbscanSegments(const SegmentSetView& view,
+                                const NeighborhoodProvider& provider,
+                                const DbscanOptions& options);
+
 }  // namespace traclus::cluster
 
 #endif  // TRACLUS_CLUSTER_DBSCAN_SEGMENTS_H_

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <numeric>
 #include <string>
+#include <utility>
 
+#include "cluster/chunked_neighborhood.h"
 #include "cluster/dbscan_segments.h"
 #include "cluster/neighborhood.h"
 #include "cluster/neighborhood_index.h"
@@ -64,24 +67,57 @@ common::Status ValidateEpsMinLns(double eps, double min_lns) {
   return common::Status::OK();
 }
 
-// Bounds-checks a clustering against the segment store it claims to describe.
-common::Status ValidateClusteringAgainst(
-    const cluster::ClusteringResult& clustering,
-    const traj::SegmentStore& store) {
+// Bounds-checks a clustering against the segment database it claims to
+// describe (monolithic or chunked — only the size matters).
+common::Status ValidateClusteringAgainstSize(
+    const cluster::ClusteringResult& clustering, size_t size) {
   for (const auto& cluster : clustering.clusters) {
     for (const size_t member : cluster.member_indices) {
-      if (member >= store.size()) {
+      if (member >= size) {
         return common::Status::FailedPrecondition(
             "clustering refers to segment index " + std::to_string(member) +
             " outside the provided segment database (size " +
-            std::to_string(store.size()) + ")");
+            std::to_string(size) + ")");
       }
     }
   }
   return common::Status::OK();
 }
 
+common::Status ValidateClusteringAgainst(
+    const cluster::ClusteringResult& clustering,
+    const traj::SegmentStore& store) {
+  return ValidateClusteringAgainstSize(clustering, store.size());
+}
+
+// The always-resident catalog columns of a chunked store, viewed the way
+// DBSCAN's density accounting wants them.
+cluster::SegmentSetView CatalogView(const traj::ChunkedSegmentStore& store) {
+  cluster::SegmentSetView view;
+  view.count = store.size();
+  view.weights = store.weights();
+  view.trajectory_ids = store.trajectory_ids();
+  return view;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Chunked-store stage defaults
+// ---------------------------------------------------------------------------
+
+common::Result<cluster::ClusteringResult> GroupStage::RunChunked(
+    const traj::ChunkedSegmentStore& store, const RunContext& ctx) const {
+  TRACLUS_ASSIGN_OR_RETURN(traj::SegmentStore merged, store.Merge());
+  return Run(merged, ctx);
+}
+
+common::Result<std::vector<traj::Trajectory>> RepresentativeStage::RunChunked(
+    const traj::ChunkedSegmentStore& store,
+    const cluster::ClusteringResult& clustering, const RunContext& ctx) const {
+  TRACLUS_ASSIGN_OR_RETURN(traj::SegmentStore merged, store.Merge());
+  return Run(merged, clustering, ctx);
+}
 
 // ---------------------------------------------------------------------------
 // MdlPartitionStage
@@ -188,6 +224,40 @@ common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
   }
 }
 
+common::Result<cluster::ClusteringResult> DbscanGroupStage::RunChunked(
+    const traj::ChunkedSegmentStore& store, const RunContext& ctx) const {
+  const distance::SegmentDistance dist(options_.distance);
+  std::unique_ptr<cluster::NeighborhoodProvider> provider;
+  if (options_.use_index) {
+    provider = std::make_unique<cluster::ChunkedGridNeighborhood>(
+        store, dist, /*cell_size=*/0.0, ctx.distance_kernel);
+  } else {
+    provider = std::make_unique<cluster::ChunkedBruteForceNeighborhood>(
+        store, dist, ctx.distance_kernel);
+  }
+
+  cluster::DbscanOptions o;
+  o.eps = options_.eps;
+  o.min_lns = options_.min_lns;
+  o.min_trajectory_cardinality = options_.min_trajectory_cardinality;
+  o.use_weights = options_.use_weights;
+  o.num_threads = ctx.num_threads;
+  o.batch_block = options_.batch_block;
+  o.cancellation = ctx.cancellation;
+  if (ctx.progress) {
+    const ProgressFn& sink = ctx.progress;
+    const char* stage = name();
+    o.progress = [&sink, stage](double fraction) { sink(stage, fraction); };
+  }
+  try {
+    // The same Fig. 12 walk as Run: expansion reads the catalog view, the
+    // ε-queries fault payload chunks under the store's residency cap.
+    return cluster::DbscanSegments(CatalogView(store), *provider, o);
+  } catch (const common::OperationCancelled&) {
+    return CancelledIn(name());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // OpticsGroupStage
 // ---------------------------------------------------------------------------
@@ -286,6 +356,51 @@ common::Result<std::vector<traj::Trajectory>> SweepRepresentativeStage::Run(
         });
   } catch (const common::OperationCancelled&) {
     return CancelledIn(name());
+  }
+  Report(ctx, name(), 1.0);
+  return reps;
+}
+
+common::Result<std::vector<traj::Trajectory>>
+SweepRepresentativeStage::RunChunked(
+    const traj::ChunkedSegmentStore& store,
+    const cluster::ClusteringResult& clustering, const RunContext& ctx) const {
+  TRACLUS_RETURN_NOT_OK(
+      ValidateClusteringAgainstSize(clustering, store.size()));
+
+  cluster::RepresentativeOptions o;
+  o.min_lns = options_.min_lns;
+  o.gamma = options_.gamma;
+  o.method = options_.method;
+  o.use_weights = options_.use_weights;
+
+  Report(ctx, name(), 0.0);
+  // One cluster at a time: gather its member segments (faulting chunks
+  // through the bounded cache; members arrive roughly chunk-clustered, so
+  // the LRU makes repeats cheap), freeze them into a member-local store, and
+  // sweep that. The sweep and the average-direction axis read only
+  // member-indexed values plus cluster.id, so remapping members to 0..m-1
+  // preserves every double bit-for-bit versus Run on the merged store.
+  std::vector<traj::Trajectory> reps(clustering.clusters.size());
+  for (size_t i = 0; i < clustering.clusters.size(); ++i) {
+    if (ctx.cancellation != nullptr && ctx.cancellation->cancelled()) {
+      return CancelledIn(name());
+    }
+    const cluster::Cluster& c = clustering.clusters[i];
+    std::vector<geom::Segment> members;
+    members.reserve(c.member_indices.size());
+    for (const size_t idx : c.member_indices) {
+      const size_t chunk_id = store.chunk_of(idx);
+      TRACLUS_ASSIGN_OR_RETURN(const auto chunk, store.Chunk(chunk_id));
+      members.push_back(chunk->segments()[idx - store.chunk_begin(chunk_id)]);
+    }
+    cluster::Cluster local;
+    local.id = c.id;
+    local.member_indices.resize(c.member_indices.size());
+    std::iota(local.member_indices.begin(), local.member_indices.end(),
+              size_t{0});
+    reps[i] = cluster::RepresentativeTrajectory(
+        traj::SegmentStore(std::move(members)), local, o);
   }
   Report(ctx, name(), 1.0);
   return reps;
@@ -505,6 +620,120 @@ common::Result<TraclusResult> TraclusEngine::Run(
   }
   if (representative_ != nullptr) {
     auto reps = RepresentativesImpl(out.store, out.clustering, rctx);
+    if (!reps.ok()) return reps.status();
+    out.representatives = std::move(reps).ValueOrDie();
+  }
+  return out;
+}
+
+common::Result<TraclusResult> TraclusEngine::Run(
+    traj::TrajectorySource& source, const RunContext& ctx) const {
+  const RunContext rctx = ResolveContext(ctx);
+  if (rctx.cancellation != nullptr && rctx.cancellation->cancelled()) {
+    return common::Status::Cancelled("run cancelled before the partition "
+                                     "stage");
+  }
+
+  traj::ChunkedStoreOptions store_options;
+  store_options.chunk_capacity = rctx.chunk_capacity;
+  store_options.max_resident_chunks = rctx.max_resident_chunks;
+  auto chunked = std::make_shared<traj::ChunkedSegmentStore>(store_options);
+
+  // Ingest: pull trajectories in small blocks, partition each block on
+  // arrival, and append the segments straight into the chunked store. Only
+  // one block of trajectories is ever resident — the full TrajectoryDatabase
+  // is never materialized. The per-block partition runs with progress muted
+  // (a source has no known length, so block fractions would be meaningless);
+  // the outer stage start/end reports bracket the whole ingest instead.
+  RunContext block_ctx = rctx;
+  block_ctx.progress = nullptr;
+  constexpr size_t kIngestBlock = 256;
+
+  TraclusResult out;
+  out.chunked_store = chunked;
+  Report(rctx, partition_->name(), 0.0);
+
+  // Trajectories pulled so far == the position the eager TrajectoryDatabase
+  // would have stored the next one at; negative ids are assigned from it,
+  // replicating TrajectoryDatabase::Add across block boundaries.
+  geom::TrajectoryId next_position = 0;
+  // Segments appended so far == the eager path's first_segment_id for the
+  // next trajectory's partitions; block-local ids are rebased by it (an
+  // exact integer add), replicating the consecutive-in-database-order
+  // contract of the partition stage.
+  size_t segments_so_far = 0;
+  bool at_end = false;
+  while (!at_end) {
+    traj::TrajectoryDatabase block;
+    while (block.size() < kIngestBlock) {
+      traj::Trajectory tr;
+      TRACLUS_ASSIGN_OR_RETURN(const bool more, source.Next(&tr));
+      if (!more) {
+        at_end = true;
+        break;
+      }
+      if (tr.id() < 0) tr.set_id(next_position);
+      ++next_position;
+      block.Add(std::move(tr));
+    }
+    if (block.size() == 0) break;
+
+    TRACLUS_ASSIGN_OR_RETURN(PartitionOutput partitioned,
+                             partition_->Run(block, block_ctx));
+    std::vector<geom::Segment> segments = partitioned.store.segments();
+    for (geom::Segment& s : segments) {
+      s.set_id(s.id() + static_cast<geom::SegmentId>(segments_so_far));
+    }
+    segments_so_far += segments.size();
+    TRACLUS_RETURN_NOT_OK(chunked->AppendAll(segments));
+    for (auto& cps : partitioned.characteristic_points) {
+      out.characteristic_points.push_back(std::move(cps));
+    }
+  }
+  if (next_position == 0) {
+    return common::Status::FailedPrecondition(
+        "trajectory database is empty (partitioning needs at least one "
+        "trajectory)");
+  }
+  TRACLUS_RETURN_NOT_OK(chunked->Finalize());
+  Report(rctx, partition_->name(), 1.0);
+
+  if (rctx.max_resident_chunks == 0) {
+    // Unbounded residency: merge the chunks back into the monolithic store
+    // (bit-identical to the eager freeze of the same segments) and run the
+    // existing grouping/representative stages on it.
+    TRACLUS_ASSIGN_OR_RETURN(traj::SegmentStore merged, chunked->Merge());
+    out.store = std::move(merged);
+    {
+      auto grouped = GroupImpl(out.store, rctx);
+      if (!grouped.ok()) return grouped.status();
+      out.clustering = std::move(grouped).ValueOrDie();
+    }
+    if (representative_ != nullptr) {
+      auto reps = RepresentativesImpl(out.store, out.clustering, rctx);
+      if (!reps.ok()) return reps.status();
+      out.representatives = std::move(reps).ValueOrDie();
+    }
+    return out;
+  }
+
+  // Bounded residency: the out-of-core path. out.store stays empty —
+  // materializing it would defeat the cap — and the stages run their
+  // chunked entry points against the store's bounded reader cache.
+  if (rctx.cancellation != nullptr && rctx.cancellation->cancelled()) {
+    return common::Status::Cancelled("run cancelled before the group stage");
+  }
+  {
+    auto grouped = group_->RunChunked(*chunked, rctx);
+    if (!grouped.ok()) return grouped.status();
+    out.clustering = std::move(grouped).ValueOrDie();
+  }
+  if (representative_ != nullptr) {
+    if (rctx.cancellation != nullptr && rctx.cancellation->cancelled()) {
+      return common::Status::Cancelled(
+          "run cancelled before the representative stage");
+    }
+    auto reps = representative_->RunChunked(*chunked, out.clustering, rctx);
     if (!reps.ok()) return reps.status();
     out.representatives = std::move(reps).ValueOrDie();
   }

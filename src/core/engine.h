@@ -36,7 +36,9 @@
 #include "core/stages.h"
 #include "distance/segment_distance.h"
 #include "partition/mdl.h"
+#include "traj/chunked_store.h"
 #include "traj/segment_store.h"
+#include "traj/source.h"
 #include "traj/trajectory.h"
 #include "traj/trajectory_database.h"
 
@@ -107,6 +109,13 @@ struct TraclusResult {
   cluster::ClusteringResult clustering;
   /// One representative trajectory per cluster (empty when disabled).
   std::vector<traj::Trajectory> representatives;
+  /// Streaming runs only (Run(TrajectorySource&)): the chunked segment
+  /// database the run ingested into; null for eager runs. When the run was
+  /// residency-capped (RunContext::max_resident_chunks > 0), `store` above is
+  /// left EMPTY — materializing it would defeat the cap — and consumers read
+  /// segments through this store's Chunk()/Merge(). Uncapped streaming runs
+  /// fill both (`store` is the merged database the grouping phase ran on).
+  std::shared_ptr<const traj::ChunkedSegmentStore> chunked_store;
 
   /// Array-of-structs view of the segment database (borrowed from the store).
   const std::vector<geom::Segment>& segments() const {
@@ -181,6 +190,26 @@ class TraclusEngine {
   common::Result<TraclusResult> Run(const traj::TrajectoryDatabase& db,
                                     const RunContext& ctx = {}) const;
 
+  /// Streaming-ingest pipeline: pulls trajectories from `source` one block at
+  /// a time, partitions each block on arrival, and appends the resulting
+  /// segments straight into a ChunkedSegmentStore shaped by the RunContext's
+  /// chunk knobs — the full TrajectoryDatabase is never materialized. After
+  /// ingest, an uncapped run (max_resident_chunks == 0) merges the chunks and
+  /// executes the ordinary grouping/representative stages; a capped run
+  /// executes the stages' RunChunked paths, under which at most
+  /// max_resident_chunks payload chunks are cache-resident at any point.
+  ///
+  /// Output is bit-identical to Run(DrainToDatabase(source)) for every chunk
+  /// capacity, residency cap, thread count, and kernel choice (the golden
+  /// matrix in tests/streaming_engine_test.cc pins this); see
+  /// TraclusResult::chunked_store for which result fields a capped run fills.
+  /// A source that fails mid-stream propagates its typed status (naming the
+  /// offending line for CSV sources) and no partial result escapes; an
+  /// exhausted source with zero trajectories is kFailedPrecondition, like the
+  /// empty-database eager run.
+  common::Result<TraclusResult> Run(traj::TrajectorySource& source,
+                                    const RunContext& ctx = {}) const;
+
   /// Runs only the partitioning stage (Fig. 4 lines 01-03).
   common::Result<PartitionOutput> Partition(const traj::TrajectoryDatabase& db,
                                             const RunContext& ctx = {}) const;
@@ -190,8 +219,13 @@ class TraclusEngine {
   common::Result<cluster::ClusteringResult> Group(
       const traj::SegmentStore& store, const RunContext& ctx = {}) const;
 
-  /// Convenience overload for callers holding a raw segment vector: freezes
-  /// it into a store (one O(n) invariant pass), then groups.
+  /// Deprecated convenience overload for callers holding a raw segment
+  /// vector. It hides the O(n) invariant-freezing pass inside a call that
+  /// reads like a lookup; spell the freeze explicitly instead:
+  ///   engine.Group(traj::SegmentStore::FromSegments(std::move(segments)))
+  [[deprecated(
+      "freeze the vector explicitly with traj::SegmentStore::FromSegments "
+      "and call Group(store)")]]
   common::Result<cluster::ClusteringResult> Group(
       std::vector<geom::Segment> segments, const RunContext& ctx = {}) const;
 

@@ -23,6 +23,7 @@
 #include "distance/segment_distance.h"
 #include "geom/segment.h"
 #include "partition/mdl.h"
+#include "traj/chunked_store.h"
 #include "traj/segment_store.h"
 #include "traj/trajectory.h"
 #include "traj/trajectory_database.h"
@@ -61,6 +62,17 @@ struct RunContext {
   /// built without AVX2). The kernels are bit-identical, so results never
   /// depend on this knob — only throughput does.
   distance::BatchKernel distance_kernel = distance::BatchKernel::kAuto;
+  /// Streaming runs only (TraclusEngine::Run(TrajectorySource&)): segments
+  /// per chunk of the run's ChunkedSegmentStore. 0 = unbounded (one chunk).
+  /// Eager runs ignore both chunk knobs. Results are bit-identical for every
+  /// value — chunking changes residency, never arithmetic.
+  size_t chunk_capacity = 0;
+  /// Streaming runs only: residency cap of the chunked store's reader cache.
+  /// 0 = unbounded (no spill; the grouping phase runs on the merged store).
+  /// > 0 enables the out-of-core grouping path: cold chunks spill to a temp
+  /// file and at most this many chunk stores are cache-resident at once
+  /// (the OPTICS stage does not honor the cap — see GroupStage::RunChunked).
+  size_t max_resident_chunks = 0;
 };
 
 /// Output of the partitioning stage: the segment database D accumulated from
@@ -109,6 +121,16 @@ class GroupStage {
   virtual common::Status Validate() const { return common::Status::OK(); }
   virtual common::Result<cluster::ClusteringResult> Run(
       const traj::SegmentStore& store, const RunContext& ctx) const = 0;
+
+  /// Chunked-store entry point of the streaming pipeline. The default
+  /// implementation merges the chunks back into a monolithic store and
+  /// delegates to Run — always correct and bit-identical, but it does NOT
+  /// honor the residency cap (the merged store is fully resident). Stages
+  /// with a genuine out-of-core path override it (DbscanGroupStage);
+  /// OpticsGroupStage inherits the default, so OPTICS grouping under a
+  /// residency cap is correct but not memory-bounded.
+  virtual common::Result<cluster::ClusteringResult> RunChunked(
+      const traj::ChunkedSegmentStore& store, const RunContext& ctx) const;
 };
 
 /// Stage 3: clusters → one representative trajectory per cluster (§4.3).
@@ -121,6 +143,14 @@ class RepresentativeStage {
       const traj::SegmentStore& store,
       const cluster::ClusteringResult& clustering,
       const RunContext& ctx) const = 0;
+
+  /// Chunked-store entry point; same default-merges-and-delegates contract
+  /// as GroupStage::RunChunked. SweepRepresentativeStage overrides it with a
+  /// per-cluster gather that keeps only one cluster's members resident.
+  virtual common::Result<std::vector<traj::Trajectory>> RunChunked(
+      const traj::ChunkedSegmentStore& store,
+      const cluster::ClusteringResult& clustering,
+      const RunContext& ctx) const;
 };
 
 // ---------------------------------------------------------------------------
@@ -184,6 +214,15 @@ class DbscanGroupStage : public GroupStage {
   common::Status Validate() const override;
   common::Result<cluster::ClusteringResult> Run(
       const traj::SegmentStore& store, const RunContext& ctx) const override;
+  /// Out-of-core grouping: DBSCAN's density accounting and cardinality
+  /// filter read the chunked store's always-resident catalog through a
+  /// cluster::SegmentSetView, and the ε-queries run over the chunked
+  /// neighborhood providers, which fault payload chunks on demand under the
+  /// store's residency cap. Labellings are byte-identical to Run on the
+  /// merged store.
+  common::Result<cluster::ClusteringResult> RunChunked(
+      const traj::ChunkedSegmentStore& store,
+      const RunContext& ctx) const override;
 
   const DbscanGroupOptions& options() const { return options_; }
 
@@ -250,6 +289,15 @@ class SweepRepresentativeStage : public RepresentativeStage {
   common::Status Validate() const override;
   common::Result<std::vector<traj::Trajectory>> Run(
       const traj::SegmentStore& store,
+      const cluster::ClusteringResult& clustering,
+      const RunContext& ctx) const override;
+  /// Out-of-core sweep: gathers each cluster's member segments (faulting
+  /// chunks through the store's bounded cache) into a small member-local
+  /// store and sweeps that, so only one cluster's members are resident at a
+  /// time. The sweep reads member-indexed values only, so representatives
+  /// are bit-identical to Run on the merged store.
+  common::Result<std::vector<traj::Trajectory>> RunChunked(
+      const traj::ChunkedSegmentStore& store,
       const cluster::ClusteringResult& clustering,
       const RunContext& ctx) const override;
 

@@ -85,6 +85,24 @@ inline double PairDistanceScalar(const traj::SegmentStore& store,
                                           cfg.w_angle);
 }
 
+// Cross-store pair distance: query from qs, candidate from cs. Same
+// canonical role assignment and kernel as PairDistanceScalar (chunk-local
+// invariants are bit-identical to the monolithic columns, so the swap
+// decision and the arithmetic match the one-store path exactly).
+inline double PairDistanceScalarCross(const traj::SegmentStore& qs,
+                                      size_t query,
+                                      const traj::SegmentStore& cs, size_t j,
+                                      const SegmentDistanceConfig& cfg) {
+  if (internal::CrossCanonicalSwap(qs, query, cs, j)) {
+    return internal::CrossWeightedCanonical(cs, j, qs, query, cfg.directed,
+                                            cfg.w_perpendicular,
+                                            cfg.w_parallel, cfg.w_angle);
+  }
+  return internal::CrossWeightedCanonical(qs, query, cs, j, cfg.directed,
+                                          cfg.w_perpendicular, cfg.w_parallel,
+                                          cfg.w_angle);
+}
+
 // Blocked scalar batch kernel. `index(k)` maps batch position to segment
 // index (an array lookup for DistanceBatch, `first + k` for the Range
 // variants). Branch-light: the only data-dependent branches are the ones the
@@ -436,6 +454,51 @@ size_t EpsilonRefine(const traj::SegmentStore& store,
   return EpsilonRefineImpl(
       store, dist, query, candidates.size(),
       [cand](size_t k) { return cand[k]; }, eps, out_indices, options, stats);
+}
+
+size_t EpsilonRefineCross(const traj::SegmentStore& query_store,
+                          const SegmentDistance& dist, size_t query,
+                          const traj::SegmentStore& cand_store,
+                          common::Span<const size_t> candidates, double eps,
+                          size_t out_base, std::vector<size_t>& out_indices,
+                          const BatchOptions& options, RefineStats* stats) {
+  TRACLUS_DCHECK(query < query_store.size());
+  TRACLUS_DCHECK_EQ(query_store.dims(), cand_store.dims());
+  // Same prune → refine → threshold pipeline as EpsilonRefineImpl, with the
+  // query-side context from the query's chunk and the candidate-side columns
+  // from the candidate chunk. No self-inclusion case: cross-store candidates
+  // never contain the query (see header contract). The kernel request
+  // degrades to the scalar canonical kernel — bit-identical by the SIMD
+  // lane-equivalence invariant, so callers see no behavioral difference.
+  const PruneContext prune =
+      MakePruneContext(query_store, dist, query, eps, options.prune);
+  const SegmentDistanceConfig& cfg = dist.config();
+
+  size_t appended = 0;
+  size_t pruned = 0;
+  size_t refined = 0;
+  for (const size_t j : candidates) {
+    TRACLUS_DCHECK(j < cand_store.size());
+    if (PrunedFar(prune, cand_store, j)) {
+      ++pruned;
+      continue;
+    }
+    ++refined;
+    const double d = PairDistanceScalarCross(query_store, query, cand_store,
+                                             j, cfg);
+    if (d <= eps) {
+      out_indices.push_back(out_base + j);
+      ++appended;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->candidates += candidates.size();
+    stats->pruned += pruned;
+    stats->refined += refined;
+    stats->accepted += appended;
+  }
+  return appended;
 }
 
 size_t EpsilonRefineRange(const traj::SegmentStore& store,

@@ -139,6 +139,33 @@ size_t EpsilonRefineRange(const traj::SegmentStore& store,
                           const BatchOptions& options = {},
                           RefineStats* stats = nullptr);
 
+/// Cross-store ε-refine: the query segment lives in `query_store` (local
+/// index `query`) while the candidates live in `cand_store` (local indices
+/// `candidates`) — the refinement step of the chunked out-of-core
+/// neighborhood, where the query's chunk and a candidate chunk are distinct
+/// chunk-local SegmentStores of one ChunkedSegmentStore.
+///
+/// For each candidate j with dist ≤ eps, appends `out_base + j` (the
+/// caller's global index for chunk-local j) to `out_indices`, preserving
+/// candidate order. Because chunk-local stores cache bit-identical
+/// invariants, the evaluation — Lemma 2 canonicalization included — executes
+/// the same floating-point operations as the one-store refine over a
+/// monolithic store, so results are bit-identical to EpsilonRefine on the
+/// merged database.
+///
+/// The candidates must not contain the query segment itself (Definition 4
+/// self-inclusion is a same-store concern; callers route the query's own
+/// chunk through EpsilonRefine). The SIMD kernel request degrades to the
+/// scalar canonical kernel here — identical results, since the lanes are
+/// bit-identical to scalar by construction; only throughput differs.
+size_t EpsilonRefineCross(const traj::SegmentStore& query_store,
+                          const SegmentDistance& dist, size_t query,
+                          const traj::SegmentStore& cand_store,
+                          common::Span<const size_t> candidates, double eps,
+                          size_t out_base, std::vector<size_t>& out_indices,
+                          const BatchOptions& options = {},
+                          RefineStats* stats = nullptr);
+
 /// Kernel-selecting overload of PairwiseDistanceMatrix (segment_distance.h):
 /// the same symmetric n×n matrix, with each row's upper-triangle entries
 /// streamed as one contiguous DistanceBatchRange into the row storage (the

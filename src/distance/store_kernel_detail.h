@@ -42,26 +42,38 @@ inline bool LexLess(const geom::Segment& a, const geom::Segment& b) {
   return false;
 }
 
+// Two-store generalization of the Lemma 2 canonical ordering: true when the
+// pair (sb, b) must take the Li (longer) role. The decision reads only
+// cached lengths, ids, and endpoint bits — all bit-identical between a
+// monolithic store and a chunk-local store holding the same segment — so the
+// swap decision is independent of how the database is chunked.
+inline bool CrossCanonicalSwap(const traj::SegmentStore& sa, size_t a,
+                               const traj::SegmentStore& sb, size_t b) {
+  const double la = sa.length(a);
+  const double lb = sb.length(b);
+  bool swap = false;
+  if (la < lb) {
+    swap = true;
+  } else if (la == lb) {
+    const geom::SegmentId ia = sa.id(a);
+    const geom::SegmentId ib = sb.id(b);
+    if (ia >= 0 && ib >= 0 && ia != ib) {
+      swap = ia > ib;
+    } else {
+      swap = LexLess(sb.segment(b), sa.segment(a));
+    }
+  }
+  return swap;
+}
+
 // Store-backed Canonicalize: the same ordering decision as the Segment
 // overload (SegmentDistance::Canonicalize), but the lengths and Lemma 2
 // tie-break ids come from the cache.
 inline void CanonicalizeInStore(const traj::SegmentStore& store,
                                 size_t& longer, size_t& shorter) {
-  const double la = store.length(longer);
-  const double lb = store.length(shorter);
-  bool swap = false;
-  if (la < lb) {
-    swap = true;
-  } else if (la == lb) {
-    const geom::SegmentId ia = store.id(longer);
-    const geom::SegmentId ib = store.id(shorter);
-    if (ia >= 0 && ib >= 0 && ia != ib) {
-      swap = ia > ib;
-    } else {
-      swap = LexLess(store.segment(shorter), store.segment(longer));
-    }
+  if (CrossCanonicalSwap(store, longer, store, shorter)) {
+    std::swap(longer, shorter);
   }
-  if (swap) std::swap(longer, shorter);
 }
 
 // Store-backed canonical kernel. The caller has already ordered (li, lj) as
@@ -81,16 +93,23 @@ inline void CanonicalizeInStore(const traj::SegmentStore& store,
 // `Sink` receives (perpendicular, parallel, angle); it lets the pair path
 // build a DistanceComponents and the batch path fold the weighted sum
 // without an intermediate struct, with identical arithmetic either way.
+// Two-store form: Li comes from `si`, Lj from `sj`. Because chunk-local
+// stores cache bit-identical invariants for the same segments, evaluating a
+// pair across two chunk stores executes the same floating-point operations
+// on the same bits as evaluating it inside the monolithic store — the
+// chunked grouping path inherits bit-identity from this.
 template <typename Sink>
-inline void StoreComponentsCanonicalInto(const traj::SegmentStore& store,
-                                         size_t li, size_t lj, bool directed,
+inline void CrossComponentsCanonicalInto(const traj::SegmentStore& si,
+                                         size_t li,
+                                         const traj::SegmentStore& sj,
+                                         size_t lj, bool directed,
                                          Sink&& sink) {
-  const geom::Segment& i_seg = store.segment(li);
-  const geom::Segment& j_seg = store.segment(lj);
+  const geom::Segment& i_seg = si.segment(li);
+  const geom::Segment& j_seg = sj.segment(lj);
   const geom::Point& s = i_seg.start();
   const geom::Point& e = i_seg.end();
-  const geom::Point& se = store.direction(li);
-  const double denom = store.squared_length(li);
+  const geom::Point& se = si.direction(li);
+  const double denom = si.squared_length(li);
 
   // ProjectOntoLine(p, s, e), with se and ||se||² read from the cache.
   const auto project = [&](const geom::Point& p) {
@@ -116,21 +135,20 @@ inline void StoreComponentsCanonicalInto(const traj::SegmentStore& store,
   const double parallel = std::min(lpar1, lpar2);
 
   // Angle (Definition 3), directed or undirected.
-  const double len_j = store.length(lj);
+  const double len_j = sj.length(lj);
   if (len_j == 0.0) {
     // Point-like Lj has no directional strength.
     sink(perpendicular, parallel, 0.0);
     return;
   }
-  const double len_i = store.length(li);
+  const double len_i = si.length(li);
   // CosAngleBetween with the norms read from the cache.
   const double cos_theta =
       len_i == 0.0
           ? 1.0
-          : std::clamp(
-                geom::Dot(store.direction(li), store.direction(lj)) /
-                    (len_i * len_j),
-                -1.0, 1.0);
+          : std::clamp(geom::Dot(si.direction(li), sj.direction(lj)) /
+                           (len_i * len_j),
+                       -1.0, 1.0);
   if (directed && cos_theta <= 0.0) {
     sink(perpendicular, parallel, len_j);  // θ in [90°, 180°].
     return;
@@ -138,6 +156,34 @@ inline void StoreComponentsCanonicalInto(const traj::SegmentStore& store,
   const double sin_theta =
       std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
   sink(perpendicular, parallel, len_j * sin_theta);
+}
+
+// One-store form: both segments resolved from the same store (the historical
+// entry point; delegates to the two-store kernel with the store bound to
+// both sides, which compiles to the identical instruction stream).
+template <typename Sink>
+inline void StoreComponentsCanonicalInto(const traj::SegmentStore& store,
+                                         size_t li, size_t lj, bool directed,
+                                         Sink&& sink) {
+  CrossComponentsCanonicalInto(store, li, store, lj, directed,
+                               std::forward<Sink>(sink));
+}
+
+// Full weighted distance across two stores for an already-canonicalized
+// (longer, shorter) role assignment; same left-to-right weighted fold as
+// StoreWeightedCanonical.
+inline double CrossWeightedCanonical(const traj::SegmentStore& si, size_t li,
+                                     const traj::SegmentStore& sj, size_t lj,
+                                     bool directed, double w_perpendicular,
+                                     double w_parallel, double w_angle) {
+  double total = 0.0;
+  CrossComponentsCanonicalInto(
+      si, li, sj, lj, directed,
+      [&](double perpendicular, double parallel, double angle) {
+        total = w_perpendicular * perpendicular + w_parallel * parallel +
+                w_angle * angle;
+      });
+  return total;
 }
 
 // Full weighted distance for an already-canonicalized (longer, shorter)

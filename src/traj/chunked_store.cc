@@ -1,0 +1,243 @@
+#include "traj/chunked_store.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace traclus::traj {
+
+namespace {
+
+// Fixed-width spill record: provenance + raw endpoint doubles. Invariants are
+// NOT spilled — they are recomputed by the SegmentStore constructor from the
+// same endpoint bits, which is what makes a faulted chunk bit-identical to
+// the chunk that was evicted.
+struct SpillRecord {
+  int64_t id;
+  int64_t trajectory_id;
+  double weight;
+  double start[geom::kMaxDims];
+  double end[geom::kMaxDims];
+};
+
+SpillRecord ToRecord(const geom::Segment& s) {
+  SpillRecord r;
+  std::memset(&r, 0, sizeof(r));
+  r.id = s.id();
+  r.trajectory_id = s.trajectory_id();
+  r.weight = s.weight();
+  for (int d = 0; d < s.dims(); ++d) {
+    r.start[d] = s.start()[d];
+    r.end[d] = s.end()[d];
+  }
+  return r;
+}
+
+geom::Segment FromRecord(const SpillRecord& r, int dims) {
+  const geom::Point start =
+      dims == 3 ? geom::Point(r.start[0], r.start[1], r.start[2])
+                : geom::Point(r.start[0], r.start[1]);
+  const geom::Point end = dims == 3
+                              ? geom::Point(r.end[0], r.end[1], r.end[2])
+                              : geom::Point(r.end[0], r.end[1]);
+  return geom::Segment(start, end, r.id, r.trajectory_id, r.weight);
+}
+
+}  // namespace
+
+ChunkedSegmentStore::ChunkedSegmentStore(const ChunkedStoreOptions& options)
+    : options_(options) {}
+
+ChunkedSegmentStore::~ChunkedSegmentStore() {
+  if (spill_ != nullptr) std::fclose(spill_);
+}
+
+common::Status ChunkedSegmentStore::Append(const geom::Segment& segment) {
+  if (finalized_) {
+    return common::Status::FailedPrecondition(
+        "ChunkedSegmentStore: Append after Finalize");
+  }
+  if (dims_ == 0) {
+    dims_ = segment.dims();
+  } else if (segment.dims() != dims_) {
+    return common::Status::InvalidArgument(
+        "ChunkedSegmentStore: " + std::to_string(segment.dims()) +
+        "-D segment appended to a " + std::to_string(dims_) + "-D store");
+  }
+
+  // Catalog invariants: the exact floating-point expressions of the
+  // SegmentStore constructor, so each catalog column is bit-identical to the
+  // monolithic store's column for the same index.
+  const geom::Point direction = segment.Direction();
+  const double squared_length = direction.SquaredNorm();
+  const double length = std::sqrt(squared_length);
+  length_.push_back(length);
+  half_length_.push_back(0.5 * length);
+  const geom::Point midpoint = segment.Midpoint();
+  geom::BBox box;
+  box.Extend(segment);
+  bbox_.push_back(box);
+  id_.push_back(segment.id());
+  trajectory_id_.push_back(segment.trajectory_id());
+  weight_.push_back(segment.weight());
+  for (int d = 0; d < geom::kMaxDims; ++d) {
+    midpoint_c_[d].push_back(d < dims_ ? midpoint[d] : 0.0);
+  }
+
+  if (chunks_.empty()) chunks_.emplace_back();
+  chunks_.back().raw.push_back(segment);
+  ++chunks_.back().count;
+  ++size_;
+  if (options_.chunk_capacity > 0 &&
+      chunks_.back().count == options_.chunk_capacity) {
+    TRACLUS_RETURN_NOT_OK(SealOpenChunk());
+    chunks_.emplace_back();
+  }
+  return common::Status::OK();
+}
+
+common::Status ChunkedSegmentStore::AppendAll(
+    const std::vector<geom::Segment>& segments) {
+  for (const auto& s : segments) {
+    TRACLUS_RETURN_NOT_OK(Append(s));
+  }
+  return common::Status::OK();
+}
+
+common::Status ChunkedSegmentStore::SealOpenChunk() {
+  ChunkMeta& chunk = chunks_.back();
+  if (options_.max_resident_chunks == 0) return common::Status::OK();
+  // Bounded mode: raw records go to the spill file; the in-memory copy is
+  // dropped. Cold chunks cost catalog bytes only.
+  if (spill_ == nullptr) {
+    spill_ = std::tmpfile();
+    if (spill_ == nullptr) {
+      return common::Status::IOError(
+          "ChunkedSegmentStore: cannot create spill file");
+    }
+  }
+  if (std::fseek(spill_, spill_tail_, SEEK_SET) != 0) {
+    return common::Status::IOError("ChunkedSegmentStore: spill seek failed");
+  }
+  chunk.spill_offset = spill_tail_;
+  for (const auto& s : chunk.raw) {
+    const SpillRecord r = ToRecord(s);
+    if (std::fwrite(&r, sizeof(r), 1, spill_) != 1) {
+      return common::Status::IOError("ChunkedSegmentStore: spill write failed");
+    }
+  }
+  spill_tail_ += static_cast<long>(chunk.raw.size() * sizeof(SpillRecord));
+  chunk.raw.clear();
+  chunk.raw.shrink_to_fit();
+  chunk.spilled = true;
+  return common::Status::OK();
+}
+
+common::Status ChunkedSegmentStore::Finalize() {
+  if (finalized_) {
+    return common::Status::FailedPrecondition(
+        "ChunkedSegmentStore: Finalize called twice");
+  }
+  if (!chunks_.empty()) {
+    if (chunks_.back().count == 0) {
+      // Append sealed exactly at capacity and opened a fresh chunk that never
+      // received a segment; drop it rather than publish an empty chunk.
+      chunks_.pop_back();
+    } else {
+      TRACLUS_RETURN_NOT_OK(SealOpenChunk());
+    }
+  }
+  chunk_count_ = chunks_.size();
+  finalized_ = true;
+  return common::Status::OK();
+}
+
+size_t ChunkedSegmentStore::chunk_size(size_t c) const {
+  TRACLUS_DCHECK(c < chunks_.size());
+  return chunks_[c].count;
+}
+
+common::Status ChunkedSegmentStore::LoadRaw(
+    size_t c, std::vector<geom::Segment>* out) const {
+  const ChunkMeta& chunk = chunks_[c];
+  out->clear();
+  out->reserve(chunk.count);
+  if (!chunk.spilled) {
+    *out = chunk.raw;
+    return common::Status::OK();
+  }
+  if (std::fseek(spill_, chunk.spill_offset, SEEK_SET) != 0) {
+    return common::Status::IOError("ChunkedSegmentStore: spill seek failed");
+  }
+  for (size_t i = 0; i < chunk.count; ++i) {
+    SpillRecord r;
+    if (std::fread(&r, sizeof(r), 1, spill_) != 1) {
+      return common::Status::IOError("ChunkedSegmentStore: spill read failed");
+    }
+    out->push_back(FromRecord(r, dims_));
+  }
+  return common::Status::OK();
+}
+
+common::Result<std::shared_ptr<const SegmentStore>> ChunkedSegmentStore::Chunk(
+    size_t c) const {
+  if (!finalized_) {
+    return common::Status::FailedPrecondition(
+        "ChunkedSegmentStore: Chunk before Finalize");
+  }
+  if (c >= chunk_count_) {
+    return common::Status::InvalidArgument(
+        "ChunkedSegmentStore: chunk " + std::to_string(c) + " out of range (" +
+        std::to_string(chunk_count_) + " chunks)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(c);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.store;
+  }
+  std::vector<geom::Segment> raw;
+  TRACLUS_RETURN_NOT_OK(LoadRaw(c, &raw));
+  auto store = std::make_shared<const SegmentStore>(std::move(raw));
+  // Evict before insert: the cache never owns more than the cap, so the
+  // residency high-water mark cannot exceed it.
+  while (options_.max_resident_chunks > 0 &&
+         cache_.size() >= options_.max_resident_chunks) {
+    const size_t victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  lru_.push_front(c);
+  cache_.emplace(c, CacheEntry{lru_.begin(), store});
+  if (cache_.size() > peak_resident_) peak_resident_ = cache_.size();
+  return store;
+}
+
+size_t ChunkedSegmentStore::resident_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+size_t ChunkedSegmentStore::peak_resident_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_resident_;
+}
+
+common::Result<SegmentStore> ChunkedSegmentStore::Merge() const {
+  if (!finalized_) {
+    return common::Status::FailedPrecondition(
+        "ChunkedSegmentStore: Merge before Finalize");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<geom::Segment> all;
+  all.reserve(size_);
+  std::vector<geom::Segment> chunk_raw;
+  for (size_t c = 0; c < chunk_count_; ++c) {
+    TRACLUS_RETURN_NOT_OK(LoadRaw(c, &chunk_raw));
+    all.insert(all.end(), chunk_raw.begin(), chunk_raw.end());
+  }
+  return SegmentStore(std::move(all));
+}
+
+}  // namespace traclus::traj

@@ -1,174 +1,74 @@
 #include "traj/csv_io.h"
 
-#include <cerrno>
-#include <charconv>
-#include <cstring>
+#include <cstdio>
 #include <fstream>
-#include <sstream>
-#include <string_view>
-#include <unordered_set>
-#include <vector>
+#include <string>
+
+#include "traj/source.h"
 
 namespace traclus::traj {
 
-namespace {
-
-// Splits a CSV row on commas; no quoting support (the schema is numeric).
-std::vector<std::string_view> SplitFields(std::string_view line) {
-  std::vector<std::string_view> fields;
-  size_t start = 0;
-  while (true) {
-    const size_t comma = line.find(',', start);
-    if (comma == std::string_view::npos) {
-      fields.push_back(line.substr(start));
-      break;
-    }
-    fields.push_back(line.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return fields;
-}
-
-std::string_view Trim(std::string_view s) {
-  while (!s.empty() &&
-         (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() &&
-         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-bool ParseDouble(std::string_view s, double* out) {
-  s = Trim(s);
-  if (s.empty()) return false;
-  // std::from_chars<double> is not universally available; strtod is fine here.
-  std::string buf(s);
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(buf.c_str(), &end);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
-  *out = v;
-  return true;
-}
-
-bool ParseId(std::string_view s, int64_t* out) {
-  s = Trim(s);
-  if (s.empty()) return false;
-  int64_t v = 0;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
-  *out = v;
-  return true;
-}
-
-}  // namespace
+// The eager readers are thin wrappers over the streaming parser
+// (traj/source.h): one parser, one error contract. Both return exactly the
+// historical Result shapes — same messages, same line numbers — which
+// tests/traj_io_test.cc pins.
 
 common::Result<TrajectoryDatabase> ParseCsv(const std::string& content) {
-  TrajectoryDatabase db;
-  std::istringstream in(content);
-  std::string line;
-  Trajectory current;
-  bool have_current = false;
-  size_t line_no = 0;
-  // Malformed structure must surface as a typed status with the offending
-  // line, never as a silently-corrupted database (duplicate trajectory ids
-  // poison the Definition 10 cardinality filter) or a downstream assert
-  // (mixed dimensionality trips point-arithmetic DCHECKs mid-pipeline).
-  int dims = 0;  // 0 = not yet determined (first data row decides).
-  std::unordered_set<int64_t> finished_ids;
-
-  auto flush = [&]() {
-    if (have_current && !current.empty()) {
-      finished_ids.insert(current.id());
-      db.Add(std::move(current));
-    }
-    current = Trajectory();
-    have_current = false;
-  };
-
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view sv = Trim(line);
-    if (sv.empty() || sv.front() == '#') continue;
-    const auto fields = SplitFields(sv);
-    if (fields.size() < 3) {
-      return common::Status::InvalidArgument(
-          "CSV line " + std::to_string(line_no) +
-          ": expected at least 3 fields");
-    }
-    int64_t id = 0;
-    if (!ParseId(fields[0], &id)) {
-      // Tolerate a header row once at the top of the file.
-      if (line_no == 1) continue;
-      return common::Status::InvalidArgument(
-          "CSV line " + std::to_string(line_no) + ": bad trajectory id '" +
-          std::string(fields[0]) + "'");
-    }
-
-    double x = 0.0;
-    double y = 0.0;
-    if (!ParseDouble(fields[1], &x) || !ParseDouble(fields[2], &y)) {
-      return common::Status::InvalidArgument(
-          "CSV line " + std::to_string(line_no) + ": bad coordinate");
-    }
-
-    double z = 0.0;
-    double weight = 1.0;
-    bool has_z = false;
-    if (fields.size() == 4) {
-      // Ambiguous 4th column: treat as weight (most common export shape).
-      if (!ParseDouble(fields[3], &weight)) {
-        return common::Status::InvalidArgument(
-            "CSV line " + std::to_string(line_no) + ": bad weight");
-      }
-    } else if (fields.size() >= 5) {
-      if (!ParseDouble(fields[3], &z) || !ParseDouble(fields[4], &weight)) {
-        return common::Status::InvalidArgument(
-            "CSV line " + std::to_string(line_no) + ": bad z or weight");
-      }
-      has_z = true;
-    }
-
-    const int row_dims = has_z ? 3 : 2;
-    if (dims == 0) {
-      dims = row_dims;
-    } else if (row_dims != dims) {
-      return common::Status::InvalidArgument(
-          "CSV line " + std::to_string(line_no) + ": " +
-          std::to_string(row_dims) + "-D row in a " + std::to_string(dims) +
-          "-D file (all rows must have the same dimensionality)");
-    }
-
-    if (!have_current || current.id() != id) {
-      if (finished_ids.count(id) != 0) {
-        return common::Status::InvalidArgument(
-            "CSV line " + std::to_string(line_no) + ": trajectory id " +
-            std::to_string(id) +
-            " reappears after other trajectories (rows of one trajectory "
-            "must be contiguous)");
-      }
-      flush();
-      current = Trajectory(id, /*label=*/"", weight);
-      have_current = true;
-    }
-    current.Add(has_z ? geom::Point(x, y, z) : geom::Point(x, y));
-  }
-  flush();
-  return db;
+  CsvStringSource source(content);
+  return DrainToDatabase(source);
 }
 
 common::Result<TrajectoryDatabase> ReadCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return common::Status::IOError("cannot open '" + path + "' for reading");
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ParseCsv(buf.str());
+  TRACLUS_ASSIGN_OR_RETURN(const auto source, CsvFileSource::Open(path));
+  return DrainToDatabase(*source);
 }
+
+namespace {
+
+/// Accumulates CSV text in a large append buffer and hands it to the
+/// ofstream in block-sized writes. Dumping a database row-by-row through
+/// operator<< costs a formatted-stream round trip per field and (worst case)
+/// a flush per row; the buffer turns that into one bulk write per ~256 KiB
+/// of output. Formatting matches the historical stream output byte-for-byte:
+/// "%.12g" is exactly what defaultfloat at precision(12) printed.
+class BufferedCsvWriter {
+ public:
+  explicit BufferedCsvWriter(std::ostream& out) : out_(out) {
+    buf_.reserve(kFlushThreshold + 256);
+  }
+  ~BufferedCsvWriter() { Flush(); }
+
+  void Append(const char* s) { buf_.append(s); }
+  void Append(char c) { buf_.push_back(c); }
+  void Append(const std::string& s) { buf_.append(s); }
+
+  void AppendDouble(double v) {
+    char tmp[64];
+    const int n = std::snprintf(tmp, sizeof(tmp), "%.12g", v);
+    buf_.append(tmp, static_cast<size_t>(n));
+  }
+
+  void AppendId(int64_t v) { buf_.append(std::to_string(v)); }
+
+  void EndRow() {
+    buf_.push_back('\n');
+    if (buf_.size() >= kFlushThreshold) Flush();
+  }
+
+  void Flush() {
+    if (buf_.empty()) return;
+    out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
+
+ private:
+  static constexpr size_t kFlushThreshold = 256 * 1024;
+
+  std::ostream& out_;
+  std::string buf_;
+};
+
+}  // namespace
 
 common::Status WriteCsv(const TrajectoryDatabase& db, const std::string& path) {
   const int dims = db.empty() ? 2 : db[0].dims();
@@ -183,7 +83,7 @@ common::Status WriteCsv(const TrajectoryDatabase& db, const std::string& path) {
           "-D in a " + std::to_string(dims) + "-D database");
     }
   }
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) {
     return common::Status::IOError("cannot open '" + path + "' for writing");
   }
@@ -195,17 +95,29 @@ common::Status WriteCsv(const TrajectoryDatabase& db, const std::string& path) {
   for (const auto& tr : db.trajectories()) {
     if (tr.weight() != 1.0) any_weight = true;
   }
-  out << "# trajectory_id,x,y";
-  if (dims == 3) out << ",z";
-  if (any_weight) out << ",weight";
-  out << "\n";
-  out.precision(12);
-  for (const auto& tr : db.trajectories()) {
-    for (const auto& p : tr.points()) {
-      out << tr.id() << "," << p.x() << "," << p.y();
-      if (dims == 3) out << "," << p.z();
-      if (any_weight) out << "," << tr.weight();
-      out << "\n";
+  {
+    BufferedCsvWriter w(out);
+    w.Append("# trajectory_id,x,y");
+    if (dims == 3) w.Append(",z");
+    if (any_weight) w.Append(",weight");
+    w.Append('\n');
+    for (const auto& tr : db.trajectories()) {
+      for (const auto& p : tr.points()) {
+        w.AppendId(tr.id());
+        w.Append(',');
+        w.AppendDouble(p.x());
+        w.Append(',');
+        w.AppendDouble(p.y());
+        if (dims == 3) {
+          w.Append(',');
+          w.AppendDouble(p.z());
+        }
+        if (any_weight) {
+          w.Append(',');
+          w.AppendDouble(tr.weight());
+        }
+        w.EndRow();
+      }
     }
   }
   if (!out) return common::Status::IOError("write to '" + path + "' failed");

@@ -11,6 +11,11 @@ namespace traclus::traj {
 
 /// Reads a trajectory database from a CSV file.
 ///
+/// Thin eager wrapper over the streaming parser (traj/source.h): it opens a
+/// CsvFileSource and drains it into memory. Callers that do not need the
+/// whole database resident should use the source API directly — see the
+/// README's ReadCsv → TrajectorySource migration table.
+///
 /// Expected schema, one point per row, header optional:
 ///   trajectory_id,x,y[,z][,weight]
 /// Rows of the same trajectory_id must be contiguous and ordered by time (the
@@ -25,11 +30,15 @@ namespace traclus::traj {
 /// (which would otherwise assert deep inside the pipeline).
 common::Result<TrajectoryDatabase> ReadCsv(const std::string& path);
 
-/// Parses the same schema from an in-memory string (used by tests).
+/// Parses the same schema from an in-memory string (used by tests). Eager
+/// wrapper over traj::CsvStringSource.
 common::Result<TrajectoryDatabase> ParseCsv(const std::string& content);
 
 /// Writes a database in the schema accepted by ReadCsv. Weight is emitted only
-/// when some trajectory has a non-unit weight.
+/// when some trajectory has a non-unit weight. Output is staged through a
+/// chunked append buffer (one bulk write per ~256 KiB), so dumping large
+/// databases is not syscall-bound; bytes are identical to the historical
+/// row-by-row stream output.
 common::Status WriteCsv(const TrajectoryDatabase& db, const std::string& path);
 
 }  // namespace traclus::traj

@@ -49,6 +49,15 @@ class SegmentStore {
   /// Builds the store and every invariant in one O(n) pass.
   explicit SegmentStore(std::vector<geom::Segment> segments);
 
+  /// Named factory for freezing a raw segment vector into a store — the
+  /// explicit spelling of the constructor above, preferred at call sites
+  /// where "one O(n) invariant pass happens here" should be visible (e.g.
+  /// ahead of TraclusEngine::Group, whose implicit freeze-a-store overload
+  /// is deprecated).
+  static SegmentStore FromSegments(std::vector<geom::Segment> segments) {
+    return SegmentStore(std::move(segments));
+  }
+
   size_t size() const { return segments_.size(); }
   bool empty() const { return segments_.empty(); }
   /// Spatial dimensionality (2 when empty, matching the library default).

@@ -1,0 +1,276 @@
+// Tests for the pull-based ingest API (traj/source.h): parser equivalence
+// with the eager ParseCsv/ReadCsv wrappers, the mid-stream failure contract
+// (typed InvalidArgument naming the exact line, sticky failure, no partial
+// trajectory or segment ever leaked), stdin-style stream sources, and the
+// DatabaseSource adapter.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "traj/csv_io.h"
+#include "traj/source.h"
+
+namespace traclus::traj {
+namespace {
+
+using common::StatusCode;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f << content;
+}
+
+void ExpectSameDatabase(const TrajectoryDatabase& got,
+                        const TrajectoryDatabase& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t t = 0; t < want.size(); ++t) {
+    EXPECT_EQ(got[t].id(), want[t].id()) << "trajectory " << t;
+    EXPECT_EQ(got[t].weight(), want[t].weight()) << "trajectory " << t;
+    ASSERT_EQ(got[t].size(), want[t].size()) << "trajectory " << t;
+    for (size_t p = 0; p < want[t].size(); ++p) {
+      EXPECT_EQ(got[t][p].dims(), want[t][p].dims());
+      for (int d = 0; d < want[t][p].dims(); ++d) {
+        EXPECT_EQ(got[t][p][d], want[t][p][d])
+            << "trajectory " << t << " point " << p << " dim " << d;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Source ≡ eager parser.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kMixedCsv =
+    "trajectory_id,x,y\n"        // Tolerated header.
+    "# comment line\n"
+    "0,0.5,1.25\n"
+    "0,1.5,2.5\n"
+    "\n"                         // Blank line ignored.
+    "7,3.0,4.0\n"
+    "7,3.5,4.5\n"
+    "7,4.0,5.0\n"
+    "-3,9.0,9.5\n"               // Negative id: assigned by Add.
+    "-3,9.5,10.0\n";
+
+TEST(CsvSourceTest, StringSourceMatchesParseCsv) {
+  const auto eager = ParseCsv(kMixedCsv);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+
+  CsvStringSource source(kMixedCsv);
+  const auto drained = DrainToDatabase(source);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  ExpectSameDatabase(*drained, *eager);
+  ASSERT_EQ(drained->size(), 3u);
+  // The negative-id trajectory takes its database position, as Add always did.
+  EXPECT_EQ((*drained)[2].id(), 2);
+}
+
+TEST(CsvSourceTest, YieldsTrajectoriesOneAtATimeInInputOrder) {
+  CsvStringSource source("1,0,0\n1,1,1\n2,5,5\n3,6,6\n3,7,7\n3,8,8\n");
+  Trajectory tr;
+  std::vector<geom::TrajectoryId> ids;
+  std::vector<size_t> sizes;
+  while (true) {
+    const auto more = source.Next(&tr);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ids.push_back(tr.id());
+    sizes.push_back(tr.size());
+  }
+  EXPECT_EQ(ids, (std::vector<geom::TrajectoryId>{1, 2, 3}));
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 1, 3}));
+  // Exhausted source stays exhausted.
+  const auto again = source.Next(&tr);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+}
+
+TEST(CsvSourceTest, FileSourceMatchesReadCsv) {
+  const std::string path = TempPath("source_roundtrip.csv");
+  WriteFile(path, kMixedCsv);
+  const auto eager = ReadCsv(path);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+
+  auto file = CsvFileSource::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  const auto drained = DrainToDatabase(**file);
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  ExpectSameDatabase(*drained, *eager);
+  std::remove(path.c_str());
+}
+
+TEST(CsvSourceTest, MissingFileIsIOError) {
+  const auto file = CsvFileSource::Open("/nonexistent/definitely/not.csv");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kIOError);
+  EXPECT_NE(file.status().ToString().find("/nonexistent/definitely/not.csv"),
+            std::string::npos);
+}
+
+TEST(CsvSourceTest, StreamSourceReadsAnyIstream) {
+  std::istringstream in("4,1,2\n4,3,4\n");
+  CsvStreamSource source(in);
+  Trajectory tr;
+  const auto more = source.Next(&tr);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(tr.id(), 4);
+  EXPECT_EQ(tr.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Mid-stream failures: the exact line is named, the failure is sticky, and
+// nothing partially ingested escapes.
+// ---------------------------------------------------------------------------
+
+TEST(CsvSourceFailureTest, TruncatedRowNamesItsLine) {
+  // A file cut off mid-row: the final line has too few fields.
+  CsvStringSource source("1,0,0\n1,1,1\n1,2");
+  Trajectory tr;
+  const auto more = source.Next(&tr);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(more.status().ToString().find("CSV line 3"), std::string::npos)
+      << more.status().ToString();
+}
+
+TEST(CsvSourceFailureTest, MalformedRowDeepInLargeInputNamesExactLine) {
+  // 10k clean rows, one corrupted coordinate deep inside.
+  std::ostringstream csv;
+  constexpr size_t kRows = 10000;
+  constexpr size_t kBadLine = 8641;  // 1-based.
+  for (size_t i = 1; i <= kRows; ++i) {
+    if (i == kBadLine) {
+      csv << i / 10 << ",not-a-number," << i << "\n";
+    } else {
+      csv << i / 10 << "," << i << "," << i << "\n";
+    }
+  }
+  CsvStringSource source(csv.str());
+  Trajectory tr;
+  size_t yielded = 0;
+  common::Status failure = common::Status::OK();
+  while (true) {
+    const auto more = source.Next(&tr);
+    if (!more.ok()) {
+      failure = more.status();
+      break;
+    }
+    if (!*more) break;
+    ++yielded;
+  }
+  ASSERT_FALSE(failure.ok()) << "the corrupted row must surface";
+  EXPECT_EQ(failure.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(failure.ToString().find("CSV line 8641"), std::string::npos)
+      << failure.ToString();
+  EXPECT_NE(failure.ToString().find("bad coordinate"), std::string::npos);
+  // Every trajectory fully before the bad row was yielded (ids 0..863); the
+  // one the bad row belongs to (id 864) was not.
+  EXPECT_EQ(yielded, kBadLine / 10);
+}
+
+TEST(CsvSourceFailureTest, NonContiguousTrajectoryIdNamesItsLine) {
+  CsvStringSource source("1,0,0\n2,1,1\n1,2,2\n");
+  Trajectory tr;
+  const auto first = source.Next(&tr);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(*first);
+  EXPECT_EQ(tr.id(), 1);
+
+  const auto second = source.Next(&tr);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+  const std::string msg = second.status().ToString();
+  EXPECT_NE(msg.find("CSV line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("reappears"), std::string::npos) << msg;
+}
+
+TEST(CsvSourceFailureTest, FailureIsStickyAndYieldsNoPartialTrajectory) {
+  CsvStringSource source("1,0,0\n1,1,1\nbogus-id,2,2\n1,3,3\n");
+  Trajectory tr;
+  const auto first = source.Next(&tr);
+  ASSERT_FALSE(first.ok());
+  const std::string msg = first.status().ToString();
+  EXPECT_NE(msg.find("CSV line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("bad trajectory id 'bogus-id'"), std::string::npos)
+      << msg;
+
+  // Every later call repeats the identical status; the stream never resumes
+  // past the error, so the valid-looking line 4 is unreachable.
+  for (int i = 0; i < 3; ++i) {
+    const auto again = source.Next(&tr);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(again.status().ToString(), msg);
+  }
+}
+
+TEST(CsvSourceFailureTest, DrainReturnsNoPartialDatabase) {
+  CsvStringSource source("1,0,0\n1,1,1\n2,5,5\n2,oops,6\n");
+  const auto drained = DrainToDatabase(source);
+  ASSERT_FALSE(drained.ok());
+  EXPECT_EQ(drained.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(drained.status().ToString().find("CSV line 4"), std::string::npos);
+}
+
+TEST(CsvSourceFailureTest, StreamingEngineRunPropagatesIngestErrors) {
+  // The streaming pipeline must surface the typed parse status — naming the
+  // line — and hand back no partially-ingested result.
+  CsvStringSource source(
+      "1,0,0\n1,1,1\n1,2,2\n"
+      "2,5,5\n2,6,6\n"
+      "3,9,9\n3,10,nope\n");
+  const auto engine = core::TraclusEngine::Builder().Build();
+  ASSERT_TRUE(engine.ok());
+  const auto run = engine->Run(source);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(run.status().ToString().find("CSV line 7"), std::string::npos)
+      << run.status().ToString();
+}
+
+TEST(CsvSourceFailureTest, MixedDimensionalityNamesItsLine) {
+  CsvStringSource source("1,0,0\n1,1,1,2,0.5\n");
+  Trajectory tr;
+  const auto more = source.Next(&tr);
+  ASSERT_FALSE(more.ok());
+  const std::string msg = more.status().ToString();
+  EXPECT_NE(msg.find("CSV line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("same dimensionality"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// DatabaseSource: the eager → streaming bridge.
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseSourceTest, RoundTripsTheDatabase) {
+  TrajectoryDatabase db;
+  Trajectory a(10, "a", 2.0);
+  a.Add(geom::Point(0, 0));
+  a.Add(geom::Point(1, 1));
+  Trajectory b(20, "b");
+  b.Add(geom::Point(5, 5));
+  b.Add(geom::Point(6, 6));
+  db.Add(std::move(a));
+  db.Add(std::move(b));
+
+  DatabaseSource source(db);
+  const auto drained = DrainToDatabase(source);
+  ASSERT_TRUE(drained.ok());
+  ExpectSameDatabase(*drained, db);
+}
+
+}  // namespace
+}  // namespace traclus::traj

@@ -27,7 +27,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +41,7 @@
 #include "datagen/noisy_generator.h"
 #include "params/parameter_heuristic.h"
 #include "traj/csv_io.h"
+#include "traj/source.h"
 #include "traj/svg_writer.h"
 
 namespace {
@@ -99,7 +103,10 @@ int Usage() {
       "  cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]\n"
       "          [--suppression BITS] [--no-index] [--threads N] [--progress]\n"
       "          [--kernel auto|scalar|simd]\n"
+      "          [--stream] [--chunk-size N] [--max-resident N]\n"
       "          [--labels out.csv] [--reps out.csv] [--svg out.svg]\n"
+      "\n"
+      "  Every <in.csv> may be '-' to read CSV from standard input.\n"
       "\n"
       "  --threads N: worker threads for the parallel phases; 0 = all\n"
       "               hardware threads, 1 = single-threaded. Output is\n"
@@ -107,12 +114,36 @@ int Usage() {
       "  --kernel K:  batch distance kernel (auto, scalar, simd). The\n"
       "               kernels are bit-identical; simd needs an AVX2 build\n"
       "               and degrades to scalar otherwise.\n"
-      "  --progress:  stream per-stage progress to stderr.\n");
+      "  --progress:  stream per-stage progress to stderr.\n"
+      "  --stream:    streaming ingest — partition trajectories as they\n"
+      "               arrive instead of loading the whole file first.\n"
+      "               Output is identical to the eager path.\n"
+      "  --chunk-size N:    segments per chunk of the streaming segment\n"
+      "                     store (0 = one chunk). Implies --stream.\n"
+      "  --max-resident N:  out-of-core mode — spill cold chunks and keep\n"
+      "                     at most N resident (0 = keep all). Implies\n"
+      "                     --stream; incompatible with --svg.\n");
   return 1;
 }
 
 common::Result<traj::TrajectoryDatabase> Load(const std::string& path) {
+  if (path == "-") {
+    traj::CsvStreamSource source(std::cin);
+    return traj::DrainToDatabase(source);
+  }
   return traj::ReadCsv(path);
+}
+
+// Opens `path` (or stdin for "-") as a pull-based trajectory source for the
+// streaming pipeline mode.
+common::Result<std::unique_ptr<traj::TrajectorySource>> OpenSource(
+    const std::string& path) {
+  if (path == "-") {
+    return std::unique_ptr<traj::TrajectorySource>(
+        std::make_unique<traj::CsvStreamSource>(std::cin));
+  }
+  TRACLUS_ASSIGN_OR_RETURN(auto file, traj::CsvFileSource::Open(path));
+  return std::unique_ptr<traj::TrajectorySource>(std::move(file));
 }
 
 // Maps an engine status onto the CLI's exit-code convention: configuration
@@ -303,12 +334,16 @@ int CmdCluster(const Args& args) {
     std::fprintf(stderr, "cluster requires --eps and --min-lns\n");
     return 1;
   }
-  const auto loaded = Load(args.positional[0]);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 2;
+  const std::string& input = args.positional[0];
+  const bool stream = args.GetSwitch("stream") ||
+                      args.options.count("chunk-size") > 0 ||
+                      args.options.count("max-resident") > 0;
+  if (stream && !args.GetString("svg").empty()) {
+    std::fprintf(stderr,
+                 "--svg needs the full input database and is incompatible "
+                 "with --stream\n");
+    return 1;
   }
-  const auto& db = *loaded;
 
   // The full three-stage assembly, spelled out builder-style. Every knob is
   // validated by Build() before any data is touched.
@@ -336,16 +371,63 @@ int CmdCluster(const Args& args) {
           .Build();
   if (!engine.ok()) return FailWith(engine.status());
 
-  const auto run = engine->Run(db, MakeContext(args));
-  if (!run.ok()) return FailWith(run.status());
-  const core::TraclusResult& result = *run;
+  // Eager mode keeps the database around (the --svg overlay draws it);
+  // streaming mode never materializes one.
+  traj::TrajectoryDatabase db;
+  std::optional<common::Result<core::TraclusResult>> run;
+  if (stream) {
+    auto source = OpenSource(input);
+    if (!source.ok()) return FailWith(source.status());
+    core::RunContext ctx = MakeContext(args);
+    ctx.chunk_capacity =
+        static_cast<size_t>(args.GetDouble("chunk-size", 0));
+    ctx.max_resident_chunks =
+        static_cast<size_t>(args.GetDouble("max-resident", 0));
+    run = engine->Run(**source, ctx);
+    // Mid-stream ingest failures are the streaming twin of an eager load
+    // failure: IO/parse problems exit 2, like the loader below. (Config
+    // errors were already rejected by Build(), so an InvalidArgument here
+    // can only be malformed input.)
+    if (!run->ok() &&
+        (run->status().code() == common::StatusCode::kIOError ||
+         run->status().code() == common::StatusCode::kInvalidArgument)) {
+      std::fprintf(stderr, "%s\n", run->status().ToString().c_str());
+      return 2;
+    }
+  } else {
+    auto loaded = Load(input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    db = std::move(loaded).ValueOrDie();
+    run = engine->Run(db, MakeContext(args));
+  }
+  if (!run->ok()) return FailWith(run->status());
+  const core::TraclusResult& result = **run;
+
+  // A residency-capped streaming run leaves result.store empty on purpose;
+  // everything the report and the --labels dump need lives in the chunked
+  // store's always-resident catalog.
+  const bool capped = result.store.size() == 0 && result.chunked_store;
+  const size_t num_segments =
+      capped ? result.chunked_store->size() : result.store.size();
+  cluster::SegmentSetView view;
+  if (capped) {
+    view.count = result.chunked_store->size();
+    view.weights = result.chunked_store->weights();
+    view.trajectory_ids = result.chunked_store->trajectory_ids();
+  } else {
+    view = cluster::SegmentSetView::Of(result.store);
+  }
+
   std::printf("%zu partitions -> %zu clusters, %zu noise segments\n",
-              result.segments().size(), result.clustering.clusters.size(),
+              num_segments, result.clustering.clusters.size(),
               result.clustering.num_noise);
   for (size_t c = 0; c < result.clustering.clusters.size(); ++c) {
     std::printf("  cluster %zu: %zu segments, %zu trajectories\n", c,
                 result.clustering.clusters[c].size(),
-                cluster::TrajectoryCardinality(result.store,
+                cluster::TrajectoryCardinality(view,
                                                result.clustering.clusters[c]));
   }
 
@@ -357,10 +439,13 @@ int CmdCluster(const Args& args) {
       return 2;
     }
     f << "segment_id,trajectory_id,cluster\n";
-    const auto& segments = result.segments();
-    for (size_t i = 0; i < segments.size(); ++i) {
-      f << segments[i].id() << "," << segments[i].trajectory_id() << ","
-        << result.clustering.labels[i] << "\n";
+    for (size_t i = 0; i < num_segments; ++i) {
+      const geom::SegmentId sid = capped ? result.chunked_store->id(i)
+                                         : result.segments()[i].id();
+      const geom::TrajectoryId tid =
+          capped ? result.chunked_store->trajectory_id(i)
+                 : result.segments()[i].trajectory_id();
+      f << sid << "," << tid << "," << result.clustering.labels[i] << "\n";
     }
     std::printf("wrote %s\n", labels.c_str());
   }
@@ -415,9 +500,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const std::vector<std::string> value_flags = {
-      "seed", "suppression", "out",    "eps-lo", "eps-hi",  "grid",
-      "eps",  "min-lns",     "labels", "reps",   "svg",     "threads",
-      "kernel"};
+      "seed",   "suppression", "out",     "eps-lo",     "eps-hi",
+      "grid",   "eps",         "min-lns", "labels",     "reps",
+      "svg",    "threads",     "kernel",  "chunk-size", "max-resident"};
   const Args args = Parse(argc - 2, argv + 2, value_flags);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
