@@ -85,6 +85,13 @@ uint64_t ChunkedGridNeighborhood::CellKey(const CellCoord& c) {
 
 std::vector<size_t> ChunkedGridNeighborhood::Neighbors(size_t query_index,
                                                        double eps) const {
+  // Concurrency contract: this class holds no mutex because it has no
+  // shared mutable state — the grid (`cells_`, `cell_size_`) is immutable
+  // after construction, and all query-time scratch is thread_local or
+  // caller-owned. Concurrent Neighbors() calls from pool workers are safe
+  // without locking; any future mutable caching must move behind a
+  // common::Mutex with TRACLUS_GUARDED_BY annotations (see
+  // cluster/neighborhood.h's bounded mode for the pattern).
   thread_local QueryScratch per_thread_scratch;
   return Neighbors(query_index, eps, &per_thread_scratch);
 }

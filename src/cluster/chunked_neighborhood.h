@@ -26,6 +26,14 @@
 // cache-owned residency at its cap throughout. A spill-file I/O failure
 // while faulting a chunk is a process-level failure (the provider interface
 // has no error channel); it aborts via TRACLUS_CHECK.
+//
+// Thread-safety contract: the providers hold no mutex and need no
+// capability annotations because they own no shared mutable state — the
+// grid and catalog references are immutable after construction, query
+// scratch is thread_local or caller-owned, and concurrent chunk faults
+// synchronize inside ChunkedSegmentStore (whose spill/LRU state is
+// TRACLUS_GUARDED_BY its internal common::Mutex). Concurrent Neighbors()
+// calls from pool workers are safe and byte-deterministic.
 
 #include <cstdint>
 #include <unordered_map>

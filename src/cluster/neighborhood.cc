@@ -71,7 +71,14 @@ NeighborhoodCache::NeighborhoodCache(const NeighborhoodProvider& base,
 }
 
 size_t NeighborhoodCache::resident_lists() const {
-  return block_ == 0 ? lists_.size() : parked_.size();
+  if (block_ == 0) return lists_.size();
+  common::MutexLock lock(mu_);
+  return parked_.size();
+}
+
+size_t NeighborhoodCache::peak_resident_lists() const {
+  common::MutexLock lock(mu_);
+  return peak_resident_;  // Eager mode set this once in the constructor.
 }
 
 std::vector<size_t> NeighborhoodCache::Neighbors(size_t query_index,
@@ -80,7 +87,10 @@ std::vector<size_t> NeighborhoodCache::Neighbors(size_t query_index,
   TRACLUS_CHECK_EQ(eps, eps_);  // The cache is bound to one ε.
   if (block_ == 0) return lists_[query_index];
 
-  // Bounded mode: serve-and-evict. A parked list is consumed at most once.
+  // Bounded mode: serve-and-evict, the whole transaction under mu_ so
+  // concurrent queries observe consistent parked/served state. A parked list
+  // is consumed at most once.
+  common::MutexLock lock(mu_);
   const auto it = parked_.find(query_index);
   if (it != parked_.end()) {
     std::vector<size_t> list = std::move(it->second);

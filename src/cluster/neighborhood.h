@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "distance/batch_kernels.h"
 #include "distance/segment_distance.h"
@@ -83,9 +85,12 @@ class NeighborhoodProvider {
 ///     `block` lists are ever resident. Built for consumers that stream each
 ///     list once (a blocked grouping or counting pass); a re-queried index
 ///     recomputes through the base provider, so results stay exact for any
-///     access pattern. Bounded mode mutates interior state on query and is
-///     therefore NOT safe for concurrent queries; `base` and `pool` must
-///     outlive the cache.
+///     access pattern. Bounded mode mutates interior state on query; that
+///     state is guarded by an internal mutex (annotated, so clang's
+///     -Wthread-safety enforces the discipline), which makes concurrent
+///     queries race-free — though they serialize on the miss path, so the
+///     intended use remains a single streaming consumer. `base` and `pool`
+///     must outlive the cache.
 ///
 /// Every served list equals base.Neighbors(i, eps) exactly, so cluster IDs
 /// are byte-identical to the direct path in both modes. Bound to one ε at
@@ -109,11 +114,11 @@ class NeighborhoodCache : public NeighborhoodProvider {
   const std::vector<std::vector<size_t>>& lists() const { return lists_; }
 
   /// Lists currently held in memory.
-  size_t resident_lists() const;
+  size_t resident_lists() const TRACLUS_EXCLUDES(mu_);
   /// High-water mark of resident lists over the cache's lifetime — the
   /// quantity bounded mode promises stays ≤ block
   /// (tests/neighborhood_test.cc asserts it).
-  size_t peak_resident_lists() const { return peak_resident_; }
+  size_t peak_resident_lists() const TRACLUS_EXCLUDES(mu_);
 
  private:
   const NeighborhoodProvider* base_;
@@ -121,12 +126,15 @@ class NeighborhoodCache : public NeighborhoodProvider {
   double eps_;
   size_t block_;
   size_t size_;
-  /// Eager mode storage.
+  /// Eager mode storage: immutable after construction, read lock-free.
   std::vector<std::vector<size_t>> lists_;
   /// Bounded mode: parked not-yet-served lists, served markers, high-water.
-  mutable std::unordered_map<size_t, std::vector<size_t>> parked_;
-  mutable std::vector<char> served_;
-  mutable size_t peak_resident_ = 0;
+  /// Serve-and-evict mutates these on every query, so they live behind mu_.
+  mutable common::Mutex mu_;
+  mutable std::unordered_map<size_t, std::vector<size_t>> parked_
+      TRACLUS_GUARDED_BY(mu_);
+  mutable std::vector<char> served_ TRACLUS_GUARDED_BY(mu_);
+  mutable size_t peak_resident_ TRACLUS_GUARDED_BY(mu_) = 0;
 };
 
 /// O(n)-per-query reference provider: every segment is a candidate, refined

@@ -13,19 +13,36 @@ namespace traclus::common {
 /// signal handler, a UI thread, or a progress callback. The running pipeline
 /// polls the flag between units of parallel work (chunks, blocks, seeds) and
 /// abandons the run at the next check, surfacing StatusCode::kCancelled to the
-/// caller. Checks are a single relaxed atomic load, cheap enough for inner
-/// loops; no happens-before edge is needed because a cancellation is a pure
-/// "stop soon" request carrying no data.
+/// caller.
+///
+/// Memory-ordering contract (every operation spells its order explicitly —
+/// a defaulted seq_cst here would silently promise more than the type
+/// delivers):
+///
+///   * `Cancel()` is a relaxed store, `cancelled()` a relaxed load. Relaxed
+///     is sufficient AND the strongest guarantee offered: the token is a pure
+///     "stop soon" level trigger carrying no payload, so no reader ever
+///     dereferences data published by the cancelling thread on the strength
+///     of having observed the flag. Nothing may be ordered "after
+///     cancellation was observed" — any such protocol needs its own
+///     synchronization (the pipeline's is the ThreadPool's mutex/condvar
+///     handoff at ParallelFor join points).
+///   * Atomicity (not ordering) is what makes cross-thread Cancel() race-free
+///     under TSan; the flag may be observed arbitrarily late, which is fine —
+///     the only liveness promise is "some subsequent poll sees it".
+///   * Checks are a single relaxed load, cheap enough for inner loops.
 class CancellationToken {
  public:
   CancellationToken() = default;
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 
-  /// Requests cancellation. Idempotent; safe from any thread.
+  /// Requests cancellation. Idempotent; safe from any thread. Relaxed: see
+  /// the class contract — the flag synchronizes nothing but itself.
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
 
-  /// True once `Cancel()` has been called.
+  /// True once `Cancel()` has been called (possibly observed late; relaxed
+  /// load per the class contract).
   bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
 
  private:

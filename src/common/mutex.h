@@ -1,0 +1,67 @@
+#ifndef TRACLUS_COMMON_MUTEX_H_
+#define TRACLUS_COMMON_MUTEX_H_
+
+// Annotated mutex wrappers: the capability types clang's `-Wthread-safety`
+// analysis tracks (see common/thread_annotations.h — raw std::mutex carries
+// no annotations in libstdc++, so guarded members must be locked through
+// these wrappers for the analysis to see the acquire/release).
+//
+// Zero-overhead by construction: Mutex is exactly a std::mutex and MutexLock
+// is exactly a lock_guard; only the attributes differ. Condition waits use
+// CondVar (std::condition_variable_any), which waits on the Mutex directly —
+// the idiomatic pattern under the analysis is an explicit predicate loop
+// inside the locked scope:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(mu_);   // ready_ is TRACLUS_GUARDED_BY(mu_)
+//
+// (A lambda predicate passed to wait() would be analyzed as an unlocked
+// function and reject the guarded read; the explicit loop keeps every
+// guarded access lexically inside the locked scope.)
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace traclus::common {
+
+/// std::mutex with capability annotations. Non-reentrant.
+class TRACLUS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TRACLUS_ACQUIRE() { mu_.lock(); }
+  void unlock() TRACLUS_RELEASE() { mu_.unlock(); }
+  bool try_lock() TRACLUS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex (lock_guard with a scoped-capability
+/// annotation, so the analysis knows the lock is held for the block).
+class TRACLUS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TRACLUS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TRACLUS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on a Mutex directly (BasicLockable). Always
+/// use the explicit predicate-loop form shown in the file comment; wait()
+/// releases and reacquires the Mutex internally, which the analysis does not
+/// model — the surrounding scope simply stays "locked", which is exactly the
+/// invariant at every point the predicate is evaluated.
+using CondVar = std::condition_variable_any;
+
+}  // namespace traclus::common
+
+#endif  // TRACLUS_COMMON_MUTEX_H_

@@ -1,0 +1,94 @@
+#ifndef TRACLUS_COMMON_THREAD_ANNOTATIONS_H_
+#define TRACLUS_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (no-ops on other compilers).
+//
+// These drive clang's `-Wthread-safety` static lock-discipline checker: a
+// member declared TRACLUS_GUARDED_BY(mu_) may only be touched while `mu_` is
+// held, a function declared TRACLUS_REQUIRES(mu_) may only be called with
+// `mu_` held, and violations are compile errors in the clang CI jobs
+// (`-Wthread-safety` is added for clang in CMakeLists.txt; the clang jobs run
+// with TRACLUS_WERROR=ON). gcc ignores every macro here, so the annotations
+// cost nothing outside clang builds.
+//
+// The attributes only understand capability types that are themselves
+// annotated — the standard library's std::mutex is not (libstdc++ carries no
+// annotations) — so lock-discipline checking in this codebase goes through
+// the annotated wrappers in common/mutex.h (common::Mutex,
+// common::MutexLock), not through raw std::mutex.
+//
+// Macro set and spelling follow the clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the legacy
+// EXCLUSIVE_LOCKS_REQUIRED / LOCKS_EXCLUDED spellings are provided as aliases
+// because some annotated call sites read better with the older names.
+
+#if defined(__clang__)
+#define TRACLUS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TRACLUS_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Declares a class to be a capability (lockable) type. The string is the
+/// capability kind used in diagnostics, e.g. "mutex".
+#define TRACLUS_CAPABILITY(x) TRACLUS_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define TRACLUS_SCOPED_CAPABILITY \
+  TRACLUS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member may only be read or written while holding the given capability.
+#define TRACLUS_GUARDED_BY(x) TRACLUS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member: the *pointed-to* data is protected by the capability
+/// (dereferencing requires the lock; copying the pointer does not).
+#define TRACLUS_PT_GUARDED_BY(x) TRACLUS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) when calling.
+#define TRACLUS_REQUIRES(...) \
+  TRACLUS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Legacy alias for TRACLUS_REQUIRES.
+#define TRACLUS_EXCLUSIVE_LOCKS_REQUIRED(...) \
+  TRACLUS_THREAD_ANNOTATION__(exclusive_locks_required(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it before returning.
+#define TRACLUS_ACQUIRE(...) \
+  TRACLUS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define TRACLUS_RELEASE(...) \
+  TRACLUS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success return value.
+#define TRACLUS_TRY_ACQUIRE(...) \
+  TRACLUS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against self-deadlock on a
+/// non-reentrant mutex).
+#define TRACLUS_EXCLUDES(...) \
+  TRACLUS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Legacy alias for TRACLUS_EXCLUDES.
+#define TRACLUS_LOCKS_EXCLUDED(...) \
+  TRACLUS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Documents lock-acquisition ordering between capabilities.
+#define TRACLUS_ACQUIRED_BEFORE(...) \
+  TRACLUS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define TRACLUS_ACQUIRED_AFTER(...) \
+  TRACLUS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define TRACLUS_RETURN_CAPABILITY(x) \
+  TRACLUS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define TRACLUS_ASSERT_CAPABILITY(x) \
+  TRACLUS_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must carry
+/// an inline justification.
+#define TRACLUS_NO_THREAD_SAFETY_ANALYSIS \
+  TRACLUS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // TRACLUS_COMMON_THREAD_ANNOTATIONS_H_

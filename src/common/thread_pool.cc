@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   task_ready_.notify_all();
@@ -34,7 +34,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RecordException(std::exception_ptr e) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!first_error_) first_error_ = std::move(e);
 }
 
@@ -50,7 +50,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
@@ -65,7 +65,7 @@ void ThreadPool::Wait() {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (queue_.empty()) break;
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -76,17 +76,17 @@ void ThreadPool::Wait() {
         RecordException(std::current_exception());
       }
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         --in_flight_;
       }
       all_done_.notify_all();
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mu_);
+    while (in_flight_ != 0) all_done_.wait(mu_);
   }
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::swap(err, first_error_);
   }
   if (err) std::rethrow_exception(err);
@@ -96,8 +96,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) task_ready_.wait(mu_);
       if (queue_.empty()) return;  // Shutdown with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -108,7 +108,7 @@ void ThreadPool::WorkerLoop() {
       RecordException(std::current_exception());
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
     }
     all_done_.notify_all();
@@ -123,15 +123,18 @@ namespace {
 // a straggler task starts after the caller has already returned.
 struct ParallelCallState {
   std::atomic<size_t> next_chunk{0};
+  // Release on the finishing increment / acquire on the caller's check: the
+  // edge that publishes every chunk body's writes to the caller even when the
+  // caller never sleeps on the condition variable (see ParallelForChunked).
   std::atomic<size_t> chunks_done{0};
   size_t num_chunks = 0;
   size_t begin = 0;
   size_t end = 0;
   size_t chunk = 0;
   const std::function<void(size_t, size_t)>* body = nullptr;
-  std::mutex mu;
-  std::condition_variable all_done;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar all_done;
+  std::exception_ptr error TRACLUS_GUARDED_BY(mu);
 };
 
 // Claims chunks off `state` until none remain. Chunk -> index-range mapping is
@@ -145,13 +148,14 @@ void RunChunks(const std::shared_ptr<ParallelCallState>& state) {
     try {
       (*state->body)(lo, hi);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       if (!state->error) state->error = std::current_exception();
     }
-    if (state->chunks_done.fetch_add(1) + 1 == state->num_chunks) {
+    if (state->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->num_chunks) {
       // Lock pairs with the waiter's predicate check so the notify cannot
       // slip between its predicate evaluation and its sleep.
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       state->all_done.notify_all();
     }
   }
@@ -200,10 +204,11 @@ void ThreadPool::ParallelForChunked(
   }
   RunChunks(state);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock, [&] {
-    return state->chunks_done.load() == state->num_chunks;
-  });
+  MutexLock lock(state->mu);
+  while (state->chunks_done.load(std::memory_order_acquire) !=
+         state->num_chunks) {
+    state->all_done.wait(state->mu);
+  }
   if (state->error) std::rethrow_exception(state->error);
   if (submit_error) std::rethrow_exception(submit_error);
 }
@@ -237,23 +242,23 @@ class SharedPoolRegistry {
     return registry;
   }
 
-  ThreadPool& Get(int resolved_threads) {
-    std::unique_lock<std::mutex> lock(mu_);
+  ThreadPool& Get(int resolved_threads) TRACLUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto& slot = pools_[resolved_threads];
     if (!slot) slot = std::make_unique<ThreadPool>(resolved_threads);
     return *slot;
   }
 
-  void Clear() {
+  void Clear() TRACLUS_EXCLUDES(mu_) {
     // Joining under the lock is fine: callers must not have a run in flight,
     // and pool workers never call back into SharedPool while draining.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pools_.clear();
   }
 
  private:
-  std::mutex mu_;
-  std::map<int, std::unique_ptr<ThreadPool>> pools_;
+  Mutex mu_;
+  std::map<int, std::unique_ptr<ThreadPool>> pools_ TRACLUS_GUARDED_BY(mu_);
 };
 
 }  // namespace

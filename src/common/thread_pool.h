@@ -1,14 +1,15 @@
 #ifndef TRACLUS_COMMON_THREAD_POOL_H_
 #define TRACLUS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace traclus::common {
 
@@ -44,12 +45,12 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks start in FIFO order (completion order is up to the
   /// scheduler). With one thread the task runs immediately, inline.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) TRACLUS_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished. Rethrows the first
   /// exception (in submission order of the failing tasks' observation) thrown
   /// by any task since the last Wait().
-  void Wait();
+  void Wait() TRACLUS_EXCLUDES(mu_);
 
   /// Runs `body(i)` for every i in [begin, end), partitioned into contiguous
   /// chunks across the pool, and blocks until all iterations finish.
@@ -77,19 +78,22 @@ class ThreadPool {
                         const std::function<void(size_t, size_t)>& pair_body);
 
  private:
-  void WorkerLoop();
-  void RecordException(std::exception_ptr e);
+  void WorkerLoop() TRACLUS_EXCLUDES(mu_);
+  void RecordException(std::exception_ptr e) TRACLUS_EXCLUDES(mu_);
 
+  // Immutable after construction; safe to read from any thread unlocked.
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // Queued + currently executing tasks.
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;  // First failure since the last Wait().
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ TRACLUS_GUARDED_BY(mu_);
+  /// Queued + currently executing tasks.
+  size_t in_flight_ TRACLUS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TRACLUS_GUARDED_BY(mu_) = false;
+  /// First failure since the last Wait().
+  std::exception_ptr first_error_ TRACLUS_GUARDED_BY(mu_);
 };
 
 /// Shared process-wide pool keyed by thread count, so repeated pipeline runs

@@ -338,7 +338,11 @@ size_t EpsilonRefineImpl(const traj::SegmentStore& store,
   const SegmentDistanceConfig& cfg = dist.config();
 
   // Per-thread staging keeps the hot path allocation-free across calls;
-  // residency is bounded by the block size.
+  // residency is bounded by the block size. thread_local is the whole
+  // concurrency story here: the kernels read only the immutable
+  // SegmentStore columns and write only these buffers plus the
+  // caller-owned out_indices, so concurrent refines on pool workers need
+  // no mutex (and hence no capability annotations) — nothing is shared.
   thread_local std::vector<size_t> survivors;
   thread_local std::vector<double> distances;
 

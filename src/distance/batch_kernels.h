@@ -37,6 +37,14 @@
 // entropy NeighborhoodProfile, OPTICS, and the k-medoids baseline stream
 // blocked DistanceBatch calls. Kernel selection is a per-run knob
 // (core::RunContext::distance_kernel, CLI --kernel auto|scalar|simd).
+//
+// Thread-safety contract: every kernel here is lock-free by construction —
+// inputs are the store's immutable SoA columns, outputs go to caller-owned
+// buffers, and the only cross-call state is thread_local staging inside
+// the refine pipeline. Concurrent calls from pool workers are safe with no
+// mutex and hence no capability annotations; kernels that grow shared
+// mutable state (e.g. a cross-query prune cache) must put it behind
+// common::Mutex with TRACLUS_GUARDED_BY.
 
 #include <cstddef>
 #include <string>

@@ -4,9 +4,10 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/span.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "distance/batch_kernels.h"
 
@@ -38,7 +39,7 @@ double EntropyOfMasses(const std::vector<T>& masses) {
 class BlockedIncrementSink {
  public:
   BlockedIncrementSink(std::vector<std::vector<size_t>>& delta,
-                       std::mutex& mu, size_t cap)
+                       common::Mutex& mu, size_t cap)
       : delta_(delta), mu_(mu), cap_(std::max<size_t>(1, cap)) {
     buffer_.reserve(cap_);
   }
@@ -49,17 +50,20 @@ class BlockedIncrementSink {
     if (buffer_.size() >= cap_) Flush();
   }
 
-  void Flush() {
+  void Flush() TRACLUS_EXCLUDES(mu_) {
     if (buffer_.empty()) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     for (const auto& [g, i] : buffer_) ++delta_[g][i];
     buffer_.clear();
   }
 
  private:
-  std::vector<std::vector<size_t>>& delta_;
-  std::mutex& mu_;
+  /// The shared merge table; every worker's sink aliases the same vectors,
+  /// so scatter-adds happen only under mu_.
+  std::vector<std::vector<size_t>>& delta_ TRACLUS_GUARDED_BY(mu_);
+  common::Mutex& mu_;
   const size_t cap_;
+  /// Thread-private pending increments; no guard needed.
   std::vector<std::pair<uint32_t, uint32_t>> buffer_;
 };
 
@@ -145,7 +149,7 @@ NeighborhoodProfile::NeighborhoodProfile(
           static_cast<double>(n) * (1.0 - std::sqrt(1.0 - frac)));
       bound[k] = std::max(bound[k - 1], std::min(x, n));
     }
-    std::mutex merge_mu;
+    common::Mutex merge_mu;
     common::SharedPool(threads).ParallelFor(0, bands, [&](size_t band) {
       const size_t lo = bound[band];
       const size_t hi = bound[band + 1];

@@ -109,7 +109,11 @@ common::Status ChunkedSegmentStore::SealOpenChunk() {
   ChunkMeta& chunk = chunks_.back();
   if (options_.max_resident_chunks == 0) return common::Status::OK();
   // Bounded mode: raw records go to the spill file; the in-memory copy is
-  // dropped. Cold chunks cost catalog bytes only.
+  // dropped. Cold chunks cost catalog bytes only. The lock covers the
+  // spill-file traffic (once per sealed chunk, not per segment); ingest is
+  // single-writer, but readers of an already-finalized store share the same
+  // FILE* discipline.
+  common::MutexLock lock(mu_);
   if (spill_ == nullptr) {
     spill_ = std::tmpfile();
     if (spill_ == nullptr) {
@@ -191,7 +195,7 @@ common::Result<std::shared_ptr<const SegmentStore>> ChunkedSegmentStore::Chunk(
         "ChunkedSegmentStore: chunk " + std::to_string(c) + " out of range (" +
         std::to_string(chunk_count_) + " chunks)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = cache_.find(c);
   if (it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -215,12 +219,12 @@ common::Result<std::shared_ptr<const SegmentStore>> ChunkedSegmentStore::Chunk(
 }
 
 size_t ChunkedSegmentStore::resident_chunks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return cache_.size();
 }
 
 size_t ChunkedSegmentStore::peak_resident_chunks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return peak_resident_;
 }
 
@@ -229,7 +233,7 @@ common::Result<SegmentStore> ChunkedSegmentStore::Merge() const {
     return common::Status::FailedPrecondition(
         "ChunkedSegmentStore: Merge before Finalize");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<geom::Segment> all;
   all.reserve(size_);
   std::vector<geom::Segment> chunk_raw;

@@ -53,12 +53,13 @@
 #include <cstdio>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "geom/bbox.h"
 #include "geom/point.h"
 #include "geom/segment.h"
@@ -155,18 +156,19 @@ class ChunkedSegmentStore {
   /// chunk-local SegmentStore. Index i of the returned store corresponds to
   /// global index chunk_begin(c) + i; every column is a bit-exact slice of
   /// the monolithic store.
-  common::Result<std::shared_ptr<const SegmentStore>> Chunk(size_t c) const;
+  common::Result<std::shared_ptr<const SegmentStore>> Chunk(size_t c) const
+      TRACLUS_EXCLUDES(mu_);
 
   /// Chunk stores currently owned by the reader cache.
-  size_t resident_chunks() const;
+  size_t resident_chunks() const TRACLUS_EXCLUDES(mu_);
   /// High-water mark of cache-owned chunks — bounded mode promises this
   /// stays ≤ max_resident_chunks (tests assert it).
-  size_t peak_resident_chunks() const;
+  size_t peak_resident_chunks() const TRACLUS_EXCLUDES(mu_);
 
   /// Rebuilds the monolithic SegmentStore from all chunks (in bounded mode,
   /// streaming the spill file). Bit-identical to freezing the same segments
   /// eagerly; the unbounded grouping path runs on this.
-  common::Result<SegmentStore> Merge() const;
+  common::Result<SegmentStore> Merge() const TRACLUS_EXCLUDES(mu_);
 
  private:
   struct ChunkMeta {
@@ -178,12 +180,15 @@ class ChunkedSegmentStore {
   };
 
   /// Seals the open chunk; in bounded mode writes its raw records to the
-  /// spill file and frees them.
-  common::Status SealOpenChunk();
+  /// spill file and frees them (taking mu_ for the spill-file traffic —
+  /// once per chunk, off the per-segment path).
+  common::Status SealOpenChunk() TRACLUS_EXCLUDES(mu_);
 
-  /// Loads chunk c's raw segments (from memory or the spill file). Caller
-  /// holds mu_ in spill mode.
-  common::Status LoadRaw(size_t c, std::vector<geom::Segment>* out) const;
+  /// Loads chunk c's raw segments (from memory or the spill file). The
+  /// spill-file handle is seek/read shared state, so every load runs under
+  /// mu_ — enforced statically.
+  common::Status LoadRaw(size_t c, std::vector<geom::Segment>* out) const
+      TRACLUS_REQUIRES(mu_);
 
   ChunkedStoreOptions options_;
   bool finalized_ = false;
@@ -200,20 +205,30 @@ class ChunkedSegmentStore {
   std::vector<geom::BBox> bbox_;
   std::array<std::vector<double>, geom::kMaxDims> midpoint_c_;
 
-  // Payload chunks (chunks_.back() is the open chunk until sealed).
+  // Payload chunks (chunks_.back() is the open chunk until sealed). Mutated
+  // only by the single-writer ingest phase; structurally immutable after
+  // Finalize (readers touch only per-chunk raw/spill metadata, under mu_ via
+  // LoadRaw). Not lock-guarded so the per-segment Append path stays
+  // synchronization-free.
   std::vector<ChunkMeta> chunks_;
-  std::FILE* spill_ = nullptr;
-  long spill_tail_ = 0;  ///< Next write offset in the spill file.
 
-  // Reader cache: LRU over chunk ids; front = most recently used.
-  mutable std::mutex mu_;
-  mutable std::list<size_t> lru_;
+  // Reader cache + spill file. mu_ serializes all cache and spill-file
+  // traffic: the FILE* position is shared mutable state (fseek/fread and the
+  // seal-time fseek/fwrite), and the LRU/cache/peak counters are mutated by
+  // concurrent readers.
+  mutable common::Mutex mu_;
+  std::FILE* spill_ TRACLUS_GUARDED_BY(mu_) = nullptr;
+  /// Next write offset in the spill file.
+  long spill_tail_ TRACLUS_GUARDED_BY(mu_) = 0;
+  /// LRU over chunk ids; front = most recently used.
+  mutable std::list<size_t> lru_ TRACLUS_GUARDED_BY(mu_);
   struct CacheEntry {
     std::list<size_t>::iterator lru_it;
     std::shared_ptr<const SegmentStore> store;
   };
-  mutable std::unordered_map<size_t, CacheEntry> cache_;
-  mutable size_t peak_resident_ = 0;
+  mutable std::unordered_map<size_t, CacheEntry> cache_
+      TRACLUS_GUARDED_BY(mu_);
+  mutable size_t peak_resident_ TRACLUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace traclus::traj

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Layer-DAG include linter.
+
+Machine-enforces the project's layer architecture over the `#include` graph:
+
+    common <- geom <- traj <- distance <- {partition, cluster} <- core
+    params/eval hang off cluster; datagen off traj; baseline off distance.
+
+Every `#include "layer/header.h"` edge in src/ must stay inside the including
+layer's allowed dependency set (ALLOWED below, the transitive closure of the
+DAG — the same graph CMakeLists.txt links). The linter also enforces include
+hygiene: project headers must be included with quotes (never angle brackets),
+every quoted project include must resolve to a real file under src/, and a
+file in an unregistered layer directory is an error (new layers must be
+added to ALLOWED deliberately, together with their CMake target).
+
+Exit status: 0 if clean, 1 on any violation. Diagnostics are one per line in
+`path:line: error: [layers] message` form, so editors and CI annotate them.
+
+Suppression: append `// layers:allow -- <justification>` to the offending
+include line. A marker without a justification is itself an error; the gate's
+contract is zero suppressions or each one justified inline.
+
+Run over the tree:   check_layers.py --root <repo-root>
+Self-test:           check_layers.py --self-test
+  (plants violations in a temp tree and asserts each is caught with a
+  line-exact diagnostic; registered in ctest as lint_layers_selftest)
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Allowed include targets per layer (the transitive closure of the layer DAG).
+# A layer may always include itself.
+ALLOWED = {
+    "common": set(),
+    "geom": {"common"},
+    "traj": {"geom", "common"},
+    "distance": {"traj", "geom", "common"},
+    "partition": {"distance", "traj", "geom", "common"},
+    "cluster": {"distance", "traj", "geom", "common"},
+    "params": {"cluster", "distance", "traj", "geom", "common"},
+    "eval": {"cluster", "distance", "traj", "geom", "common"},
+    "baseline": {"distance", "traj", "geom", "common"},
+    "datagen": {"traj", "geom", "common"},
+    "core": {"partition", "cluster", "distance", "traj", "geom", "common"},
+}
+
+SOURCE_EXTS = (".h", ".cc")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+ALLOW_RE = re.compile(r"//\s*layers:allow(?:\s*--\s*(\S.*))?")
+
+
+def lint_file(path, rel, layer, src_root, errors):
+    """Appends `(rel, line, message)` tuples for every violation in one file."""
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            quote, target = m.groups()
+            parts = target.split("/")
+            top = parts[0]
+            if top not in ALLOWED and quote == "<":
+                continue  # System / third-party header.
+            allow = ALLOW_RE.search(line)
+            if allow:
+                if not allow.group(1):
+                    errors.append(
+                        (rel, lineno,
+                         "layers:allow marker without a justification "
+                         "(write `// layers:allow -- <why>`)"))
+                continue
+            if quote == "<" and top in ALLOWED:
+                errors.append(
+                    (rel, lineno,
+                     f'project header <{target}> included with angle '
+                     f'brackets; use "{target}"'))
+                continue
+            if quote == '"':
+                if top not in ALLOWED:
+                    errors.append(
+                        (rel, lineno,
+                         f'include "{target}" does not start with a '
+                         f"registered layer (known: "
+                         f"{', '.join(sorted(ALLOWED))}); register new "
+                         f"layers in tools/lint/check_layers.py"))
+                    continue
+                if not os.path.isfile(os.path.join(src_root, target)):
+                    errors.append(
+                        (rel, lineno,
+                         f'include "{target}" does not resolve to a file '
+                         f"under src/ (stale or misspelled include)"))
+                    continue
+                if top != layer and top not in ALLOWED[layer]:
+                    errors.append(
+                        (rel, lineno,
+                         f"layer '{layer}' must not include from layer "
+                         f"'{top}' (allowed: "
+                         f"{', '.join(sorted(ALLOWED[layer])) or 'none'}); "
+                         f"this violates the layer DAG common<-geom<-traj"
+                         f"<-distance<-{{partition,cluster}}<-core"))
+
+
+def lint_tree(root):
+    """Lints src/ under `root`. Returns a list of (relpath, line, message)."""
+    src_root = os.path.join(root, "src")
+    errors = []
+    if not os.path.isdir(src_root):
+        return [("src", 0, f"no src/ directory under {root}")]
+    for dirpath, dirnames, filenames in sorted(os.walk(src_root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTS):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            rel_src = os.path.relpath(path, src_root)
+            layer = rel_src.split(os.sep)[0]
+            if layer not in ALLOWED:
+                errors.append(
+                    (rel, 0,
+                     f"file lives in unregistered layer directory '{layer}'; "
+                     f"add the layer (and its allowed deps) to "
+                     f"tools/lint/check_layers.py"))
+                continue
+            lint_file(path, rel, layer, src_root, errors)
+    return errors
+
+
+def report(errors):
+    for rel, lineno, msg in errors:
+        print(f"{rel}:{lineno}: error: [layers] {msg}")
+    return 1 if errors else 0
+
+
+def write(root, rel, content):
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+
+
+def self_test():
+    """Plants violations in a temp tree; asserts line-exact diagnostics."""
+    failures = []
+
+    def check(name, cond, detail=""):
+        status = "ok" if cond else "FAIL"
+        print(f"  [{status}] {name}{(' — ' + detail) if detail else ''}")
+        if not cond:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory(prefix="lint_layers_") as root:
+        # A minimal clean tree must pass.
+        write(root, "src/common/logging.h", "#pragma once\n")
+        write(root, "src/geom/point.h",
+              '#pragma once\n#include "common/logging.h"\n')
+        write(root, "src/cluster/cluster.h",
+              '#pragma once\n#include "geom/point.h"\n')
+        check("clean tree passes", lint_tree(root) == [])
+
+        # Violation 1: an upward edge (geom -> cluster) on a known line.
+        write(root, "src/geom/bad.h",
+              "#pragma once\n"
+              '#include "common/logging.h"\n'
+              '#include "cluster/cluster.h"\n')
+        errors = lint_tree(root)
+        check("upward edge caught",
+              any(e[0] == os.path.join("src", "geom", "bad.h") and e[1] == 3
+                  and "layer 'geom' must not include from layer 'cluster'"
+                  in e[2] for e in errors),
+              f"got: {errors}")
+        check("exactly one violation reported", len(errors) == 1)
+        os.remove(os.path.join(root, "src/geom/bad.h"))
+
+        # Violation 2: stale include (file does not exist).
+        write(root, "src/geom/stale.h",
+              '#include "common/nonexistent.h"\n')
+        errors = lint_tree(root)
+        check("stale include caught",
+              any(e[1] == 1 and "does not resolve" in e[2] for e in errors),
+              f"got: {errors}")
+        os.remove(os.path.join(root, "src/geom/stale.h"))
+
+        # Violation 3: angle brackets on a project header.
+        write(root, "src/geom/angle.h", "#include <common/logging.h>\n")
+        errors = lint_tree(root)
+        check("angle-bracket project include caught",
+              any(e[1] == 1 and "angle brackets" in e[2] for e in errors),
+              f"got: {errors}")
+        os.remove(os.path.join(root, "src/geom/angle.h"))
+
+        # Violation 4: unregistered layer directory.
+        write(root, "src/newlayer/x.h", "#pragma once\n")
+        errors = lint_tree(root)
+        check("unregistered layer caught",
+              any("unregistered layer directory 'newlayer'" in e[2]
+                  for e in errors), f"got: {errors}")
+        os.remove(os.path.join(root, "src/newlayer/x.h"))
+        os.rmdir(os.path.join(root, "src/newlayer"))
+
+        # Suppression: bare marker is an error; justified marker passes.
+        write(root, "src/geom/supp.h",
+              '#include "cluster/cluster.h"  // layers:allow\n')
+        errors = lint_tree(root)
+        check("bare layers:allow rejected",
+              any("without a justification" in e[2] for e in errors),
+              f"got: {errors}")
+        write(root, "src/geom/supp.h",
+              '#include "cluster/cluster.h"'
+              "  // layers:allow -- self-test fixture\n")
+        check("justified layers:allow accepted", lint_tree(root) == [])
+
+    if failures:
+        print(f"self-test FAILED: {len(failures)} check(s): {failures}")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (contains src/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="plant violations in a temp tree and assert "
+                             "the linter catches them")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    errors = lint_tree(args.root)
+    rc = report(errors)
+    if rc == 0:
+        print("check_layers: clean (layer DAG and include hygiene hold)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# clang-tidy zero-new-findings gate.
+#
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# translation unit in the compile database, normalizes the findings to
+# stable `path:line: warning: message [check]` lines, and fails if any
+# finding is not present in tools/lint/tidy_baseline.txt.
+#
+# The baseline is the escape hatch for findings that predate the gate or
+# that we explicitly decided to live with — it is checked in, reviewed, and
+# currently EMPTY. Adding a line to it in the same PR that introduces the
+# finding defeats the gate; reviewers should treat baseline growth as a
+# code smell.
+#
+# Usage: tools/lint/run_tidy_gate.sh <build-dir> [report-file]
+#   <build-dir> must contain compile_commands.json
+#   (configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+#   The full tidy output is written to [report-file]
+#   (default: <build-dir>/clang-tidy-report.txt) for artifact upload.
+
+set -u
+BUILD_DIR="${1:?usage: run_tidy_gate.sh <build-dir> [report-file]}"
+REPORT="${2:-${BUILD_DIR}/clang-tidy-report.txt}"
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BASELINE="${ROOT}/tools/lint/tidy_baseline.txt"
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+
+TIDY="$(command -v clang-tidy || command -v clang-tidy-14 || true)"
+RUNNER="$(command -v run-clang-tidy || command -v run-clang-tidy-14 || true)"
+if [ -z "${TIDY}" ]; then
+  echo "error: clang-tidy not installed" >&2
+  exit 2
+fi
+
+# Library + tool translation units only: tests/benches/examples follow
+# looser idioms (gtest macros trip several bugprone checks by construction).
+FILES_RE="${ROOT}/(src|tools)/.*\.cc"
+
+if [ -n "${RUNNER}" ]; then
+  "${RUNNER}" -clang-tidy-binary "${TIDY}" -p "${BUILD_DIR}" -quiet \
+    "${FILES_RE}" > "${REPORT}" 2>/dev/null
+else
+  : > "${REPORT}"
+  # shellcheck disable=SC2013
+  for f in $(grep -oE '"file": *"[^"]+"' "${BUILD_DIR}/compile_commands.json" \
+             | cut -d'"' -f4 | sort -u | grep -E "${FILES_RE}"); do
+    "${TIDY}" -p "${BUILD_DIR}" -quiet "$f" >> "${REPORT}" 2>/dev/null
+  done
+fi
+
+# Normalize: repo-relative paths, findings lines only, deduped (headers
+# surface once per including TU).
+FINDINGS="$(grep -E ' (warning|error): .*\[[a-z0-9.,-]+\]$' "${REPORT}" \
+  | sed "s|^${ROOT}/||" | sort -u || true)"
+
+NEW="$(comm -23 <(printf '%s\n' "${FINDINGS}" | sed '/^$/d') \
+                <(sed '/^#/d;/^$/d' "${BASELINE}" | sort -u))"
+
+if [ -n "${NEW}" ]; then
+  echo "clang-tidy gate FAILED: findings not in tools/lint/tidy_baseline.txt:"
+  printf '%s\n' "${NEW}"
+  echo
+  echo "(full report: ${REPORT})"
+  exit 1
+fi
+
+COUNT="$(printf '%s' "${FINDINGS}" | sed '/^$/d' | wc -l | tr -d ' ')"
+echo "clang-tidy gate passed: ${COUNT} finding(s), all baselined" \
+     "(baseline has $(sed '/^#/d;/^$/d' "${BASELINE}" | wc -l | tr -d ' ') lines)"
+exit 0
