@@ -6,11 +6,20 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "cluster/cluster.h"
+#include "common/matrix.h"
 #include "common/rng.h"
 #include "common/span.h"
 #include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/sieve_stage.h"
+#include "datagen/hurricane_generator.h"
 #include "distance/batch_kernels.h"
 #include "distance/endpoint_distance.h"
 #include "distance/segment_distance.h"
@@ -306,6 +315,202 @@ void BM_PairwiseDistanceMatrixStoreCached(benchmark::State& state) {
       static_cast<int64_t>(store.size() * store.size() / 2));
 }
 BENCHMARK(BM_PairwiseDistanceMatrixStoreCached)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Tiled vs row-batched matrix fill (many-vs-many tiles). --------------
+// RowBatchedPairwiseMatrix reproduces the pre-tile PairwiseDistanceMatrix
+// loop — one DistanceBatchRange per row plus a strided full-column mirror —
+// as the fixed baseline of the tiled fill. The headline ratio
+// BM_PairwiseMatrixRowBatched* / BM_PairwiseMatrixTiled* (same kernel, same
+// thread count) is the tile speedup tracked per commit in the CI JSON
+// artifact. Entries are bit-identical between the two fills (pinned in
+// tests/segment_distance_test.cc), so the ratio is pure throughput.
+
+common::Matrix RowBatchedPairwiseMatrix(const traj::SegmentStore& store,
+                                        const distance::SegmentDistance& dist,
+                                        common::ThreadPool& pool,
+                                        distance::BatchKernel kernel) {
+  const size_t n = store.size();
+  common::Matrix m(n, n, 0.0);
+  pool.ParallelForChunked(0, n, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (i + 1 >= n) continue;
+      distance::DistanceBatchRange(
+          store, dist, i, i + 1, n,
+          common::Span<double>(&m(i, i + 1), n - i - 1), kernel);
+      for (size_t j = i + 1; j < n; ++j) m(j, i) = m(i, j);
+    }
+  });
+  return m;
+}
+
+void BM_PairwiseMatrixRowBatched(benchmark::State& state,
+                                 distance::BatchKernel kernel) {
+  if (kernel == distance::BatchKernel::kSimd && !distance::SimdCompiled()) {
+    state.SkipWithError("AVX2 kernels not compiled (build with TRACLUS_AVX2)");
+    return;
+  }
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  auto& pool = common::SharedPool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RowBatchedPairwiseMatrix(store, dist, pool, kernel));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(store.size() * store.size() / 2));
+}
+
+void BM_PairwiseMatrixTiled(benchmark::State& state,
+                            distance::BatchKernel kernel) {
+  if (kernel == distance::BatchKernel::kSimd && !distance::SimdCompiled()) {
+    state.SkipWithError("AVX2 kernels not compiled (build with TRACLUS_AVX2)");
+    return;
+  }
+  const auto& store = StorePool();
+  const distance::SegmentDistance dist;
+  auto& pool = common::SharedPool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        distance::PairwiseDistanceMatrix(store, dist, pool, kernel));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(store.size() * store.size() / 2));
+}
+
+void BM_PairwiseMatrixRowBatchedScalar(benchmark::State& state) {
+  BM_PairwiseMatrixRowBatched(state, distance::BatchKernel::kScalar);
+}
+void BM_PairwiseMatrixRowBatchedSimd(benchmark::State& state) {
+  BM_PairwiseMatrixRowBatched(state, distance::BatchKernel::kSimd);
+}
+void BM_PairwiseMatrixTiledScalar(benchmark::State& state) {
+  BM_PairwiseMatrixTiled(state, distance::BatchKernel::kScalar);
+}
+void BM_PairwiseMatrixTiledSimd(benchmark::State& state) {
+  BM_PairwiseMatrixTiled(state, distance::BatchKernel::kSimd);
+}
+BENCHMARK(BM_PairwiseMatrixRowBatchedScalar)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PairwiseMatrixRowBatchedSimd)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PairwiseMatrixTiledScalar)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PairwiseMatrixTiledSimd)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Sieve-sampled grouping end to end (core/sieve_stage.h). -------------
+// The hurricane data set at the golden parameters (ε = 0.94, MinLns = 5),
+// grouped through SieveGroupStage at stride k (Arg). k = 1 is the inner
+// DBSCAN backend byte for byte; larger k trades boundary accuracy for the
+// O((n/k)²) quadratic-term reduction. Besides wall time the bench reports
+// `sieve_quality`: the fraction of sieved-out segments whose sieve label
+// maps (majority vote per sieve cluster) onto their full-run cluster — the
+// accuracy half of the speed/accuracy trade tracked per commit in the CI
+// JSON artifact.
+
+struct SieveFixture {
+  traj::SegmentStore store;
+  std::shared_ptr<const core::SieveGroupStage> stage;
+  cluster::ClusteringResult full;  // The k = 0 (no sieve) reference run.
+};
+
+const SieveFixture& SievePool() {
+  static const SieveFixture* fixture = [] {
+    auto* f = new SieveFixture();
+    const traj::TrajectoryDatabase db =
+        datagen::GenerateHurricanes(datagen::HurricaneConfig{});
+    core::TraclusConfig cfg;
+    auto engine = core::TraclusEngine::FromConfig(cfg);
+    if (!engine.ok()) std::abort();
+    auto partitioned = engine->Partition(db);
+    if (!partitioned.ok()) std::abort();
+    f->store = std::move(partitioned->store);
+    core::DbscanGroupOptions group;
+    group.eps = 0.94;
+    group.min_lns = 5.0;
+    core::SieveGroupOptions sieve;
+    sieve.eps = group.eps;
+    sieve.distance = group.distance;
+    f->stage = std::make_shared<core::SieveGroupStage>(
+        std::make_shared<core::DbscanGroupStage>(group), sieve);
+    auto full = f->stage->Run(f->store, core::RunContext{});
+    if (!full.ok()) std::abort();
+    f->full = std::move(full).ValueOrDie();
+    return f;
+  }();
+  return *fixture;
+}
+
+// Fraction of sieved-out segments that landed in their full-run cluster,
+// under the majority-vote mapping from sieve cluster ids to full-run ids.
+double SieveQuality(const SieveFixture& f,
+                    const cluster::ClusteringResult& sieved, size_t k) {
+  // Recompute the sampled set with the stage's rule (trajectory
+  // first-appearance rank, residue class 0 of stride k).
+  std::map<geom::TrajectoryId, size_t> rank_of;
+  std::vector<char> sampled(f.store.size(), 0);
+  for (size_t i = 0; i < f.store.size(); ++i) {
+    const auto it =
+        rank_of.emplace(f.store.trajectory_id(i), rank_of.size()).first;
+    if (it->second % k == 0) sampled[i] = 1;
+  }
+  // Majority full-run label per sieve cluster.
+  std::vector<std::map<int, size_t>> votes(sieved.clusters.size());
+  for (size_t i = 0; i < f.store.size(); ++i) {
+    if (sieved.labels[i] >= 0) {
+      ++votes[static_cast<size_t>(sieved.labels[i])][f.full.labels[i]];
+    }
+  }
+  std::vector<int> mapped(sieved.clusters.size(), cluster::kNoise);
+  for (size_t c = 0; c < votes.size(); ++c) {
+    size_t best = 0;
+    for (const auto& [label, count] : votes[c]) {
+      if (count > best) {
+        best = count;
+        mapped[c] = label;
+      }
+    }
+  }
+  size_t sieved_out = 0;
+  size_t agree = 0;
+  for (size_t i = 0; i < f.store.size(); ++i) {
+    if (sampled[i]) continue;
+    ++sieved_out;
+    const int full_label = f.full.labels[i];
+    const int sieve_label = sieved.labels[i];
+    const int sieve_mapped =
+        sieve_label >= 0 ? mapped[static_cast<size_t>(sieve_label)]
+                         : cluster::kNoise;
+    if (sieve_mapped == full_label) ++agree;
+  }
+  return sieved_out == 0 ? 1.0
+                         : static_cast<double>(agree) /
+                               static_cast<double>(sieved_out);
+}
+
+void BM_SieveGroupEndToEnd(benchmark::State& state) {
+  const SieveFixture& f = SievePool();
+  core::RunContext ctx;
+  ctx.sieve = static_cast<size_t>(state.range(0));
+  cluster::ClusteringResult last;
+  for (auto _ : state) {
+    auto result = f.stage->Run(f.store, ctx);
+    if (!result.ok()) {
+      state.SkipWithError("sieve group run failed");
+      return;
+    }
+    last = std::move(result).ValueOrDie();
+    benchmark::DoNotOptimize(last.labels.data());
+  }
+  state.counters["sieve_quality"] = benchmark::Counter(
+      ctx.sieve <= 1 ? 1.0 : SieveQuality(f, last, ctx.sieve));
+  state.counters["clusters"] =
+      benchmark::Counter(static_cast<double>(last.clusters.size()));
+}
+BENCHMARK(BM_SieveGroupEndToEnd)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -5,15 +5,25 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
-#include "common/span.h"
 #include "common/thread_pool.h"
 
 namespace traclus::baseline {
 
+namespace {
+
+/// Rows per fill tile: each tile hands the filler a contiguous
+/// kFillTileRows × column-stripe block so tile-capable distance sources
+/// (distance::DistanceTileRange) reuse candidate columns across the rows.
+/// Only the tile's sub-diagonal corner (≤ kFillTileRows²/2 entries) is
+/// evaluated without being used.
+constexpr size_t kFillTileRows = 16;
+
+}  // namespace
+
 KMedoidsResult KMedoids(size_t n,
                         const std::function<double(size_t, size_t)>& dist,
                         const KMedoidsConfig& config) {
-  // Adapt the per-pair callback onto the row-batched fill so both overloads
+  // Adapt the per-pair callback onto the row-batched fill so all overloads
   // share one implementation (and produce identical matrices).
   return KMedoids(
       n,
@@ -25,6 +35,21 @@ KMedoidsResult KMedoids(size_t n,
 
 KMedoidsResult KMedoids(size_t n, const KMedoidsRowFill& row_fill,
                         const KMedoidsConfig& config) {
+  // Adapt the row callback onto the tiled fill: one row_fill call per tile
+  // row, over the tile's shared column range.
+  return KMedoids(
+      n,
+      [&row_fill](size_t i_begin, size_t i_end, size_t j_begin, size_t j_end,
+                  double* out, size_t ldo) {
+        for (size_t i = i_begin; i < i_end; ++i) {
+          row_fill(i, j_begin, j_end, out + (i - i_begin) * ldo);
+        }
+      },
+      config);
+}
+
+KMedoidsResult KMedoids(size_t n, const KMedoidsTileFill& tile_fill,
+                        const KMedoidsConfig& config) {
   TRACLUS_CHECK_GE(config.k, 1);
   TRACLUS_CHECK_GE(n, static_cast<size_t>(config.k));
   const int k = config.k;
@@ -32,17 +57,32 @@ KMedoidsResult KMedoids(size_t n, const KMedoidsRowFill& row_fill,
 
   // Cache the (symmetric) distance matrix; n is small for whole-trajectory
   // use, but the entries (e.g. DTW warps) can be individually expensive, so
-  // the fill is spread across the pool. The chunk owning row i fills the
-  // whole upper stripe d[i][i+1..n) in one row_fill call and writes the
-  // mirrored column — one writer per element, so the matrix is identical for
-  // every thread count.
+  // the fill is spread across the pool. The chunk owning rows [lo, hi)
+  // requests kFillTileRows-row tiles over the shared column range
+  // [ib+1, n) — tile-capable fillers reuse each candidate block across the
+  // rows — then copies each row's upper stripe d[i][i+1..n) out of the tile
+  // and writes the mirrored column. The chunk owning row i writes d[i][j]
+  // and d[j][i] for every j > i: one writer per element, so the matrix is
+  // identical for every thread count.
   std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
   common::SharedPool(config.num_threads)
       .ParallelForChunked(0, n, [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          if (i + 1 >= n) continue;
-          row_fill(i, i + 1, n, d[i].data() + (i + 1));
-          for (size_t j = i + 1; j < n; ++j) d[j][i] = d[i][j];
+        std::vector<double> tile;
+        for (size_t ib = lo; ib < hi; ib += kFillTileRows) {
+          const size_t ie = std::min(hi, ib + kFillTileRows);
+          const size_t j0 = ib + 1;
+          if (j0 >= n) continue;
+          const size_t width = n - j0;
+          tile.resize((ie - ib) * width);
+          tile_fill(ib, ie, j0, n, tile.data(), width);
+          for (size_t i = ib; i < ie; ++i) {
+            if (i + 1 >= n) continue;
+            const double* row = tile.data() + (i - ib) * width;
+            for (size_t j = i + 1; j < n; ++j) {
+              d[i][j] = row[j - j0];
+              d[j][i] = d[i][j];
+            }
+          }
         }
       });
 
@@ -136,11 +176,10 @@ KMedoidsResult KMedoidsOverSegments(const traj::SegmentStore& store,
                                     distance::BatchKernel kernel) {
   return KMedoids(
       store.size(),
-      [&store, &dist, kernel](size_t i, size_t j_begin, size_t j_end,
-                              double* out) {
-        distance::DistanceBatchRange(
-            store, dist, i, j_begin, j_end,
-            common::Span<double>(out, j_end - j_begin), kernel);
+      [&store, &dist, kernel](size_t i_begin, size_t i_end, size_t j_begin,
+                              size_t j_end, double* out, size_t ldo) {
+        distance::DistanceTileRange(store, dist, i_begin, i_end, j_begin,
+                                    j_end, out, ldo, kernel);
       },
       config);
 }

@@ -38,7 +38,12 @@ ChunkedGridNeighborhood::ChunkedGridNeighborhood(
     const traj::ChunkedSegmentStore& store,
     const distance::SegmentDistance& dist, double cell_size,
     distance::BatchKernel kernel)
-    : store_(store), dist_(dist), kernel_(kernel) {
+    : store_(store),
+      dist_(dist),
+      // The shared resolve helper (distance::ResolveBatchKernel), not a
+      // provider-local decision: capped streaming runs must honor the knob
+      // with exactly the eager path's semantics.
+      kernel_(distance::ResolveBatchKernel(kernel)) {
   TRACLUS_CHECK(store.finalized());
   // Identical heuristic to GridNeighborhoodIndex, fed by the catalog MBRs
   // (bit-identical to the monolithic store's): the cell population of this

@@ -117,7 +117,9 @@ class ChunkedBruteForceNeighborhood : public NeighborhoodProvider {
       const traj::ChunkedSegmentStore& store,
       const distance::SegmentDistance& dist,
       distance::BatchKernel kernel = distance::BatchKernel::kAuto)
-      : store_(store), dist_(dist), kernel_(kernel) {}
+      : store_(store),
+        dist_(dist),
+        kernel_(distance::ResolveBatchKernel(kernel)) {}
 
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
   size_t size() const override { return store_.size(); }
@@ -125,6 +127,9 @@ class ChunkedBruteForceNeighborhood : public NeighborhoodProvider {
  private:
   const traj::ChunkedSegmentStore& store_;
   const distance::SegmentDistance& dist_;
+  /// Resolved through the shared distance::ResolveBatchKernel helper at
+  /// construction, so capped streaming runs honor the knob exactly like
+  /// eager runs (kAuto/kSimd degrade identically in every binary).
   distance::BatchKernel kernel_;
 };
 

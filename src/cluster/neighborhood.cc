@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/span.h"
 
 namespace traclus::cluster {
 
@@ -177,6 +178,33 @@ std::vector<size_t> BruteForceNeighborhood::Neighbors(size_t query_index,
   distance::EpsilonRefineRange(store_, dist_, query_index, 0, store_.size(),
                                eps, out, options);
   return out;
+}
+
+std::vector<std::vector<size_t>> BruteForceNeighborhood::NeighborsBatch(
+    const std::vector<size_t>& queries, double eps,
+    common::ThreadPool& pool) const {
+  std::vector<std::vector<size_t>> lists(queries.size());
+  distance::BatchOptions options;
+  options.kernel = kernel_;
+  // Each chunk's queries share one ε-refine tile over the whole database;
+  // lists land in index-addressed slots, so the batch is identical for every
+  // thread count (the tile's staging is thread_local — nothing is shared).
+  pool.ParallelForChunked(
+      0, queries.size(), [this, eps, &queries, &lists, &options](
+                             size_t lo, size_t hi) {
+        distance::EpsilonRefineTile(
+            store_, dist_,
+            common::Span<const size_t>(queries.data() + lo, hi - lo), 0,
+            store_.size(), eps, lists.data() + lo, options);
+      });
+  return lists;
+}
+
+std::vector<std::vector<size_t>> BruteForceNeighborhood::AllNeighbors(
+    double eps, common::ThreadPool& pool) const {
+  std::vector<size_t> queries(store_.size());
+  for (size_t i = 0; i < queries.size(); ++i) queries[i] = i;
+  return NeighborsBatch(queries, eps, pool);
 }
 
 }  // namespace traclus::cluster

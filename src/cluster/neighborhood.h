@@ -152,6 +152,17 @@ class BruteForceNeighborhood : public NeighborhoodProvider {
       : store_(store), dist_(dist), kernel_(kernel) {}
 
   std::vector<size_t> Neighbors(size_t query_index, double eps) const override;
+  /// Tile-batched override: each chunk of queries runs as one
+  /// distance::EpsilonRefineTile over the whole database, so every candidate
+  /// block's SoA columns serve the chunk's queries while hot. Entry k is
+  /// exactly Neighbors(queries[k], eps) — the tile's per-query emission
+  /// equals the one-query refine bit for bit.
+  std::vector<std::vector<size_t>> NeighborsBatch(
+      const std::vector<size_t>& queries, double eps,
+      common::ThreadPool& pool) const override;
+  /// Whole-database batch through the same tiles.
+  std::vector<std::vector<size_t>> AllNeighbors(
+      double eps, common::ThreadPool& pool) const override;
   size_t size() const override { return store_.size(); }
 
  private:

@@ -455,6 +455,15 @@ TraclusEngine::Builder& TraclusEngine::Builder::UseSweepRepresentatives(
       std::make_shared<SweepRepresentativeStage>(options));
 }
 
+TraclusEngine::Builder& TraclusEngine::Builder::WithSieveGrouping(
+    const SieveGroupOptions& options) {
+  // Wraps whatever backend is configured right now; with none configured the
+  // decorator holds a null inner stage and Build()'s Validate sweep reports
+  // it (keeping the builder's errors-at-Build contract).
+  return SetGroupStage(
+      std::make_shared<SieveGroupStage>(std::move(group_), options));
+}
+
 TraclusEngine::Builder& TraclusEngine::Builder::WithoutRepresentatives() {
   representative_.reset();
   return *this;
@@ -589,12 +598,6 @@ common::Result<PartitionOutput> TraclusEngine::Partition(
 common::Result<cluster::ClusteringResult> TraclusEngine::Group(
     const traj::SegmentStore& store, const RunContext& ctx) const {
   return GroupImpl(store, ResolveContext(ctx));
-}
-
-common::Result<cluster::ClusteringResult> TraclusEngine::Group(
-    std::vector<geom::Segment> segments, const RunContext& ctx) const {
-  return GroupImpl(traj::SegmentStore(std::move(segments)),
-                   ResolveContext(ctx));
 }
 
 common::Result<std::vector<traj::Trajectory>> TraclusEngine::Representatives(

@@ -33,6 +33,7 @@
 #include "cluster/cluster.h"
 #include "cluster/representative.h"
 #include "common/result.h"
+#include "core/sieve_stage.h"
 #include "core/stages.h"
 #include "distance/segment_distance.h"
 #include "partition/mdl.h"
@@ -161,6 +162,14 @@ class TraclusEngine {
     Builder& UseOpticsGrouping(const OpticsGroupOptions& options);
     Builder& UseSweepRepresentatives(
         const SweepRepresentativeOptions& options = {});
+    /// Wraps the currently configured group stage in a SieveGroupStage
+    /// (core/sieve_stage.h): runs whose RunContext sets `sieve` ≥ 2 group
+    /// only that fraction of trajectories through the wrapped backend and
+    /// batch-assign the rest to the nearest cluster within `options.eps`.
+    /// Call after the grouping backend is chosen (Use*Grouping /
+    /// SetGroupStage); calling it with no group stage configured is a Build()
+    /// validation failure.
+    Builder& WithSieveGrouping(const SieveGroupOptions& options);
     /// Disables representative generation (stage 3 is skipped; Run returns an
     /// empty `representatives` vector).
     Builder& WithoutRepresentatives();
@@ -216,18 +225,12 @@ class TraclusEngine {
 
   /// Runs only the grouping stage (Fig. 4 line 04) on a prebuilt segment
   /// store. An empty store is valid input (an empty clustering results).
+  /// (Callers holding a raw segment vector freeze it explicitly:
+  /// `engine.Group(traj::SegmentStore::FromSegments(std::move(segments)))` —
+  /// the deprecated vector overload that hid the O(n) freeze was removed;
+  /// see the README migration table.)
   common::Result<cluster::ClusteringResult> Group(
       const traj::SegmentStore& store, const RunContext& ctx = {}) const;
-
-  /// Deprecated convenience overload for callers holding a raw segment
-  /// vector. It hides the O(n) invariant-freezing pass inside a call that
-  /// reads like a lookup; spell the freeze explicitly instead:
-  ///   engine.Group(traj::SegmentStore::FromSegments(std::move(segments)))
-  [[deprecated(
-      "freeze the vector explicitly with traj::SegmentStore::FromSegments "
-      "and call Group(store)")]]
-  common::Result<cluster::ClusteringResult> Group(
-      std::vector<geom::Segment> segments, const RunContext& ctx = {}) const;
 
   /// Runs only the representative stage (Fig. 4 lines 05-06). Returns
   /// kFailedPrecondition when the engine was built WithoutRepresentatives or

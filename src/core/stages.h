@@ -62,6 +62,18 @@ struct RunContext {
   /// built without AVX2). The kernels are bit-identical, so results never
   /// depend on this knob — only throughput does.
   distance::BatchKernel distance_kernel = distance::BatchKernel::kAuto;
+  /// Sieve-sampled grouping (core/sieve_stage.h): when the group stage is a
+  /// SieveGroupStage, only every `sieve`-th trajectory's segments are grouped
+  /// through the inner backend and the rest are batch-assigned to the nearest
+  /// cluster — O((n/k)² + n·|clusters|) instead of O(n²). 0 or 1 disables the
+  /// sieve (the inner backend runs on everything, byte-identically to using
+  /// it directly). Deterministic for fixed (sieve, sieve_offset): labels are
+  /// identical across thread counts and kernels. Ignored by every other
+  /// group stage.
+  size_t sieve = 0;
+  /// Which residue class of the trajectory first-appearance rank is sampled
+  /// (taken modulo `sieve`); lets repeated runs sample disjoint subsets.
+  size_t sieve_offset = 0;
   /// Streaming runs only (TraclusEngine::Run(TrajectorySource&)): segments
   /// per chunk of the run's ChunkedSegmentStore. 0 = unbounded (one chunk).
   /// Eager runs ignore both chunk knobs. Results are bit-identical for every

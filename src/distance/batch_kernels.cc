@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
 
 #if defined(__AVX2__)
 #include <immintrin.h>
@@ -16,6 +19,12 @@ namespace traclus::distance {
 namespace {
 
 constexpr size_t kDefaultRefineBlock = 256;
+
+// Candidate columns per tile block: ~256 candidates × ~12 SoA columns × 8 B
+// ≈ 24 KiB, sized to stay resident in L1/L2 while every query row of the
+// tile walks it. Each pair's evaluation (lane or scalar) reads only that
+// pair's columns, so regrouping a batch into blocks is bit-identical.
+constexpr size_t kTileCandidateBlock = 256;
 
 // Relative margin of the prune comparison. The bound arithmetic (a squared
 // midpoint distance, two additions, one multiply) accumulates at most a few
@@ -103,6 +112,143 @@ inline double PairDistanceScalarCross(const traj::SegmentStore& qs,
                                           cfg.w_angle);
 }
 
+// Canonical kernel over raw (Li, Lj) coordinate arrays: exactly the
+// floating-point expressions of internal::CrossComponentsCanonicalInto plus
+// the StoreWeightedCanonical fold, with the Point temporaries replaced by
+// compile-time-unrolled loops over D dimensions. Every sum accumulates in
+// ascending dimension order from 0.0 — the geom::Dot / Point::SquaredNorm
+// order — and the build forbids FP contraction, so results are bit-identical
+// to the store-backed kernel (the tile-vs-batch-vs-pair bitwise tests pin
+// this on the adversarial corpus). Callers resolve the Lemma 2 swap first.
+template <int D>
+inline double RawWeightedCanonical(const double* s, const double* e,
+                                   const double* se, double den, double len_i,
+                                   const double* js, const double* je,
+                                   const double* dj, double len_j,
+                                   bool directed, double w_perpendicular,
+                                   double w_parallel, double w_angle) {
+  // ProjectOntoLine of both Lj endpoints: u = Dot(p − s, se) / ‖se‖².
+  double dot1 = 0.0;
+  double dot2 = 0.0;
+  for (int d = 0; d < D; ++d) {
+    dot1 += (js[d] - s[d]) * se[d];
+    dot2 += (je[d] - s[d]) * se[d];
+  }
+  const double u1 = den == 0.0 ? 0.0 : dot1 / den;
+  const double u2 = den == 0.0 ? 0.0 : dot2 / den;
+
+  // proj = s + se·u; the six projection-relative squared norms (to Lj's
+  // endpoints for d⊥, to Li's endpoints for d∥).
+  double sq_perp1 = 0.0, sq_perp2 = 0.0;
+  double sq_ps_s = 0.0, sq_ps_e = 0.0, sq_pe_s = 0.0, sq_pe_e = 0.0;
+  for (int d = 0; d < D; ++d) {
+    const double ps = s[d] + se[d] * u1;
+    const double pe = s[d] + se[d] * u2;
+    const double d1 = js[d] - ps;
+    sq_perp1 += d1 * d1;
+    const double d2 = je[d] - pe;
+    sq_perp2 += d2 * d2;
+    const double d3 = ps - s[d];
+    sq_ps_s += d3 * d3;
+    const double d4 = ps - e[d];
+    sq_ps_e += d4 * d4;
+    const double d5 = pe - s[d];
+    sq_pe_s += d5 * d5;
+    const double d6 = pe - e[d];
+    sq_pe_e += d6 * d6;
+  }
+
+  // Perpendicular (Definition 1): Lehmer mean of order 2 over the root-ed
+  // distances (l·l after the sqrt, like the reference — not the raw squares).
+  const double l1 = std::sqrt(sq_perp1);
+  const double l2 = std::sqrt(sq_perp2);
+  const double perp_denom = l1 + l2;
+  const double perpendicular =
+      perp_denom == 0.0 ? 0.0 : (l1 * l1 + l2 * l2) / perp_denom;
+
+  // Parallel (Definition 2): MIN over projections of the distance to the
+  // nearer Li endpoint.
+  const double lpar1 = std::min(std::sqrt(sq_ps_s), std::sqrt(sq_ps_e));
+  const double lpar2 = std::min(std::sqrt(sq_pe_s), std::sqrt(sq_pe_e));
+  const double parallel = std::min(lpar1, lpar2);
+
+  // Angle (Definition 3): zero for a point-like Lj, cos forced to 1 for a
+  // point-like Li, the directed regime contributing ‖Lj‖ outright.
+  double angle = 0.0;
+  if (len_j != 0.0) {
+    double cos_theta = 1.0;
+    if (len_i != 0.0) {
+      double dot_ij = 0.0;
+      for (int d = 0; d < D; ++d) dot_ij += se[d] * dj[d];
+      cos_theta = std::clamp(dot_ij / (len_i * len_j), -1.0, 1.0);
+    }
+    if (directed && cos_theta <= 0.0) {
+      angle = len_j;
+    } else {
+      const double sin_theta =
+          std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+      angle = len_j * sin_theta;
+    }
+  }
+
+  return w_perpendicular * perpendicular + w_parallel * parallel +
+         w_angle * angle;
+}
+
+// Contiguous-candidate scalar row kernel — the tile family's scalar inner
+// loop. Hoists the query's columns into registers once per row instead of
+// re-resolving them per pair through CanonicalizeInStore + segment(), and
+// resolves the Lemma 2 swap inline (the strict length compare covers almost
+// every pair; exact ties fall back to the full scalar tie-break).
+template <int D>
+void RangeScalarRow(const traj::SegmentStore& store,
+                    const SegmentDistanceConfig& cfg, size_t query,
+                    size_t first, size_t last, double* out) {
+  const double* len_col = store.lengths().data();
+  const double* sqlen_col = store.squared_lengths().data();
+  const double* start_col[D];
+  const double* end_col[D];
+  const double* dir_col[D];
+  double qs[D], qe[D], qd[D];
+  for (int d = 0; d < D; ++d) {
+    start_col[d] = store.start_coords(d).data();
+    end_col[d] = store.end_coords(d).data();
+    dir_col[d] = store.direction_coords(d).data();
+    qs[d] = start_col[d][query];
+    qe[d] = end_col[d][query];
+    qd[d] = dir_col[d][query];
+  }
+  const double q_den = sqlen_col[query];
+  const double q_len = len_col[query];
+
+  for (size_t j = first; j < last; ++j) {
+    double cs[D], ce[D], cd[D];
+    for (int d = 0; d < D; ++d) {
+      cs[d] = start_col[d][j];
+      ce[d] = end_col[d][j];
+      cd[d] = dir_col[d][j];
+    }
+    const double c_len = len_col[j];
+    // Lemma 2 canonical roles: the candidate takes Li when strictly longer;
+    // an exact length tie runs the id / lexicographic tie-break. NaN lengths
+    // fail both compares, leaving the query as Li — CrossCanonicalSwap's
+    // behavior exactly.
+    bool swap = q_len < c_len;
+    if (q_len == c_len) {
+      swap = internal::CrossCanonicalSwap(store, query, store, j);
+    }
+    out[j - first] =
+        swap ? RawWeightedCanonical<D>(cs, ce, cd, sqlen_col[j], c_len, qs,
+                                       qe, qd, q_len, cfg.directed,
+                                       cfg.w_perpendicular, cfg.w_parallel,
+                                       cfg.w_angle)
+             : RawWeightedCanonical<D>(qs, qe, qd, q_den, q_len, cs, ce, cd,
+                                       c_len, cfg.directed,
+                                       cfg.w_perpendicular, cfg.w_parallel,
+                                       cfg.w_angle);
+  }
+}
+
 // Blocked scalar batch kernel. `index(k)` maps batch position to segment
 // index (an array lookup for DistanceBatch, `first + k` for the Range
 // variants). Branch-light: the only data-dependent branches are the ones the
@@ -125,17 +271,143 @@ inline __m256d MinStd(__m256d a, __m256d b) {
   return _mm256_blendv_pd(a, b, _mm256_cmp_pd(b, a, _CMP_LT_OQ));
 }
 
-// Four-lane AVX2 batch kernel over the store's SoA coordinate columns.
+// Broadcast weights of the four-lane canonical kernel.
+struct SimdWeights {
+  __m256d w_perp;
+  __m256d w_par;
+  __m256d w_ang;
+  bool directed;
+};
+
+// The four-lane canonical arithmetic body, shared verbatim by the batch
+// kernel (lane-gathered inputs) and the contiguous row kernel (blended
+// inputs) so both execute literally the same instruction sequence.
 //
 // Each lane executes the exact operation sequence of the scalar canonical
-// kernel (store_kernel_detail.h): the per-pair (longer, shorter) roles are
-// resolved scalar-side during the lane gather, after which every lane runs
-// the same straight-line arithmetic with branches replaced by blends whose
-// selected value matches the scalar ternary in every case (including NaN
-// propagation and signed zeros). Every vector op is an IEEE-754 double op
-// per lane and the build forbids FMA contraction, so lane results are
-// bit-identical to the scalar kernel — asserted exhaustively in
-// tests/segment_distance_test.cc.
+// kernel (store_kernel_detail.h) on already-canonicalized (Li, Lj) role
+// registers, with branches replaced by blends whose selected value matches
+// the scalar ternary in every case (including NaN propagation and signed
+// zeros). Every vector op is an IEEE-754 double op per lane and the build
+// forbids FMA contraction, so lane results are bit-identical to the scalar
+// kernel — asserted exhaustively in tests/segment_distance_test.cc.
+inline __m256d CanonicalLanes(int dims, const __m256d* s_v, const __m256d* e_v,
+                              const __m256d* se_v, const __m256d* js_v,
+                              const __m256d* je_v, const __m256d* dj_v,
+                              __m256d den, __m256d len_i, __m256d len_j,
+                              const SimdWeights& w) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg_one = _mm256_set1_pd(-1.0);
+  const __m256d den_zero = _mm256_cmp_pd(den, zero, _CMP_EQ_OQ);
+
+  // ProjectOntoLine of both Lj endpoints: u = Dot(p − s, se) / ‖se‖²
+  // (0 for a degenerate Li), accumulated dimension-by-dimension exactly
+  // like geom::Dot.
+  __m256d dot1 = zero;
+  __m256d dot2 = zero;
+  for (int d = 0; d < dims; ++d) {
+    dot1 = _mm256_add_pd(
+        dot1, _mm256_mul_pd(_mm256_sub_pd(js_v[d], s_v[d]), se_v[d]));
+    dot2 = _mm256_add_pd(
+        dot2, _mm256_mul_pd(_mm256_sub_pd(je_v[d], s_v[d]), se_v[d]));
+  }
+  const __m256d u1 =
+      _mm256_blendv_pd(_mm256_div_pd(dot1, den), zero, den_zero);
+  const __m256d u2 =
+      _mm256_blendv_pd(_mm256_div_pd(dot2, den), zero, den_zero);
+
+  // proj = s + se·u; accumulate the four projection-relative squared
+  // norms (to Lj's endpoints for d⊥, to Li's endpoints for d∥) in
+  // dimension order, exactly like Point::SquaredNorm.
+  __m256d sq_perp1 = zero, sq_perp2 = zero;
+  __m256d sq_ps_s = zero, sq_ps_e = zero, sq_pe_s = zero, sq_pe_e = zero;
+  for (int d = 0; d < dims; ++d) {
+    const __m256d ps = _mm256_add_pd(s_v[d], _mm256_mul_pd(se_v[d], u1));
+    const __m256d pe = _mm256_add_pd(s_v[d], _mm256_mul_pd(se_v[d], u2));
+    const __m256d d1 = _mm256_sub_pd(js_v[d], ps);
+    sq_perp1 = _mm256_add_pd(sq_perp1, _mm256_mul_pd(d1, d1));
+    const __m256d d2 = _mm256_sub_pd(je_v[d], pe);
+    sq_perp2 = _mm256_add_pd(sq_perp2, _mm256_mul_pd(d2, d2));
+    const __m256d d3 = _mm256_sub_pd(ps, s_v[d]);
+    sq_ps_s = _mm256_add_pd(sq_ps_s, _mm256_mul_pd(d3, d3));
+    const __m256d d4 = _mm256_sub_pd(ps, e_v[d]);
+    sq_ps_e = _mm256_add_pd(sq_ps_e, _mm256_mul_pd(d4, d4));
+    const __m256d d5 = _mm256_sub_pd(pe, s_v[d]);
+    sq_pe_s = _mm256_add_pd(sq_pe_s, _mm256_mul_pd(d5, d5));
+    const __m256d d6 = _mm256_sub_pd(pe, e_v[d]);
+    sq_pe_e = _mm256_add_pd(sq_pe_e, _mm256_mul_pd(d6, d6));
+  }
+
+  // Perpendicular (Definition 1): Lehmer mean of order 2, zero when both
+  // endpoints sit on the line.
+  const __m256d l1 = _mm256_sqrt_pd(sq_perp1);
+  const __m256d l2 = _mm256_sqrt_pd(sq_perp2);
+  const __m256d perp_den = _mm256_add_pd(l1, l2);
+  const __m256d perp_raw = _mm256_div_pd(
+      _mm256_add_pd(_mm256_mul_pd(l1, l1), _mm256_mul_pd(l2, l2)),
+      perp_den);
+  const __m256d perp = _mm256_blendv_pd(
+      perp_raw, zero, _mm256_cmp_pd(perp_den, zero, _CMP_EQ_OQ));
+
+  // Parallel (Definition 2): MIN over projections of the distance to the
+  // nearer Li endpoint.
+  const __m256d lpar1 =
+      MinStd(_mm256_sqrt_pd(sq_ps_s), _mm256_sqrt_pd(sq_ps_e));
+  const __m256d lpar2 =
+      MinStd(_mm256_sqrt_pd(sq_pe_s), _mm256_sqrt_pd(sq_pe_e));
+  const __m256d par = MinStd(lpar1, lpar2);
+
+  // Angle (Definition 3). cos θ = Dot(dir_i, dir_j) / (‖i‖·‖j‖), clamped
+  // to [−1, 1] with std::clamp's exact selection order, forced to 1 for a
+  // degenerate Li; a degenerate Lj zeroes the whole component.
+  __m256d dot_ij = zero;
+  for (int d = 0; d < dims; ++d) {
+    dot_ij = _mm256_add_pd(dot_ij, _mm256_mul_pd(se_v[d], dj_v[d]));
+  }
+  const __m256d len_i_zero = _mm256_cmp_pd(len_i, zero, _CMP_EQ_OQ);
+  const __m256d len_j_zero = _mm256_cmp_pd(len_j, zero, _CMP_EQ_OQ);
+  const __m256d cos_raw =
+      _mm256_div_pd(dot_ij, _mm256_mul_pd(len_i, len_j));
+  // std::clamp(v, −1, 1): (v < lo) ? lo : (hi < v) ? hi : v.
+  __m256d cos_t = _mm256_blendv_pd(
+      cos_raw, neg_one, _mm256_cmp_pd(cos_raw, neg_one, _CMP_LT_OQ));
+  cos_t =
+      _mm256_blendv_pd(cos_t, one, _mm256_cmp_pd(one, cos_t, _CMP_LT_OQ));
+  cos_t = _mm256_blendv_pd(cos_t, one, len_i_zero);
+  // sin θ = sqrt(std::max(0, 1 − cos²)); std::max(0, x) ≡ (0 < x) ? x : 0.
+  const __m256d one_minus_sq =
+      _mm256_sub_pd(one, _mm256_mul_pd(cos_t, cos_t));
+  const __m256d sin_arg = _mm256_blendv_pd(
+      zero, one_minus_sq, _mm256_cmp_pd(zero, one_minus_sq, _CMP_LT_OQ));
+  __m256d ang = _mm256_mul_pd(len_j, _mm256_sqrt_pd(sin_arg));
+  if (w.directed) {
+    // θ ∈ [90°, 180°] contributes ‖Lj‖ outright.
+    ang = _mm256_blendv_pd(ang, len_j,
+                           _mm256_cmp_pd(cos_t, zero, _CMP_LE_OQ));
+  }
+  ang = _mm256_blendv_pd(ang, zero, len_j_zero);
+
+  // Weighted fold, grouped (w⊥·d⊥ + w∥·d∥) + wθ·dθ like the scalar path.
+  return _mm256_add_pd(
+      _mm256_add_pd(_mm256_mul_pd(w.w_perp, perp),
+                    _mm256_mul_pd(w.w_par, par)),
+      _mm256_mul_pd(w.w_ang, ang));
+}
+
+inline SimdWeights MakeSimdWeights(const SegmentDistanceConfig& cfg) {
+  SimdWeights w;
+  w.w_perp = _mm256_set1_pd(cfg.w_perpendicular);
+  w.w_par = _mm256_set1_pd(cfg.w_parallel);
+  w.w_ang = _mm256_set1_pd(cfg.w_angle);
+  w.directed = cfg.directed;
+  return w;
+}
+
+// Four-lane AVX2 batch kernel over the store's SoA coordinate columns: the
+// per-pair (longer, shorter) roles are resolved scalar-side during the lane
+// gather (Lemma 2 ordering, including the id / lexicographic tie-breaks,
+// which do not vectorize), after which CanonicalLanes runs the shared
+// straight-line arithmetic.
 template <typename IndexFn>
 void BatchSimd(const traj::SegmentStore& store,
                const SegmentDistanceConfig& cfg, size_t query, size_t n,
@@ -151,19 +423,12 @@ void BatchSimd(const traj::SegmentStore& store,
     end_col[d] = store.end_coords(d).data();
     dir_col[d] = store.direction_coords(d).data();
   }
-
-  const __m256d zero = _mm256_setzero_pd();
-  const __m256d one = _mm256_set1_pd(1.0);
-  const __m256d neg_one = _mm256_set1_pd(-1.0);
-  const __m256d w_perp = _mm256_set1_pd(cfg.w_perpendicular);
-  const __m256d w_par = _mm256_set1_pd(cfg.w_parallel);
-  const __m256d w_ang = _mm256_set1_pd(cfg.w_angle);
+  const SimdWeights w = MakeSimdWeights(cfg);
 
   size_t k = 0;
   for (; k + 4 <= n; k += 4) {
-    // Lane gather: canonicalize each pair scalar-side (Lemma 2 ordering,
-    // including the id / lexicographic tie-breaks, which do not vectorize),
-    // then transpose the canonical (Li, Lj) scalars into lane-major form.
+    // Lane gather: canonicalize each pair scalar-side, then transpose the
+    // canonical (Li, Lj) scalars into lane-major form.
     alignas(32) double s_l[geom::kMaxDims][4];   // Li start.
     alignas(32) double e_l[geom::kMaxDims][4];   // Li end.
     alignas(32) double se_l[geom::kMaxDims][4];  // Li direction (e − s).
@@ -200,108 +465,106 @@ void BatchSimd(const traj::SegmentStore& store,
       je_v[d] = _mm256_load_pd(je_l[d]);
       dj_v[d] = _mm256_load_pd(dj_l[d]);
     }
-    const __m256d den = _mm256_load_pd(den_l);
-    const __m256d len_i = _mm256_load_pd(len_i_l);
-    const __m256d len_j = _mm256_load_pd(len_j_l);
-    const __m256d den_zero = _mm256_cmp_pd(den, zero, _CMP_EQ_OQ);
-
-    // ProjectOntoLine of both Lj endpoints: u = Dot(p − s, se) / ‖se‖²
-    // (0 for a degenerate Li), accumulated dimension-by-dimension exactly
-    // like geom::Dot.
-    __m256d dot1 = zero;
-    __m256d dot2 = zero;
-    for (int d = 0; d < dims; ++d) {
-      dot1 = _mm256_add_pd(
-          dot1, _mm256_mul_pd(_mm256_sub_pd(js_v[d], s_v[d]), se_v[d]));
-      dot2 = _mm256_add_pd(
-          dot2, _mm256_mul_pd(_mm256_sub_pd(je_v[d], s_v[d]), se_v[d]));
-    }
-    const __m256d u1 =
-        _mm256_blendv_pd(_mm256_div_pd(dot1, den), zero, den_zero);
-    const __m256d u2 =
-        _mm256_blendv_pd(_mm256_div_pd(dot2, den), zero, den_zero);
-
-    // proj = s + se·u; accumulate the four projection-relative squared
-    // norms (to Lj's endpoints for d⊥, to Li's endpoints for d∥) in
-    // dimension order, exactly like Point::SquaredNorm.
-    __m256d sq_perp1 = zero, sq_perp2 = zero;
-    __m256d sq_ps_s = zero, sq_ps_e = zero, sq_pe_s = zero, sq_pe_e = zero;
-    for (int d = 0; d < dims; ++d) {
-      const __m256d ps = _mm256_add_pd(s_v[d], _mm256_mul_pd(se_v[d], u1));
-      const __m256d pe = _mm256_add_pd(s_v[d], _mm256_mul_pd(se_v[d], u2));
-      const __m256d d1 = _mm256_sub_pd(js_v[d], ps);
-      sq_perp1 = _mm256_add_pd(sq_perp1, _mm256_mul_pd(d1, d1));
-      const __m256d d2 = _mm256_sub_pd(je_v[d], pe);
-      sq_perp2 = _mm256_add_pd(sq_perp2, _mm256_mul_pd(d2, d2));
-      const __m256d d3 = _mm256_sub_pd(ps, s_v[d]);
-      sq_ps_s = _mm256_add_pd(sq_ps_s, _mm256_mul_pd(d3, d3));
-      const __m256d d4 = _mm256_sub_pd(ps, e_v[d]);
-      sq_ps_e = _mm256_add_pd(sq_ps_e, _mm256_mul_pd(d4, d4));
-      const __m256d d5 = _mm256_sub_pd(pe, s_v[d]);
-      sq_pe_s = _mm256_add_pd(sq_pe_s, _mm256_mul_pd(d5, d5));
-      const __m256d d6 = _mm256_sub_pd(pe, e_v[d]);
-      sq_pe_e = _mm256_add_pd(sq_pe_e, _mm256_mul_pd(d6, d6));
-    }
-
-    // Perpendicular (Definition 1): Lehmer mean of order 2, zero when both
-    // endpoints sit on the line.
-    const __m256d l1 = _mm256_sqrt_pd(sq_perp1);
-    const __m256d l2 = _mm256_sqrt_pd(sq_perp2);
-    const __m256d perp_den = _mm256_add_pd(l1, l2);
-    const __m256d perp_raw = _mm256_div_pd(
-        _mm256_add_pd(_mm256_mul_pd(l1, l1), _mm256_mul_pd(l2, l2)),
-        perp_den);
-    const __m256d perp = _mm256_blendv_pd(
-        perp_raw, zero, _mm256_cmp_pd(perp_den, zero, _CMP_EQ_OQ));
-
-    // Parallel (Definition 2): MIN over projections of the distance to the
-    // nearer Li endpoint.
-    const __m256d lpar1 =
-        MinStd(_mm256_sqrt_pd(sq_ps_s), _mm256_sqrt_pd(sq_ps_e));
-    const __m256d lpar2 =
-        MinStd(_mm256_sqrt_pd(sq_pe_s), _mm256_sqrt_pd(sq_pe_e));
-    const __m256d par = MinStd(lpar1, lpar2);
-
-    // Angle (Definition 3). cos θ = Dot(dir_i, dir_j) / (‖i‖·‖j‖), clamped
-    // to [−1, 1] with std::clamp's exact selection order, forced to 1 for a
-    // degenerate Li; a degenerate Lj zeroes the whole component.
-    __m256d dot_ij = zero;
-    for (int d = 0; d < dims; ++d) {
-      dot_ij = _mm256_add_pd(dot_ij, _mm256_mul_pd(se_v[d], dj_v[d]));
-    }
-    const __m256d len_i_zero = _mm256_cmp_pd(len_i, zero, _CMP_EQ_OQ);
-    const __m256d len_j_zero = _mm256_cmp_pd(len_j, zero, _CMP_EQ_OQ);
-    const __m256d cos_raw =
-        _mm256_div_pd(dot_ij, _mm256_mul_pd(len_i, len_j));
-    // std::clamp(v, −1, 1): (v < lo) ? lo : (hi < v) ? hi : v.
-    __m256d cos_t = _mm256_blendv_pd(
-        cos_raw, neg_one, _mm256_cmp_pd(cos_raw, neg_one, _CMP_LT_OQ));
-    cos_t =
-        _mm256_blendv_pd(cos_t, one, _mm256_cmp_pd(one, cos_t, _CMP_LT_OQ));
-    cos_t = _mm256_blendv_pd(cos_t, one, len_i_zero);
-    // sin θ = sqrt(std::max(0, 1 − cos²)); std::max(0, x) ≡ (0 < x) ? x : 0.
-    const __m256d one_minus_sq =
-        _mm256_sub_pd(one, _mm256_mul_pd(cos_t, cos_t));
-    const __m256d sin_arg = _mm256_blendv_pd(
-        zero, one_minus_sq, _mm256_cmp_pd(zero, one_minus_sq, _CMP_LT_OQ));
-    __m256d ang = _mm256_mul_pd(len_j, _mm256_sqrt_pd(sin_arg));
-    if (cfg.directed) {
-      // θ ∈ [90°, 180°] contributes ‖Lj‖ outright.
-      ang = _mm256_blendv_pd(ang, len_j,
-                             _mm256_cmp_pd(cos_t, zero, _CMP_LE_OQ));
-    }
-    ang = _mm256_blendv_pd(ang, zero, len_j_zero);
-
-    // Weighted fold, grouped (w⊥·d⊥ + w∥·d∥) + wθ·dθ like the scalar path.
-    const __m256d total = _mm256_add_pd(
-        _mm256_add_pd(_mm256_mul_pd(w_perp, perp), _mm256_mul_pd(w_par, par)),
-        _mm256_mul_pd(w_ang, ang));
+    const __m256d total = CanonicalLanes(
+        dims, s_v, e_v, se_v, js_v, je_v, dj_v, _mm256_load_pd(den_l),
+        _mm256_load_pd(len_i_l), _mm256_load_pd(len_j_l), w);
     _mm256_storeu_pd(out + k, total);
   }
 
   // Tail lanes (< 4 remaining) run the scalar kernel — same bits.
   for (; k < n; ++k) {
     out[k] = PairDistanceScalar(store, cfg, query, index(k));
+  }
+}
+
+// Contiguous-candidate SIMD row kernel — the tile family's vector inner
+// loop. Instead of BatchSimd's per-lane scalar gather (which re-resolves the
+// query's columns for every pair), the query side is broadcast ONCE per row
+// and each 4-candidate step is: unaligned column loads + a vectorized
+// Lemma 2 swap mask + role blends + the shared arithmetic body. The blends
+// only move bits between registers, so feeding CanonicalLanes this way is
+// bit-identical to the gathered path (pinned by the tile bitwise tests).
+void RangeSimd(const traj::SegmentStore& store,
+               const SegmentDistanceConfig& cfg, size_t query, size_t first,
+               size_t last, double* out) {
+  const int dims = store.dims();
+  const double* len_col = store.lengths().data();
+  const double* sqlen_col = store.squared_lengths().data();
+  const double* start_col[geom::kMaxDims];
+  const double* end_col[geom::kMaxDims];
+  const double* dir_col[geom::kMaxDims];
+  __m256d qs_v[geom::kMaxDims], qe_v[geom::kMaxDims], qd_v[geom::kMaxDims];
+  for (int d = 0; d < dims; ++d) {
+    start_col[d] = store.start_coords(d).data();
+    end_col[d] = store.end_coords(d).data();
+    dir_col[d] = store.direction_coords(d).data();
+    qs_v[d] = _mm256_set1_pd(start_col[d][query]);
+    qe_v[d] = _mm256_set1_pd(end_col[d][query]);
+    qd_v[d] = _mm256_set1_pd(dir_col[d][query]);
+  }
+  const __m256d q_den = _mm256_set1_pd(sqlen_col[query]);
+  const __m256d q_len = _mm256_set1_pd(len_col[query]);
+  const SimdWeights w = MakeSimdWeights(cfg);
+
+  size_t j = first;
+  for (; j + 4 <= last; j += 4) {
+    __m256d cs_v[geom::kMaxDims], ce_v[geom::kMaxDims], cd_v[geom::kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      cs_v[d] = _mm256_loadu_pd(start_col[d] + j);
+      ce_v[d] = _mm256_loadu_pd(end_col[d] + j);
+      cd_v[d] = _mm256_loadu_pd(dir_col[d] + j);
+    }
+    const __m256d c_den = _mm256_loadu_pd(sqlen_col + j);
+    const __m256d c_len = _mm256_loadu_pd(len_col + j);
+
+    // Lemma 2 swap mask: the candidate takes the Li role where the query is
+    // strictly shorter. Exact length ties (and only those — NaN lengths fail
+    // both compares and keep the query as Li, like CrossCanonicalSwap) fall
+    // back to the scalar id / lexicographic tie-break, patched lane-wise.
+    __m256d swap = _mm256_cmp_pd(q_len, c_len, _CMP_LT_OQ);
+    const int eq =
+        _mm256_movemask_pd(_mm256_cmp_pd(q_len, c_len, _CMP_EQ_OQ));
+    if (eq != 0) {
+      alignas(32) uint64_t mask_l[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(mask_l),
+                         _mm256_castpd_si256(swap));
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((eq & (1 << lane)) != 0) {
+          mask_l[lane] =
+              internal::CrossCanonicalSwap(store, query, store,
+                                           j + static_cast<size_t>(lane))
+                  ? ~uint64_t{0}
+                  : uint64_t{0};
+        }
+      }
+      swap = _mm256_castsi256_pd(
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(mask_l)));
+    }
+
+    // Role blends: Li ← candidate where swapped, else query (and vice versa
+    // for Lj). Pure bit moves — no rounding.
+    __m256d s_v[geom::kMaxDims], e_v[geom::kMaxDims], se_v[geom::kMaxDims];
+    __m256d js_v[geom::kMaxDims], je_v[geom::kMaxDims], dj_v[geom::kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      s_v[d] = _mm256_blendv_pd(qs_v[d], cs_v[d], swap);
+      e_v[d] = _mm256_blendv_pd(qe_v[d], ce_v[d], swap);
+      se_v[d] = _mm256_blendv_pd(qd_v[d], cd_v[d], swap);
+      js_v[d] = _mm256_blendv_pd(cs_v[d], qs_v[d], swap);
+      je_v[d] = _mm256_blendv_pd(ce_v[d], qe_v[d], swap);
+      dj_v[d] = _mm256_blendv_pd(cd_v[d], qd_v[d], swap);
+    }
+    const __m256d den = _mm256_blendv_pd(q_den, c_den, swap);
+    const __m256d len_i = _mm256_blendv_pd(q_len, c_len, swap);
+    const __m256d len_j = _mm256_blendv_pd(c_len, q_len, swap);
+
+    const __m256d total = CanonicalLanes(dims, s_v, e_v, se_v, js_v, je_v,
+                                         dj_v, den, len_i, len_j, w);
+    _mm256_storeu_pd(out + (j - first), total);
+  }
+
+  // Tail lanes (< 4 remaining) run the scalar kernel — same bits.
+  for (; j < last; ++j) {
+    out[j - first] = PairDistanceScalar(store, cfg, query, j);
   }
 }
 
@@ -321,6 +584,54 @@ void BatchDispatch(BatchKernel kernel, const traj::SegmentStore& store,
   (void)kernel;
 #endif
   BatchScalar(store, cfg, query, n, index, out);
+}
+
+// Contiguous-candidate row kernel — the tile family's inner loop. Same
+// results as BatchDispatch over the index range [first, last) (the tile
+// bitwise tests pin this), but with the query-side state hoisted out of the
+// candidate loop instead of re-resolved per pair: broadcast registers in the
+// SIMD kernel, compile-time-unrolled locals in the scalar one. This hoist is
+// what makes the tiled all-pairs consumers faster than their row-batched
+// predecessors — the candidate columns stream as contiguous loads while the
+// query side stays in registers for the whole row.
+void RowRangeDispatch(BatchKernel kernel, const traj::SegmentStore& store,
+                      const SegmentDistanceConfig& cfg, size_t query,
+                      size_t first, size_t last, double* out) {
+  if (first >= last) return;
+#if defined(__AVX2__)
+  if (kernel == BatchKernel::kSimd) {
+    RangeSimd(store, cfg, query, first, last, out);
+    return;
+  }
+#else
+  (void)kernel;
+#endif
+  if (store.dims() == 2) {
+    RangeScalarRow<2>(store, cfg, query, first, last, out);
+  } else {
+    RangeScalarRow<3>(store, cfg, query, first, last, out);
+  }
+}
+
+// Tile core for indexed candidate lists: candidate-block-major evaluation of
+// an M × N block. Each block of candidate columns is walked once per query
+// row while hot; per row the block is exactly a BatchDispatch call, so tile
+// results are bit-identical to the per-query batches (and the pair path) by
+// construction. Contiguous-range tiles take the faster RowRangeDispatch
+// inner loop instead.
+template <typename QueryFn, typename CandFn>
+void TileDispatch(BatchKernel kernel, const traj::SegmentStore& store,
+                  const SegmentDistanceConfig& cfg, size_t num_queries,
+                  const QueryFn& query_of, size_t num_candidates,
+                  const CandFn& cand_of, double* out, size_t ldo) {
+  for (size_t jb = 0; jb < num_candidates; jb += kTileCandidateBlock) {
+    const size_t je = std::min(num_candidates, jb + kTileCandidateBlock);
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      BatchDispatch(
+          kernel, store, cfg, query_of(qi), je - jb,
+          [&](size_t k) { return cand_of(jb + k); }, out + qi * ldo + jb);
+    }
+  }
 }
 
 // Shared ε-refine pipeline: blocked prune → batch distance → threshold.
@@ -410,18 +721,13 @@ const char* BatchKernelName(BatchKernel kernel) {
   return "auto";
 }
 
-bool ParseBatchKernel(const std::string& name, BatchKernel* out) {
-  TRACLUS_DCHECK(out != nullptr);
-  if (name == "auto") {
-    *out = BatchKernel::kAuto;
-  } else if (name == "scalar") {
-    *out = BatchKernel::kScalar;
-  } else if (name == "simd") {
-    *out = BatchKernel::kSimd;
-  } else {
-    return false;
-  }
-  return true;
+common::Result<BatchKernel> ParseBatchKernel(std::string_view name) {
+  if (name == "auto") return BatchKernel::kAuto;
+  if (name == "scalar") return BatchKernel::kScalar;
+  if (name == "simd") return BatchKernel::kSimd;
+  return common::Status::InvalidArgument(
+      "unknown distance kernel '" + std::string(name) +
+      "' (expected auto, scalar, or simd)");
 }
 
 void DistanceBatch(const traj::SegmentStore& store,
@@ -505,6 +811,167 @@ size_t EpsilonRefineCross(const traj::SegmentStore& query_store,
   return appended;
 }
 
+void DistanceTile(const traj::SegmentStore& store, const SegmentDistance& dist,
+                  common::Span<const size_t> queries,
+                  common::Span<const size_t> candidates, double* out,
+                  size_t ldo, BatchKernel kernel) {
+  TRACLUS_DCHECK(ldo >= candidates.size());
+  const size_t* q = queries.data();
+  const size_t* cand = candidates.data();
+  TileDispatch(
+      ResolveBatchKernel(kernel), store, dist.config(), queries.size(),
+      [q](size_t qi) { return q[qi]; }, candidates.size(),
+      [cand](size_t k) { return cand[k]; }, out, ldo);
+}
+
+void DistanceTileRange(const traj::SegmentStore& store,
+                       const SegmentDistance& dist, size_t query_first,
+                       size_t query_last, size_t cand_first, size_t cand_last,
+                       double* out, size_t ldo, BatchKernel kernel) {
+  TRACLUS_DCHECK(query_first <= query_last && query_last <= store.size());
+  TRACLUS_DCHECK(cand_first <= cand_last && cand_last <= store.size());
+  TRACLUS_DCHECK(ldo >= cand_last - cand_first);
+  const BatchKernel resolved = ResolveBatchKernel(kernel);
+  const SegmentDistanceConfig& cfg = dist.config();
+  // Candidate-block-major over the contiguous range, with the hoisted
+  // row kernel as the inner loop.
+  for (size_t jb = cand_first; jb < cand_last; jb += kTileCandidateBlock) {
+    const size_t je = std::min(cand_last, jb + kTileCandidateBlock);
+    for (size_t q = query_first; q < query_last; ++q) {
+      RowRangeDispatch(resolved, store, cfg, q, jb, je,
+                       out + (q - query_first) * ldo + (jb - cand_first));
+    }
+  }
+}
+
+size_t EpsilonRefineTile(const traj::SegmentStore& store,
+                         const SegmentDistance& dist,
+                         common::Span<const size_t> queries, size_t first,
+                         size_t last, double eps,
+                         std::vector<size_t>* out_lists,
+                         const BatchOptions& options, RefineStats* stats) {
+  TRACLUS_DCHECK(out_lists != nullptr);
+  TRACLUS_DCHECK(first <= last && last <= store.size());
+  const BatchKernel kernel = ResolveBatchKernel(options.kernel);
+  const size_t block = options.block > 0 ? options.block : kDefaultRefineBlock;
+  const SegmentDistanceConfig& cfg = dist.config();
+
+  // One prune context per query, hoisted out of the block loop. Same
+  // thread_local staging story as EpsilonRefineImpl: everything else lives in
+  // caller-owned out_lists, so concurrent tiles on pool workers share
+  // nothing.
+  thread_local std::vector<PruneContext> prune;
+  thread_local std::vector<size_t> survivors;
+  thread_local std::vector<double> distances;
+  prune.clear();
+  for (const size_t q : queries) {
+    TRACLUS_DCHECK(q < store.size());
+    prune.push_back(MakePruneContext(store, dist, q, eps, options.prune));
+  }
+
+  size_t appended = 0;
+  size_t pruned_total = 0;
+  size_t refined_total = 0;
+  // Candidate-block-major: each block's columns serve every query while hot.
+  // Per query, blocks arrive in ascending order and emission within a block
+  // preserves candidate order, so out_lists[qi] matches EpsilonRefineRange's
+  // emission exactly.
+  for (size_t base = first; base < last; base += block) {
+    const size_t hi = std::min(last, base + block);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const size_t query = queries[qi];
+      survivors.clear();
+      for (size_t j = base; j < hi; ++j) {
+        // The query itself always survives (Definition 4 self-inclusion).
+        if (j != query && PrunedFar(prune[qi], store, j)) {
+          ++pruned_total;
+          continue;
+        }
+        survivors.push_back(j);
+      }
+      distances.resize(survivors.size());
+      BatchDispatch(
+          kernel, store, cfg, query, survivors.size(),
+          [&](size_t m) { return survivors[m]; }, distances.data());
+      refined_total += survivors.size();
+      for (size_t m = 0; m < survivors.size(); ++m) {
+        const size_t j = survivors[m];
+        if (j == query || distances[m] <= eps) {
+          out_lists[qi].push_back(j);
+          ++appended;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->candidates += queries.size() * (last - first);
+    stats->pruned += pruned_total;
+    stats->refined += refined_total;
+    stats->accepted += appended;
+  }
+  return appended;
+}
+
+void NearestWithinEps(const traj::SegmentStore& store,
+                      const SegmentDistance& dist,
+                      common::Span<const size_t> queries,
+                      common::Span<const size_t> candidates, double eps,
+                      common::Span<size_t> out_position,
+                      common::Span<double> out_distance,
+                      const BatchOptions& options) {
+  TRACLUS_DCHECK_EQ(queries.size(), out_position.size());
+  TRACLUS_DCHECK_EQ(queries.size(), out_distance.size());
+  const BatchKernel kernel = ResolveBatchKernel(options.kernel);
+  const size_t block = options.block > 0 ? options.block : kDefaultRefineBlock;
+  const SegmentDistanceConfig& cfg = dist.config();
+
+  thread_local std::vector<PruneContext> prune;
+  thread_local std::vector<size_t> survivors;  // Positions into `candidates`.
+  thread_local std::vector<double> distances;
+  prune.clear();
+  for (const size_t q : queries) {
+    TRACLUS_DCHECK(q < store.size());
+    prune.push_back(MakePruneContext(store, dist, q, eps, options.prune));
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    out_position[qi] = kNoNearest;
+    out_distance[qi] = std::numeric_limits<double>::infinity();
+  }
+
+  // Candidate-block-major like the other tiles. The prune is against ε only
+  // (admissible for every true ≤-ε candidate), never against the running
+  // minimum, so the set of refined candidates — and with bit-identical
+  // distances, the strict-< argmin below — does not depend on block size,
+  // kernel, or evaluation order. Strict < keeps the earliest candidate on
+  // ties because positions are scanned in ascending order.
+  for (size_t base = 0; base < candidates.size(); base += block) {
+    const size_t hi = std::min(candidates.size(), base + block);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const size_t query = queries[qi];
+      survivors.clear();
+      for (size_t pos = base; pos < hi; ++pos) {
+        const size_t j = candidates[pos];
+        TRACLUS_DCHECK(j < store.size());
+        if (j != query && PrunedFar(prune[qi], store, j)) continue;
+        survivors.push_back(pos);
+      }
+      distances.resize(survivors.size());
+      BatchDispatch(
+          kernel, store, cfg, query, survivors.size(),
+          [&](size_t m) { return candidates[survivors[m]]; },
+          distances.data());
+      for (size_t m = 0; m < survivors.size(); ++m) {
+        const double d = distances[m];
+        if (d <= eps && d < out_distance[qi]) {
+          out_distance[qi] = d;
+          out_position[qi] = survivors[m];
+        }
+      }
+    }
+  }
+}
+
 size_t EpsilonRefineRange(const traj::SegmentStore& store,
                           const SegmentDistance& dist, size_t query,
                           size_t first, size_t last, double eps,
@@ -525,17 +992,29 @@ common::Matrix PairwiseDistanceMatrix(const traj::SegmentStore& store,
   const size_t n = store.size();
   common::Matrix m(n, n, 0.0);
   const BatchKernel resolved = ResolveBatchKernel(kernel);
-  // The chunk owning row i streams dist(i, ·) over [i+1, n) as one batch
-  // into the (row-major contiguous) row storage, then writes the mirrored
-  // column entries — one writer per element, so the fill is race-free and
-  // identical for every thread count. The diagonal stays 0 (dist(L, L) = 0).
+  const SegmentDistanceConfig& cfg = dist.config();
+  // Upper-triangle tile fill. The chunk owning rows [lo, hi) walks candidate
+  // blocks outermost so each block's SoA columns serve every row of the
+  // chunk while hot; the ragged diagonal start (row i owns columns > i) only
+  // trims the first block each row intersects. After a block is filled, its
+  // mirrored column entries are written as a blocked transpose — short
+  // contiguous runs instead of one full-column stride per row. The chunk
+  // owning row i writes dist(i, j) and its mirror m(j, i) for every j > i,
+  // so every element has exactly one writer and the matrix is identical for
+  // every thread count. The diagonal stays 0 (dist(L, L) = 0).
   pool.ParallelForChunked(0, n, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      if (i + 1 >= n) continue;
-      double* row = &m(i, i + 1);
-      DistanceBatchRange(store, dist, i, i + 1, n,
-                         common::Span<double>(row, n - i - 1), resolved);
-      for (size_t j = i + 1; j < n; ++j) m(j, i) = m(i, j);
+    for (size_t jb = lo + 1; jb < n; jb += kTileCandidateBlock) {
+      const size_t je = std::min(n, jb + kTileCandidateBlock);
+      const size_t row_end = std::min(hi, je);
+      for (size_t i = lo; i < row_end; ++i) {
+        const size_t first = std::max(i + 1, jb);
+        if (first >= je) continue;
+        RowRangeDispatch(resolved, store, cfg, i, first, je, &m(i, first));
+      }
+      for (size_t j = jb; j < je; ++j) {
+        const size_t i_end = std::min(hi, j);
+        for (size_t i = lo; i < i_end; ++i) m(j, i) = m(i, j);
+      }
     }
   });
   return m;

@@ -1,9 +1,17 @@
 #ifndef TRACLUS_DISTANCE_BATCH_KERNELS_H_
 #define TRACLUS_DISTANCE_BATCH_KERNELS_H_
 
-// Batched one-query-vs-many-candidates distance kernels over the
-// SegmentStore's flat arrays — the ε-query hot path of the grouping phase
-// (Lemma 3) and the parameter heuristic (§4.2/§4.4).
+// Batched distance kernels over the SegmentStore's flat arrays — the ε-query
+// hot path of the grouping phase (Lemma 3), the parameter heuristic
+// (§4.2/§4.4), and the all-pairs consumers (distance matrix, entropy profile,
+// k-medoids). Two shapes share one arithmetic core:
+//
+//   * one-query-vs-many-candidates batches (DistanceBatch / EpsilonRefine),
+//     the refinement half of every ε-query, and
+//   * many-vs-many tiles (DistanceTile / EpsilonRefineTile /
+//     NearestWithinEps), which evaluate an M-query × N-candidate block
+//     candidate-block-major so each block of SoA columns is loaded once and
+//     reused across all M query rows — the all-pairs consumers' shape.
 //
 // Every ε-query in the pipeline decomposes into candidate generation (an
 // index emits segment indices) followed by refinement (the exact §2.3
@@ -34,9 +42,12 @@
 //
 // Consumers: the neighborhood providers (BruteForce/Grid/StrRTree) generate
 // candidates and delegate refinement here; PairwiseDistanceMatrix, the
-// entropy NeighborhoodProfile, OPTICS, and the k-medoids baseline stream
-// blocked DistanceBatch calls. Kernel selection is a per-run knob
-// (core::RunContext::distance_kernel, CLI --kernel auto|scalar|simd).
+// entropy NeighborhoodProfile, and the k-medoids baseline ride the tile
+// family; OPTICS streams blocked DistanceBatch calls; the sieve stage
+// (core::SieveGroupStage) assigns through NearestWithinEps. Kernel selection
+// is a per-run knob (core::RunContext::distance_kernel, CLI --kernel
+// auto|scalar|simd); ParseBatchKernel below is the single string→kernel
+// parsing path in the tree — callers must not grow private switches.
 //
 // Thread-safety contract: every kernel here is lock-free by construction —
 // inputs are the store's immutable SoA columns, outputs go to caller-owned
@@ -47,10 +58,11 @@
 // common::Mutex with TRACLUS_GUARDED_BY.
 
 #include <cstddef>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/result.h"
 #include "common/span.h"
 #include "common/thread_pool.h"
 #include "distance/segment_distance.h"
@@ -82,9 +94,13 @@ BatchKernel ResolveBatchKernel(BatchKernel kernel);
 /// "auto" / "scalar" / "simd".
 const char* BatchKernelName(BatchKernel kernel);
 
-/// Parses a kernel name (as spelled by BatchKernelName); returns false and
-/// leaves `out` untouched on anything else.
-bool ParseBatchKernel(const std::string& name, BatchKernel* out);
+/// Parses a kernel name (as spelled by BatchKernelName). Anything else is
+/// kInvalidArgument naming the accepted spellings. This is the ONLY
+/// string→BatchKernel conversion in the tree: every knob surface (CLI
+/// --kernel, RunContext::distance_kernel feeders, heuristic/OPTICS options,
+/// the sieve stage) routes through it, so the accepted vocabulary can never
+/// drift between callers.
+common::Result<BatchKernel> ParseBatchKernel(std::string_view name);
 
 /// Per-call counters of the ε-refine pipeline (for benchmarks and tuning:
 /// pruned / candidates is the prune rate).
@@ -174,11 +190,80 @@ size_t EpsilonRefineCross(const traj::SegmentStore& query_store,
                           const BatchOptions& options = {},
                           RefineStats* stats = nullptr);
 
+// ---------------------------------------------------------------------------
+// Many-vs-many tiles. All of them iterate candidate-block-major: a block of
+// ≤ 256 candidate columns is walked once per query row while it is hot in
+// cache, instead of streaming the full candidate set per query. Splitting a
+// batch into blocks never changes bits — each pair's evaluation (lane or
+// scalar) depends only on that pair — so every tile result is bit-identical
+// to the corresponding per-query batch call and to the pair path.
+// ---------------------------------------------------------------------------
+
+/// M-query × N-candidate distance tile:
+///   dist(queries[qi], candidates[k]) → out[qi * ldo + k]
+/// for every query/candidate combination, bit-identical to DistanceBatch per
+/// row. `ldo` is the leading dimension (row stride, in doubles) of the
+/// caller's row-major output block; it must be ≥ candidates.size().
+void DistanceTile(const traj::SegmentStore& store, const SegmentDistance& dist,
+                  common::Span<const size_t> queries,
+                  common::Span<const size_t> candidates, double* out,
+                  size_t ldo, BatchKernel kernel = BatchKernel::kAuto);
+
+/// Contiguous-range tile: dist(query_first + qi, cand_first + k) →
+/// out[qi * ldo + k] over the index ranges [query_first, query_last) ×
+/// [cand_first, cand_last). `ldo` must be ≥ cand_last − cand_first.
+void DistanceTileRange(const traj::SegmentStore& store,
+                       const SegmentDistance& dist, size_t query_first,
+                       size_t query_last, size_t cand_first, size_t cand_last,
+                       double* out, size_t ldo,
+                       BatchKernel kernel = BatchKernel::kAuto);
+
+/// Many-query ε-refine tile over one shared candidate range: appends to
+/// out_lists[qi] exactly what
+///   EpsilonRefineRange(store, dist, queries[qi], first, last, eps,
+///                      out_lists[qi], options)
+/// would (same candidate-order emission, same Definition 4 self-inclusion),
+/// but evaluated candidate-block-major so each block's columns serve all
+/// queries. `out_lists` must point to queries.size() vectors. Returns the
+/// total number of indices appended; `stats` accumulates over all queries.
+size_t EpsilonRefineTile(const traj::SegmentStore& store,
+                         const SegmentDistance& dist,
+                         common::Span<const size_t> queries, size_t first,
+                         size_t last, double eps,
+                         std::vector<size_t>* out_lists,
+                         const BatchOptions& options = {},
+                         RefineStats* stats = nullptr);
+
+/// "No candidate within ε" marker of NearestWithinEps.
+inline constexpr size_t kNoNearest = static_cast<size_t>(-1);
+
+/// Batch nearest-candidate assignment — the sieve stage's primitive
+/// (core::SieveGroupStage): for each query queries[qi], the candidate
+/// minimizing dist(store, query, candidates[·]) subject to dist ≤ eps, ties
+/// broken toward the earliest candidate in span order. Writes the winning
+/// *position within `candidates`* to out_position[qi] (kNoNearest when every
+/// candidate is farther than ε) and the winning distance to out_distance[qi]
+/// (+inf when none). Candidates are lower-bound pruned against ε only — never
+/// against the running minimum — so the refined set, and therefore the
+/// argmin, is independent of evaluation order; distances are bit-identical
+/// across kernels, so the assignment is too. Both out spans must have
+/// queries.size() entries.
+void NearestWithinEps(const traj::SegmentStore& store,
+                      const SegmentDistance& dist,
+                      common::Span<const size_t> queries,
+                      common::Span<const size_t> candidates, double eps,
+                      common::Span<size_t> out_position,
+                      common::Span<double> out_distance,
+                      const BatchOptions& options = {});
+
 /// Kernel-selecting overload of PairwiseDistanceMatrix (segment_distance.h):
-/// the same symmetric n×n matrix, with each row's upper-triangle entries
-/// streamed as one contiguous DistanceBatchRange into the row storage (the
-/// chunk owning row i also writes the mirrored column, so every element has
-/// exactly one writer and the matrix is identical for every thread count).
+/// the same symmetric n×n matrix, filled through upper-triangle tiles — the
+/// chunk owning rows [lo, hi) walks candidate blocks once for all its rows
+/// (DistanceTileRange shape) and writes the mirrored columns as a blocked
+/// transpose instead of a full-column stride per row. The chunk owning row i
+/// writes dist(i, j) and its mirror for every j > i, so every element has
+/// exactly one writer and the matrix is identical for every thread count;
+/// entries are bit-identical to the row-batched fill and the pair path.
 common::Matrix PairwiseDistanceMatrix(const traj::SegmentStore& store,
                                       const SegmentDistance& dist,
                                       common::ThreadPool& pool,

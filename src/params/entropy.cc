@@ -6,7 +6,6 @@
 #include <limits>
 
 #include "common/mutex.h"
-#include "common/span.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "distance/batch_kernels.h"
@@ -16,6 +15,44 @@ namespace traclus::params {
 namespace {
 
 constexpr size_t kDefaultStagingBlock = size_t{64} * 1024;
+
+/// Query rows per distance tile of the profile sweep. The candidate slice is
+/// reused across this many rows while hot; the sub-diagonal corner of the
+/// first slice each row block touches is evaluated but never bucketed
+/// (~kTileRows²/2 wasted entries per block — noise next to the O(n²) sweep).
+constexpr size_t kTileRows = 16;
+
+/// Candidate columns per distance tile; bounds the scratch buffer at
+/// kTileRows × kRowSlice doubles.
+constexpr size_t kRowSlice = 1024;
+
+/// Tiled upper-triangle sweep over leading rows [lo, hi): evaluates
+/// kTileRows × kRowSlice blocks through the many-vs-many tile kernel and
+/// invokes visit(i, j, d) for every pair i < j with leading index in
+/// [lo, hi), in (i, then j) ascending order. Distances are bit-identical to
+/// the per-pair path, so any bucketing built on top is unchanged.
+template <typename VisitFn>
+void SweepUpperTriangle(const traj::SegmentStore& store,
+                        const distance::SegmentDistance& dist,
+                        distance::BatchKernel kernel, size_t lo, size_t hi,
+                        size_t n, const VisitFn& visit) {
+  std::vector<double> tile(kTileRows * kRowSlice);
+  for (size_t ib = lo; ib < hi; ib += kTileRows) {
+    const size_t ie = std::min(hi, ib + kTileRows);
+    for (size_t jb = ib + 1; jb < n; jb += kRowSlice) {
+      const size_t je = std::min(n, jb + kRowSlice);
+      const size_t width = je - jb;
+      distance::DistanceTileRange(store, dist, ib, ie, jb, je, tile.data(),
+                                  width, kernel);
+      for (size_t i = ib; i < ie; ++i) {
+        const double* row = tile.data() + (i - ib) * width;
+        for (size_t j = std::max(i + 1, jb); j < je; ++j) {
+          visit(i, j, row[j - jb]);
+        }
+      }
+    }
+  }
+}
 
 template <typename T>
 double EntropyOfMasses(const std::vector<T>& masses) {
@@ -102,34 +139,21 @@ NeighborhoodProfile::NeighborhoodProfile(
   const size_t n = store.size();
   const size_t g = eps_grid_.size();
 
-  // Upper-triangle distances of row i stream through the batch kernel in
-  // bounded slices of this many entries; values are bit-identical to the
-  // per-pair path, so the bucketed profile is unchanged.
-  constexpr size_t kRowSlice = 1024;
-
   // delta[gi][i] counts pairs whose distance first fits at grid position gi.
   std::vector<std::vector<size_t>> delta(g, std::vector<size_t>(n, 0));
   const int threads = common::ResolveNumThreads(num_threads);
   if (threads == 1) {
-    // Serial: batch each row slice, bucket straight into delta.
-    std::vector<double> row(kRowSlice);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t jb = i + 1; jb < n; jb += kRowSlice) {
-        const size_t je = std::min(n, jb + kRowSlice);
-        distance::DistanceBatchRange(
-            store, dist, i, jb, je,
-            common::Span<double>(row.data(), je - jb), kernel);
-        for (size_t j = jb; j < je; ++j) {
-          const double d = row[j - jb];
-          const auto it =
-              std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
-          if (it == eps_grid_.end()) continue;  // Farther than the largest ε.
-          const size_t gi = static_cast<size_t>(it - eps_grid_.begin());
-          ++delta[gi][i];
-          ++delta[gi][j];
-        }
-      }
-    }
+    // Serial: tile the upper triangle, bucket straight into delta.
+    SweepUpperTriangle(store, dist, kernel, 0, n, n,
+                       [&](size_t i, size_t j, double d) {
+                         const auto it = std::lower_bound(
+                             eps_grid_.begin(), eps_grid_.end(), d);
+                         if (it == eps_grid_.end()) return;  // > largest ε.
+                         const size_t gi =
+                             static_cast<size_t>(it - eps_grid_.begin());
+                         ++delta[gi][i];
+                         ++delta[gi][j];
+                       });
   } else {
     // One contiguous leading-index band per worker. Row i owns n-1-i pairs —
     // cumulative work up to row x is ~nx - x²/2 — so equal-work boundaries
@@ -155,24 +179,16 @@ NeighborhoodProfile::NeighborhoodProfile(
       const size_t hi = bound[band + 1];
       if (lo >= hi) return;
       BlockedIncrementSink sink(delta, merge_mu, block);
-      std::vector<double> row(kRowSlice);
-      for (size_t i = lo; i < hi; ++i) {
-        for (size_t jb = i + 1; jb < n; jb += kRowSlice) {
-          const size_t je = std::min(n, jb + kRowSlice);
-          distance::DistanceBatchRange(
-              store, dist, i, jb, je,
-              common::Span<double>(row.data(), je - jb), kernel);
-          for (size_t j = jb; j < je; ++j) {
-            const double d = row[j - jb];
-            const auto it =
-                std::lower_bound(eps_grid_.begin(), eps_grid_.end(), d);
-            if (it == eps_grid_.end()) continue;  // Beyond the largest ε.
-            const auto gi = static_cast<uint32_t>(it - eps_grid_.begin());
-            sink.Add(gi, static_cast<uint32_t>(i));
-            sink.Add(gi, static_cast<uint32_t>(j));
-          }
-        }
-      }
+      SweepUpperTriangle(store, dist, kernel, lo, hi, n,
+                         [&](size_t i, size_t j, double d) {
+                           const auto it = std::lower_bound(
+                               eps_grid_.begin(), eps_grid_.end(), d);
+                           if (it == eps_grid_.end()) return;  // > largest ε.
+                           const auto gi =
+                               static_cast<uint32_t>(it - eps_grid_.begin());
+                           sink.Add(gi, static_cast<uint32_t>(i));
+                           sink.Add(gi, static_cast<uint32_t>(j));
+                         });
     });
   }
 

@@ -5,6 +5,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/span.h"
@@ -502,18 +505,180 @@ TEST(BatchKernelTest, PairwiseMatrixBatchedMatchesPerPair) {
   }
 }
 
+TEST(BatchKernelTest, DistanceTileBitIdenticalToBatchAndPairPath) {
+  // Every (query-block, candidate-block) shape — 1×1, ragged, skewed, full —
+  // must produce the same bits as the one-vs-many batch and the cached pair
+  // path. The tile is just a loop arrangement; splitting or regrouping a
+  // batch must never change a single bit.
+  for (const bool three_d : {false, true}) {
+    const traj::SegmentStore store = AdversarialStore(53, three_d);
+    const size_t n = store.size();
+    const std::vector<std::pair<size_t, size_t>> shapes = {
+        {1, 1}, {1, n}, {n, 1}, {3, 7}, {5, n - 3}, {n, n}};
+    for (const SegmentDistanceConfig& cfg : KernelTestConfigs()) {
+      const SegmentDistance dist(cfg);
+      for (const BatchKernel kernel : CompiledKernels()) {
+        for (const auto& [mq, nc] : shapes) {
+          // Strided (and so possibly duplicated) index sets: tiles must not
+          // assume sorted or unique rows/columns.
+          std::vector<size_t> queries(mq), cands(nc);
+          for (size_t i = 0; i < mq; ++i) queries[i] = (i * 5 + 1) % n;
+          for (size_t j = 0; j < nc; ++j) cands[j] = (j * 3 + 2) % n;
+          const size_t ldo = nc + 3;  // Padded stride must be respected.
+          std::vector<double> tile(mq * ldo, -1.0);
+          DistanceTile(store, dist,
+                       common::Span<const size_t>(queries.data(), mq),
+                       common::Span<const size_t>(cands.data(), nc),
+                       tile.data(), ldo, kernel);
+          std::vector<double> row(nc);
+          for (size_t qi = 0; qi < mq; ++qi) {
+            DistanceBatch(store, dist, queries[qi],
+                          common::Span<const size_t>(cands.data(), nc),
+                          common::Span<double>(row.data(), nc), kernel);
+            for (size_t j = 0; j < nc; ++j) {
+              ExpectBitEqual(tile[qi * ldo + j], row[j], "tile-vs-batch", qi,
+                             j);
+              ExpectBitEqual(tile[qi * ldo + j],
+                             dist(store, queries[qi], cands[j]),
+                             "tile-vs-pair", qi, j);
+            }
+            for (size_t j = nc; j < ldo; ++j) {
+              EXPECT_EQ(tile[qi * ldo + j], -1.0)
+                  << "tile wrote past row width at (" << qi << ", " << j
+                  << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, DistanceTileRangeMatchesIndexedTile) {
+  const traj::SegmentStore store = AdversarialStore(59, false);
+  const SegmentDistance dist;
+  const size_t n = store.size();
+  for (const BatchKernel kernel : CompiledKernels()) {
+    const size_t q_first = 2, q_last = n - 1, c_first = 1, c_last = n - 4;
+    const size_t mq = q_last - q_first, nc = c_last - c_first;
+    std::vector<double> got(mq * nc);
+    DistanceTileRange(store, dist, q_first, q_last, c_first, c_last,
+                      got.data(), nc, kernel);
+    for (size_t qi = 0; qi < mq; ++qi) {
+      for (size_t j = 0; j < nc; ++j) {
+        ExpectBitEqual(got[qi * nc + j],
+                       dist(store, q_first + qi, c_first + j), "tile-range",
+                       qi, j);
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, EpsilonRefineTileMatchesPerQueryRefine) {
+  for (const bool three_d : {false, true}) {
+    const traj::SegmentStore store = AdversarialStore(67, three_d);
+    const size_t n = store.size();
+    for (const SegmentDistanceConfig& cfg : KernelTestConfigs()) {
+      const SegmentDistance dist(cfg);
+      for (const double eps : {0.01, 2.0, 9.0}) {
+        for (const BatchKernel kernel : CompiledKernels()) {
+          for (const size_t block : {size_t{1}, size_t{3}, size_t{256}}) {
+            BatchOptions options;
+            options.kernel = kernel;
+            options.block = block;
+            std::vector<size_t> queries;
+            for (size_t q = 0; q < n; q += 2) queries.push_back(q);
+            std::vector<std::vector<size_t>> lists(queries.size());
+            EpsilonRefineTile(
+                store, dist,
+                common::Span<const size_t>(queries.data(), queries.size()), 0,
+                n, eps, lists.data(), options);
+            for (size_t k = 0; k < queries.size(); ++k) {
+              std::vector<size_t> expect;
+              EpsilonRefineRange(store, dist, queries[k], 0, n, eps, expect,
+                                 options);
+              EXPECT_EQ(lists[k], expect)
+                  << BatchKernelName(kernel) << " block " << block << " eps "
+                  << eps << " query " << queries[k];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernelTest, NearestWithinEpsMatchesReferenceArgmin) {
+  for (const bool three_d : {false, true}) {
+    const traj::SegmentStore store = AdversarialStore(71, three_d);
+    const size_t n = store.size();
+    // Candidate set with duplicates: ties must resolve to the EARLIEST
+    // position in the span, for every kernel.
+    std::vector<size_t> cands;
+    for (size_t j = 0; j < n; j += 2) cands.push_back(j);
+    for (size_t j = 0; j < n; j += 5) cands.push_back(j);
+    std::vector<size_t> queries;
+    for (size_t q = 0; q < n; ++q) queries.push_back(q);
+    for (const SegmentDistanceConfig& cfg : KernelTestConfigs()) {
+      const SegmentDistance dist(cfg);
+      for (const double eps : {0.01, 2.0, 9.0, 1e300}) {
+        // Reference: scan candidates in span order, strict-< argmin.
+        std::vector<size_t> expect_pos(queries.size(), kNoNearest);
+        std::vector<double> expect_dist(
+            queries.size(), std::numeric_limits<double>::infinity());
+        for (size_t k = 0; k < queries.size(); ++k) {
+          for (size_t c = 0; c < cands.size(); ++c) {
+            const double d = dist(store, queries[k], cands[c]);
+            if (d <= eps && d < expect_dist[k]) {
+              expect_dist[k] = d;
+              expect_pos[k] = c;
+            }
+          }
+        }
+        for (const BatchKernel kernel : CompiledKernels()) {
+          for (const size_t block : {size_t{1}, size_t{7}, size_t{256}}) {
+            BatchOptions options;
+            options.kernel = kernel;
+            options.block = block;
+            std::vector<size_t> pos(queries.size());
+            std::vector<double> dmin(queries.size());
+            NearestWithinEps(
+                store, dist,
+                common::Span<const size_t>(queries.data(), queries.size()),
+                common::Span<const size_t>(cands.data(), cands.size()), eps,
+                common::Span<size_t>(pos.data(), pos.size()),
+                common::Span<double>(dmin.data(), dmin.size()), options);
+            for (size_t k = 0; k < queries.size(); ++k) {
+              EXPECT_EQ(pos[k], expect_pos[k])
+                  << BatchKernelName(kernel) << " block " << block << " eps "
+                  << eps << " query " << queries[k];
+              if (expect_pos[k] != kNoNearest) {
+                ExpectBitEqual(dmin[k], expect_dist[k], "nearest-dist", k,
+                               expect_pos[k]);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(BatchKernelTest, KernelSelectionHelpers) {
   EXPECT_STREQ(BatchKernelName(BatchKernel::kAuto), "auto");
   EXPECT_STREQ(BatchKernelName(BatchKernel::kScalar), "scalar");
   EXPECT_STREQ(BatchKernelName(BatchKernel::kSimd), "simd");
-  BatchKernel k = BatchKernel::kAuto;
-  EXPECT_TRUE(ParseBatchKernel("scalar", &k));
-  EXPECT_EQ(k, BatchKernel::kScalar);
-  EXPECT_TRUE(ParseBatchKernel("simd", &k));
-  EXPECT_EQ(k, BatchKernel::kSimd);
-  EXPECT_TRUE(ParseBatchKernel("auto", &k));
-  EXPECT_EQ(k, BatchKernel::kAuto);
-  EXPECT_FALSE(ParseBatchKernel("avx512", &k));
+  // Round trip: every kernel's name parses back to itself through the one
+  // string→kernel path in the tree.
+  for (const BatchKernel k :
+       {BatchKernel::kAuto, BatchKernel::kScalar, BatchKernel::kSimd}) {
+    const auto parsed = ParseBatchKernel(BatchKernelName(k));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, k);
+  }
+  const auto bad = ParseBatchKernel("avx512");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), common::StatusCode::kInvalidArgument);
   // Resolution never yields kAuto, and kSimd only when compiled in.
   EXPECT_NE(ResolveBatchKernel(BatchKernel::kAuto), BatchKernel::kAuto);
   if (!SimdCompiled()) {

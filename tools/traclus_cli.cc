@@ -103,6 +103,7 @@ int Usage() {
       "  cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]\n"
       "          [--suppression BITS] [--no-index] [--threads N] [--progress]\n"
       "          [--kernel auto|scalar|simd]\n"
+      "          [--sieve K] [--sieve-offset R]\n"
       "          [--stream] [--chunk-size N] [--max-resident N]\n"
       "          [--labels out.csv] [--reps out.csv] [--svg out.svg]\n"
       "\n"
@@ -114,6 +115,12 @@ int Usage() {
       "  --kernel K:  batch distance kernel (auto, scalar, simd). The\n"
       "               kernels are bit-identical; simd needs an AVX2 build\n"
       "               and degrades to scalar otherwise.\n"
+      "  --sieve K:   sieve-sampled grouping — cluster only every K-th\n"
+      "               trajectory and assign the rest to the nearest cluster\n"
+      "               within eps (0 or 1 disables; deterministic for a\n"
+      "               fixed K/offset).\n"
+      "  --sieve-offset R:  which residue class of the trajectory rank is\n"
+      "               sampled (default 0).\n"
       "  --progress:  stream per-stage progress to stderr.\n"
       "  --stream:    streaming ingest — partition trajectories as they\n"
       "               arrive instead of loading the whole file first.\n"
@@ -159,34 +166,27 @@ int FailWith(const common::Status& status) {
   }
 }
 
-// Validates --kernel up front (commands call this before touching data);
-// returns 0 or the usage exit code.
-int CheckKernelFlag(const Args& args) {
-  const std::string name = args.GetString("kernel", "auto");
-  distance::BatchKernel kernel;
-  if (!distance::ParseBatchKernel(name, &kernel)) {
-    std::fprintf(stderr,
-                 "unknown --kernel '%s' (valid: auto, scalar, simd)\n",
-                 name.c_str());
-    return 1;
-  }
-  return 0;
+// Parses --kernel through the one shared spelling of the knob,
+// distance::ParseBatchKernel — the CLI neither duplicates the string switch
+// nor re-words its diagnostic. Commands call this up front (before touching
+// data) and fail via FailWith, which maps InvalidArgument onto the usage
+// exit code.
+common::Result<distance::BatchKernel> KernelFlag(const Args& args) {
+  return distance::ParseBatchKernel(args.GetString("kernel", "auto"));
 }
 
-distance::BatchKernel KernelFlag(const Args& args) {
-  distance::BatchKernel kernel = distance::BatchKernel::kAuto;
-  distance::ParseBatchKernel(args.GetString("kernel", "auto"), &kernel);
-  return kernel;
-}
-
-core::RunContext MakeContext(const Args& args) {
+core::RunContext MakeContext(const Args& args,
+                             distance::BatchKernel kernel) {
   core::RunContext ctx;
   if (args.GetSwitch("progress")) {
     ctx.progress = [](const std::string& stage, double fraction) {
       std::fprintf(stderr, "[%5.1f%%] %s\n", 100.0 * fraction, stage.c_str());
     };
   }
-  ctx.distance_kernel = KernelFlag(args);
+  ctx.distance_kernel = kernel;
+  // Harmless outside `cluster` (only a SieveGroupStage reads these).
+  ctx.sieve = static_cast<size_t>(args.GetDouble("sieve", 0));
+  ctx.sieve_offset = static_cast<size_t>(args.GetDouble("sieve-offset", 0));
   return ctx;
 }
 
@@ -254,7 +254,8 @@ int CmdStats(const Args& args) {
 
 int CmdPartition(const Args& args) {
   if (args.positional.empty()) return Usage();
-  if (const int rc = CheckKernelFlag(args)) return rc;
+  const auto kernel = KernelFlag(args);
+  if (!kernel.ok()) return FailWith(kernel.status());
   const auto loaded = Load(args.positional[0]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -265,7 +266,8 @@ int CmdPartition(const Args& args) {
   cfg.num_threads = static_cast<int>(args.GetDouble("threads", 0));
   const auto engine = core::TraclusEngine::FromConfig(cfg);
   if (!engine.ok()) return FailWith(engine.status());
-  const auto partitioned = engine->Partition(*loaded, MakeContext(args));
+  const auto partitioned =
+      engine->Partition(*loaded, MakeContext(args, *kernel));
   if (!partitioned.ok()) return FailWith(partitioned.status());
   const auto& segments = partitioned->segments();
   std::printf(
@@ -293,7 +295,8 @@ int CmdPartition(const Args& args) {
 
 int CmdEstimate(const Args& args) {
   if (args.positional.empty()) return Usage();
-  if (const int rc = CheckKernelFlag(args)) return rc;
+  const auto kernel = KernelFlag(args);
+  if (!kernel.ok()) return FailWith(kernel.status());
   const auto loaded = Load(args.positional[0]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
@@ -303,7 +306,8 @@ int CmdEstimate(const Args& args) {
   base.num_threads = static_cast<int>(args.GetDouble("threads", 0));
   const auto engine = core::TraclusEngine::FromConfig(base);
   if (!engine.ok()) return FailWith(engine.status());
-  const auto partitioned = engine->Partition(*loaded, MakeContext(args));
+  const auto partitioned =
+      engine->Partition(*loaded, MakeContext(args, *kernel));
   if (!partitioned.ok()) return FailWith(partitioned.status());
   const traj::SegmentStore& store = partitioned->store;
   const distance::SegmentDistance dist;
@@ -312,7 +316,7 @@ int CmdEstimate(const Args& args) {
   opt.eps_hi = args.GetDouble("eps-hi", 40.0);
   opt.grid_points = static_cast<int>(args.GetDouble("grid", 60));
   opt.num_threads = base.num_threads;
-  opt.kernel = KernelFlag(args);
+  opt.kernel = *kernel;
   const auto est = params::EstimateParameters(store, dist, opt);
   std::printf("# eps entropy\n");
   for (size_t g = 0; g < est.grid_eps.size(); ++g) {
@@ -328,7 +332,8 @@ int CmdEstimate(const Args& args) {
 
 int CmdCluster(const Args& args) {
   if (args.positional.empty()) return Usage();
-  if (const int rc = CheckKernelFlag(args)) return rc;
+  const auto kernel = KernelFlag(args);
+  if (!kernel.ok()) return FailWith(kernel.status());
   if (args.options.find("eps") == args.options.end() ||
       args.options.find("min-lns") == args.options.end()) {
     std::fprintf(stderr, "cluster requires --eps and --min-lns\n");
@@ -361,14 +366,22 @@ int CmdCluster(const Args& args) {
   reps_options.min_lns = group.min_lns;  // The paper's choice.
   reps_options.use_weights = group.use_weights;
 
-  const auto engine =
-      core::TraclusEngine::Builder()
-          .UseMdlPartitioning(partition)
-          .UseDbscanGrouping(group)
-          .UseSweepRepresentatives(reps_options)
-          .SetDefaultNumThreads(
-              static_cast<int>(args.GetDouble("threads", 0)))
-          .Build();
+  core::TraclusEngine::Builder builder;
+  builder.UseMdlPartitioning(partition)
+      .UseDbscanGrouping(group)
+      .UseSweepRepresentatives(reps_options)
+      .SetDefaultNumThreads(static_cast<int>(args.GetDouble("threads", 0)));
+  const size_t sieve = static_cast<size_t>(args.GetDouble("sieve", 0));
+  if (sieve >= 2) {
+    // Sieve-sampled grouping: cluster 1-in-k trajectories, assign the rest
+    // to the nearest cluster. Same ε and distance as the DBSCAN backend so
+    // membership means the same thing on both sides of the sieve.
+    core::SieveGroupOptions sieve_options;
+    sieve_options.eps = group.eps;
+    sieve_options.distance = group.distance;
+    builder.WithSieveGrouping(sieve_options);
+  }
+  const auto engine = builder.Build();
   if (!engine.ok()) return FailWith(engine.status());
 
   // Eager mode keeps the database around (the --svg overlay draws it);
@@ -378,7 +391,7 @@ int CmdCluster(const Args& args) {
   if (stream) {
     auto source = OpenSource(input);
     if (!source.ok()) return FailWith(source.status());
-    core::RunContext ctx = MakeContext(args);
+    core::RunContext ctx = MakeContext(args, *kernel);
     ctx.chunk_capacity =
         static_cast<size_t>(args.GetDouble("chunk-size", 0));
     ctx.max_resident_chunks =
@@ -401,7 +414,7 @@ int CmdCluster(const Args& args) {
       return 2;
     }
     db = std::move(loaded).ValueOrDie();
-    run = engine->Run(db, MakeContext(args));
+    run = engine->Run(db, MakeContext(args, *kernel));
   }
   if (!run->ok()) return FailWith(run->status());
   const core::TraclusResult& result = **run;
@@ -500,9 +513,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const std::vector<std::string> value_flags = {
-      "seed",   "suppression", "out",     "eps-lo",     "eps-hi",
-      "grid",   "eps",         "min-lns", "labels",     "reps",
-      "svg",    "threads",     "kernel",  "chunk-size", "max-resident"};
+      "seed",    "suppression",  "out",     "eps-lo",     "eps-hi",
+      "grid",    "eps",          "min-lns", "labels",     "reps",
+      "svg",     "threads",      "kernel",  "chunk-size", "max-resident",
+      "sieve",   "sieve-offset"};
   const Args args = Parse(argc - 2, argv + 2, value_flags);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
