@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <numeric>
 
 #include "common/logging.h"
 
@@ -157,7 +156,6 @@ std::vector<size_t> ChunkedGridNeighborhood::Neighbors(
   if (factor <= 0.0) {
     // No usable lower bound: full scan, chunks in ascending order — the same
     // ascending emission order as the monolithic whole-range refine.
-    std::vector<size_t>& local = scratch->local;
     for (size_t c = 0; c < store_.num_chunks(); ++c) {
       const size_t base = store_.chunk_begin(c);
       const size_t m = store_.chunk_size(c);
@@ -171,12 +169,9 @@ std::vector<size_t> ChunkedGridNeighborhood::Neighbors(
       }
       const std::shared_ptr<const traj::SegmentStore> chunk =
           PinChunk(store_, c);
-      local.resize(m);
-      std::iota(local.begin(), local.end(), 0);
-      distance::EpsilonRefineCross(
-          *query_store, dist_, query_index - query_base, *chunk,
-          common::Span<const size_t>(local.data(), local.size()), eps, base,
-          out, refine_options);
+      distance::EpsilonRefineCrossRange(*query_store, dist_,
+                                        query_index - query_base, *chunk, 0,
+                                        m, eps, base, out, refine_options);
     }
     return out;
   }
@@ -265,7 +260,6 @@ std::vector<size_t> ChunkedBruteForceNeighborhood::Neighbors(
   const size_t query_base = store_.chunk_begin(query_chunk);
   const std::shared_ptr<const traj::SegmentStore> query_store =
       PinChunk(store_, query_chunk);
-  std::vector<size_t> local;
   for (size_t c = 0; c < store_.num_chunks(); ++c) {
     const size_t base = store_.chunk_begin(c);
     const size_t m = store_.chunk_size(c);
@@ -278,12 +272,9 @@ std::vector<size_t> ChunkedBruteForceNeighborhood::Neighbors(
       continue;
     }
     const std::shared_ptr<const traj::SegmentStore> chunk = PinChunk(store_, c);
-    local.resize(m);
-    std::iota(local.begin(), local.end(), 0);
-    distance::EpsilonRefineCross(
-        *query_store, dist_, query_index - query_base, *chunk,
-        common::Span<const size_t>(local.data(), local.size()), eps, base,
-        out, refine_options);
+    distance::EpsilonRefineCrossRange(*query_store, dist_,
+                                      query_index - query_base, *chunk, 0, m,
+                                      eps, base, out, refine_options);
   }
   return out;
 }

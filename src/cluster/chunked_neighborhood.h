@@ -14,12 +14,14 @@
 //   * Refinement faults payload chunks on demand: candidates are grouped by
 //     chunk, the query's own chunk refines through distance::EpsilonRefine
 //     (which owns the Definition 4 self-inclusion case), and every other
-//     chunk refines through distance::EpsilonRefineCross. Chunk-local stores
-//     cache bit-identical invariants, so each accepted/rejected decision —
-//     prune included — matches the monolithic refine bit-for-bit, and the
-//     final per-query sort makes the emitted order independent of chunk
-//     grouping. Lists are therefore byte-identical to the monolithic
-//     provider's for every chunk capacity and residency cap.
+//     chunk refines through distance::EpsilonRefineCross /
+//     EpsilonRefineCrossRange — the same blocked prune → batch pipeline,
+//     with cross-store scalar and AVX2 kernels. Chunk-local stores cache
+//     bit-identical invariants, so each accepted/rejected decision — prune
+//     included — matches the monolithic refine bit-for-bit, and the final
+//     per-query sort makes the emitted order independent of chunk grouping.
+//     Lists are therefore byte-identical to the monolithic provider's for
+//     every chunk capacity and residency cap.
 //
 // Residency: one query pins at most two chunks at a time (the query's chunk
 // and the candidate chunk being refined); the store's LRU cache bounds
@@ -52,9 +54,9 @@ class ChunkedGridNeighborhood : public NeighborhoodProvider {
  public:
   /// `store` (finalized) and `dist` must outlive the provider. `cell_size`
   /// ≤ 0 selects the automatic heuristic (twice the mean catalog-MBR
-  /// extent); `kernel` selects the same-chunk refinement kernel (results
-  /// identical for every choice; cross-chunk refinement is scalar, which is
-  /// bit-identical by the SIMD lane-equivalence invariant).
+  /// extent); `kernel` selects the refinement kernel for same-chunk and
+  /// cross-chunk batches alike (results identical for every choice by the
+  /// SIMD lane-equivalence invariant).
   ChunkedGridNeighborhood(
       const traj::ChunkedSegmentStore& store,
       const distance::SegmentDistance& dist, double cell_size = 0.0,

@@ -206,7 +206,11 @@ common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
   cluster::DbscanOptions o;
   o.eps = options_.eps;
   o.min_lns = options_.min_lns;
-  o.min_trajectory_cardinality = options_.min_trajectory_cardinality;
+  // A shard-local run (ShardedGroupStage) sees only one shard's fragment of
+  // each cross-border cluster, so the whole-database cardinality filter must
+  // wait for the halo merge — the sharded driver applies it once, globally.
+  o.min_trajectory_cardinality =
+      ctx.shard_local ? 0.0 : options_.min_trajectory_cardinality;
   o.use_weights = options_.use_weights;
   o.num_threads = ctx.num_threads;
   o.batch_block = options_.batch_block;
@@ -239,7 +243,11 @@ common::Result<cluster::ClusteringResult> DbscanGroupStage::RunChunked(
   cluster::DbscanOptions o;
   o.eps = options_.eps;
   o.min_lns = options_.min_lns;
-  o.min_trajectory_cardinality = options_.min_trajectory_cardinality;
+  // A shard-local run (ShardedGroupStage) sees only one shard's fragment of
+  // each cross-border cluster, so the whole-database cardinality filter must
+  // wait for the halo merge — the sharded driver applies it once, globally.
+  o.min_trajectory_cardinality =
+      ctx.shard_local ? 0.0 : options_.min_trajectory_cardinality;
   o.use_weights = options_.use_weights;
   o.num_threads = ctx.num_threads;
   o.batch_block = options_.batch_block;
@@ -302,9 +310,11 @@ common::Result<cluster::ClusteringResult> OpticsGroupStage::Run(
     const auto optics = cluster::OpticsSegments(store, dist, *provider, o);
     const double cut =
         options_.eps_cut > 0.0 ? options_.eps_cut : options_.eps;
+    // Same shard-local contract as the DBSCAN stage: the cardinality filter
+    // is a whole-database decision, deferred to the sharded driver.
     return cluster::ExtractDbscanClustering(
         store, optics, cut, options_.min_lns,
-        options_.min_trajectory_cardinality);
+        ctx.shard_local ? 0.0 : options_.min_trajectory_cardinality);
   } catch (const common::OperationCancelled&) {
     return CancelledIn(name());
   }
@@ -462,6 +472,20 @@ TraclusEngine::Builder& TraclusEngine::Builder::WithSieveGrouping(
   // it (keeping the builder's errors-at-Build contract).
   return SetGroupStage(
       std::make_shared<SieveGroupStage>(std::move(group_), options));
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::WithSieveGrouping(
+    AutoK auto_k, SieveGroupOptions options) {
+  options.auto_k = auto_k;
+  return WithSieveGrouping(options);
+}
+
+TraclusEngine::Builder& TraclusEngine::Builder::WithShardedGrouping(
+    const ShardedGroupOptions& options) {
+  // Same wrap-whatever-is-configured contract as WithSieveGrouping; a null
+  // inner stage is reported by Build()'s Validate sweep.
+  return SetGroupStage(
+      std::make_shared<ShardedGroupStage>(std::move(group_), options));
 }
 
 TraclusEngine::Builder& TraclusEngine::Builder::WithoutRepresentatives() {

@@ -33,6 +33,7 @@
 #include "cluster/cluster.h"
 #include "cluster/representative.h"
 #include "common/result.h"
+#include "core/sharded_stage.h"
 #include "core/sieve_stage.h"
 #include "core/stages.h"
 #include "distance/segment_distance.h"
@@ -170,6 +171,19 @@ class TraclusEngine {
     /// SetGroupStage); calling it with no group stage configured is a Build()
     /// validation failure.
     Builder& WithSieveGrouping(const SieveGroupOptions& options);
+    /// AutoK convenience overload: stamps `auto_k` into the options and
+    /// wraps as above, so runs that leave RunContext::sieve at 0 derive the
+    /// stride from the store size (k = ceil(size / target_sample)).
+    Builder& WithSieveGrouping(AutoK auto_k, SieveGroupOptions options = {});
+    /// Wraps the currently configured group stage in a ShardedGroupStage
+    /// (core/sharded_stage.h): runs whose RunContext sets `shards` ≥ 2
+    /// decompose the segment database over a cell grid, run the wrapped
+    /// backend independently per shard (in parallel across the run's
+    /// threads), and merge shard-border clusters through a halo exchange
+    /// behind the communicator seam. Same call-after-the-backend contract as
+    /// WithSieveGrouping. Composes with the sieve: apply sharding first so
+    /// the sieve's sampled sub-database is what gets sharded.
+    Builder& WithShardedGrouping(const ShardedGroupOptions& options);
     /// Disables representative generation (stage 3 is skipped; Run returns an
     /// empty `representatives` vector).
     Builder& WithoutRepresentatives();

@@ -1,0 +1,142 @@
+#ifndef TRACLUS_CORE_SHARD_COMM_H_
+#define TRACLUS_CORE_SHARD_COMM_H_
+
+// The communicator seam of the sharded grouping stage: a minimal, MPI-shaped
+// rank/size/Send/Recv surface that core::ShardedGroupStage routes ALL
+// inter-shard traffic through, so a process backend (MPI_Comm rank ↔
+// ShardCommunicator) can replace the in-process one without touching the
+// stage. Modeled on cpptraj's Parallel.h Comm abstraction: a rank addresses
+// peers by rank id and exchanges opaque word payloads under integer tags.
+//
+// The exchange discipline is bulk-synchronous (BSP), which is what makes the
+// in-process backend deadlock-free at ANY thread count: within a superstep
+// every rank only Sends (buffered, non-blocking), the driver barrier
+// (thread-pool Wait) ends the superstep, and the next superstep only Recvs
+// messages the barrier guarantees are already queued. Recv therefore asserts
+// the message is present instead of blocking — a missing barrier is a
+// programming error that fails fast rather than deadlocking when the pool
+// has fewer threads than ranks.
+//
+// Thread-safety: each destination rank owns a mailbox whose queues are
+// TRACLUS_GUARDED_BY its common::Mutex; concurrent Sends from any rank and
+// Recvs by the owner are safe. Payloads are moved, never shared.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace traclus::core {
+
+/// One rank's endpoint. rank() ∈ [0, size()); Send may target any peer
+/// (self-sends allowed); Recv pops the oldest message queued from `src`
+/// under `tag` (FIFO per (src, tag) channel).
+class ShardCommunicator {
+ public:
+  virtual ~ShardCommunicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Buffered, non-blocking send: enqueues the payload at dest's mailbox and
+  /// returns immediately.
+  virtual void Send(int dest, int tag, std::vector<uint64_t> payload) = 0;
+
+  /// Receives the oldest message from `src` under `tag`. BSP contract: the
+  /// matching Send must be ordered before this call by a superstep barrier.
+  virtual std::vector<uint64_t> Recv(int src, int tag) = 0;
+};
+
+/// In-process communicator group: `size` ranks exchanging over per-rank
+/// mailboxes in shared memory. The group owns every endpoint; comm(r) stays
+/// valid while the group lives.
+class InProcessShardGroup {
+ public:
+  explicit InProcessShardGroup(int size)
+      : mailboxes_(static_cast<size_t>(size)),
+        comms_(static_cast<size_t>(size)) {
+    TRACLUS_CHECK_GT(size, 0);
+    for (int r = 0; r < size; ++r) {
+      comms_[static_cast<size_t>(r)].Init(this, r, size);
+    }
+  }
+
+  InProcessShardGroup(const InProcessShardGroup&) = delete;
+  InProcessShardGroup& operator=(const InProcessShardGroup&) = delete;
+
+  ShardCommunicator& comm(int rank) {
+    TRACLUS_CHECK(rank >= 0 && static_cast<size_t>(rank) < comms_.size());
+    return comms_[static_cast<size_t>(rank)];
+  }
+
+ private:
+  /// FIFO queues keyed by (src, tag), one mailbox per destination rank.
+  class Mailbox {
+   public:
+    void Push(int src, int tag, std::vector<uint64_t> payload) {
+      common::MutexLock lock(mu_);
+      queues_[Key(src, tag)].push_back(std::move(payload));
+    }
+
+    std::vector<uint64_t> Pop(int src, int tag) {
+      common::MutexLock lock(mu_);
+      const auto it = queues_.find(Key(src, tag));
+      // BSP contract violation (Recv before the barrier that orders the
+      // matching Send): fail fast instead of blocking.
+      TRACLUS_CHECK(it != queues_.end() && !it->second.empty());
+      std::vector<uint64_t> payload = std::move(it->second.front());
+      it->second.pop_front();
+      return payload;
+    }
+
+   private:
+    static uint64_t Key(int src, int tag) {
+      return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+             static_cast<uint32_t>(tag);
+    }
+
+    common::Mutex mu_;
+    std::map<uint64_t, std::deque<std::vector<uint64_t>>> queues_
+        TRACLUS_GUARDED_BY(mu_);
+  };
+
+  class Comm : public ShardCommunicator {
+   public:
+    void Init(InProcessShardGroup* group, int rank, int size) {
+      group_ = group;
+      rank_ = rank;
+      size_ = size;
+    }
+
+    int rank() const override { return rank_; }
+    int size() const override { return size_; }
+
+    void Send(int dest, int tag, std::vector<uint64_t> payload) override {
+      TRACLUS_CHECK(dest >= 0 && dest < size_);
+      group_->mailboxes_[static_cast<size_t>(dest)].Push(rank_, tag,
+                                                         std::move(payload));
+    }
+
+    std::vector<uint64_t> Recv(int src, int tag) override {
+      TRACLUS_CHECK(src >= 0 && src < size_);
+      return group_->mailboxes_[static_cast<size_t>(rank_)].Pop(src, tag);
+    }
+
+   private:
+    InProcessShardGroup* group_ = nullptr;
+    int rank_ = 0;
+    int size_ = 0;
+  };
+
+  std::vector<Mailbox> mailboxes_;
+  std::vector<Comm> comms_;
+};
+
+}  // namespace traclus::core
+
+#endif  // TRACLUS_CORE_SHARD_COMM_H_

@@ -1,0 +1,158 @@
+#ifndef TRACLUS_CORE_SHARDED_STAGE_H_
+#define TRACLUS_CORE_SHARDED_STAGE_H_
+
+// ShardedGroupStage — sharded grouping: decompose the segment database over
+// a cell grid (cluster/shard_grid.h), run an arbitrary inner GroupStage
+// independently per shard on a shard-local store (owned segments plus the
+// halo of ghost segments within ε-reach of the shard's region), then merge
+// clusters across shard borders with a union-find pass over ghost-confirmed
+// ε-pairs. All inter-shard traffic flows through the communicator seam
+// (core/shard_comm.h), so a process-parallel (MPI-shaped) backend can
+// replace the in-process one without touching the stage.
+//
+// Cost model: the inner backend's quadratic pairwise work drops from O(n²)
+// to O(Σ_s (n_s + g_s)²) ≈ O(n²/S) for S balanced shards with small halos,
+// and the shards run concurrently across the RunContext's threads — shard
+// count S is a decomposition knob, thread count an execution knob; any
+// combination is valid.
+//
+// Exactness (DBSCAN inner backend): a shard-local DBSCAN over owned + ghost
+// segments computes the exact global core status of every owned segment
+// (its full ε-neighborhood is present, by the halo bound in
+// cluster/shard_grid.h), and every cross-owner ε-pair appears in both
+// owners' shards. Local clusters reachable only through ghost seeds are
+// dissolved (a local cluster is globally valid iff it contains an owned
+// member that is either interior — no ghost neighbors — or border-and-core),
+// dissolved members re-attach through their earliest globally-core ghost
+// neighbor, and core–core border pairs become union edges between the two
+// owners' provisional clusters. The merged result partitions segments into
+// clusters and noise exactly as unsharded DBSCAN does, with two documented
+// deviations: cluster NUMBERING is dense by first member in ascending
+// segment order (DBSCAN numbers by seed order, i.e. first CORE member), and
+// a non-core segment within ε of cores of two different DBSCAN clusters may
+// join the other one (the same assignment ambiguity DBSCAN itself resolves
+// by scan order). The second deviation has a corollary once the
+// trajectory-cardinality filter runs: when one of the contesting clusters is
+// removed by the filter, a contested segment assigned to the removed cluster
+// lands in noise, so noise counts may differ by the handful of contested
+// borders — core segments and their cluster membership are never affected.
+// In weighted mode (use_weights) the border density re-check
+// sums masses in shard-local order, so a mass sitting exactly on MinLns at
+// the last ulp could flip; the default counting mass is order-exact. For
+// other inner backends (OPTICS, custom) the merge is the same density-style
+// heuristic but carries no exactness proof.
+//
+// Determinism: the grid, halos, per-shard runs, exchanged records, and the
+// rank-ordered union-find are each pure functions of (store, options, shard
+// count) — thread scheduling only changes when shards run, never what they
+// compute — so labels are byte-identical across thread counts and
+// scalar/SIMD kernels for a fixed shard count. ctx.shards ≤ 1 delegates to
+// the inner stage unchanged (byte-identical to using it directly).
+//
+// Whole-database post-filters: per-shard inner runs execute with
+// RunContext::shard_local set, which defers the trajectory-cardinality
+// filter (see stages.h); this stage applies it once, globally, after the
+// merge.
+//
+// Thread-safety: the stage itself is immutable (inner pointer + options); a
+// run's mutable state is per-shard slots written by the owning pool task
+// plus the communicator mailboxes, which are TRACLUS_GUARDED_BY their
+// common::Mutex. The optional stats sink is written by the driver thread
+// only, after the barrier — but distinct concurrent runs must not share one
+// sink.
+//
+// Out-of-core: RunChunked inherits the merge-then-delegate default, so a
+// capped streaming run with sharded grouping is correct but not
+// memory-bounded.
+
+#include <memory>
+#include <string>
+
+#include "core/stages.h"
+#include "distance/segment_distance.h"
+
+namespace traclus::core {
+
+/// Per-run counters of the sharded path, filled by Run when
+/// ShardedGroupOptions::stats is set. All counts are deterministic for a
+/// fixed (store, options, shard count).
+struct ShardedRunStats {
+  /// Shards that owned at least one segment.
+  size_t shards_run = 0;
+  /// Total ghost-list length across shards (a segment ghosted to two shards
+  /// counts twice).
+  size_t ghost_segments = 0;
+  /// Owned-segment → ghost ε-pairs discovered across all shards (each
+  /// cross-owner pair is seen from both owners, so it counts twice).
+  size_t border_pairs = 0;
+  /// Union-find merges that actually joined two distinct provisional
+  /// clusters across a shard border.
+  size_t border_merges = 0;
+  /// Shard-local clusters dissolved as ghost-seeded.
+  size_t dissolved_clusters = 0;
+  /// Segments re-attached to a peer shard's cluster after dissolution.
+  size_t attached_segments = 0;
+};
+
+/// Configuration of the sharded grouping driver. eps / min_lns / weights /
+/// distance describe the SAME clustering the inner stage runs (like the
+/// sieve stage, the decorator cannot read an arbitrary inner stage's
+/// configuration, so the caller states it twice); results are only exact
+/// when they match the inner backend's.
+struct ShardedGroupOptions {
+  /// Neighborhood radius ε (Definition 4) of the inner clustering — drives
+  /// the halo width, the border tiles, and the merge predicate. Must be
+  /// positive and finite.
+  double eps = 25.0;
+  /// Core-density threshold MinLns (Definition 5) of the inner clustering —
+  /// drives the border core re-check. Must be finite and ≥ 1.
+  double min_lns = 5.0;
+  /// Global trajectory-cardinality threshold, applied once after the merge
+  /// (negative: use min_lns; 0: disabled) — the same semantics as
+  /// DbscanGroupOptions::min_trajectory_cardinality.
+  double min_trajectory_cardinality = -1.0;
+  /// Weighted-trajectory extension (§4.2): border neighborhood mass sums
+  /// segment weights instead of counting.
+  bool use_weights = false;
+  /// Grid cell size of the shard decomposition; ≤ 0 selects ShardGrid's
+  /// automatic heuristic.
+  double cell_size = 0.0;
+  /// Distance function (§2.3) of the inner clustering. Weights must be
+  /// finite and non-negative.
+  distance::SegmentDistanceConfig distance;
+  /// Optional counters sink (caller-owned, may be null). Written once per
+  /// sharded Run by the driver thread; do not share one sink between
+  /// concurrent runs.
+  ShardedRunStats* stats = nullptr;
+};
+
+/// Decorator GroupStage implementing sharded grouping over any inner
+/// backend. The shard count is a per-run parameter (RunContext::shards).
+class ShardedGroupStage : public GroupStage {
+ public:
+  /// `inner` must be non-null (checked in Validate).
+  explicit ShardedGroupStage(std::shared_ptr<const GroupStage> inner,
+                             const ShardedGroupOptions& options = {});
+
+  const char* name() const override;
+  common::Status Validate() const override;
+  /// ctx.shards ≤ 1 (or an empty store): delegates to the inner stage
+  /// unchanged. Otherwise runs the three-superstep sharded pipeline:
+  /// shard-local clustering + border analysis, halo record exchange over the
+  /// communicator, and the cross-border union-find merge + global filter.
+  common::Result<cluster::ClusteringResult> Run(
+      const traj::SegmentStore& store, const RunContext& ctx) const override;
+
+  const ShardedGroupOptions& options() const { return options_; }
+  const GroupStage* inner() const { return inner_.get(); }
+
+ private:
+  std::shared_ptr<const GroupStage> inner_;
+  ShardedGroupOptions options_;
+  /// "group/sharded+<inner>" — built once; name() returns its c_str().
+  std::string name_;
+};
+
+}  // namespace traclus::core
+
+#endif  // TRACLUS_CORE_SHARDED_STAGE_H_

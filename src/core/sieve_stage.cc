@@ -12,6 +12,11 @@
 
 namespace traclus::core {
 
+size_t ChooseSieveK(size_t store_size, size_t target_sample) {
+  if (target_sample == 0 || store_size <= target_sample) return 1;
+  return (store_size + target_sample - 1) / target_sample;
+}
+
 SieveGroupStage::SieveGroupStage(std::shared_ptr<const GroupStage> inner,
                                  const SieveGroupOptions& options)
     : inner_(std::move(inner)), options_(options) {
@@ -52,13 +57,18 @@ common::Status SieveGroupStage::Validate() const {
 
 common::Result<cluster::ClusteringResult> SieveGroupStage::Run(
     const traj::SegmentStore& store, const RunContext& ctx) const {
-  const size_t k = ctx.sieve;
+  const size_t n = store.size();
+  // An explicit per-run stride always wins (sieve = 1 forces a full inner
+  // run); AutoK only fills the gap when the run left the knob at 0.
+  const size_t k = ctx.sieve > 0
+                       ? ctx.sieve
+                       : (options_.auto_k.target_sample > 0
+                              ? ChooseSieveK(n, options_.auto_k.target_sample)
+                              : 0);
   if (k <= 1) {
     // Sieve disabled: the decorator is transparent, byte for byte.
     return inner_->Run(store, ctx);
   }
-
-  const size_t n = store.size();
 
   // Sampling unit is the trajectory: a trajectory's segments stay together so
   // the sample preserves within-trajectory density (a segment's ε-neighbors

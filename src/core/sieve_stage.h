@@ -40,6 +40,23 @@
 
 namespace traclus::core {
 
+/// Automatic sieve-stride selection: instead of fixing k, fix the sample
+/// SIZE the inner backend should see and let the stage derive k from the
+/// store — the cpptraj "sieve to about N frames" convention. Useful when one
+/// engine serves databases of very different sizes: the quadratic inner work
+/// stays roughly constant at target_sample².
+struct AutoK {
+  /// Desired sampled-segment count; k = ceil(store size / target_sample),
+  /// clamped to ≥ 1 (a store at or under the target runs the inner backend
+  /// in full). 0 disables auto selection.
+  size_t target_sample = 0;
+};
+
+/// The k that AutoK picks for a store of `store_size` segments (exposed for
+/// tests and tooling): 1 when `target_sample` is 0 or ≥ store_size, else
+/// ceil(store_size / target_sample).
+size_t ChooseSieveK(size_t store_size, size_t target_sample);
+
 /// Configuration of the sieve assignment phase. The sampling knobs
 /// themselves (k, offset) are per-run parameters and live on RunContext
 /// (`sieve`, `sieve_offset`), so one engine can serve runs at different
@@ -54,6 +71,10 @@ struct SieveGroupOptions {
   /// stage's configuration for the cost model to make sense. Weights must be
   /// finite and non-negative.
   distance::SegmentDistanceConfig distance;
+  /// Automatic stride selection, used only by runs that leave
+  /// RunContext::sieve at 0 (an explicit per-run sieve always wins — set
+  /// sieve = 1 to force a full inner run on an AutoK engine).
+  AutoK auto_k;
 };
 
 /// Decorator GroupStage implementing sieve-sampled grouping over any inner
@@ -66,7 +87,10 @@ class SieveGroupStage : public GroupStage {
 
   const char* name() const override;
   common::Status Validate() const override;
-  /// ctx.sieve ≤ 1: delegates to the inner stage unchanged (byte-identical).
+  /// The effective stride is ctx.sieve when > 0, else the AutoK-derived k
+  /// when options().auto_k is set, else 0 (sieve off).
+  /// Effective k ≤ 1: delegates to the inner stage unchanged
+  /// (byte-identical).
   /// Otherwise: samples trajectories whose first-appearance rank ≡
   /// ctx.sieve_offset (mod ctx.sieve), groups the sampled segments through
   /// the inner stage (with sieve disabled in the inner context), maps the

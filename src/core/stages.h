@@ -74,6 +74,25 @@ struct RunContext {
   /// Which residue class of the trajectory first-appearance rank is sampled
   /// (taken modulo `sieve`); lets repeated runs sample disjoint subsets.
   size_t sieve_offset = 0;
+  /// Sharded grouping (core/sharded_stage.h): when the group stage is a
+  /// ShardedGroupStage, the segment database is decomposed over a cell grid
+  /// into this many shards, the inner backend runs independently per shard
+  /// (shards execute in parallel across the run's threads), and shard-border
+  /// clusters are merged through a halo exchange behind the communicator seam
+  /// (core/shard_comm.h). 0 or 1 disables sharding (the inner backend runs on
+  /// everything, byte-identically to using it directly). Deterministic for a
+  /// fixed shard count: labels are identical across thread counts and
+  /// kernels. Ignored by every other group stage.
+  size_t shards = 0;
+  /// Set by ShardedGroupStage on the context of its per-shard inner runs
+  /// (never by callers): tells the inner backend it is clustering one shard
+  /// of a larger database, so whole-database post-filters — today the
+  /// trajectory-cardinality filter of the DBSCAN/OPTICS stages — must be
+  /// skipped locally; the sharded driver applies them once, globally, after
+  /// the halo merge. A filter applied per shard would see only a shard's
+  /// fragment of each cross-border cluster and drop clusters the unsharded
+  /// run keeps.
+  bool shard_local = false;
   /// Streaming runs only (TraclusEngine::Run(TrajectorySource&)): segments
   /// per chunk of the run's ChunkedSegmentStore. 0 = unbounded (one chunk).
   /// Eager runs ignore both chunk knobs. Results are bit-identical for every

@@ -568,6 +568,72 @@ void RangeSimd(const traj::SegmentStore& store,
   }
 }
 
+// Cross-store four-lane kernel: the same shared arithmetic body as
+// BatchSimd, with the per-lane gather resolving the Lemma 2 roles across the
+// two stores (CrossCanonicalSwap — the exact decision PairDistanceScalarCross
+// makes), so the lanes are bit-identical to the scalar cross path for the
+// same reason the one-store lanes are: identical role assignment feeding
+// identical straight-line arithmetic.
+template <typename IndexFn>
+void BatchSimdCross(const traj::SegmentStore& qs, const traj::SegmentStore& cs,
+                    const SegmentDistanceConfig& cfg, size_t query, size_t n,
+                    const IndexFn& index, double* out) {
+  const int dims = qs.dims();
+  const SimdWeights w = MakeSimdWeights(cfg);
+
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    alignas(32) double s_l[geom::kMaxDims][4];   // Li start.
+    alignas(32) double e_l[geom::kMaxDims][4];   // Li end.
+    alignas(32) double se_l[geom::kMaxDims][4];  // Li direction (e − s).
+    alignas(32) double js_l[geom::kMaxDims][4];  // Lj start.
+    alignas(32) double je_l[geom::kMaxDims][4];  // Lj end.
+    alignas(32) double dj_l[geom::kMaxDims][4];  // Lj direction.
+    alignas(32) double den_l[4];                 // ‖Li direction‖².
+    alignas(32) double len_i_l[4];
+    alignas(32) double len_j_l[4];
+    for (int lane = 0; lane < 4; ++lane) {
+      const size_t j = index(k + static_cast<size_t>(lane));
+      const bool swap = internal::CrossCanonicalSwap(qs, query, cs, j);
+      const traj::SegmentStore& si = swap ? cs : qs;
+      const traj::SegmentStore& sj = swap ? qs : cs;
+      const size_t li = swap ? j : query;
+      const size_t lj = swap ? query : j;
+      den_l[lane] = si.squared_lengths()[li];
+      len_i_l[lane] = si.lengths()[li];
+      len_j_l[lane] = sj.lengths()[lj];
+      for (int d = 0; d < dims; ++d) {
+        s_l[d][lane] = si.start_coords(d)[li];
+        e_l[d][lane] = si.end_coords(d)[li];
+        se_l[d][lane] = si.direction_coords(d)[li];
+        js_l[d][lane] = sj.start_coords(d)[lj];
+        je_l[d][lane] = sj.end_coords(d)[lj];
+        dj_l[d][lane] = sj.direction_coords(d)[lj];
+      }
+    }
+
+    __m256d s_v[geom::kMaxDims], e_v[geom::kMaxDims], se_v[geom::kMaxDims];
+    __m256d js_v[geom::kMaxDims], je_v[geom::kMaxDims], dj_v[geom::kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      s_v[d] = _mm256_load_pd(s_l[d]);
+      e_v[d] = _mm256_load_pd(e_l[d]);
+      se_v[d] = _mm256_load_pd(se_l[d]);
+      js_v[d] = _mm256_load_pd(js_l[d]);
+      je_v[d] = _mm256_load_pd(je_l[d]);
+      dj_v[d] = _mm256_load_pd(dj_l[d]);
+    }
+    const __m256d total = CanonicalLanes(
+        dims, s_v, e_v, se_v, js_v, je_v, dj_v, _mm256_load_pd(den_l),
+        _mm256_load_pd(len_i_l), _mm256_load_pd(len_j_l), w);
+    _mm256_storeu_pd(out + k, total);
+  }
+
+  // Tail lanes (< 4 remaining) run the scalar cross kernel — same bits.
+  for (; k < n; ++k) {
+    out[k] = PairDistanceScalarCross(qs, query, cs, index(k), cfg);
+  }
+}
+
 #endif  // __AVX2__
 
 // Dispatches an already-resolved kernel choice.
@@ -584,6 +650,100 @@ void BatchDispatch(BatchKernel kernel, const traj::SegmentStore& store,
   (void)kernel;
 #endif
   BatchScalar(store, cfg, query, n, index, out);
+}
+
+// Cross-store scalar batch kernel: query from qs, candidates from cs.
+template <typename IndexFn>
+void BatchScalarCross(const traj::SegmentStore& qs,
+                      const traj::SegmentStore& cs,
+                      const SegmentDistanceConfig& cfg, size_t query, size_t n,
+                      const IndexFn& index, double* out) {
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = PairDistanceScalarCross(qs, query, cs, index(k), cfg);
+  }
+}
+
+// Cross-store kernel dispatch, mirroring BatchDispatch.
+template <typename IndexFn>
+void BatchDispatchCross(BatchKernel kernel, const traj::SegmentStore& qs,
+                        const traj::SegmentStore& cs,
+                        const SegmentDistanceConfig& cfg, size_t query,
+                        size_t n, const IndexFn& index, double* out) {
+#if defined(__AVX2__)
+  if (kernel == BatchKernel::kSimd) {
+    BatchSimdCross(qs, cs, cfg, query, n, index, out);
+    return;
+  }
+#else
+  (void)kernel;
+#endif
+  BatchScalarCross(qs, cs, cfg, query, n, index, out);
+}
+
+// Shared cross-store ε-refine pipeline: the blocked prune → batch →
+// threshold shape of EpsilonRefineImpl, minus the self-inclusion case
+// (cross-store candidates never contain the query — header contract). The
+// prune reads only the candidate store's midpoint/half-length columns, so
+// PrunedFar works unchanged across stores; emission is `out_base + j` in
+// candidate order (blocks ascend and order within a block is preserved), so
+// the output matches the old per-candidate loop exactly.
+template <typename IndexFn>
+size_t EpsilonRefineCrossImpl(const traj::SegmentStore& qs,
+                              const SegmentDistance& dist, size_t query,
+                              const traj::SegmentStore& cs, size_t n,
+                              const IndexFn& index, double eps,
+                              size_t out_base,
+                              std::vector<size_t>& out_indices,
+                              const BatchOptions& options,
+                              RefineStats* stats) {
+  const BatchKernel kernel = ResolveBatchKernel(options.kernel);
+  const size_t block =
+      options.block > 0 ? options.block : kDefaultRefineBlock;
+  const PruneContext prune =
+      MakePruneContext(qs, dist, query, eps, options.prune);
+  const SegmentDistanceConfig& cfg = dist.config();
+
+  // Same thread_local staging story as EpsilonRefineImpl: the kernels read
+  // only the two stores' immutable columns and write only these buffers plus
+  // the caller-owned out_indices, so concurrent refines share nothing.
+  thread_local std::vector<size_t> survivors;
+  thread_local std::vector<double> distances;
+
+  size_t appended = 0;
+  size_t pruned = 0;
+  size_t refined = 0;
+  for (size_t base = 0; base < n; base += block) {
+    const size_t hi = std::min(n, base + block);
+    survivors.clear();
+    for (size_t k = base; k < hi; ++k) {
+      const size_t j = index(k);
+      TRACLUS_DCHECK(j < cs.size());
+      if (PrunedFar(prune, cs, j)) {
+        ++pruned;
+        continue;
+      }
+      survivors.push_back(j);
+    }
+    distances.resize(survivors.size());
+    BatchDispatchCross(
+        kernel, qs, cs, cfg, query, survivors.size(),
+        [&](size_t m) { return survivors[m]; }, distances.data());
+    refined += survivors.size();
+    for (size_t m = 0; m < survivors.size(); ++m) {
+      if (distances[m] <= eps) {
+        out_indices.push_back(out_base + survivors[m]);
+        ++appended;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->candidates += n;
+    stats->pruned += pruned;
+    stats->refined += refined;
+    stats->accepted += appended;
+  }
+  return appended;
 }
 
 // Contiguous-candidate row kernel — the tile family's inner loop. Same
@@ -774,41 +934,28 @@ size_t EpsilonRefineCross(const traj::SegmentStore& query_store,
                           const BatchOptions& options, RefineStats* stats) {
   TRACLUS_DCHECK(query < query_store.size());
   TRACLUS_DCHECK_EQ(query_store.dims(), cand_store.dims());
-  // Same prune → refine → threshold pipeline as EpsilonRefineImpl, with the
-  // query-side context from the query's chunk and the candidate-side columns
-  // from the candidate chunk. No self-inclusion case: cross-store candidates
-  // never contain the query (see header contract). The kernel request
-  // degrades to the scalar canonical kernel — bit-identical by the SIMD
-  // lane-equivalence invariant, so callers see no behavioral difference.
-  const PruneContext prune =
-      MakePruneContext(query_store, dist, query, eps, options.prune);
-  const SegmentDistanceConfig& cfg = dist.config();
+  const size_t* cand = candidates.data();
+  return EpsilonRefineCrossImpl(
+      query_store, dist, query, cand_store, candidates.size(),
+      [cand](size_t k) { return cand[k]; }, eps, out_base, out_indices,
+      options, stats);
+}
 
-  size_t appended = 0;
-  size_t pruned = 0;
-  size_t refined = 0;
-  for (const size_t j : candidates) {
-    TRACLUS_DCHECK(j < cand_store.size());
-    if (PrunedFar(prune, cand_store, j)) {
-      ++pruned;
-      continue;
-    }
-    ++refined;
-    const double d = PairDistanceScalarCross(query_store, query, cand_store,
-                                             j, cfg);
-    if (d <= eps) {
-      out_indices.push_back(out_base + j);
-      ++appended;
-    }
-  }
-
-  if (stats != nullptr) {
-    stats->candidates += candidates.size();
-    stats->pruned += pruned;
-    stats->refined += refined;
-    stats->accepted += appended;
-  }
-  return appended;
+size_t EpsilonRefineCrossRange(const traj::SegmentStore& query_store,
+                               const SegmentDistance& dist, size_t query,
+                               const traj::SegmentStore& cand_store,
+                               size_t first, size_t last, double eps,
+                               size_t out_base,
+                               std::vector<size_t>& out_indices,
+                               const BatchOptions& options,
+                               RefineStats* stats) {
+  TRACLUS_DCHECK(query < query_store.size());
+  TRACLUS_DCHECK_EQ(query_store.dims(), cand_store.dims());
+  TRACLUS_DCHECK(first <= last && last <= cand_store.size());
+  return EpsilonRefineCrossImpl(
+      query_store, dist, query, cand_store, last - first,
+      [first](size_t k) { return first + k; }, eps, out_base, out_indices,
+      options, stats);
 }
 
 void DistanceTile(const traj::SegmentStore& store, const SegmentDistance& dist,

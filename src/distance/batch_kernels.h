@@ -179,9 +179,10 @@ size_t EpsilonRefineRange(const traj::SegmentStore& store,
 ///
 /// The candidates must not contain the query segment itself (Definition 4
 /// self-inclusion is a same-store concern; callers route the query's own
-/// chunk through EpsilonRefine). The SIMD kernel request degrades to the
-/// scalar canonical kernel here — identical results, since the lanes are
-/// bit-identical to scalar by construction; only throughput differs.
+/// chunk through EpsilonRefine). Runs the same blocked prune → batch →
+/// threshold pipeline as EpsilonRefine, with cross-store scalar and AVX2
+/// four-lane kernels (the lane gather resolves the Lemma 2 roles across the
+/// two stores); all kernels are bit-identical to the per-pair cross loop.
 size_t EpsilonRefineCross(const traj::SegmentStore& query_store,
                           const SegmentDistance& dist, size_t query,
                           const traj::SegmentStore& cand_store,
@@ -189,6 +190,20 @@ size_t EpsilonRefineCross(const traj::SegmentStore& query_store,
                           size_t out_base, std::vector<size_t>& out_indices,
                           const BatchOptions& options = {},
                           RefineStats* stats = nullptr);
+
+/// Contiguous-candidate cross-store ε-refine over cand_store indices
+/// [first, last) — the whole-chunk scan of the chunked brute-force provider
+/// and the no-bound fallback, without materializing an index list. Appends
+/// `out_base + j` for every accepted j, exactly like EpsilonRefineCross on
+/// the materialized range.
+size_t EpsilonRefineCrossRange(const traj::SegmentStore& query_store,
+                               const SegmentDistance& dist, size_t query,
+                               const traj::SegmentStore& cand_store,
+                               size_t first, size_t last, double eps,
+                               size_t out_base,
+                               std::vector<size_t>& out_indices,
+                               const BatchOptions& options = {},
+                               RefineStats* stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // Many-vs-many tiles. All of them iterate candidate-block-major: a block of

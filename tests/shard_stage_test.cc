@@ -1,0 +1,434 @@
+// Tests for ShardedGroupStage (core/sharded_stage.h): the shards ≤ 1
+// transparency contract, equivalence to the unsharded backend modulo the
+// documented contested-border deviation, byte-determinism across thread
+// counts and kernels for a fixed shard count, the halo merge on an
+// adversarial border-spanning chain, the stats sink, the communicator's
+// concurrent mailbox discipline, and the Validate error surface.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/shard_comm.h"
+#include "core/sharded_stage.h"
+#include "datagen/hurricane_generator.h"
+#include "distance/batch_kernels.h"
+#include "distance/segment_distance.h"
+#include "traj/segment_store.h"
+#include "traj/trajectory_database.h"
+
+namespace traclus::core {
+namespace {
+
+using geom::Point;
+using geom::Segment;
+
+// The golden pipeline's hurricane corpus and parameters (ε = 0.94,
+// MinLns = 5 — the same configuration tests/golden/hurricane.golden pins),
+// partitioned once into the store the grouping stages consume.
+const traj::SegmentStore& HurricaneStore() {
+  static const traj::SegmentStore* store = [] {
+    const traj::TrajectoryDatabase db =
+        datagen::GenerateHurricanes(datagen::HurricaneConfig{});
+    auto engine = TraclusEngine::FromConfig(TraclusConfig{});
+    EXPECT_TRUE(engine.ok());
+    auto partitioned = engine->Partition(db);
+    EXPECT_TRUE(partitioned.ok());
+    return new traj::SegmentStore(std::move(partitioned->store));
+  }();
+  return *store;
+}
+
+DbscanGroupOptions HurricaneGroupOptions() {
+  DbscanGroupOptions options;
+  options.eps = 0.94;
+  options.min_lns = 5.0;
+  return options;
+}
+
+ShardedGroupStage MakeShardedStage(const DbscanGroupOptions& group,
+                                   ShardedRunStats* stats = nullptr) {
+  ShardedGroupOptions sharded;
+  sharded.eps = group.eps;
+  sharded.min_lns = group.min_lns;
+  sharded.min_trajectory_cardinality = group.min_trajectory_cardinality;
+  sharded.use_weights = group.use_weights;
+  sharded.distance = group.distance;
+  sharded.stats = stats;
+  return ShardedGroupStage(std::make_shared<DbscanGroupStage>(group),
+                           sharded);
+}
+
+void ExpectSameClustering(const cluster::ClusteringResult& a,
+                          const cluster::ClusteringResult& b) {
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.num_noise, b.num_noise);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_EQ(a.clusters[c].id, b.clusters[c].id);
+    EXPECT_EQ(a.clusters[c].member_indices, b.clusters[c].member_indices);
+  }
+}
+
+// Brute-force Definition 5 density over the whole store: the exact global
+// core status of segment i, independent of any index or shard machinery.
+bool IsGlobalCore(const traj::SegmentStore& store,
+                  const distance::SegmentDistance& dist, size_t i, double eps,
+                  double min_lns) {
+  size_t mass = 0;
+  for (size_t j = 0; j < store.size(); ++j) {
+    if (dist(store, i, j) <= eps) ++mass;
+  }
+  return static_cast<double>(mass) >= min_lns;
+}
+
+// Equivalence modulo the deviations sharded_stage.h documents: cluster
+// numbering may permute (compared under the best-overlap bijection), and a
+// handful of non-core contested border segments may land in a different
+// cluster — or in noise, when their cluster is cardinality-filtered. Every
+// differing segment must be globally non-core; core segments' membership is
+// exact.
+void ExpectEquivalentModuloContestedBorders(
+    const traj::SegmentStore& store, const DbscanGroupOptions& group,
+    const cluster::ClusteringResult& golden,
+    const cluster::ClusteringResult& got) {
+  ASSERT_EQ(golden.labels.size(), got.labels.size());
+  const size_t n = golden.labels.size();
+
+  // Best-overlap mapping got-cluster → golden-cluster, required injective.
+  std::map<std::pair<int, int>, size_t> overlap;
+  for (size_t i = 0; i < n; ++i) {
+    if (got.labels[i] >= 0 && golden.labels[i] >= 0) {
+      ++overlap[{got.labels[i], golden.labels[i]}];
+    }
+  }
+  std::vector<int> map_to(got.clusters.size(), -1);
+  for (const auto& [key, count] : overlap) {
+    const auto [from, to] = key;
+    // std::map iteration is ordered, so ties break toward the lowest golden
+    // id deterministically.
+    if (map_to[static_cast<size_t>(from)] < 0 ||
+        overlap.at({from, map_to[static_cast<size_t>(from)]}) < count) {
+      map_to[static_cast<size_t>(from)] = to;
+    }
+  }
+  std::vector<char> taken(golden.clusters.size(), 0);
+  for (const int to : map_to) {
+    if (to < 0) continue;
+    EXPECT_FALSE(taken[static_cast<size_t>(to)])
+        << "cluster mapping is not injective";
+    taken[static_cast<size_t>(to)] = 1;
+  }
+
+  // Differing segments: rare, and all globally non-core.
+  const distance::SegmentDistance dist(group.distance);
+  size_t differing = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int mapped =
+        got.labels[i] >= 0 ? map_to[static_cast<size_t>(got.labels[i])] : -1;
+    if (mapped == golden.labels[i]) continue;
+    ++differing;
+    EXPECT_FALSE(IsGlobalCore(store, dist, i, group.eps, group.min_lns))
+        << "segment " << i << " is a global core but its membership moved "
+        << "(golden " << golden.labels[i] << ", sharded " << mapped << ")";
+  }
+  // The deviation class is a boundary effect; it must stay marginal.
+  EXPECT_LE(differing, std::max<size_t>(2, n / 200));
+  EXPECT_LE(static_cast<size_t>(
+                std::max<int64_t>(0, static_cast<int64_t>(got.num_noise) -
+                                         static_cast<int64_t>(
+                                             golden.num_noise))),
+            differing);
+}
+
+TEST(ShardStageTest, NameAndValidate) {
+  const ShardedGroupStage stage = MakeShardedStage(HurricaneGroupOptions());
+  EXPECT_STREQ(stage.name(), "group/sharded+dbscan");
+  EXPECT_TRUE(stage.Validate().ok());
+}
+
+TEST(ShardStageTest, ShardingDisabledIsInnerBackendByteForByte) {
+  const traj::SegmentStore& store = HurricaneStore();
+  const DbscanGroupStage inner(HurricaneGroupOptions());
+  const ShardedGroupStage stage = MakeShardedStage(HurricaneGroupOptions());
+  const auto expect = inner.Run(store, RunContext{});
+  ASSERT_TRUE(expect.ok());
+  for (const size_t shards : {size_t{0}, size_t{1}}) {
+    RunContext ctx;
+    ctx.shards = shards;
+    const auto got = stage.Run(store, ctx);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectSameClustering(*got, *expect);
+  }
+}
+
+TEST(ShardStageTest, EquivalentToUnshardedAndDeterministic) {
+  const traj::SegmentStore& store = HurricaneStore();
+  const DbscanGroupOptions group = HurricaneGroupOptions();
+  const DbscanGroupStage inner(group);
+  const ShardedGroupStage stage = MakeShardedStage(group);
+  const auto golden = inner.Run(store, RunContext{});
+  ASSERT_TRUE(golden.ok());
+
+  for (const size_t shards : {size_t{2}, size_t{4}, size_t{7}}) {
+    RunContext base_ctx;
+    base_ctx.shards = shards;
+    base_ctx.num_threads = 1;
+    base_ctx.distance_kernel = distance::BatchKernel::kScalar;
+    const auto reference = stage.Run(store, base_ctx);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    ExpectEquivalentModuloContestedBorders(store, group, *golden, *reference);
+
+    // Fixed shard count ⇒ byte-identical across thread counts and kernels.
+    for (const int threads : {1, 4}) {
+      for (const distance::BatchKernel kernel :
+           {distance::BatchKernel::kScalar, distance::BatchKernel::kSimd,
+            distance::BatchKernel::kAuto}) {
+        RunContext ctx;
+        ctx.shards = shards;
+        ctx.num_threads = threads;
+        ctx.distance_kernel = kernel;
+        const auto got = stage.Run(store, ctx);
+        ASSERT_TRUE(got.ok());
+        ExpectSameClustering(*got, *reference);
+      }
+    }
+  }
+}
+
+// Adversarial border corpus: one dense collinear chain spanning many grid
+// cells, so every shard cuts through it and the chain is far longer than one
+// halo width. The halo merge must reassemble it into a single cluster —
+// losing any border edge would leave ≥ 2 clusters.
+TEST(ShardStageTest, BorderSpanningChainMergesIntoOneCluster) {
+  std::vector<Segment> segments;
+  const size_t kChain = 60;
+  for (size_t i = 0; i < kChain; ++i) {
+    const double x = static_cast<double>(i) * 0.5;
+    segments.emplace_back(Point(x, 0.0), Point(x + 10.0, 0.0),
+                          static_cast<geom::SegmentId>(i),
+                          static_cast<geom::TrajectoryId>(i));
+  }
+  const traj::SegmentStore store(std::move(segments));
+
+  DbscanGroupOptions group;
+  group.eps = 2.0;
+  group.min_lns = 5.0;
+  const DbscanGroupStage inner(group);
+  const auto golden = inner.Run(store, RunContext{});
+  ASSERT_TRUE(golden.ok());
+  ASSERT_EQ(golden->clusters.size(), 1u);
+  ASSERT_EQ(golden->num_noise, 0u);
+
+  ShardedRunStats stats;
+  const ShardedGroupStage stage = MakeShardedStage(group, &stats);
+  for (const size_t shards : {size_t{2}, size_t{4}, size_t{7}}) {
+    RunContext ctx;
+    ctx.shards = shards;
+    const auto got = stage.Run(store, ctx);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    // Labels must match outright (one cluster, no numbering freedom); member
+    // lists are not compared because DBSCAN emits expansion order while the
+    // sharded driver emits ascending order.
+    EXPECT_EQ(got->labels, golden->labels);
+    EXPECT_EQ(got->num_noise, golden->num_noise);
+    ASSERT_EQ(got->clusters.size(), 1u);
+    EXPECT_EQ(got->clusters[0].member_indices.size(), kChain);
+    // The chain crosses every shard border, so clusters really merged and
+    // the halo machinery saw traffic.
+    EXPECT_GE(stats.border_merges, shards - 1);
+    EXPECT_GT(stats.ghost_segments, 0u);
+    EXPECT_GT(stats.border_pairs, 0u);
+    EXPECT_EQ(stats.shards_run, shards);
+  }
+}
+
+TEST(ShardStageTest, RandomizedCorpusMatchesUnshardedModuloBorders) {
+  // Clumped random segments: dense blobs plus scattered noise, seeded so the
+  // corpus (and therefore the expectation) is fixed.
+  common::Rng rng(20260808);
+  std::vector<Segment> segments;
+  geom::SegmentId next_id = 0;
+  for (int blob = 0; blob < 6; ++blob) {
+    const double cx = rng.Uniform(0.0, 100.0);
+    const double cy = rng.Uniform(0.0, 100.0);
+    const int count = static_cast<int>(rng.UniformInt(8, 16));
+    for (int k = 0; k < count; ++k) {
+      const double x = cx + rng.Gaussian(0.0, 0.8);
+      const double y = cy + rng.Gaussian(0.0, 0.8);
+      segments.emplace_back(Point(x, y), Point(x + 6.0, y + 0.2), next_id,
+                            static_cast<geom::TrajectoryId>(next_id));
+      ++next_id;
+    }
+  }
+  for (int k = 0; k < 30; ++k) {
+    const double x = rng.Uniform(0.0, 100.0);
+    const double y = rng.Uniform(0.0, 100.0);
+    segments.emplace_back(Point(x, y), Point(x + 4.0, y + 2.0), next_id,
+                          static_cast<geom::TrajectoryId>(next_id));
+    ++next_id;
+  }
+  const traj::SegmentStore store(std::move(segments));
+
+  DbscanGroupOptions group;
+  group.eps = 2.5;
+  group.min_lns = 4.0;
+  const DbscanGroupStage inner(group);
+  const ShardedGroupStage stage = MakeShardedStage(group);
+  const auto golden = inner.Run(store, RunContext{});
+  ASSERT_TRUE(golden.ok());
+  for (const size_t shards : {size_t{2}, size_t{5}}) {
+    for (const int threads : {1, 4}) {
+      RunContext ctx;
+      ctx.shards = shards;
+      ctx.num_threads = threads;
+      const auto got = stage.Run(store, ctx);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectEquivalentModuloContestedBorders(store, group, *golden, *got);
+    }
+  }
+}
+
+TEST(ShardStageTest, StatsSinkCountsShardsAndGhosts) {
+  const traj::SegmentStore& store = HurricaneStore();
+  ShardedRunStats stats;
+  const ShardedGroupStage stage =
+      MakeShardedStage(HurricaneGroupOptions(), &stats);
+  RunContext ctx;
+  ctx.shards = 4;
+  const auto got = stage.Run(store, ctx);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(stats.shards_run, 4u);
+  EXPECT_GT(stats.ghost_segments, 0u);
+  EXPECT_GT(stats.border_pairs, 0u);
+}
+
+TEST(ShardStageTest, ValidateRejectsBadConfigurations) {
+  // Null inner stage.
+  const ShardedGroupStage null_inner(nullptr);
+  EXPECT_EQ(null_inner.Validate().code(),
+            common::StatusCode::kInvalidArgument);
+
+  // Non-positive ε.
+  ShardedGroupOptions bad_eps;
+  bad_eps.eps = 0.0;
+  const ShardedGroupStage zero_eps(
+      std::make_shared<DbscanGroupStage>(HurricaneGroupOptions()), bad_eps);
+  EXPECT_EQ(zero_eps.Validate().code(), common::StatusCode::kOutOfRange);
+
+  // MinLns below 1.
+  ShardedGroupOptions bad_min;
+  bad_min.min_lns = 0.5;
+  const ShardedGroupStage low_min(
+      std::make_shared<DbscanGroupStage>(HurricaneGroupOptions()), bad_min);
+  EXPECT_EQ(low_min.Validate().code(), common::StatusCode::kOutOfRange);
+
+  // Negative distance weight.
+  ShardedGroupOptions bad_weight;
+  bad_weight.distance.w_perpendicular = -1.0;
+  const ShardedGroupStage neg_weight(
+      std::make_shared<DbscanGroupStage>(HurricaneGroupOptions()),
+      bad_weight);
+  EXPECT_EQ(neg_weight.Validate().code(),
+            common::StatusCode::kInvalidArgument);
+
+  // An invalid inner configuration propagates through the decorator.
+  DbscanGroupOptions bad_inner = HurricaneGroupOptions();
+  bad_inner.eps = -1.0;
+  const ShardedGroupStage wraps_bad(
+      std::make_shared<DbscanGroupStage>(bad_inner));
+  EXPECT_FALSE(wraps_bad.Validate().ok());
+}
+
+TEST(ShardStageTest, BuilderWiresShardedGroupingThroughThePipeline) {
+  const traj::TrajectoryDatabase db =
+      datagen::GenerateHurricanes(datagen::HurricaneConfig{});
+  const DbscanGroupOptions group = HurricaneGroupOptions();
+  ShardedGroupOptions sharded;
+  sharded.eps = group.eps;
+  sharded.min_lns = group.min_lns;
+  sharded.distance = group.distance;
+  SweepRepresentativeOptions reps;
+  reps.min_lns = group.min_lns;
+  const auto plain = TraclusEngine::Builder()
+                         .UseMdlPartitioning()
+                         .UseDbscanGrouping(group)
+                         .UseSweepRepresentatives(reps)
+                         .Build();
+  ASSERT_TRUE(plain.ok());
+  const auto wrapped = TraclusEngine::Builder()
+                           .UseMdlPartitioning()
+                           .UseDbscanGrouping(group)
+                           .UseSweepRepresentatives(reps)
+                           .WithShardedGrouping(sharded)
+                           .Build();
+  ASSERT_TRUE(wrapped.ok()) << wrapped.status().ToString();
+
+  // shards = 1 through the full pipeline: identical to the unwrapped engine.
+  const auto expect = plain->Run(db, RunContext{});
+  ASSERT_TRUE(expect.ok());
+  RunContext ctx;
+  ctx.shards = 1;
+  const auto transparent = wrapped->Run(db, ctx);
+  ASSERT_TRUE(transparent.ok());
+  ExpectSameClustering(transparent->clustering, expect->clustering);
+
+  // A sharded full-pipeline run completes with a well-formed label domain.
+  ctx.shards = 4;
+  const auto got = wrapped->Run(db, ctx);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->clustering.labels.size(), expect->clustering.labels.size());
+  size_t noise = 0;
+  for (const int label : got->clustering.labels) {
+    EXPECT_GE(label, cluster::kNoise);
+    EXPECT_LT(label, static_cast<int>(got->clustering.clusters.size()));
+    if (label == cluster::kNoise) ++noise;
+  }
+  EXPECT_EQ(noise, got->clustering.num_noise);
+  EXPECT_EQ(got->representatives.size(), got->clustering.clusters.size());
+}
+
+// Concurrency hammer for the in-process communicator (the TSan lane runs
+// this test): every rank sends tagged payloads to every peer from pool
+// threads, a barrier ends the superstep, then every rank drains and checks.
+TEST(ShardStageTest, InProcessShardGroupExchangesUnderConcurrency) {
+  const int kRanks = 8;
+  const int kRounds = 3;
+  InProcessShardGroup group(kRanks);
+  common::ThreadPool& pool = common::SharedPool(4);
+  for (int round = 0; round < kRounds; ++round) {
+    pool.ParallelFor(0, static_cast<size_t>(kRanks), [&](size_t s) {
+      ShardCommunicator& comm = group.comm(static_cast<int>(s));
+      EXPECT_EQ(comm.rank(), static_cast<int>(s));
+      EXPECT_EQ(comm.size(), kRanks);
+      for (int dest = 0; dest < kRanks; ++dest) {
+        std::vector<uint64_t> payload = {
+            static_cast<uint64_t>(s), static_cast<uint64_t>(dest),
+            static_cast<uint64_t>(round)};
+        comm.Send(dest, /*tag=*/round, std::move(payload));
+      }
+    });
+    pool.ParallelFor(0, static_cast<size_t>(kRanks), [&](size_t s) {
+      ShardCommunicator& comm = group.comm(static_cast<int>(s));
+      for (int src = 0; src < kRanks; ++src) {
+        const std::vector<uint64_t> payload = comm.Recv(src, /*tag=*/round);
+        ASSERT_EQ(payload.size(), 3u);
+        EXPECT_EQ(payload[0], static_cast<uint64_t>(src));
+        EXPECT_EQ(payload[1], static_cast<uint64_t>(s));
+        EXPECT_EQ(payload[2], static_cast<uint64_t>(round));
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace traclus::core

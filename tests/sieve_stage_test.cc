@@ -139,6 +139,64 @@ TEST(SieveStageTest, SampledSegmentsKeepInnerLabelsAndOffsetsDiffer) {
   EXPECT_NE(a->labels, b->labels);
 }
 
+TEST(SieveStageTest, ChooseSieveKSpansTheStrideRange) {
+  // Disabled and degenerate inputs run the inner backend in full.
+  EXPECT_EQ(ChooseSieveK(1000, 0), 1u);
+  EXPECT_EQ(ChooseSieveK(0, 100), 1u);
+  EXPECT_EQ(ChooseSieveK(100, 100), 1u);
+  EXPECT_EQ(ChooseSieveK(99, 100), 1u);
+  // k = ceil(n / target) across the whole useful stride range.
+  const size_t n = 1600;
+  for (size_t k = 1; k <= 16; ++k) {
+    const size_t target = (n + k - 1) / k;
+    EXPECT_EQ(ChooseSieveK(n, target), k) << "target " << target;
+  }
+  // Non-divisible sizes round the stride up, never down: the sample is at
+  // most the target, never above it.
+  EXPECT_EQ(ChooseSieveK(1601, 100), 17u);
+  EXPECT_EQ(ChooseSieveK(1599, 100), 16u);
+  for (const size_t target : {size_t{1}, size_t{7}, size_t{100}}) {
+    const size_t k = ChooseSieveK(n, target);
+    EXPECT_LE((n + k - 1) / k, target);
+  }
+}
+
+TEST(SieveStageTest, AutoKMatchesExplicitStrideAndIsOverridable) {
+  const traj::SegmentStore& store = HurricaneStore();
+  const DbscanGroupOptions group = HurricaneGroupOptions();
+  SieveGroupOptions sieve;
+  sieve.eps = group.eps;
+  sieve.distance = group.distance;
+  // Target half the store: AutoK derives k = 2.
+  sieve.auto_k.target_sample = (store.size() + 1) / 2;
+  ASSERT_EQ(ChooseSieveK(store.size(), sieve.auto_k.target_sample), 2u);
+  const SieveGroupStage auto_stage(
+      std::make_shared<DbscanGroupStage>(group), sieve);
+  ASSERT_TRUE(auto_stage.Validate().ok());
+
+  const SieveGroupStage explicit_stage = MakeSieveStage();
+  RunContext explicit_ctx;
+  explicit_ctx.sieve = 2;
+  const auto expect = explicit_stage.Run(store, explicit_ctx);
+  ASSERT_TRUE(expect.ok());
+
+  // AutoK with the context knob left at 0 equals the explicit stride run.
+  const auto got = auto_stage.Run(store, RunContext{});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSameClustering(*got, *expect);
+
+  // An explicit per-run stride overrides AutoK; sieve = 1 forces the full
+  // inner run.
+  const DbscanGroupStage inner(group);
+  const auto full = inner.Run(store, RunContext{});
+  ASSERT_TRUE(full.ok());
+  RunContext override_ctx;
+  override_ctx.sieve = 1;
+  const auto forced = auto_stage.Run(store, override_ctx);
+  ASSERT_TRUE(forced.ok());
+  ExpectSameClustering(*forced, *full);
+}
+
 TEST(SieveStageTest, ValidateRejectsBadConfigurations) {
   // Null inner stage.
   const SieveGroupStage null_inner(nullptr);

@@ -103,7 +103,7 @@ int Usage() {
       "  cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]\n"
       "          [--suppression BITS] [--no-index] [--threads N] [--progress]\n"
       "          [--kernel auto|scalar|simd]\n"
-      "          [--sieve K] [--sieve-offset R]\n"
+      "          [--sieve K] [--sieve-offset R] [--shards S]\n"
       "          [--stream] [--chunk-size N] [--max-resident N]\n"
       "          [--labels out.csv] [--reps out.csv] [--svg out.svg]\n"
       "\n"
@@ -121,6 +121,10 @@ int Usage() {
       "               fixed K/offset).\n"
       "  --sieve-offset R:  which residue class of the trajectory rank is\n"
       "               sampled (default 0).\n"
+      "  --shards S:  sharded grouping — decompose the segments over a cell\n"
+      "               grid into S shards, cluster each independently (in\n"
+      "               parallel), and merge clusters across shard borders\n"
+      "               (0 or 1 disables; deterministic for a fixed S).\n"
       "  --progress:  stream per-stage progress to stderr.\n"
       "  --stream:    streaming ingest — partition trajectories as they\n"
       "               arrive instead of loading the whole file first.\n"
@@ -184,9 +188,10 @@ core::RunContext MakeContext(const Args& args,
     };
   }
   ctx.distance_kernel = kernel;
-  // Harmless outside `cluster` (only a SieveGroupStage reads these).
+  // Harmless outside `cluster` (only a Sieve/ShardedGroupStage reads these).
   ctx.sieve = static_cast<size_t>(args.GetDouble("sieve", 0));
   ctx.sieve_offset = static_cast<size_t>(args.GetDouble("sieve-offset", 0));
+  ctx.shards = static_cast<size_t>(args.GetDouble("shards", 0));
   return ctx;
 }
 
@@ -371,6 +376,19 @@ int CmdCluster(const Args& args) {
       .UseDbscanGrouping(group)
       .UseSweepRepresentatives(reps_options)
       .SetDefaultNumThreads(static_cast<int>(args.GetDouble("threads", 0)));
+  const size_t shards = static_cast<size_t>(args.GetDouble("shards", 0));
+  if (shards >= 2) {
+    // Sharded grouping: cell-grid decomposition, per-shard DBSCAN, halo
+    // merge. Applied before the sieve wrap so a combined run shards the
+    // sieve's sampled sub-database. Same ε/MinLns/distance as the DBSCAN
+    // backend — the merge must describe the same clustering.
+    core::ShardedGroupOptions shard_options;
+    shard_options.eps = group.eps;
+    shard_options.min_lns = group.min_lns;
+    shard_options.use_weights = group.use_weights;
+    shard_options.distance = group.distance;
+    builder.WithShardedGrouping(shard_options);
+  }
   const size_t sieve = static_cast<size_t>(args.GetDouble("sieve", 0));
   if (sieve >= 2) {
     // Sieve-sampled grouping: cluster 1-in-k trajectories, assign the rest
@@ -516,7 +534,7 @@ int main(int argc, char** argv) {
       "seed",    "suppression",  "out",     "eps-lo",     "eps-hi",
       "grid",    "eps",          "min-lns", "labels",     "reps",
       "svg",     "threads",      "kernel",  "chunk-size", "max-resident",
-      "sieve",   "sieve-offset"};
+      "sieve",   "sieve-offset", "shards"};
   const Args args = Parse(argc - 2, argv + 2, value_flags);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
