@@ -1,0 +1,324 @@
+#include "cluster/neighbor_cache_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "distance/hashing.h"
+
+namespace traclus::cluster {
+namespace {
+
+// 'NBC1' little-endian.
+constexpr uint32_t kMagic = 0x3143424Eu;
+// Fixed-size header prefix: magic + version + key + n + eps + total_indices.
+constexpr uint64_t kHeaderBytes = 4 + 4 + 8 + 8 + 8 + 8;
+// Queries per NeighborsBatch slice while writing — bounds the writer's peak
+// resident lists the same way the blocked grouping pass bounds its own.
+constexpr size_t kWriteBatch = 1024;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+template <typename T>
+void WriteRaw(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadRaw(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+common::Status Corrupt(const std::string& path, const std::string& what) {
+  return common::Status::InvalidArgument("corrupt neighbor cache file " +
+                                         path + ": " + what);
+}
+
+}  // namespace
+
+std::string NeighborCacheFilePath(const std::string& directory, uint64_t key) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(key));
+  return directory + "/nbc-" + hex + ".bin";
+}
+
+common::Result<NeighborCacheFileHeader> LoadNeighborCacheFileHeader(
+    const std::string& path, uint64_t expected_key, uint64_t expected_n,
+    double expected_eps) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return common::Status::NotFound("no neighbor cache file at " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  if (file_size < kHeaderBytes) {
+    return common::Status::IOError("truncated neighbor cache file " + path +
+                                   ": smaller than the fixed header");
+  }
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  NeighborCacheFileHeader h;
+  uint64_t eps_bits = 0;
+  if (!ReadRaw(in, &magic) || !ReadRaw(in, &version) || !ReadRaw(in, &h.key) ||
+      !ReadRaw(in, &h.n) || !ReadRaw(in, &eps_bits) ||
+      !ReadRaw(in, &h.total_indices)) {
+    return common::Status::IOError("unreadable neighbor cache header in " +
+                                   path);
+  }
+  if (magic != kMagic) return Corrupt(path, "bad magic");
+  if (version != kNeighborCacheFileVersion) {
+    return Corrupt(path, "unsupported format version " +
+                             std::to_string(version));
+  }
+  h.eps = BitsToDouble(eps_bits);
+  // Stale checks before structural ones: a file written for different inputs
+  // is expected (the caller recomputes), so report it as the precondition
+  // failure it is rather than guessing at corruption.
+  if (h.key != expected_key) {
+    return common::Status::FailedPrecondition(
+        "stale neighbor cache file " + path +
+        ": key mismatch (inputs changed since it was written)");
+  }
+  if (h.n != expected_n) {
+    return common::Status::FailedPrecondition(
+        "stale neighbor cache file " + path + ": stores " +
+        std::to_string(h.n) + " lists, expected " +
+        std::to_string(expected_n));
+  }
+  if (eps_bits != DoubleBits(expected_eps)) {
+    return common::Status::FailedPrecondition(
+        "stale neighbor cache file " + path + ": eps mismatch");
+  }
+
+  // Exact size the header implies; any shortfall is a truncated write.
+  const uint64_t offsets_bytes = (h.n + 1) * sizeof(uint64_t);
+  const uint64_t expected_size = kHeaderBytes + offsets_bytes +
+                                 h.total_indices * sizeof(uint64_t) +
+                                 sizeof(uint32_t);
+  if (file_size != expected_size) {
+    return common::Status::IOError(
+        "truncated neighbor cache file " + path + ": " +
+        std::to_string(file_size) + " bytes, header implies " +
+        std::to_string(expected_size));
+  }
+
+  h.offsets.resize(h.n + 1);
+  in.read(reinterpret_cast<char*>(h.offsets.data()),
+          static_cast<std::streamsize>(offsets_bytes));
+  if (!in.good()) {
+    return common::Status::IOError("unreadable offset table in " + path);
+  }
+  if (h.offsets.front() != 0 || h.offsets.back() != h.total_indices) {
+    return Corrupt(path, "offset table does not span the payload");
+  }
+  for (uint64_t i = 0; i < h.n; ++i) {
+    if (h.offsets[i] > h.offsets[i + 1]) {
+      return Corrupt(path, "offset table is not monotone");
+    }
+  }
+  h.payload_begin = kHeaderBytes + offsets_bytes;
+
+  uint32_t trailing = 0;
+  in.seekg(static_cast<std::streamoff>(expected_size - sizeof(uint32_t)));
+  if (!ReadRaw(in, &trailing) || trailing != kMagic) {
+    return Corrupt(path, "missing trailing sentinel");
+  }
+  return h;
+}
+
+common::Status WriteNeighborCacheFile(const std::string& path, uint64_t key,
+                                      const NeighborhoodProvider& base,
+                                      double eps, common::ThreadPool& pool) {
+  const uint64_t n = base.size();
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Status::IOError("cannot open " + tmp + " for writing");
+  }
+
+  // Placeholder header + offsets first; the payload streams behind them in
+  // bounded slices, then one seek rewrites the real values. This keeps peak
+  // memory at O(slice) instead of materializing all n lists.
+  WriteRaw(out, kMagic);
+  WriteRaw(out, kNeighborCacheFileVersion);
+  WriteRaw(out, key);
+  WriteRaw(out, n);
+  WriteRaw(out, DoubleBits(eps));
+  uint64_t total = 0;
+  WriteRaw(out, total);
+  std::vector<uint64_t> offsets(n + 1, 0);
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
+
+  std::vector<size_t> queries;
+  std::vector<uint64_t> flat;
+  for (uint64_t base_i = 0; base_i < n; base_i += kWriteBatch) {
+    const uint64_t hi = std::min<uint64_t>(n, base_i + kWriteBatch);
+    queries.clear();
+    for (uint64_t i = base_i; i < hi; ++i) queries.push_back(i);
+    const auto lists = base.NeighborsBatch(queries, eps, pool);
+    flat.clear();
+    for (uint64_t i = base_i; i < hi; ++i) {
+      const auto& list = lists[i - base_i];
+      offsets[i] = total;
+      total += list.size();
+      for (const size_t v : list) flat.push_back(v);
+    }
+    out.write(reinterpret_cast<const char*>(flat.data()),
+              static_cast<std::streamsize>(flat.size() * sizeof(uint64_t)));
+  }
+  offsets[n] = total;
+  WriteRaw(out, kMagic);
+
+  out.seekp(static_cast<std::streamoff>(kHeaderBytes - sizeof(uint64_t)));
+  WriteRaw(out, total);
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(uint64_t)));
+  out.close();
+  if (!out.good()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return common::Status::IOError("failed writing neighbor cache file " +
+                                   tmp);
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return common::Status::IOError("cannot move " + tmp + " into place: " +
+                                   ec.message());
+  }
+  return common::Status::OK();
+}
+
+common::Result<std::unique_ptr<FileNeighborhoodCache>>
+FileNeighborhoodCache::Create(const NeighborhoodProvider& base,
+                              const traj::SegmentStore& store,
+                              const distance::SegmentDistanceConfig& config,
+                              double eps, const std::string& directory,
+                              common::ThreadPool& pool) {
+  TRACLUS_DCHECK_EQ(base.size(), store.size());
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return common::Status::IOError("cannot create neighbor cache directory " +
+                                   directory + ": " + ec.message());
+  }
+  const uint64_t key = distance::NeighborhoodCacheKey(store, config, eps);
+  const std::string path = NeighborCacheFilePath(directory, key);
+
+  auto header = LoadNeighborCacheFileHeader(path, key, store.size(), eps);
+  bool loaded = header.ok();
+  if (!loaded) {
+    // Any load failure — missing, stale, truncated, corrupt — means the
+    // file cannot be served; recompute through the base provider and
+    // rewrite. Only a genuine write failure escapes.
+    TRACLUS_RETURN_NOT_OK(
+        WriteNeighborCacheFile(path, key, base, eps, pool));
+    header = LoadNeighborCacheFileHeader(path, key, store.size(), eps);
+    // A file we just wrote and cannot read back is an environment problem,
+    // not a cache miss.
+    TRACLUS_RETURN_NOT_OK(header.status());
+  }
+
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return common::Status::IOError("cannot reopen neighbor cache file " +
+                                   path);
+  }
+  return std::unique_ptr<FileNeighborhoodCache>(new FileNeighborhoodCache(
+      std::move(header).ValueOrDie(), path, std::move(file), eps, loaded));
+}
+
+FileNeighborhoodCache::FileNeighborhoodCache(NeighborCacheFileHeader header,
+                                             std::string path,
+                                             std::ifstream file, double eps,
+                                             bool loaded_from_file)
+    : header_(std::move(header)),
+      path_(std::move(path)),
+      eps_(eps),
+      loaded_from_file_(loaded_from_file) {
+  common::MutexLock lock(mu_);
+  file_ = std::move(file);
+}
+
+std::vector<size_t> FileNeighborhoodCache::ReadList(size_t i) const {
+  TRACLUS_DCHECK(i < header_.n);
+  const uint64_t begin = header_.offsets[i];
+  const uint64_t count = header_.offsets[i + 1] - begin;
+  std::vector<uint64_t> raw(count);
+  {
+    common::MutexLock lock(mu_);
+    file_.seekg(static_cast<std::streamoff>(header_.payload_begin +
+                                            begin * sizeof(uint64_t)));
+    file_.read(reinterpret_cast<char*>(raw.data()),
+               static_cast<std::streamsize>(count * sizeof(uint64_t)));
+    // Validated at load time; a failure here means the file changed
+    // underneath us mid-run.
+    TRACLUS_DCHECK(file_.good());
+  }
+  std::vector<size_t> list(raw.begin(), raw.end());
+  return list;
+}
+
+std::vector<size_t> FileNeighborhoodCache::Neighbors(size_t query_index,
+                                                     double eps) const {
+  TRACLUS_DCHECK(eps == eps_);
+  (void)eps;
+  return ReadList(query_index);
+}
+
+std::vector<std::vector<size_t>> FileNeighborhoodCache::AllNeighbors(
+    double eps, common::ThreadPool& pool) const {
+  TRACLUS_DCHECK(eps == eps_);
+  (void)eps;
+  (void)pool;  // Reads serialize on the file cursor; fan-out buys nothing.
+  std::vector<std::vector<size_t>> lists(header_.n);
+  for (size_t i = 0; i < header_.n; ++i) lists[i] = ReadList(i);
+  return lists;
+}
+
+std::vector<size_t> FileNeighborhoodCache::AllNeighborhoodSizes(
+    double eps, common::ThreadPool& pool) const {
+  TRACLUS_DCHECK(eps == eps_);
+  (void)eps;
+  (void)pool;
+  std::vector<size_t> sizes(header_.n);
+  for (size_t i = 0; i < header_.n; ++i) {
+    sizes[i] = header_.offsets[i + 1] - header_.offsets[i];
+  }
+  return sizes;
+}
+
+std::vector<std::vector<size_t>> FileNeighborhoodCache::NeighborsBatch(
+    const std::vector<size_t>& queries, double eps,
+    common::ThreadPool& pool) const {
+  TRACLUS_DCHECK(eps == eps_);
+  (void)eps;
+  (void)pool;
+  std::vector<std::vector<size_t>> lists(queries.size());
+  for (size_t k = 0; k < queries.size(); ++k) {
+    lists[k] = ReadList(queries[k]);
+  }
+  return lists;
+}
+
+}  // namespace traclus::cluster

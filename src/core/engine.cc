@@ -9,9 +9,12 @@
 
 #include "cluster/chunked_neighborhood.h"
 #include "cluster/dbscan_segments.h"
+#include "cluster/neighbor_cache_file.h"
 #include "cluster/neighborhood.h"
 #include "cluster/neighborhood_index.h"
 #include "cluster/optics_segments.h"
+#include "common/cancellation.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "partition/approximate_partitioner.h"
 #include "partition/optimal_partitioner.h"
@@ -41,6 +44,38 @@ std::unique_ptr<cluster::NeighborhoodProvider> MakeProvider(
   }
   return std::make_unique<cluster::BruteForceNeighborhood>(store, dist,
                                                            kernel);
+}
+
+// The run's provider plus, when RunContext::neighbor_cache_dir is set, the
+// persistent file cache wrapping it. Both owners stay alive together — the
+// cache holds a reference into the base for its miss path.
+struct ProviderBundle {
+  std::unique_ptr<cluster::NeighborhoodProvider> base;
+  std::unique_ptr<cluster::FileNeighborhoodCache> cache;  // May be null.
+  const cluster::NeighborhoodProvider& provider() const {
+    return cache != nullptr ? static_cast<cluster::NeighborhoodProvider&>(
+                                  *cache)
+                            : *base;
+  }
+};
+
+common::Result<ProviderBundle> MakeRunProvider(
+    const traj::SegmentStore& store, const distance::SegmentDistance& dist,
+    bool use_index, double eps, const RunContext& ctx) {
+  ProviderBundle bundle;
+  bundle.base = MakeProvider(store, dist, use_index, ctx.distance_kernel);
+  if (!ctx.neighbor_cache_dir.empty()) {
+    // Keyed by (store content, distance config, ε): a sieve sample or a
+    // shard's sub-store hashes differently from the full database, so every
+    // effective query store gets its own file and the decorators compose
+    // without coordination.
+    TRACLUS_ASSIGN_OR_RETURN(
+        bundle.cache,
+        cluster::FileNeighborhoodCache::Create(
+            *bundle.base, store, dist.config(), eps, ctx.neighbor_cache_dir,
+            common::SharedPool(ctx.num_threads)));
+  }
+  return bundle;
 }
 
 common::Status ValidateDistanceConfig(
@@ -200,8 +235,9 @@ common::Status DbscanGroupStage::Validate() const {
 common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
     const traj::SegmentStore& store, const RunContext& ctx) const {
   const distance::SegmentDistance dist(options_.distance);
-  const auto provider =
-      MakeProvider(store, dist, options_.use_index, ctx.distance_kernel);
+  TRACLUS_ASSIGN_OR_RETURN(
+      const ProviderBundle bundle,
+      MakeRunProvider(store, dist, options_.use_index, options_.eps, ctx));
 
   cluster::DbscanOptions o;
   o.eps = options_.eps;
@@ -222,7 +258,7 @@ common::Result<cluster::ClusteringResult> DbscanGroupStage::Run(
   }
   try {
     // Fig. 4 line 04.
-    return cluster::DbscanSegments(store, *provider, o);
+    return cluster::DbscanSegments(store, bundle.provider(), o);
   } catch (const common::OperationCancelled&) {
     return CancelledIn(name());
   }
@@ -292,8 +328,9 @@ common::Result<cluster::ClusteringResult> OpticsGroupStage::Run(
   }
   Report(ctx, name(), 0.0);
   const distance::SegmentDistance dist(options_.distance);
-  const auto provider =
-      MakeProvider(store, dist, options_.use_index, ctx.distance_kernel);
+  TRACLUS_ASSIGN_OR_RETURN(
+      const ProviderBundle bundle,
+      MakeRunProvider(store, dist, options_.use_index, options_.eps, ctx));
   cluster::OpticsOptions o;
   o.eps = options_.eps;
   o.min_lns = options_.min_lns;
@@ -307,7 +344,8 @@ common::Result<cluster::ClusteringResult> OpticsGroupStage::Run(
   try {
     // The ordering walk is inherently sequential (ctx.num_threads does not
     // apply); cancellation is polled once per ordering step inside.
-    const auto optics = cluster::OpticsSegments(store, dist, *provider, o);
+    const auto optics = cluster::OpticsSegments(store, dist,
+                                                bundle.provider(), o);
     const double cut =
         options_.eps_cut > 0.0 ? options_.eps_cut : options_.eps;
     // Same shard-local contract as the DBSCAN stage: the cardinality filter
@@ -385,33 +423,47 @@ SweepRepresentativeStage::RunChunked(
   o.use_weights = options_.use_weights;
 
   Report(ctx, name(), 0.0);
-  // One cluster at a time: gather its member segments (faulting chunks
-  // through the bounded cache; members arrive roughly chunk-clustered, so
-  // the LRU makes repeats cheap), freeze them into a member-local store, and
-  // sweep that. The sweep and the average-direction axis read only
-  // member-indexed values plus cluster.id, so remapping members to 0..m-1
-  // preserves every double bit-for-bit versus Run on the merged store.
+  // Cluster-parallel across the run's pool: each iteration gathers one
+  // cluster's member segments (faulting chunks through the bounded cache,
+  // whose interior lock already serializes concurrent faults — pinned by
+  // the chunked-store fault-hammer test), freezes them into a member-local
+  // store, and sweeps that. Per-cluster work touches only its own
+  // index-addressed reps slot, and the sweep plus the average-direction
+  // axis read only member-indexed values plus cluster.id, so output is
+  // byte-identical to the serial walk for every thread count.
   std::vector<traj::Trajectory> reps(clustering.clusters.size());
-  for (size_t i = 0; i < clustering.clusters.size(); ++i) {
-    if (ctx.cancellation != nullptr && ctx.cancellation->cancelled()) {
-      return CancelledIn(name());
-    }
-    const cluster::Cluster& c = clustering.clusters[i];
-    std::vector<geom::Segment> members;
-    members.reserve(c.member_indices.size());
-    for (const size_t idx : c.member_indices) {
-      const size_t chunk_id = store.chunk_of(idx);
-      TRACLUS_ASSIGN_OR_RETURN(const auto chunk, store.Chunk(chunk_id));
-      members.push_back(chunk->segments()[idx - store.chunk_begin(chunk_id)]);
-    }
-    cluster::Cluster local;
-    local.id = c.id;
-    local.member_indices.resize(c.member_indices.size());
-    std::iota(local.member_indices.begin(), local.member_indices.end(),
-              size_t{0});
-    reps[i] = cluster::RepresentativeTrajectory(
-        traj::SegmentStore(std::move(members)), local, o);
+  common::Mutex error_mu;
+  common::Status first_error;  // Guarded by error_mu (local — no annotation).
+  try {
+    common::SharedPool(ctx.num_threads)
+        .ParallelFor(0, clustering.clusters.size(), [&](size_t i) {
+          common::ThrowIfCancelled(ctx.cancellation);
+          const cluster::Cluster& c = clustering.clusters[i];
+          std::vector<geom::Segment> members;
+          members.reserve(c.member_indices.size());
+          for (const size_t idx : c.member_indices) {
+            const size_t chunk_id = store.chunk_of(idx);
+            const auto chunk = store.Chunk(chunk_id);
+            if (!chunk.ok()) {
+              common::MutexLock lock(error_mu);
+              if (first_error.ok()) first_error = chunk.status();
+              return;
+            }
+            members.push_back(
+                (*chunk)->segments()[idx - store.chunk_begin(chunk_id)]);
+          }
+          cluster::Cluster local;
+          local.id = c.id;
+          local.member_indices.resize(c.member_indices.size());
+          std::iota(local.member_indices.begin(), local.member_indices.end(),
+                    size_t{0});
+          reps[i] = cluster::RepresentativeTrajectory(
+              traj::SegmentStore(std::move(members)), local, o);
+        });
+  } catch (const common::OperationCancelled&) {
+    return CancelledIn(name());
   }
+  if (!first_error.ok()) return first_error;
   Report(ctx, name(), 1.0);
   return reps;
 }
@@ -499,6 +551,12 @@ TraclusEngine::Builder& TraclusEngine::Builder::SetDefaultNumThreads(
   return *this;
 }
 
+TraclusEngine::Builder& TraclusEngine::Builder::WithNeighborCache(
+    std::string directory) {
+  default_neighbor_cache_dir_ = std::move(directory);
+  return *this;
+}
+
 common::Result<TraclusEngine> TraclusEngine::Builder::Build() const {
   if (partition_ == nullptr) {
     return common::Status::InvalidArgument(
@@ -515,7 +573,7 @@ common::Result<TraclusEngine> TraclusEngine::Builder::Build() const {
     TRACLUS_RETURN_NOT_OK(representative_->Validate());
   }
   return TraclusEngine(partition_, group_, representative_,
-                       default_num_threads_);
+                       default_num_threads_, default_neighbor_cache_dir_);
 }
 
 // ---------------------------------------------------------------------------
@@ -573,6 +631,9 @@ RunContext TraclusEngine::ResolveContext(const RunContext& ctx) const {
   // < 0 = "hardware concurrency regardless of the engine default", which is
   // what the pool layer's 0 means.
   if (resolved.num_threads < 0) resolved.num_threads = 0;
+  if (resolved.neighbor_cache_dir.empty()) {
+    resolved.neighbor_cache_dir = default_neighbor_cache_dir_;
+  }
   return resolved;
 }
 

@@ -27,6 +27,7 @@
 // output bit-for-bit across refactors instead.
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -192,6 +193,11 @@ class TraclusEngine {
     /// num_threads at 0. 0 = hardware concurrency.
     Builder& SetDefaultNumThreads(int num_threads);
 
+    /// Default persistent neighbor-cache directory for runs whose RunContext
+    /// leaves neighbor_cache_dir empty (see RunContext::neighbor_cache_dir
+    /// for semantics). Empty (the default) disables the cache.
+    Builder& WithNeighborCache(std::string directory);
+
     /// Validates the assembly and every stage's configuration; returns the
     /// engine or the first validation failure.
     common::Result<TraclusEngine> Build() const;
@@ -202,6 +208,7 @@ class TraclusEngine {
     /// Null = stage 3 disabled (WithoutRepresentatives).
     std::shared_ptr<const RepresentativeStage> representative_;
     int default_num_threads_ = 0;
+    std::string default_neighbor_cache_dir_;
   };
 
   /// Maps the legacy flat TraclusConfig onto the equivalent builder assembly.
@@ -261,16 +268,21 @@ class TraclusEngine {
     return representative_.get();
   }
   int default_num_threads() const { return default_num_threads_; }
+  /// Empty when the persistent neighbor cache is disabled.
+  const std::string& default_neighbor_cache_dir() const {
+    return default_neighbor_cache_dir_;
+  }
 
  private:
   TraclusEngine(std::shared_ptr<const PartitionStage> partition,
                 std::shared_ptr<const GroupStage> group,
                 std::shared_ptr<const RepresentativeStage> representative,
-                int default_num_threads)
+                int default_num_threads, std::string default_neighbor_cache_dir)
       : partition_(std::move(partition)),
         group_(std::move(group)),
         representative_(std::move(representative)),
-        default_num_threads_(default_num_threads) {}
+        default_num_threads_(default_num_threads),
+        default_neighbor_cache_dir_(std::move(default_neighbor_cache_dir)) {}
 
   /// Copies `ctx` with num_threads resolved against the engine default.
   RunContext ResolveContext(const RunContext& ctx) const;
@@ -291,6 +303,7 @@ class TraclusEngine {
   std::shared_ptr<const GroupStage> group_;
   std::shared_ptr<const RepresentativeStage> representative_;  // May be null.
   int default_num_threads_ = 0;
+  std::string default_neighbor_cache_dir_;
 };
 
 /// The sweep-representative options a legacy TraclusConfig implies: the

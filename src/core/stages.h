@@ -98,6 +98,19 @@ struct RunContext {
   /// Eager runs ignore both chunk knobs. Results are bit-identical for every
   /// value — chunking changes residency, never arithmetic.
   size_t chunk_capacity = 0;
+  /// Persistent neighbor cache (cluster/neighbor_cache_file.h): when
+  /// non-empty, the DBSCAN/OPTICS group stages wrap their neighborhood
+  /// provider in a FileNeighborhoodCache rooted at this directory — a run
+  /// over unchanged inputs (store content, distance weights, ε) serves every
+  /// ε-neighborhood from disk and skips the candidate/refine work entirely;
+  /// any input change misses (the file is keyed by a content hash) and the
+  /// lists are recomputed and rewritten. Served lists equal the computed
+  /// ones exactly, so results are byte-identical either way. Composes with
+  /// sieve/sharded grouping: each effective query store (the sieve sample,
+  /// each shard) hashes to its own cache file. Empty = disabled. Ignored by
+  /// the residency-capped RunChunked path (chunked providers stream a
+  /// different shape).
+  std::string neighbor_cache_dir;
   /// Streaming runs only: residency cap of the chunked store's reader cache.
   /// 0 = unbounded (no spill; the grouping phase runs on the merged store).
   /// > 0 enables the out-of-core grouping path: cold chunks spill to a temp

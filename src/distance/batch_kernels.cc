@@ -1119,6 +1119,65 @@ void NearestWithinEps(const traj::SegmentStore& store,
   }
 }
 
+void NearestWithinEpsCross(const traj::SegmentStore& query_store,
+                           const SegmentDistance& dist,
+                           common::Span<const size_t> queries,
+                           const traj::SegmentStore& cand_store,
+                           common::Span<const size_t> candidates, double eps,
+                           common::Span<size_t> out_position,
+                           common::Span<double> out_distance,
+                           const BatchOptions& options) {
+  TRACLUS_DCHECK_EQ(queries.size(), out_position.size());
+  TRACLUS_DCHECK_EQ(queries.size(), out_distance.size());
+  const BatchKernel kernel = ResolveBatchKernel(options.kernel);
+  const size_t block = options.block > 0 ? options.block : kDefaultRefineBlock;
+  const SegmentDistanceConfig& cfg = dist.config();
+
+  thread_local std::vector<PruneContext> prune;
+  thread_local std::vector<size_t> survivors;  // Positions into `candidates`.
+  thread_local std::vector<double> distances;
+  prune.clear();
+  for (const size_t q : queries) {
+    TRACLUS_DCHECK(q < query_store.size());
+    prune.push_back(MakePruneContext(query_store, dist, q, eps, options.prune));
+  }
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    out_position[qi] = kNoNearest;
+    out_distance[qi] = std::numeric_limits<double>::infinity();
+  }
+
+  // Candidate-block-major like the one-store tile. The prune context carries
+  // only the query's midpoint/half-length and reads only the candidate
+  // store's columns, so it is cross-store-correct as-is; the ε-only prune
+  // plus bit-identical distances make the strict-< argmin independent of
+  // block size, kernel, and evaluation order here too.
+  for (size_t base = 0; base < candidates.size(); base += block) {
+    const size_t hi = std::min(candidates.size(), base + block);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const size_t query = queries[qi];
+      survivors.clear();
+      for (size_t pos = base; pos < hi; ++pos) {
+        const size_t j = candidates[pos];
+        TRACLUS_DCHECK(j < cand_store.size());
+        if (PrunedFar(prune[qi], cand_store, j)) continue;
+        survivors.push_back(pos);
+      }
+      distances.resize(survivors.size());
+      BatchDispatchCross(
+          kernel, query_store, cand_store, cfg, query, survivors.size(),
+          [&](size_t m) { return candidates[survivors[m]]; },
+          distances.data());
+      for (size_t m = 0; m < survivors.size(); ++m) {
+        const double d = distances[m];
+        if (d <= eps && d < out_distance[qi]) {
+          out_distance[qi] = d;
+          out_position[qi] = survivors[m];
+        }
+      }
+    }
+  }
+}
+
 size_t EpsilonRefineRange(const traj::SegmentStore& store,
                           const SegmentDistance& dist, size_t query,
                           size_t first, size_t last, double eps,

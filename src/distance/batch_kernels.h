@@ -271,6 +271,26 @@ void NearestWithinEps(const traj::SegmentStore& store,
                       common::Span<double> out_distance,
                       const BatchOptions& options = {});
 
+/// Cross-store NearestWithinEps — the frozen-snapshot assignment primitive
+/// (core::ClusterSnapshot::AssignSegments): queries index `query_store`,
+/// candidates index `cand_store`, and each query gets the candidate
+/// minimizing dist(query, candidate) subject to dist ≤ eps, ties broken
+/// toward the earliest candidate in span order. Same contract as the
+/// one-store overload (kNoNearest / +inf when no candidate qualifies; the
+/// prune is against ε only, so the argmin is independent of block size,
+/// kernel, and evaluation order) minus the self-exclusion special case —
+/// cross-store candidate lists never contain the query. Bit-identical
+/// across scalar/SIMD kernels and thread counts for the same reasons as
+/// the one-store tile.
+void NearestWithinEpsCross(const traj::SegmentStore& query_store,
+                           const SegmentDistance& dist,
+                           common::Span<const size_t> queries,
+                           const traj::SegmentStore& cand_store,
+                           common::Span<const size_t> candidates, double eps,
+                           common::Span<size_t> out_position,
+                           common::Span<double> out_distance,
+                           const BatchOptions& options = {});
+
 /// Kernel-selecting overload of PairwiseDistanceMatrix (segment_distance.h):
 /// the same symmetric n×n matrix, filled through upper-triangle tiles — the
 /// chunk owning rows [lo, hi) walks candidate blocks once for all its rows

@@ -1,0 +1,73 @@
+#include "distance/hashing.h"
+
+#include <cstring>
+
+namespace traclus::distance {
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+}  // namespace
+
+uint64_t HashBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashU64(uint64_t h, uint64_t v) { return HashBytes(h, &v, sizeof(v)); }
+
+uint64_t HashDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return HashU64(h, bits);
+}
+
+uint64_t HashDoubles(uint64_t h, const std::vector<double>& values) {
+  h = HashU64(h, values.size());
+  // One memcpy-free pass: the vector's doubles are already a contiguous
+  // little-endian byte stream, which is exactly what HashBytes folds.
+  return HashBytes(h, values.data(), values.size() * sizeof(double));
+}
+
+uint64_t HashSegmentStoreContent(const traj::SegmentStore& store) {
+  uint64_t h = HashInit();
+  h = HashU64(h, store.size());
+  h = HashU64(h, static_cast<uint64_t>(store.dims()));
+  for (int d = 0; d < store.dims(); ++d) {
+    h = HashDoubles(h, store.start_coords(d));
+    h = HashDoubles(h, store.end_coords(d));
+  }
+  for (size_t i = 0; i < store.size(); ++i) {
+    h = HashU64(h, static_cast<uint64_t>(store.id(i)));
+  }
+  const auto& tids = store.trajectory_ids();
+  h = HashBytes(h, tids.data(), tids.size() * sizeof(geom::TrajectoryId));
+  h = HashDoubles(h, store.weights());
+  return h;
+}
+
+uint64_t HashSegmentDistanceConfig(const SegmentDistanceConfig& config) {
+  uint64_t h = HashInit();
+  h = HashDouble(h, config.w_perpendicular);
+  h = HashDouble(h, config.w_parallel);
+  h = HashDouble(h, config.w_angle);
+  h = HashU64(h, config.directed ? 1 : 0);
+  return h;
+}
+
+uint64_t NeighborhoodCacheKey(const traj::SegmentStore& store,
+                              const SegmentDistanceConfig& config,
+                              double eps) {
+  uint64_t h = HashInit();
+  h = HashU64(h, HashSegmentStoreContent(store));
+  h = HashU64(h, HashSegmentDistanceConfig(config));
+  h = HashDouble(h, eps);
+  return h;
+}
+
+}  // namespace traclus::distance

@@ -13,8 +13,13 @@
 //       suggested (eps, MinLns) values.
 //   cluster <in.csv> --eps X --min-lns N [--undirected] [--weighted]
 //           [--suppression BITS] [--no-index] [--progress]
+//           [--neighbor-cache DIR] [--save-snapshot FILE]
 //           [--labels out.csv] [--reps out.csv] [--svg out.svg]
 //       Run the full pipeline and write the requested artifacts.
+//   assign <snapshot> <in.csv> [--labels out.csv]
+//       Load a frozen snapshot written by `cluster --save-snapshot` and
+//       assign each input trajectory to its nearest cluster within the
+//       snapshot's eps — the high-QPS serving path; no reclustering.
 //
 // Built on core::TraclusEngine: configuration errors come back as typed
 // statuses (printed, exit 1), IO/runtime failures as statuses too (exit 2),
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/snapshot.h"
 #include "datagen/animal_generator.h"
 #include "datagen/common_subtrajectory.h"
 #include "datagen/hurricane_generator.h"
@@ -105,7 +111,10 @@ int Usage() {
       "          [--kernel auto|scalar|simd]\n"
       "          [--sieve K] [--sieve-offset R] [--shards S]\n"
       "          [--stream] [--chunk-size N] [--max-resident N]\n"
+      "          [--neighbor-cache DIR] [--save-snapshot FILE]\n"
       "          [--labels out.csv] [--reps out.csv] [--svg out.svg]\n"
+      "  assign <snapshot> <in.csv> [--threads N] [--kernel auto|scalar|simd]\n"
+      "         [--labels out.csv]\n"
       "\n"
       "  Every <in.csv> may be '-' to read CSV from standard input.\n"
       "\n"
@@ -133,7 +142,16 @@ int Usage() {
       "                     store (0 = one chunk). Implies --stream.\n"
       "  --max-resident N:  out-of-core mode — spill cold chunks and keep\n"
       "                     at most N resident (0 = keep all). Implies\n"
-      "                     --stream; incompatible with --svg.\n");
+      "                     --stream; incompatible with --svg and\n"
+      "                     --save-snapshot.\n"
+      "  --neighbor-cache DIR:  persist the grouping stage's eps-neighborhood\n"
+      "               lists under DIR, keyed by a content hash of the\n"
+      "               segments, distance weights, and eps. A rerun over the\n"
+      "               same inputs skips the O(n^2) neighborhood pass and\n"
+      "               streams the lists back from disk, byte-identically.\n"
+      "  --save-snapshot FILE:  freeze the finished run (segments, clusters,\n"
+      "               representatives, parameters) to FILE for later\n"
+      "               `traclus assign` serving.\n");
   return 1;
 }
 
@@ -188,6 +206,7 @@ core::RunContext MakeContext(const Args& args,
     };
   }
   ctx.distance_kernel = kernel;
+  ctx.neighbor_cache_dir = args.GetString("neighbor-cache");
   // Harmless outside `cluster` (only a Sieve/ShardedGroupStage reads these).
   ctx.sieve = static_cast<size_t>(args.GetDouble("sieve", 0));
   ctx.sieve_offset = static_cast<size_t>(args.GetDouble("sieve-offset", 0));
@@ -352,6 +371,15 @@ int CmdCluster(const Args& args) {
     std::fprintf(stderr,
                  "--svg needs the full input database and is incompatible "
                  "with --stream\n");
+    return 1;
+  }
+  const std::string snapshot_path = args.GetString("save-snapshot");
+  if (!snapshot_path.empty() && args.options.count("max-resident") > 0) {
+    // A residency-capped run leaves result.store empty on purpose; the
+    // snapshot needs the materialized segment columns.
+    std::fprintf(stderr,
+                 "--save-snapshot needs the materialized segment store and is "
+                 "incompatible with --max-resident\n");
     return 1;
   }
 
@@ -522,6 +550,68 @@ int CmdCluster(const Args& args) {
     }
     std::printf("wrote %s\n", svg_path.c_str());
   }
+
+  if (!snapshot_path.empty()) {
+    core::SnapshotParams params;
+    params.eps = group.eps;
+    params.distance = group.distance;
+    params.mdl = partition.mdl;
+    const auto snapshot = core::ClusterSnapshot::FromResult(result, params);
+    if (!snapshot.ok()) return FailWith(snapshot.status());
+    const auto st = (*snapshot)->Save(snapshot_path);
+    if (!st.ok()) return FailWith(st);
+    std::printf("wrote %s\n", snapshot_path.c_str());
+  }
+  return 0;
+}
+
+int CmdAssign(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  const auto kernel = KernelFlag(args);
+  if (!kernel.ok()) return FailWith(kernel.status());
+  const auto snapshot = core::ClusterSnapshot::Load(args.positional[0]);
+  if (!snapshot.ok()) return FailWith(snapshot.status());
+  const auto loaded = Load(args.positional[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+
+  core::AssignOptions options;
+  options.kernel = *kernel;
+  options.num_threads = static_cast<int>(args.GetDouble("threads", 1));
+
+  const std::string labels = args.GetString("labels");
+  std::ofstream f;
+  if (!labels.empty()) {
+    f.open(labels);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", labels.c_str());
+      return 2;
+    }
+    f << "trajectory_id,cluster\n";
+  }
+
+  size_t assigned = 0;
+  for (const auto& trajectory : loaded->trajectories()) {
+    const auto result = (*snapshot)->AssignTrajectory(trajectory, options);
+    if (!result.ok()) return FailWith(result.status());
+    size_t matched = 0;
+    for (const int label : result->segment_labels) {
+      if (label != cluster::kNoise) ++matched;
+    }
+    std::printf("trajectory %lld -> cluster %d (%zu/%zu segments within eps)\n",
+                static_cast<long long>(trajectory.id()), result->cluster,
+                matched, result->segment_labels.size());
+    if (result->cluster != cluster::kNoise) ++assigned;
+    if (f.is_open()) {
+      f << trajectory.id() << "," << result->cluster << "\n";
+    }
+  }
+  std::printf("%zu/%zu trajectories assigned to one of %zu clusters\n",
+              assigned, loaded->size(),
+              (*snapshot)->clustering().clusters.size());
+  if (f.is_open()) std::printf("wrote %s\n", labels.c_str());
   return 0;
 }
 
@@ -534,12 +624,14 @@ int main(int argc, char** argv) {
       "seed",    "suppression",  "out",     "eps-lo",     "eps-hi",
       "grid",    "eps",          "min-lns", "labels",     "reps",
       "svg",     "threads",      "kernel",  "chunk-size", "max-resident",
-      "sieve",   "sieve-offset", "shards"};
+      "sieve",   "sieve-offset", "shards",  "neighbor-cache",
+      "save-snapshot"};
   const Args args = Parse(argc - 2, argv + 2, value_flags);
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "partition") return CmdPartition(args);
   if (cmd == "estimate") return CmdEstimate(args);
   if (cmd == "cluster") return CmdCluster(args);
+  if (cmd == "assign") return CmdAssign(args);
   return Usage();
 }
